@@ -1,0 +1,102 @@
+// Ablation bench (extension beyond the paper's tables): which parts of the
+// RelGAT surrogate architecture matter? Sweeps edge features on/off,
+// layer norm on/off, and depth, on a shared Poisson-emulator dataset, and
+// reports validation MSE per configuration.
+//
+// The paper motivates edge features ("spatial relationship embedding ...
+// inspired by finite element methods") and layer normalization ("enhancing
+// model convergence and stability"); this bench quantifies both claims.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "src/gnn/trainer.hpp"
+#include "src/numeric/stats.hpp"
+#include "src/surrogate/surrogate.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace {
+
+using namespace stco;
+using namespace stco::surrogate;
+
+double train_and_eval(const gnn::RelGatConfig& cfg, std::span<const DeviceSample> train,
+                      std::span<const DeviceSample> val, std::size_t epochs,
+                      double* train_seconds) {
+  numeric::Rng rng(42);
+  gnn::RelGatModel model(cfg, rng);
+  auto loss = [&](std::size_t i) {
+    const auto& g = train[i].poisson_graph;
+    return tensor::mse_loss(model.forward(g), g.node_target_tensor(1));
+  };
+  gnn::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = 3e-3;
+  bench::Timer t;
+  gnn::train(model.parameters(), loss, train.size(), tc);
+  *train_seconds = t.seconds();
+
+  numeric::Vec pred, act;
+  for (const auto& s : val) {
+    const auto out = model.forward(s.poisson_graph).value();
+    pred.insert(pred.end(), out.begin(), out.end());
+    act.insert(act.end(), s.poisson_graph.node_targets.begin(),
+               s.poisson_graph.node_targets.end());
+  }
+  return numeric::mse(pred, act);
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n_train = stco::bench::env_size("STCO_ABL_TRAIN", 160, 400);
+  const std::size_t n_val = stco::bench::env_size("STCO_ABL_VAL", 40, 100);
+  const std::size_t epochs = stco::bench::env_size("STCO_ABL_EPOCHS", 60, 100);
+
+  stco::bench::header("Ablation — RelGAT architecture choices (Poisson emulator)");
+  printf("Dataset: %zu train / %zu val devices, %zu epochs per config\n\n", n_train,
+         n_val, epochs);
+
+  numeric::Rng rng(99);
+  PopulationOptions opts;
+  const auto pool = generate_population(n_train + n_val, rng, opts);
+  std::span<const DeviceSample> train(pool.data(), n_train);
+  std::span<const DeviceSample> val(pool.data() + n_train, n_val);
+
+  struct Config {
+    const char* name;
+    std::size_t layers;
+    bool edge_features;
+    bool layer_norm;
+  };
+  const Config configs[] = {
+      {"paper config (deep, edge feats, LN)", 8, true, true},
+      {"no edge features", 8, false, true},
+      {"no layer norm", 8, true, false},
+      {"shallow (3 layers)", 3, true, true},
+      {"shallow, no edge feats", 3, false, true},
+  };
+
+  printf("%-38s %-14s %-12s %s\n", "configuration", "val MSE", "params", "train s");
+  stco::bench::rule();
+  double baseline = 0.0;
+  for (const auto& c : configs) {
+    gnn::RelGatConfig cfg = gnn::poisson_emulator_config(kNodeDim, kEdgeDim, 16);
+    cfg.num_layers = c.layers;
+    cfg.use_edge_features = c.edge_features;
+    cfg.use_layer_norm = c.layer_norm;
+    numeric::Rng prng(1);
+    const gnn::RelGatModel probe(cfg, prng);
+    double secs = 0.0;
+    const double mse = train_and_eval(cfg, train, val, epochs, &secs);
+    if (baseline == 0.0) baseline = mse;
+    printf("%-38s %-14.3e %-12zu %.1f   (%.2fx vs full)\n", c.name, mse,
+           probe.num_parameters(), secs, mse / baseline);
+  }
+  stco::bench::rule();
+  printf("Reading: >1.0x means the ablated variant is worse than the full model. At\n"
+         "this reduced scale effects can be modest: the mesh encoding also carries\n"
+         "absolute positions as node attributes, so spatial edge features are partly\n"
+         "redundant; depth matters most for propagating boundary information.\n");
+  return 0;
+}

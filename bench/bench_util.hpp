@@ -1,0 +1,47 @@
+#pragma once
+// Shared helpers for the experiment-reproduction benches: wall-clock
+// timing, environment-variable size overrides, and aligned table printing.
+//
+// Every bench prints the paper's reference values next to our measured
+// values; EXPERIMENTS.md records both. Sizes default to a few minutes of
+// CPU; export STCO_BENCH_SCALE=large for closer-to-paper sweeps.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stco::bench {
+
+class Timer {
+ public:
+  Timer() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  }
+  void reset() { t0_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+inline std::size_t env_size(const char* name, std::size_t small_default,
+                            std::size_t large_default) {
+  if (const char* v = std::getenv(name)) return static_cast<std::size_t>(std::atoll(v));
+  if (const char* s = std::getenv("STCO_BENCH_SCALE"))
+    if (std::string(s) == "large") return large_default;
+  return small_default;
+}
+
+inline void rule(char c = '-', int width = 86) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void header(const char* title) {
+  rule('=');
+  std::printf("%s\n", title);
+  rule('=');
+}
+
+}  // namespace stco::bench

@@ -1,0 +1,109 @@
+#include "src/cells/builder.hpp"
+
+#include <stdexcept>
+
+namespace stco::cells {
+
+namespace {
+
+class CellBuilder {
+ public:
+  CellBuilder(spice::Netlist& nl, const CellDef& cell,
+              const compact::TechnologyPoint& tech, const compact::CellSizing& sizing,
+              std::string prefix)
+      : nl_(nl), cell_(cell), tech_(tech), sizing_(sizing), prefix_(std::move(prefix)) {}
+
+  BuiltCell run() {
+    BuiltCell out;
+    out.vdd = nl_.node("vdd");
+    for (const auto& pin : cell_.inputs) out.pins[pin] = net(pin);
+    out.pins[cell_.output] = net(cell_.output);
+
+    for (const auto& st : cell_.stages) {
+      if (const auto* g = std::get_if<GateStage>(&st)) {
+        emit_gate(*g);
+      } else {
+        emit_tg(std::get<TgStage>(st));
+      }
+    }
+    out.num_transistors = count_;
+    return out;
+  }
+
+ private:
+  spice::NodeId net(const std::string& name) { return nl_.node(prefix_ + name); }
+
+  spice::NodeId fresh() { return nl_.node(prefix_ + "_x" + std::to_string(++tmp_)); }
+
+  /// `top` is the node closer to the supply rail, `bottom` closer to the
+  /// output/ground. NFETs take source at the bottom, PFETs at the top, so
+  /// sources sit at the rails in simple gates (the model itself is
+  /// source/drain symmetric).
+  void add_fet(bool ntype, spice::NodeId top, spice::NodeId g, spice::NodeId bottom,
+               double drive) {
+    const auto p = ntype
+        ? compact::make_nfet(tech_, sizing_.nfet_width * drive, sizing_.length)
+        : compact::make_pfet(tech_, sizing_.pfet_width * drive, sizing_.length);
+    const spice::NodeId d = ntype ? top : bottom;
+    const spice::NodeId s = ntype ? bottom : top;
+    nl_.add_tft(prefix_ + (ntype ? "MN" : "MP") + std::to_string(++count_), d, g, s, p);
+  }
+
+  /// Emit the expression network between nodes `top` and `bottom`.
+  /// In the PDN (ntype) series stacks devices; in the dual PUN the roles of
+  /// series and parallel are swapped.
+  void emit_network(const Expr& e, spice::NodeId top, spice::NodeId bottom, bool ntype,
+                    double drive) {
+    const bool stack = (e.kind == Expr::Kind::kSeries) == ntype;
+    switch (e.kind) {
+      case Expr::Kind::kInput:
+        add_fet(ntype, top, net(e.input), bottom, drive);
+        return;
+      case Expr::Kind::kSeries:
+      case Expr::Kind::kParallel:
+        if (stack) {
+          spice::NodeId a = top;
+          for (std::size_t i = 0; i < e.children.size(); ++i) {
+            const spice::NodeId b =
+                (i + 1 == e.children.size()) ? bottom : fresh();
+            emit_network(e.children[i], a, b, ntype, drive);
+            a = b;
+          }
+        } else {
+          for (const auto& c : e.children) emit_network(c, top, bottom, ntype, drive);
+        }
+        return;
+    }
+  }
+
+  void emit_gate(const GateStage& g) {
+    const spice::NodeId out = net(g.out);
+    emit_network(g.pdn, out, spice::kGround, /*ntype=*/true, g.drive);
+    emit_network(g.pdn, nl_.node("vdd"), out, /*ntype=*/false, g.drive);
+  }
+
+  void emit_tg(const TgStage& t) {
+    const spice::NodeId a = net(t.in), b = net(t.out);
+    add_fet(true, a, net(t.ctrl), b, 1.0);
+    add_fet(false, a, net(t.ctrl_n), b, 1.0);
+  }
+
+  spice::Netlist& nl_;
+  const CellDef& cell_;
+  const compact::TechnologyPoint& tech_;
+  const compact::CellSizing& sizing_;
+  std::string prefix_;
+  std::size_t tmp_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace
+
+BuiltCell build_cell(spice::Netlist& nl, const CellDef& cell,
+                     const compact::TechnologyPoint& tech,
+                     const compact::CellSizing& sizing, const std::string& prefix) {
+  CellBuilder b(nl, cell, tech, sizing, prefix);
+  return b.run();
+}
+
+}  // namespace stco::cells

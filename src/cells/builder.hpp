@@ -1,0 +1,34 @@
+#pragma once
+// Expand a CellDef into transistors inside a spice::Netlist.
+//
+// Static CMOS stages: the pull-down expression becomes an NFET network
+// between the stage output and ground (series -> stacked devices through
+// fresh internal nodes, parallel -> devices sharing both terminals); the
+// pull-up network is the structural dual with PFETs between VDD and the
+// output. Transmission gates become an N/P pair sharing source/drain.
+
+#include <map>
+#include <string>
+
+#include "src/cells/celldef.hpp"
+#include "src/compact/technology.hpp"
+#include "src/spice/netlist.hpp"
+
+namespace stco::cells {
+
+/// Result of instantiating a cell.
+struct BuiltCell {
+  std::map<std::string, spice::NodeId> pins;  ///< inputs + output by name
+  spice::NodeId vdd = 0;
+  std::size_t num_transistors = 0;
+};
+
+/// Instantiate `cell` into `nl`. Nets are named "<prefix><net>"; the supply
+/// net is "vdd" (shared across instances, unprefixed). No sources are
+/// added — the caller owns stimulus and supply.
+BuiltCell build_cell(spice::Netlist& nl, const CellDef& cell,
+                     const compact::TechnologyPoint& tech,
+                     const compact::CellSizing& sizing = {},
+                     const std::string& prefix = "");
+
+}  // namespace stco::cells

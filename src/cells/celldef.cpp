@@ -1,0 +1,90 @@
+#include "src/cells/celldef.hpp"
+
+#include <stdexcept>
+
+namespace stco::cells {
+
+std::size_t Expr::num_devices() const {
+  if (kind == Kind::kInput) return 1;
+  std::size_t n = 0;
+  for (const auto& c : children) n += c.num_devices();
+  return n;
+}
+
+bool Expr::eval(const std::map<std::string, bool>& values) const {
+  switch (kind) {
+    case Kind::kInput: {
+      const auto it = values.find(input);
+      if (it == values.end()) throw std::invalid_argument("Expr::eval: unknown net " + input);
+      return it->second;
+    }
+    case Kind::kSeries:
+      for (const auto& c : children)
+        if (!c.eval(values)) return false;
+      return true;
+    case Kind::kParallel:
+      for (const auto& c : children)
+        if (c.eval(values)) return true;
+      return false;
+  }
+  return false;
+}
+
+Expr in_(std::string net) {
+  Expr e;
+  e.kind = Expr::Kind::kInput;
+  e.input = std::move(net);
+  return e;
+}
+
+Expr series(std::vector<Expr> children) {
+  if (children.size() < 2) throw std::invalid_argument("series: need >= 2 children");
+  Expr e;
+  e.kind = Expr::Kind::kSeries;
+  e.children = std::move(children);
+  return e;
+}
+
+Expr parallel(std::vector<Expr> children) {
+  if (children.size() < 2) throw std::invalid_argument("parallel: need >= 2 children");
+  Expr e;
+  e.kind = Expr::Kind::kParallel;
+  e.children = std::move(children);
+  return e;
+}
+
+std::size_t CellDef::num_transistors() const {
+  std::size_t n = 0;
+  for (const auto& st : stages) {
+    if (const auto* g = std::get_if<GateStage>(&st))
+      n += 2 * g->pdn.num_devices();  // PDN + dual PUN
+    else
+      n += 2;  // transmission gate = N + P
+  }
+  return n;
+}
+
+std::vector<std::string> CellDef::data_inputs() const {
+  std::vector<std::string> out;
+  for (const auto& i : inputs)
+    if (i != clock_pin) out.push_back(i);
+  return out;
+}
+
+bool eval_combinational(const CellDef& cell,
+                        const std::map<std::string, bool>& input_values) {
+  std::map<std::string, bool> values = input_values;
+  for (const auto& st : cell.stages) {
+    const auto* g = std::get_if<GateStage>(&st);
+    if (!g)
+      throw std::invalid_argument("eval_combinational: cell " + cell.name +
+                                  " has transmission gates");
+    values[g->out] = !g->pdn.eval(values);
+  }
+  const auto it = values.find(cell.output);
+  if (it == values.end())
+    throw std::invalid_argument("eval_combinational: output net never driven");
+  return it->second;
+}
+
+}  // namespace stco::cells

@@ -1,0 +1,71 @@
+#pragma once
+// Standard-cell definitions: a cell is a sequence of stages, each either a
+// static CMOS gate (output = NOT(pull-down expression)) or a transmission
+// gate. The pull-down expression tree directly describes the NFET network
+// (series = AND, parallel = OR); the PFET pull-up network is its dual.
+//
+// This representation is what both the netlist builder (SPICE
+// characterization) and the graph encoder (GNN characterization, Table III)
+// consume, so the two paths see exactly the same transistors.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace stco::cells {
+
+/// Pull-down network expression.
+struct Expr {
+  enum class Kind { kInput, kSeries, kParallel };
+  Kind kind = Kind::kInput;
+  std::string input;           ///< for kInput: controlling net name
+  std::vector<Expr> children;  ///< for kSeries / kParallel
+
+  /// Number of transistors this expression expands to.
+  std::size_t num_devices() const;
+  /// Logic value of the expression (true = conducting path).
+  bool eval(const std::map<std::string, bool>& values) const;
+};
+
+Expr in_(std::string net);
+Expr series(std::vector<Expr> children);
+Expr parallel(std::vector<Expr> children);
+
+/// Static CMOS stage: `out` = NOT(pdn).
+struct GateStage {
+  std::string out;
+  Expr pdn;
+  double drive = 1.0;  ///< width multiplier for drive-strength variants
+};
+
+/// Transmission gate: connects `in` to `out` when ctrl is high (NFET gate =
+/// ctrl, PFET gate = ctrl_n).
+struct TgStage {
+  std::string in, out, ctrl, ctrl_n;
+};
+
+using Stage = std::variant<GateStage, TgStage>;
+
+/// Full cell definition.
+struct CellDef {
+  std::string name;
+  std::vector<std::string> inputs;  ///< external input pins (incl. clock)
+  std::string output;               ///< single external output pin
+  bool sequential = false;
+  std::string clock_pin;            ///< set when sequential
+  bool negative_edge = false;       ///< DFFN / DLATCHN style
+  std::vector<Stage> stages;
+
+  std::size_t num_transistors() const;
+  /// Inputs excluding the clock (data pins).
+  std::vector<std::string> data_inputs() const;
+};
+
+/// Evaluate a purely combinational cell (GateStages only, authored in
+/// topological order). Throws if the cell contains transmission gates.
+bool eval_combinational(const CellDef& cell,
+                        const std::map<std::string, bool>& input_values);
+
+}  // namespace stco::cells

@@ -1,0 +1,83 @@
+#pragma once
+// Transistor-level cell characterization via the SPICE substrate.
+//
+// Produces the paper's nine metrics (section II.C): delay, output slew,
+// input-pin capacitance (max per pin), flip power (input and output both
+// switch), non-flip power (input switches, output holds), leakage power,
+// and — for sequential cells — minimum setup, minimum hold, and minimum
+// clock pulse width (found by bisection on pass/fail transient captures).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cells/builder.hpp"
+#include "src/cells/library.hpp"
+
+namespace stco::cells {
+
+enum class Metric : std::size_t {
+  kDelay = 0,
+  kOutputSlew = 1,
+  kCapacitance = 2,
+  kFlipPower = 3,
+  kNonFlipPower = 4,
+  kLeakagePower = 5,
+  kMinPulseWidth = 6,
+  kMinSetup = 7,
+  kMinHold = 8,
+};
+inline constexpr std::size_t kNumMetrics = 9;
+const char* to_string(Metric m);
+
+/// Characterization operating conditions. Time quantities in seconds.
+struct CharConfig {
+  compact::TechnologyPoint tech;
+  compact::CellSizing sizing;
+  double input_slew = 20e-9;   ///< stimulus 0->100% ramp time
+  double load_cap = 50e-15;    ///< output load
+  double time_unit = 150e-9;   ///< schedule quantum (documents the window layout)
+  double dt = 2e-9;            ///< transient step
+};
+
+/// One sensitized timing arc (input edge propagating to the output).
+struct ArcResult {
+  std::string input_pin;                   ///< toggling pin (clock for seq)
+  bool input_rising = true;
+  bool output_rising = true;
+  std::map<std::string, bool> side_inputs; ///< static pin values
+  double delay = 0.0;        ///< 50%-to-50% [s]
+  double output_slew = 0.0;  ///< 10%-90% [s]
+  double flip_energy = 0.0;  ///< supply energy above leakage [J]
+};
+
+/// An input toggle that leaves the output unchanged.
+struct NonFlipResult {
+  std::string input_pin;
+  bool input_rising = true;
+  std::map<std::string, bool> side_inputs;
+  double energy = 0.0;  ///< supply energy above leakage [J]
+};
+
+struct CellCharacterization {
+  std::string cell;
+  double leakage_power = 0.0;  ///< mean over static states [W]
+  std::map<std::string, double> input_capacitance;  ///< max per pin [F]
+  std::vector<ArcResult> arcs;
+  std::vector<NonFlipResult> nonflip;
+  // Sequential-only constraints [s]; zero for combinational cells.
+  double min_setup = 0.0;
+  double min_hold = 0.0;
+  double min_pulse_width = 0.0;
+
+  /// Worst (max) delay over all arcs; 0 if none.
+  double worst_delay() const;
+  /// Mean flip energy over arcs; 0 if none.
+  double mean_flip_energy() const;
+};
+
+/// Characterize one cell (dispatches on cell.sequential).
+CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cfg);
+
+}  // namespace stco::cells

@@ -1,0 +1,291 @@
+#include "src/cells/library.hpp"
+
+#include <stdexcept>
+
+namespace stco::cells {
+
+namespace {
+
+CellDef gate1(std::string name, std::vector<std::string> ins, Expr pdn,
+              double drive = 1.0) {
+  CellDef c;
+  c.name = std::move(name);
+  c.inputs = std::move(ins);
+  c.output = "Y";
+  c.stages.push_back(GateStage{"Y", std::move(pdn), drive});
+  return c;
+}
+
+Expr all_series(const std::vector<std::string>& nets) {
+  std::vector<Expr> es;
+  for (const auto& n : nets) es.push_back(in_(n));
+  return series(std::move(es));
+}
+
+Expr all_parallel(const std::vector<std::string>& nets) {
+  std::vector<Expr> es;
+  for (const auto& n : nets) es.push_back(in_(n));
+  return parallel(std::move(es));
+}
+
+/// NAND-k / NOR-k.
+CellDef nand_cell(std::size_t k) {
+  std::vector<std::string> ins;
+  for (std::size_t i = 0; i < k; ++i) ins.push_back(std::string(1, char('A' + i)));
+  return gate1("NAND" + std::to_string(k), ins, all_series(ins));
+}
+CellDef nor_cell(std::size_t k) {
+  std::vector<std::string> ins;
+  for (std::size_t i = 0; i < k; ++i) ins.push_back(std::string(1, char('A' + i)));
+  return gate1("NOR" + std::to_string(k), ins, all_parallel(ins));
+}
+
+/// AND-k / OR-k: NAND/NOR followed by an inverter.
+CellDef and_cell(std::size_t k) {
+  CellDef c = nand_cell(k);
+  c.name = "AND" + std::to_string(k);
+  std::get<GateStage>(c.stages[0]).out = "n1";
+  c.stages.push_back(GateStage{"Y", in_("n1")});
+  return c;
+}
+CellDef or_cell(std::size_t k) {
+  CellDef c = nor_cell(k);
+  c.name = "OR" + std::to_string(k);
+  std::get<GateStage>(c.stages[0]).out = "n1";
+  c.stages.push_back(GateStage{"Y", in_("n1")});
+  return c;
+}
+
+CellDef buf_cell(const std::string& name, double drive) {
+  CellDef c;
+  c.name = name;
+  c.inputs = {"A"};
+  c.output = "Y";
+  c.stages.push_back(GateStage{"n1", in_("A"), 1.0});
+  c.stages.push_back(GateStage{"Y", in_("n1"), drive});
+  return c;
+}
+
+CellDef xor_cell(bool invert) {
+  // Y = !(A B + !A !B) = A ^ B;  XNOR adds nothing: swap which expr is used.
+  CellDef c;
+  c.name = invert ? "XNOR2" : "XOR2";
+  c.inputs = {"A", "B"};
+  c.output = "Y";
+  c.stages.push_back(GateStage{"an", in_("A")});
+  c.stages.push_back(GateStage{"bn", in_("B")});
+  Expr both = series({in_("A"), in_("B")});
+  Expr neither = series({in_("an"), in_("bn")});
+  Expr mixed_a = series({in_("A"), in_("bn")});
+  Expr mixed_b = series({in_("an"), in_("B")});
+  if (invert)  // XNOR: Y = !(A!B + !AB)
+    c.stages.push_back(GateStage{"Y", parallel({mixed_a, mixed_b})});
+  else  // XOR: Y = !(AB + !A!B)
+    c.stages.push_back(GateStage{"Y", parallel({both, neither})});
+  return c;
+}
+
+CellDef aoi21() {
+  return gate1("AOI21", {"A", "B", "C"},
+               parallel({series({in_("A"), in_("B")}), in_("C")}));
+}
+CellDef aoi22() {
+  return gate1("AOI22", {"A", "B", "C", "D"},
+               parallel({series({in_("A"), in_("B")}), series({in_("C"), in_("D")})}));
+}
+CellDef aoi211() {
+  return gate1("AOI211", {"A", "B", "C", "D"},
+               parallel({series({in_("A"), in_("B")}), in_("C"), in_("D")}));
+}
+CellDef aoi31() {
+  return gate1("AOI31", {"A", "B", "C", "D"},
+               parallel({series({in_("A"), in_("B"), in_("C")}), in_("D")}));
+}
+CellDef oai21() {
+  return gate1("OAI21", {"A", "B", "C"},
+               series({parallel({in_("A"), in_("B")}), in_("C")}));
+}
+CellDef oai22() {
+  return gate1("OAI22", {"A", "B", "C", "D"},
+               series({parallel({in_("A"), in_("B")}), parallel({in_("C"), in_("D")})}));
+}
+CellDef oai211() {
+  return gate1("OAI211", {"A", "B", "C", "D"},
+               series({parallel({in_("A"), in_("B")}), in_("C"), in_("D")}));
+}
+CellDef oai31() {
+  return gate1("OAI31", {"A", "B", "C", "D"},
+               series({parallel({in_("A"), in_("B"), in_("C")}), in_("D")}));
+}
+
+CellDef mux2(bool inverting) {
+  // Inverting mux: Y = !(S ? B : A) built as AOI-style:
+  //   sn = !S; Y = !(A sn + B S). Non-inverting adds an output inverter.
+  CellDef c;
+  c.name = inverting ? "MUX2I" : "MUX2";
+  c.inputs = {"A", "B", "S"};
+  c.output = "Y";
+  c.stages.push_back(GateStage{"sn", in_("S")});
+  Expr pdn = parallel({series({in_("A"), in_("sn")}), series({in_("B"), in_("S")})});
+  if (inverting) {
+    c.stages.push_back(GateStage{"Y", std::move(pdn)});
+  } else {
+    c.stages.push_back(GateStage{"n1", std::move(pdn)});
+    c.stages.push_back(GateStage{"Y", in_("n1")});
+  }
+  return c;
+}
+
+CellDef nand2b() {
+  // NAND2B: Y = !(!A & B) — input A inverted internally.
+  CellDef c;
+  c.name = "NAND2B";
+  c.inputs = {"A", "B"};
+  c.output = "Y";
+  c.stages.push_back(GateStage{"an", in_("A")});
+  c.stages.push_back(GateStage{"Y", series({in_("an"), in_("B")})});
+  return c;
+}
+CellDef nor2b() {
+  CellDef c;
+  c.name = "NOR2B";
+  c.inputs = {"A", "B"};
+  c.output = "Y";
+  c.stages.push_back(GateStage{"an", in_("A")});
+  c.stages.push_back(GateStage{"Y", parallel({in_("an"), in_("B")})});
+  return c;
+}
+
+/// Transparent latch. Transparent when the enable phase matches
+/// (active-high for DLATCH, active-low for DLATCHN). Output Y follows D
+/// while transparent.
+CellDef dlatch(bool active_low) {
+  CellDef c;
+  c.name = active_low ? "DLATCHN" : "DLATCH";
+  c.inputs = {"D", "G"};
+  c.output = "Y";
+  c.sequential = true;
+  c.clock_pin = "G";
+  c.negative_edge = active_low;
+  c.stages.push_back(GateStage{"gn", in_("G")});
+  const std::string on = active_low ? "gn" : "G";
+  const std::string off = active_low ? "G" : "gn";
+  c.stages.push_back(TgStage{"D", "m", on, off});
+  c.stages.push_back(GateStage{"mi", in_("m")});
+  // Keeper loop m -> mi -> fb -> m is non-inverting (two inversions);
+  // the output inverter hangs off mi so Y = D while transparent.
+  c.stages.push_back(GateStage{"fb", in_("mi")});
+  c.stages.push_back(TgStage{"fb", "m", off, on});
+  c.stages.push_back(GateStage{"Y", in_("mi")});
+  return c;
+}
+
+/// Master-slave D flip-flop (positive edge unless `neg_edge`), with an
+/// optional asynchronous active-high reset (NOR-based).
+CellDef dff(bool neg_edge, bool with_reset) {
+  CellDef c;
+  c.name = with_reset ? "DFFR" : (neg_edge ? "DFFN" : "DFF");
+  c.inputs = with_reset ? std::vector<std::string>{"D", "CK", "R"}
+                        : std::vector<std::string>{"D", "CK"};
+  c.output = "Q";
+  c.sequential = true;
+  c.clock_pin = "CK";
+  c.negative_edge = neg_edge;
+  c.stages.push_back(GateStage{"ckn", in_("CK")});
+  // Phase nets: master transparent while clock is in its inactive phase.
+  const std::string mph_on = neg_edge ? "CK" : "ckn";  // master pass control
+  const std::string mph_off = neg_edge ? "ckn" : "CK";
+  // Master.
+  c.stages.push_back(TgStage{"D", "m", mph_on, mph_off});
+  if (with_reset)
+    c.stages.push_back(GateStage{"mi", parallel({in_("m"), in_("R")})});
+  else
+    c.stages.push_back(GateStage{"mi", in_("m")});
+  c.stages.push_back(GateStage{"mf", in_("mi")});
+  c.stages.push_back(TgStage{"mf", "m", mph_off, mph_on});
+  // Slave: s carries !D, so Q = NOT(s) restores the data polarity.
+  c.stages.push_back(TgStage{"mi", "s", mph_off, mph_on});
+  if (with_reset)
+    c.stages.push_back(GateStage{"Q", parallel({in_("s"), in_("R")})});
+  else
+    c.stages.push_back(GateStage{"Q", in_("s")});
+  c.stages.push_back(GateStage{"sf", in_("Q")});
+  c.stages.push_back(TgStage{"sf", "s", mph_on, mph_off});
+  return c;
+}
+
+std::vector<CellDef> build_library() {
+  std::vector<CellDef> lib;
+  // Inverters / buffers with drive variants (6).
+  lib.push_back(gate1("INV", {"A"}, in_("A")));
+  lib.push_back(gate1("INVX2", {"A"}, in_("A"), 2.0));
+  lib.push_back(gate1("INVX4", {"A"}, in_("A"), 4.0));
+  lib.push_back(buf_cell("BUF", 1.0));
+  lib.push_back(buf_cell("BUFX2", 2.0));
+  lib.push_back(buf_cell("BUFX4", 4.0));
+  // NAND / NOR families (6).
+  lib.push_back(nand_cell(2));
+  lib.push_back(nand_cell(3));
+  lib.push_back(nand_cell(4));
+  lib.push_back(nor_cell(2));
+  lib.push_back(nor_cell(3));
+  lib.push_back(nor_cell(4));
+  // AND / OR families (6).
+  lib.push_back(and_cell(2));
+  lib.push_back(and_cell(3));
+  lib.push_back(and_cell(4));
+  lib.push_back(or_cell(2));
+  lib.push_back(or_cell(3));
+  lib.push_back(or_cell(4));
+  // XOR / XNOR (2).
+  lib.push_back(xor_cell(false));
+  lib.push_back(xor_cell(true));
+  // AOI / OAI (6).
+  lib.push_back(aoi21());
+  lib.push_back(aoi22());
+  lib.push_back(aoi31());
+  lib.push_back(oai21());
+  lib.push_back(oai22());
+  lib.push_back(oai31());
+  // MUX + inverted-input gates (4) -> 30 combinational.
+  lib.push_back(mux2(false));
+  lib.push_back(mux2(true));
+  lib.push_back(nand2b());
+  lib.push_back(nor2b());
+  // Sequential (5) -> 35 total.
+  lib.push_back(dlatch(false));
+  lib.push_back(dlatch(true));
+  lib.push_back(dff(false, false));
+  lib.push_back(dff(true, false));
+  lib.push_back(dff(false, true));
+  return lib;
+}
+
+}  // namespace
+
+const std::vector<CellDef>& standard_library() {
+  static const std::vector<CellDef> lib = build_library();
+  return lib;
+}
+
+const CellDef& find_cell(const std::string& name) {
+  for (const auto& c : standard_library())
+    if (c.name == name) return c;
+  throw std::invalid_argument("find_cell: no such cell: " + name);
+}
+
+std::vector<std::string> combinational_names() {
+  std::vector<std::string> out;
+  for (const auto& c : standard_library())
+    if (!c.sequential) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> sequential_names() {
+  std::vector<std::string> out;
+  for (const auto& c : standard_library())
+    if (c.sequential) out.push_back(c.name);
+  return out;
+}
+
+}  // namespace stco::cells

@@ -1,0 +1,27 @@
+#pragma once
+// The 35-cell standard library (paper: "a comprehensive cell library
+// comprising 35 types of combinational and sequential cells").
+//
+// 30 combinational cells (inverters/buffers with drive variants, NAND/NOR
+// 2-4, AND/OR 2-4, XOR/XNOR, AOI/OAI families, MUX) and 5 sequential cells
+// (transparent latches and master-slave flip-flops, including async reset).
+
+#include <optional>
+
+#include "src/cells/celldef.hpp"
+
+namespace stco::cells {
+
+/// All 35 cells, combinational first. Cell names are stable identifiers
+/// used throughout characterization and the STCO flow.
+const std::vector<CellDef>& standard_library();
+
+/// Lookup by name; throws std::invalid_argument if absent.
+const CellDef& find_cell(const std::string& name);
+
+/// Names of the combinational subset.
+std::vector<std::string> combinational_names();
+/// Names of the sequential subset.
+std::vector<std::string> sequential_names();
+
+}  // namespace stco::cells

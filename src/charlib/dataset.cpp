@@ -1,0 +1,184 @@
+#include "src/charlib/dataset.hpp"
+
+#include <stdexcept>
+
+namespace stco::charlib {
+
+namespace {
+
+std::vector<double> axis(double lo, double hi, std::size_t n, double offset_frac) {
+  std::vector<double> v;
+  if (n == 1) {
+    v.push_back(lo + (hi - lo) * (offset_frac > 0 ? 0.43 : 0.5));
+    return v;
+  }
+  if (offset_frac == 0.0) {
+    // Inclusive endpoints (train grid).
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) v.push_back(lo + step * static_cast<double>(i));
+  } else {
+    // Strictly interior points shifted by offset_frac of a cell (test grid);
+    // guaranteed never to coincide with the inclusive train grid.
+    for (std::size_t i = 0; i < n; ++i)
+      v.push_back(lo + (hi - lo) * (static_cast<double>(i) + offset_frac) /
+                           static_cast<double>(n));
+  }
+  return v;
+}
+
+std::vector<compact::TechnologyPoint> grid_impl(const CornerRanges& r, std::size_t n,
+                                                double offset) {
+  if (n == 0) throw std::invalid_argument("corner_grid: n_per_axis must be > 0");
+  std::vector<compact::TechnologyPoint> out;
+  for (double vdd : axis(r.vdd_min, r.vdd_max, n, offset))
+    for (double vth : axis(r.vth_min, r.vth_max, n, offset))
+      for (double cox : axis(r.cox_min, r.cox_max, n, offset))
+        out.push_back({r.kind, vdd, vth, cox});
+  return out;
+}
+
+}  // namespace
+
+std::vector<compact::TechnologyPoint> corner_grid(const CornerRanges& r,
+                                                  std::size_t n_per_axis) {
+  return grid_impl(r, n_per_axis, 0.0);
+}
+
+std::vector<compact::TechnologyPoint> corner_grid_offset(const CornerRanges& r,
+                                                         std::size_t n_per_axis) {
+  return grid_impl(r, n_per_axis, 0.37);
+}
+
+std::vector<CharSample> samples_from_characterization(
+    const cells::CellDef& cell, const cells::CellCharacterization& ch,
+    const compact::TechnologyPoint& tech, const cells::CharConfig& cfg,
+    const CellScales& scales, bool include_static_metrics) {
+  // Per-metric significance floors: below these the "measurement" is either
+  // genuinely zero physics (e.g. a non-flip toggle that never touches the
+  // supply) or integrator noise; relative error against such targets is
+  // meaningless, so they are excluded — as any practical flow would.
+  auto metric_floor = [](cells::Metric m) {
+    switch (m) {
+      case cells::Metric::kDelay:
+      case cells::Metric::kOutputSlew:
+      case cells::Metric::kMinPulseWidth:
+      case cells::Metric::kMinSetup:
+      case cells::Metric::kMinHold:
+        return 1e-10;  // 0.1 ns
+      case cells::Metric::kCapacitance:
+        return 1e-16;  // 0.1 fF
+      case cells::Metric::kFlipPower:
+        return 1e-16;  // J
+      case cells::Metric::kNonFlipPower:
+        return 2e-17;  // J
+      case cells::Metric::kLeakagePower:
+        return 1e-13;  // W
+    }
+    return 0.0;
+  };
+
+  std::vector<CharSample> out;
+  auto push = [&](const PinContext& ctx, cells::Metric metric, double target) {
+    if (target <= metric_floor(metric)) return;  // unmeasurable; skip
+    CharSample s;
+    s.graph = encode_cell(cell, tech, cfg.sizing, ctx, scales);
+    s.metric = metric;
+    s.target = target;
+    s.cell = cell.name;
+    out.push_back(std::move(s));
+  };
+
+  auto base_ctx = [&] {
+    PinContext ctx;
+    ctx.input_slew = cfg.input_slew;
+    ctx.output_load = cfg.load_cap;
+    for (const auto& pin : cell.inputs) {
+      ctx.current_state[pin] = false;
+      ctx.next_state[pin] = false;
+    }
+    return ctx;
+  };
+
+  for (const auto& arc : ch.arcs) {
+    PinContext ctx = base_ctx();
+    for (const auto& [pin, v] : arc.side_inputs) {
+      ctx.current_state[pin] = v;
+      ctx.next_state[pin] = v;
+    }
+    ctx.current_state[arc.input_pin] = !arc.input_rising;
+    ctx.next_state[arc.input_pin] = arc.input_rising;
+    ctx.toggling_pin = arc.input_pin;
+    push(ctx, cells::Metric::kDelay, arc.delay);
+    push(ctx, cells::Metric::kOutputSlew, arc.output_slew);
+    push(ctx, cells::Metric::kFlipPower, arc.flip_energy);
+  }
+
+  for (const auto& nf : ch.nonflip) {
+    PinContext ctx = base_ctx();
+    for (const auto& [pin, v] : nf.side_inputs) {
+      ctx.current_state[pin] = v;
+      ctx.next_state[pin] = v;
+    }
+    ctx.current_state[nf.input_pin] = !nf.input_rising;
+    ctx.next_state[nf.input_pin] = nf.input_rising;
+    ctx.toggling_pin = nf.input_pin;
+    push(ctx, cells::Metric::kNonFlipPower, nf.energy);
+  }
+
+  if (include_static_metrics) {
+    for (const auto& [pin, cap] : ch.input_capacitance) {
+      PinContext ctx = base_ctx();
+      ctx.toggling_pin = pin;
+      ctx.next_state[pin] = true;
+      push(ctx, cells::Metric::kCapacitance, cap);
+    }
+    push(base_ctx(), cells::Metric::kLeakagePower, ch.leakage_power);
+    if (cell.sequential) {
+      PinContext ctx = base_ctx();
+      ctx.toggling_pin = cell.clock_pin;
+      ctx.next_state[cell.clock_pin] = true;
+      push(ctx, cells::Metric::kMinSetup, ch.min_setup);
+      push(ctx, cells::Metric::kMinHold, ch.min_hold);
+      push(ctx, cells::Metric::kMinPulseWidth, ch.min_pulse_width);
+    }
+  }
+  return out;
+}
+
+std::vector<CharSample> build_charlib_dataset(
+    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts) {
+  std::vector<const cells::CellDef*> defs;
+  if (opts.cell_names.empty()) {
+    for (const auto& c : cells::standard_library()) defs.push_back(&c);
+  } else {
+    for (const auto& n : opts.cell_names) defs.push_back(&cells::find_cell(n));
+  }
+
+  std::vector<CharSample> out;
+  for (std::size_t ci = 0; ci < corners.size(); ++ci) {
+    bool first_combo = true;
+    for (double slew : opts.input_slews) {
+      for (double load : opts.output_loads) {
+        cells::CharConfig cfg;
+        cfg.tech = corners[ci];
+        cfg.sizing = opts.sizing;
+        cfg.input_slew = slew;
+        cfg.load_cap = load;
+        cfg.dt = opts.char_dt;
+        cfg.time_unit = opts.char_time_unit;
+        for (const auto* def : defs) {
+          const auto ch = cells::characterize_cell(*def, cfg);
+          auto samples = samples_from_characterization(*def, ch, corners[ci], cfg,
+                                                       opts.scales, first_combo);
+          out.insert(out.end(), std::make_move_iterator(samples.begin()),
+                     std::make_move_iterator(samples.end()));
+        }
+        first_combo = false;
+      }
+    }
+    if (opts.on_progress) opts.on_progress(ci + 1, corners.size());
+  }
+  return out;
+}
+
+}  // namespace stco::charlib

@@ -1,0 +1,115 @@
+#include "src/charlib/encoder.hpp"
+
+#include <stdexcept>
+
+#include "src/spice/netlist.hpp"
+
+namespace stco::charlib {
+
+gnn::Graph encode_cell(const cells::CellDef& cell,
+                       const compact::TechnologyPoint& tech,
+                       const compact::CellSizing& sizing, const PinContext& ctx,
+                       const CellScales& s) {
+  // Build the transistor netlist once; the graph mirrors its connectivity.
+  spice::Netlist nl;
+  const auto built = cells::build_cell(nl, cell, tech, sizing);
+
+  // Graph node ids: inputs, output, then one per FET, then VDD, VSS.
+  std::map<std::string, std::uint32_t> pin_node;
+  std::uint32_t next = 0;
+  for (const auto& pin : cell.inputs) pin_node[pin] = next++;
+  const std::uint32_t out_node = next++;
+  const std::uint32_t fet_base = next;
+  next += static_cast<std::uint32_t>(nl.tfts().size());
+  const std::uint32_t vdd_node = next++;
+  const std::uint32_t vss_node = next++;
+
+  gnn::Graph g;
+  g.num_nodes = next;
+  g.node_dim = kCellNodeDim;
+  g.edge_dim = kCellEdgeDim;
+  g.node_features.assign(g.num_nodes * kCellNodeDim, 0.0);
+  auto feat = [&](std::uint32_t n) { return g.node_features.data() + n * kCellNodeDim; };
+
+  // --- node features (Table III) -------------------------------------------
+  for (const auto& pin : cell.inputs) {
+    double* f = feat(pin_node[pin]);
+    f[2] = 1.0;  // IN: bit2
+    if (pin == ctx.toggling_pin) f[8] = ctx.input_slew / s.slew;
+    const auto cur = ctx.current_state.find(pin);
+    const auto nxt = ctx.next_state.find(pin);
+    f[10] = (cur != ctx.current_state.end() && cur->second) ? 1.0 : 0.0;
+    f[11] = (nxt != ctx.next_state.end() && nxt->second) ? 1.0 : 0.0;
+  }
+  {
+    double* f = feat(out_node);
+    f[1] = 1.0;  // OUT: bit1
+    f[9] = ctx.output_load / s.load;
+  }
+  for (std::size_t i = 0; i < nl.tfts().size(); ++i) {
+    const auto& t = nl.tfts()[i];
+    double* f = feat(fet_base + static_cast<std::uint32_t>(i));
+    const bool ntype = t.params.type == compact::TftType::kNType;
+    f[1] = 1.0;
+    f[2] = 1.0;
+    f[3] = ntype ? -1.0 : 1.0;
+    f[5] = t.params.width / s.width;
+    f[6] = t.params.cox / s.cox;
+    f[7] = std::abs(t.params.vth) / s.vth;
+  }
+  {
+    double* f = feat(vdd_node);
+    f[0] = 1.0;
+    f[4] = tech.vdd / s.vdd;
+  }
+  {
+    double* f = feat(vss_node);
+    f[0] = 1.0;
+    f[2] = 1.0;
+  }
+
+  // --- edges ----------------------------------------------------------------
+  // Map spice nets to graph nodes where a direct counterpart exists.
+  std::map<spice::NodeId, std::uint32_t> net_to_node;
+  net_to_node[spice::kGround] = vss_node;
+  net_to_node[built.vdd] = vdd_node;
+  for (const auto& pin : cell.inputs) net_to_node[built.pins.at(pin)] = pin_node[pin];
+  net_to_node[built.pins.at(cell.output)] = out_node;
+
+  auto add_edge = [&](std::uint32_t a, std::uint32_t b, bool gate_side) {
+    for (int dir = 0; dir < 2; ++dir) {
+      g.edge_src.push_back(dir ? b : a);
+      g.edge_dst.push_back(dir ? a : b);
+      g.edge_features.push_back(gate_side ? 1.0 : 0.0);
+      g.edge_features.push_back(gate_side ? 0.0 : 1.0);
+      g.edge_features.push_back(1.0);
+    }
+  };
+
+  // FET <-> mapped net nodes; internal nets connect the FETs that share them.
+  std::map<spice::NodeId, std::vector<std::pair<std::uint32_t, bool>>> internal;
+  for (std::size_t i = 0; i < nl.tfts().size(); ++i) {
+    const auto& t = nl.tfts()[i];
+    const std::uint32_t fn = fet_base + static_cast<std::uint32_t>(i);
+    const std::pair<spice::NodeId, bool> terms[] = {
+        {t.gate, true}, {t.drain, false}, {t.source, false}};
+    for (const auto& [net, gate_side] : terms) {
+      const auto it = net_to_node.find(net);
+      if (it != net_to_node.end())
+        add_edge(fn, it->second, gate_side);
+      else
+        internal[net].push_back({fn, gate_side});
+    }
+  }
+  for (const auto& [net, fets] : internal) {
+    for (std::size_t a = 0; a < fets.size(); ++a)
+      for (std::size_t b = a + 1; b < fets.size(); ++b)
+        add_edge(fets[a].first, fets[b].first,
+                 fets[a].second || fets[b].second);
+  }
+
+  g.check();
+  return g;
+}
+
+}  // namespace stco::charlib

@@ -1,0 +1,58 @@
+#pragma once
+// Cell-to-graph encoder implementing the paper's Table III node features.
+//
+// Node kinds: one node per input pin (IN), the output pin (OUT), every
+// transistor (N-FET / P-FET), plus VDD and VSS rails. The 12-entry feature
+// vector follows Table III exactly:
+//
+//   bit0 rail flag            bit6  gate unit capacitance (FETs)
+//   bit1 OUT | FET flag       bit7  Vth (FETs)
+//   bit2 IN | FET | VSS flag  bit8  input slew (IN, toggling pin)
+//   bit3 FET polarity (-1/+1) bit9  output load (OUT)
+//   bit4 VDD value (VDD node) bit10 current_state (IN)
+//   bit5 width (FETs)         bit11 next_state (IN)
+//
+// Edges connect FETs to the pin/rail/FET nodes their terminals touch; the
+// gate terminal and the source/drain terminals get distinct edge types.
+
+#include <map>
+#include <string>
+
+#include "src/cells/builder.hpp"
+#include "src/cells/library.hpp"
+#include "src/gnn/graph.hpp"
+
+namespace stco::charlib {
+
+inline constexpr std::size_t kCellNodeDim = 12;
+inline constexpr std::size_t kCellEdgeDim = 3;  // [gate-side, sd-side, bias]
+
+/// Fixed normalization scales so all corners share one embedding space.
+struct CellScales {
+  double vdd = 5.0;       ///< volts
+  double width = 20e-6;   ///< meters
+  double cox = 3.45e-4;   ///< F/m^2
+  double vth = 2.0;       ///< volts
+  double slew = 50e-9;    ///< seconds
+  double load = 100e-15;  ///< farads
+};
+
+/// Per-sample stimulus context (paper: "Current_state" / "Next_state",
+/// "Input_slew", "Output_load").
+struct PinContext {
+  std::map<std::string, bool> current_state;  ///< per input pin
+  std::map<std::string, bool> next_state;
+  std::string toggling_pin;  ///< pin carrying the input slew ("" = none)
+  double input_slew = 20e-9;
+  double output_load = 50e-15;
+};
+
+/// Encode one cell instance at a technology point with the given stimulus.
+/// Bits that "do not have relationship" with the sample are left 0, as the
+/// paper specifies.
+gnn::Graph encode_cell(const cells::CellDef& cell,
+                       const compact::TechnologyPoint& tech,
+                       const compact::CellSizing& sizing, const PinContext& ctx,
+                       const CellScales& scales = {});
+
+}  // namespace stco::charlib

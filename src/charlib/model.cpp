@@ -1,0 +1,165 @@
+#include "src/charlib/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/stats.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/tensor/serialize.hpp"
+
+namespace stco::charlib {
+
+namespace {
+constexpr double kFloor = 1e-21;
+}
+
+double log_target(double raw) { return std::log10(std::fabs(raw) + kFloor); }
+double unlog_target(double logged) { return std::pow(10.0, logged); }
+
+CellCharModel::CellCharModel(const CellCharModelConfig& cfg) : cfg_(cfg) {
+  numeric::Rng rng(cfg.seed);
+  input_proj_ = std::make_unique<gnn::Linear>(kCellNodeDim, cfg.hidden, rng);
+  for (std::size_t i = 0; i < cfg.gcn_layers; ++i)
+    gcn_.emplace_back(cfg.hidden, cfg.hidden, rng, gnn::Activation::kRelu);
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m)
+    heads_.emplace_back(std::vector<std::size_t>{cfg.hidden, cfg.mlp_hidden, 1}, rng);
+  norm_mean_.fill(0.0);
+  norm_std_.fill(1.0);
+}
+
+void CellCharModel::fit_normalization(std::span<const CharSample> train) {
+  std::array<numeric::Vec, cells::kNumMetrics> per_metric;
+  for (const auto& s : train)
+    per_metric[static_cast<std::size_t>(s.metric)].push_back(log_target(s.target));
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m) {
+    if (per_metric[m].empty()) continue;
+    norm_mean_[m] = numeric::mean(per_metric[m]);
+    norm_std_[m] = std::max(numeric::stddev(per_metric[m]), 1e-3);
+  }
+  normalized_ = true;
+}
+
+tensor::Tensor CellCharModel::trunk_forward(const gnn::Graph& g) const {
+  tensor::Tensor h = input_proj_->forward(g.node_tensor());
+  for (const auto& layer : gcn_) h = layer.forward(h, g);
+  return tensor::mean_rows(h);
+}
+
+tensor::Tensor CellCharModel::head_forward(const tensor::Tensor& pooled,
+                                           cells::Metric metric) const {
+  return heads_[static_cast<std::size_t>(metric)].forward(pooled);
+}
+
+std::vector<tensor::Tensor> CellCharModel::parameters() const {
+  std::vector<tensor::Tensor> ps = input_proj_->parameters();
+  for (const auto& l : gcn_)
+    for (auto& p : l.parameters()) ps.push_back(p);
+  for (const auto& h : heads_)
+    for (auto& p : h.parameters()) ps.push_back(p);
+  return ps;
+}
+
+std::size_t CellCharModel::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.size();
+  return n;
+}
+
+gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split) {
+  if (!normalized_) fit_normalization(train_split);
+  // Multi-task balance: delay/slew/power samples outnumber capacitance,
+  // leakage, and constraint samples by an order of magnitude; inverse-
+  // sqrt-frequency weights keep the shared trunk from ignoring the rare
+  // heads.
+  const auto counts = count_by_metric(train_split);
+  std::size_t max_count = 1;
+  for (auto c : counts) max_count = std::max(max_count, c);
+  std::array<double, cells::kNumMetrics> weight{};
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m)
+    weight[m] = counts[m]
+                    ? std::clamp(std::sqrt(static_cast<double>(max_count) /
+                                           static_cast<double>(counts[m])),
+                                 0.5, 4.0)
+                    : 0.0;
+
+  auto loss = [&, weight](std::size_t i) {
+    const auto& s = train_split[i];
+    const std::size_t m = static_cast<std::size_t>(s.metric);
+    const double y = (log_target(s.target) - norm_mean_[m]) / norm_std_[m];
+    const tensor::Tensor pred = head_forward(trunk_forward(s.graph), s.metric);
+    return tensor::scale(tensor::mse_loss(pred, tensor::Tensor::scalar(y)), weight[m]);
+  };
+  return gnn::train(parameters(), loss, train_split.size(), cfg_.train);
+}
+
+double CellCharModel::predict(const gnn::Graph& g, cells::Metric metric) const {
+  if (!normalized_) throw std::logic_error("CellCharModel::predict before training");
+  const std::size_t m = static_cast<std::size_t>(metric);
+  const double y = head_forward(trunk_forward(g), metric).item();
+  return unlog_target(y * norm_std_[m] + norm_mean_[m]);
+}
+
+std::array<double, cells::kNumMetrics> CellCharModel::mape_by_metric(
+    std::span<const CharSample> split) const {
+  std::array<numeric::Vec, cells::kNumMetrics> pred, act;
+  for (const auto& s : split) {
+    const std::size_t m = static_cast<std::size_t>(s.metric);
+    pred[m].push_back(predict(s.graph, s.metric));
+    act[m].push_back(s.target);
+  }
+  std::array<double, cells::kNumMetrics> out;
+  out.fill(-1.0);
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m) {
+    if (act[m].empty()) continue;
+    out[m] = numeric::mape(pred[m], act[m], kFloor);
+  }
+  return out;
+}
+
+std::map<std::string, double> CellCharModel::mape_by_cell(
+    std::span<const CharSample> split, cells::Metric metric) const {
+  std::map<std::string, std::pair<numeric::Vec, numeric::Vec>> per_cell;
+  for (const auto& s : split) {
+    if (s.metric != metric) continue;
+    auto& [pred, act] = per_cell[s.cell];
+    pred.push_back(predict(s.graph, s.metric));
+    act.push_back(s.target);
+  }
+  std::map<std::string, double> out;
+  for (const auto& [cell, pa] : per_cell)
+    out[cell] = numeric::mape(pa.first, pa.second, kFloor);
+  return out;
+}
+
+void CellCharModel::save(const std::string& path) const {
+  auto params = parameters();
+  // Normalization statistics ride along as one extra 2 x 9 tensor.
+  std::vector<double> stats(2 * cells::kNumMetrics);
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m) {
+    stats[m] = norm_mean_[m];
+    stats[cells::kNumMetrics + m] = norm_std_[m];
+  }
+  params.push_back(tensor::Tensor::from_data(std::move(stats), 2, cells::kNumMetrics));
+  tensor::save_parameters_file(path, params);
+}
+
+void CellCharModel::load(const std::string& path) {
+  auto params = parameters();
+  auto stats = tensor::Tensor::zeros(2, cells::kNumMetrics);
+  params.push_back(stats);
+  tensor::load_parameters_file(path, params);
+  for (std::size_t m = 0; m < cells::kNumMetrics; ++m) {
+    norm_mean_[m] = stats(0, m);
+    norm_std_[m] = stats(1, m);
+  }
+  normalized_ = true;
+}
+
+std::array<std::size_t, cells::kNumMetrics> CellCharModel::count_by_metric(
+    std::span<const CharSample> split) {
+  std::array<std::size_t, cells::kNumMetrics> out{};
+  for (const auto& s : split) ++out[static_cast<std::size_t>(s.metric)];
+  return out;
+}
+
+}  // namespace stco::charlib

@@ -1,0 +1,42 @@
+#pragma once
+// Parameter extraction: fit the unified compact model (Eq. 1) to measured
+// I-V data with Levenberg-Marquardt. This is the "parameter extraction is
+// facilitated through our unified compact model" step of Fig. 1, and the
+// validation shown in Fig. 3.
+
+#include <vector>
+
+#include "src/compact/reference_model.hpp"
+#include "src/compact/tft_model.hpp"
+
+namespace stco::compact {
+
+struct ExtractionResult {
+  TftParams params;        ///< fitted (mu0, vth, gamma, ss_factor); rest copied
+  double log_rmse = 0.0;   ///< RMSE in log10(|I|) over all fit points
+  double on_mape = 0.0;    ///< MAPE [%] over on-state points (|I| > 1% of max)
+  std::size_t lm_iterations = 0;
+  bool converged = false;
+};
+
+/// Fit mu0 / vth / gamma / ss_factor to the measured points. The geometry
+/// (W, L, Cox) and device type are taken from `seed` and held fixed, which
+/// mirrors practice: geometry is known from layout, Cox from the stack.
+///
+/// Residuals are log-space for transfer data (covers the subthreshold
+/// decades) and relative for on-state output data.
+ExtractionResult extract_parameters(const std::vector<MeasuredPoint>& transfer,
+                                    const std::vector<MeasuredPoint>& output,
+                                    const TftParams& seed);
+
+/// Run the full Fig. 3 validation for one device: synthesize measured
+/// curves, extract, and evaluate fit quality.
+struct Fig3Result {
+  const char* name;
+  ExtractionResult extraction;
+  double transfer_on_mape = 0.0;  ///< on-state MAPE over the transfer sweep
+  double output_on_mape = 0.0;    ///< on-state MAPE over the output sweeps
+};
+Fig3Result validate_fig3_device(const Fig3Device& dev, std::uint64_t noise_seed = 3);
+
+}  // namespace stco::compact

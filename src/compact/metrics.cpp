@@ -1,0 +1,112 @@
+#include "src/compact/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace stco::compact {
+
+namespace {
+
+void check_curve(const TransferCurve& curve) {
+  if (curve.size() < 3)
+    throw std::invalid_argument("device metrics: need at least 3 curve points");
+}
+
+}  // namespace
+
+double vth_constant_current(const TransferCurve& curve, double width, double length,
+                            double i_crit) {
+  check_curve(curve);
+  if (width <= 0 || length <= 0)
+    throw std::invalid_argument("vth_constant_current: geometry");
+  const double target = i_crit * width / length;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double a = std::fabs(curve[i - 1].id);
+    const double b = std::fabs(curve[i].id);
+    if ((a < target && b >= target) || (a >= target && b < target)) {
+      // Interpolate in log current — subthreshold is exponential.
+      const double la = std::log10(std::max(a, 1e-300));
+      const double lb = std::log10(std::max(b, 1e-300));
+      const double lt = std::log10(target);
+      const double t = (lt - la) / (lb - la);
+      return curve[i - 1].vg + t * (curve[i].vg - curve[i - 1].vg);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double max_transconductance(const TransferCurve& curve) {
+  check_curve(curve);
+  double gm_max = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dv = curve[i].vg - curve[i - 1].vg;
+    if (dv == 0.0) continue;
+    gm_max = std::max(gm_max, std::fabs((curve[i].id - curve[i - 1].id) / dv));
+  }
+  return gm_max;
+}
+
+double vth_linear_extrapolation(const TransferCurve& curve) {
+  check_curve(curve);
+  // Max-gm point (central difference where possible).
+  std::size_t best = 1;
+  double gm_best = 0.0;
+  for (std::size_t i = 1; i + 1 < curve.size(); ++i) {
+    const double dv = curve[i + 1].vg - curve[i - 1].vg;
+    if (dv == 0.0) continue;
+    const double gm = std::fabs((curve[i + 1].id - curve[i - 1].id) / dv);
+    if (gm > gm_best) {
+      gm_best = gm;
+      best = i;
+    }
+  }
+  if (gm_best == 0.0) return std::numeric_limits<double>::quiet_NaN();
+  // Tangent through (vg*, |id*|) with slope gm_best; x-intercept is Vth.
+  const double vg0 = curve[best].vg;
+  const double id0 = std::fabs(curve[best].id);
+  const double sign = curve.back().vg > curve.front().vg ? 1.0 : -1.0;
+  return vg0 - sign * id0 / gm_best;
+}
+
+double subthreshold_swing(const TransferCurve& curve) {
+  check_curve(curve);
+  double imax = 0.0;
+  for (const auto& p : curve) imax = std::max(imax, std::fabs(p.id));
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double a = std::fabs(curve[i - 1].id);
+    const double b = std::fabs(curve[i].id);
+    if (a <= 0 || b <= 0) continue;
+    if (std::max(a, b) > 0.01 * imax) continue;  // outside subthreshold
+    const double dlog = std::log10(b) - std::log10(a);
+    if (std::fabs(dlog) < 1e-12) continue;
+    const double swing = std::fabs((curve[i].vg - curve[i - 1].vg) / dlog);
+    if (std::isnan(best) || swing < best) best = swing;
+  }
+  return best;
+}
+
+double on_off_ratio(const TransferCurve& curve) {
+  check_curve(curve);
+  double imax = 0.0, imin = 1e300;
+  for (const auto& p : curve) {
+    imax = std::max(imax, std::fabs(p.id));
+    imin = std::min(imin, std::fabs(p.id));
+  }
+  return imax / std::max(imin, 1e-300);
+}
+
+DeviceFigures extract_figures(const TransferCurve& curve, double width,
+                              double length) {
+  DeviceFigures f;
+  f.vth_cc = vth_constant_current(curve, width, length);
+  f.vth_extrap = vth_linear_extrapolation(curve);
+  f.swing = subthreshold_swing(curve);
+  f.on_off = on_off_ratio(curve);
+  f.gm_max = max_transconductance(curve);
+  return f;
+}
+
+}  // namespace stco::compact

@@ -1,0 +1,48 @@
+#pragma once
+// Standard device-engineering figure-of-merit extraction from transfer
+// curves: the quick-look numbers (Vth, subthreshold swing, on/off ratio,
+// max transconductance) every TFT paper quotes, computed the way a device
+// engineer would: constant-current Vth, max-gm linear-extrapolation Vth,
+// decade-per-volt swing in the steepest subthreshold region.
+
+#include <vector>
+
+#include "src/compact/reference_model.hpp"
+
+namespace stco::compact {
+
+/// A transfer curve (vg ascending for N-type, descending magnitude ordering
+/// handled internally for P-type); vd must be common to all points.
+using TransferCurve = std::vector<MeasuredPoint>;
+
+/// Constant-current threshold: the gate voltage where |Id| crosses
+/// i_crit * (W / L). Returns NaN if never crossed.
+double vth_constant_current(const TransferCurve& curve, double width, double length,
+                            double i_crit = 1e-8);
+
+/// Linear-extrapolation threshold: at the maximum-transconductance point,
+/// extrapolate the tangent to Id = 0. The classic "max-gm" method.
+double vth_linear_extrapolation(const TransferCurve& curve);
+
+/// Subthreshold swing [V/decade]: the minimum d(Vg)/d(log10 Id) over the
+/// region below 1% of the maximum current. Returns NaN if the curve has no
+/// usable subthreshold region.
+double subthreshold_swing(const TransferCurve& curve);
+
+/// On/off current ratio: max |Id| / min |Id| over the sweep.
+double on_off_ratio(const TransferCurve& curve);
+
+/// Peak transconductance magnitude [S] over the sweep.
+double max_transconductance(const TransferCurve& curve);
+
+/// All of the above in one pass.
+struct DeviceFigures {
+  double vth_cc = 0.0;
+  double vth_extrap = 0.0;
+  double swing = 0.0;      ///< V/decade
+  double on_off = 0.0;
+  double gm_max = 0.0;     ///< S
+};
+DeviceFigures extract_figures(const TransferCurve& curve, double width, double length);
+
+}  // namespace stco::compact

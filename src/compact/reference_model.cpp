@@ -1,0 +1,134 @@
+#include "src/compact/reference_model.hpp"
+
+#include <cmath>
+
+namespace stco::compact {
+
+double reference_current(const TftParams& base, const ReferenceExtras& extras,
+                         double vg, double vd, double vs) {
+  TftParams p = base;
+  p.lambda = extras.lambda;
+
+  // Second-order mobility roll-off with overdrive (field degradation).
+  const double ov = p.type == TftType::kNType ? std::max(0.0, vg - vs - p.vth)
+                                              : std::max(0.0, p.vth - (vg - vs));
+  p.mu0 = base.mu0 / (1.0 + extras.mobility_rolloff * ov * ov);
+
+  // Contact resistance: solve id = f(vd_int, vs_int) with the internal
+  // terminals de-biased by id * Rc/2 on each side. Damped fixed point.
+  double id = evaluate_tft(p, vg, vd, vs).id;
+  const double rc_half = 0.5 * extras.contact_resistance;
+  for (int it = 0; it < 60; ++it) {
+    const double vs_int = vs + id * rc_half;
+    const double vd_int = vd - id * rc_half;
+    const double id_new = evaluate_tft(p, vg, vd_int, vs_int).id;
+    const double next = 0.5 * (id + id_new);
+    if (std::fabs(next - id) < 1e-15 + 1e-9 * std::fabs(next)) {
+      id = next;
+      break;
+    }
+    id = next;
+  }
+  return id;
+}
+
+namespace {
+double noisy(double v, double rel, numeric::Rng& rng) {
+  return v * (1.0 + rel * rng.normal());
+}
+}  // namespace
+
+std::vector<MeasuredPoint> measure_transfer(const TftParams& base,
+                                            const ReferenceExtras& extras, double vd,
+                                            const std::vector<double>& vg_values,
+                                            numeric::Rng& rng) {
+  std::vector<MeasuredPoint> out;
+  out.reserve(vg_values.size());
+  for (double vg : vg_values)
+    out.push_back({vg, vd, noisy(reference_current(base, extras, vg, vd, 0.0),
+                                 extras.noise_rel, rng)});
+  return out;
+}
+
+std::vector<MeasuredPoint> measure_output(const TftParams& base,
+                                          const ReferenceExtras& extras, double vg,
+                                          const std::vector<double>& vd_values,
+                                          numeric::Rng& rng) {
+  std::vector<MeasuredPoint> out;
+  out.reserve(vd_values.size());
+  for (double vd : vd_values)
+    out.push_back({vg, vd, noisy(reference_current(base, extras, vg, vd, 0.0),
+                                 extras.noise_rel, rng)});
+  return out;
+}
+
+namespace {
+std::vector<double> linspace(double a, double b, std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
+  return v;
+}
+}  // namespace
+
+Fig3Device fig3_cnt() {
+  Fig3Device d;
+  d.name = "CNT-TFT (L=25um, W=125um)";
+  d.truth.type = TftType::kPType;
+  d.truth.mu0 = 2.2e-3;
+  d.truth.vth = -1.1;
+  d.truth.gamma = 0.28;
+  d.truth.cox = 1.2e-4;
+  d.truth.width = 125e-6;
+  d.truth.length = 25e-6;
+  d.extras.contact_resistance = 5e3;
+  d.extras.lambda = 0.02;
+  d.extras.mobility_rolloff = 0.004;
+  d.vd_transfer = -2.0;
+  d.vg_sweep = linspace(2.0, -10.0, 25);
+  d.vg_output = {-4.0, -6.0, -8.0, -10.0};
+  d.vd_sweep = linspace(0.0, -10.0, 21);
+  return d;
+}
+
+Fig3Device fig3_ltps() {
+  Fig3Device d;
+  d.name = "LTPS-TFT (L=16um, W=40um)";
+  d.truth.type = TftType::kNType;
+  d.truth.mu0 = 7.5e-3;
+  d.truth.vth = 1.6;
+  d.truth.gamma = 0.14;
+  d.truth.cox = 2.0e-4;
+  d.truth.width = 40e-6;
+  d.truth.length = 16e-6;
+  d.extras.contact_resistance = 3e3;
+  d.extras.lambda = 0.012;
+  d.extras.mobility_rolloff = 0.003;
+  d.vd_transfer = 2.0;
+  d.vg_sweep = linspace(-2.0, 10.0, 25);
+  d.vg_output = {4.0, 6.0, 8.0, 10.0};
+  d.vd_sweep = linspace(0.0, 10.0, 21);
+  return d;
+}
+
+Fig3Device fig3_igzo() {
+  Fig3Device d;
+  d.name = "IGZO-TFT (L=20um, W=30um)";
+  d.truth.type = TftType::kNType;
+  d.truth.mu0 = 1.1e-3;
+  d.truth.vth = 1.9;
+  d.truth.gamma = 0.42;
+  d.truth.cox = 1.5e-4;
+  d.truth.width = 30e-6;
+  d.truth.length = 20e-6;
+  d.extras.contact_resistance = 5e3;
+  d.extras.lambda = 0.018;
+  d.extras.mobility_rolloff = 0.004;
+  d.vd_transfer = 2.0;
+  d.vg_sweep = linspace(-2.0, 12.0, 25);
+  d.vg_output = {4.0, 7.0, 10.0, 12.0};
+  d.vd_sweep = linspace(0.0, 12.0, 21);
+  return d;
+}
+
+}  // namespace stco::compact

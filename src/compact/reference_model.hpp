@@ -1,0 +1,67 @@
+#pragma once
+// Higher-fidelity reference TFT used to synthesize the "measured I-V
+// curves" of paper Fig. 3 (we have no access to the authors' fabricated
+// CNT / LTPS / IGZO devices; see DESIGN.md substitution table).
+//
+// The reference model deliberately contains physics the compact model does
+// NOT have — contact resistance, channel-length modulation, a second-order
+// mobility roll-off — so that parameter extraction faces realistic model
+// error, and multiplicative measurement noise is added on top.
+
+#include <vector>
+
+#include "src/compact/tft_model.hpp"
+#include "src/numeric/rng.hpp"
+
+namespace stco::compact {
+
+/// Extra non-idealities layered on a base TftParams.
+struct ReferenceExtras {
+  double contact_resistance = 5e3;  ///< lumped source+drain Rc [ohm]
+  double lambda = 0.015;            ///< channel-length modulation [1/V]
+  double mobility_rolloff = 0.02;   ///< mu degradation per V of overdrive^2
+  double noise_rel = 0.01;          ///< multiplicative measurement noise sigma
+};
+
+/// A "measured" I-V sample point.
+struct MeasuredPoint {
+  double vg = 0.0;
+  double vd = 0.0;
+  double id = 0.0;
+};
+
+/// Evaluate the reference device (noise-free). Solves the implicit contact
+/// resistance loop by fixed-point iteration.
+double reference_current(const TftParams& base, const ReferenceExtras& extras,
+                         double vg, double vd, double vs);
+
+/// Generate a noisy measured transfer curve (vg sweep at fixed vd).
+std::vector<MeasuredPoint> measure_transfer(const TftParams& base,
+                                            const ReferenceExtras& extras, double vd,
+                                            const std::vector<double>& vg_values,
+                                            numeric::Rng& rng);
+
+/// Generate a noisy measured output curve (vd sweep at fixed vg).
+std::vector<MeasuredPoint> measure_output(const TftParams& base,
+                                          const ReferenceExtras& extras, double vg,
+                                          const std::vector<double>& vd_values,
+                                          numeric::Rng& rng);
+
+/// The three fabricated devices of Fig. 3 with the paper's geometries:
+/// (a) CNT-TFT  L = 25 um, W = 125 um  (P-type)
+/// (b) LTPS-TFT L = 16 um, W = 40 um   (N-type)
+/// (c) IGZO-TFT L = 20 um, W = 30 um   (N-type)
+struct Fig3Device {
+  const char* name;
+  TftParams truth;        ///< underlying reference parameters
+  ReferenceExtras extras;
+  double vd_transfer;     ///< vd used for the transfer sweep
+  std::vector<double> vg_sweep;
+  std::vector<double> vg_output;  ///< gate steps for output curves
+  std::vector<double> vd_sweep;
+};
+Fig3Device fig3_cnt();
+Fig3Device fig3_ltps();
+Fig3Device fig3_igzo();
+
+}  // namespace stco::compact

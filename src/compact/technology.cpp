@@ -1,0 +1,41 @@
+#include "src/compact/technology.hpp"
+
+namespace stco::compact {
+
+namespace {
+TftParams base_params(const TechnologyPoint& tp, double width, double length) {
+  const auto sp = tcad::params_for(tp.kind);
+  TftParams p;
+  p.mu0 = sp.mu0;
+  p.gamma = sp.gamma;
+  p.cox = tp.cox;
+  p.width = width;
+  p.length = length;
+  p.ss_factor = 1.8;
+  p.lambda = 0.01;
+  return p;
+}
+}  // namespace
+
+TftParams make_nfet(const TechnologyPoint& tp, double width, double length) {
+  TftParams p = base_params(tp, width, length);
+  p.type = TftType::kNType;
+  p.vth = tp.vth;
+  return p;
+}
+
+TftParams make_pfet(const TechnologyPoint& tp, double width, double length) {
+  TftParams p = base_params(tp, width, length);
+  p.type = TftType::kPType;
+  p.vth = -tp.vth;
+  p.mu0 *= 0.45;  // P-branch derating for TFT technologies
+  return p;
+}
+
+TechnologyPoint cnt_tech() { return {tcad::SemiconductorKind::kCnt, 3.0, 0.8, 1.2e-4}; }
+TechnologyPoint ltps_tech() { return {tcad::SemiconductorKind::kLtps, 5.0, 1.2, 2.0e-4}; }
+TechnologyPoint igzo_tech() { return {tcad::SemiconductorKind::kIgzo, 5.0, 1.5, 1.5e-4}; }
+
+CellSizing default_sizing() { return {}; }
+
+}  // namespace stco::compact

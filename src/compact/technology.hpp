@@ -1,0 +1,41 @@
+#pragma once
+// Technology bridge: derive compact-model parameters from the TCAD material
+// sets, and define the (VDD, Vth, Cox) technology knobs that the STCO loop
+// explores (paper section II.C: "the variation of supply voltage, threshold
+// voltage and gate unit capacitance").
+
+#include "src/compact/tft_model.hpp"
+#include "src/tcad/materials.hpp"
+
+namespace stco::compact {
+
+/// A technology operating point for cell characterization / STCO search.
+struct TechnologyPoint {
+  tcad::SemiconductorKind kind = tcad::SemiconductorKind::kCnt;
+  double vdd = 3.0;      ///< supply voltage [V]
+  double vth = 0.8;      ///< threshold magnitude [V] (applied to N and P)
+  double cox = 3.45e-4;  ///< gate unit capacitance [F/m^2]
+};
+
+/// Compact parameters for an N-type transistor of width `width` at a tech
+/// point; mobility law parameters come from the material preset.
+TftParams make_nfet(const TechnologyPoint& tp, double width, double length);
+
+/// P-type counterpart (vth mirrored negative; P mobility derated, matching
+/// the strongly asymmetric N/P drive typical of emerging TFT technologies).
+TftParams make_pfet(const TechnologyPoint& tp, double width, double length);
+
+/// Nominal technology points used throughout tests and benches.
+TechnologyPoint cnt_tech();
+TechnologyPoint ltps_tech();
+TechnologyPoint igzo_tech();
+
+/// Default transistor sizing for the cell library at a tech point [m].
+struct CellSizing {
+  double length = 2e-6;
+  double nfet_width = 8e-6;
+  double pfet_width = 16e-6;  ///< wider P to balance weaker P mobility
+};
+CellSizing default_sizing();
+
+}  // namespace stco::compact

@@ -1,0 +1,106 @@
+#include "src/compact/tft_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::compact {
+
+namespace {
+
+constexpr double kKbOverQ = 8.617333262e-5;  // V/K
+
+struct Smooth {
+  double f = 0.0;   ///< softplus overdrive [V]
+  double df = 0.0;  ///< d f / d v (sigmoid)
+};
+
+Smooth softplus_overdrive(double v, double vt_eff) {
+  Smooth s;
+  const double x = v / vt_eff;
+  if (x > 30.0) {
+    s.f = v;
+    s.df = 1.0;
+  } else if (x < -30.0) {
+    s.f = vt_eff * std::exp(x);
+    s.df = std::exp(x);
+  } else {
+    s.f = vt_eff * std::log1p(std::exp(x));
+    s.df = 1.0 / (1.0 + std::exp(-x));
+  }
+  return s;
+}
+
+/// Forward-mode N-type evaluation with vds >= 0.
+TftEval eval_ntype_forward(const TftParams& p, double vgs, double vds) {
+  const double vt_eff = p.ss_factor * kKbOverQ * p.temperature_k;
+  const double g1 = p.gamma + 1.0;
+  const double k = (p.width / p.length) * p.mu0 * p.cox;
+
+  const Smooth fs = softplus_overdrive(vgs - p.vth, vt_eff);
+  const Smooth fd = softplus_overdrive(vgs - p.vth - vds, vt_eff);
+
+  const double fs_p = std::pow(fs.f, g1);
+  const double fd_p = std::pow(fd.f, g1);
+  const double fs_g = std::pow(fs.f, p.gamma);
+  const double fd_g = std::pow(fd.f, p.gamma);
+
+  const double core = k * (fs_p - fd_p) / g1;
+  const double clm = 1.0 + p.lambda * vds;
+
+  TftEval e;
+  e.id = core * clm;
+  e.gm = k * (fs_g * fs.df - fd_g * fd.df) * clm;
+  e.gds = k * fd_g * fd.df * clm + core * p.lambda;
+  return e;
+}
+
+}  // namespace
+
+TftEval evaluate_tft(const TftParams& p, double vg, double vd, double vs) {
+  if (p.gamma < 0.0) throw std::invalid_argument("evaluate_tft: gamma must be >= 0");
+  if (p.length <= 0.0 || p.width <= 0.0)
+    throw std::invalid_argument("evaluate_tft: nonpositive geometry");
+
+  // Map P-type onto N-type via sign mirroring (I -> -I, conductances keep
+  // their sign).
+  if (p.type == TftType::kPType) {
+    TftParams q = p;
+    q.type = TftType::kNType;
+    q.vth = -p.vth;
+    TftEval e = evaluate_tft(q, -vg, -vd, -vs);
+    e.id = -e.id;
+    return e;
+  }
+
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  if (vds >= 0.0) return eval_ntype_forward(p, vgs, vds);
+
+  // Reverse operation: swap source/drain (device is symmetric).
+  const double vgs2 = vg - vd;
+  const double vds2 = -vds;
+  const TftEval f = eval_ntype_forward(p, vgs2, vds2);
+  TftEval e;
+  e.id = -f.id;
+  e.gm = -f.gm;
+  e.gds = f.gm + f.gds;
+  return e;
+}
+
+double tft_current(const TftParams& p, double vg, double vd, double vs) {
+  return evaluate_tft(p, vg, vd, vs).id;
+}
+
+double effective_mobility(const TftParams& p, double vgs) {
+  const double vt_eff = p.ss_factor * kKbOverQ * p.temperature_k;
+  const double ov = p.type == TftType::kNType ? (vgs - p.vth) : (p.vth - vgs);
+  const Smooth s = softplus_overdrive(ov, vt_eff);
+  return p.mu0 * std::pow(s.f, p.gamma);
+}
+
+double gate_half_capacitance(const TftParams& p) {
+  return 0.5 * p.cox * p.width * p.length;
+}
+
+}  // namespace stco::compact

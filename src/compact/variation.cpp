@@ -1,0 +1,57 @@
+#include "src/compact/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::compact {
+
+TftParams sample_variation(const TftParams& nominal, const VariationModel& vm,
+                           numeric::Rng& rng) {
+  TftParams p = nominal;
+  p.vth += rng.normal(0.0, vm.sigma_vth);
+  p.mu0 *= std::max(0.05, 1.0 + rng.normal(0.0, vm.sigma_mu0_frac));
+  p.gamma = std::max(0.0, p.gamma + rng.normal(0.0, vm.sigma_gamma));
+  return p;
+}
+
+MonteCarloStats monte_carlo(const TftParams& nominal, const VariationModel& vm,
+                            std::size_t n_samples, std::uint64_t seed,
+                            const std::function<double(const TftParams&)>& metric) {
+  if (n_samples < 2) throw std::invalid_argument("monte_carlo: need >= 2 samples");
+  numeric::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(n_samples);
+  for (std::size_t i = 0; i < n_samples; ++i)
+    values.push_back(metric(sample_variation(nominal, vm, rng)));
+
+  MonteCarloStats st;
+  st.samples = n_samples;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  st.mean = sum / static_cast<double>(n_samples);
+  double ss = 0.0;
+  for (double v : values) ss += (v - st.mean) * (v - st.mean);
+  st.stddev = std::sqrt(ss / static_cast<double>(n_samples - 1));
+  std::sort(values.begin(), values.end());
+  auto pct = [&](double q) {
+    const double idx = q * static_cast<double>(n_samples - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, n_samples - 1);
+    const double t = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - t) + values[hi] * t;
+  };
+  st.p05 = pct(0.05);
+  st.p95 = pct(0.95);
+  return st;
+}
+
+MonteCarloStats on_current_spread(const TftParams& nominal, const VariationModel& vm,
+                                  double vg, double vd, std::size_t n_samples,
+                                  std::uint64_t seed) {
+  return monte_carlo(nominal, vm, n_samples, seed, [&](const TftParams& p) {
+    return std::fabs(tft_current(p, vg, vd, 0.0));
+  });
+}
+
+}  // namespace stco::compact

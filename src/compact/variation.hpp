@@ -1,0 +1,49 @@
+#pragma once
+// Process-variation analysis on the compact model (the paper's introduction
+// names "complexities in cell library characterization with emerging
+// technologies and process variations" as a target problem).
+//
+// Monte Carlo sampling of threshold voltage and mobility around their
+// nominals produces distributions of any figure of merit; the helpers here
+// report on-current and effective-drive spreads that the characterization
+// corners (Vth axis) bracket.
+
+#include <functional>
+#include <vector>
+
+#include "src/compact/tft_model.hpp"
+#include "src/numeric/rng.hpp"
+
+namespace stco::compact {
+
+/// Per-device random variation magnitudes (1-sigma, fractional for mu0 and
+/// absolute volts for vth — matching how TFT variability is usually quoted).
+struct VariationModel {
+  double sigma_vth = 0.05;       ///< [V]
+  double sigma_mu0_frac = 0.08;  ///< fraction of nominal mu0
+  double sigma_gamma = 0.02;     ///< absolute
+};
+
+/// Draw one varied instance.
+TftParams sample_variation(const TftParams& nominal, const VariationModel& vm,
+                           numeric::Rng& rng);
+
+struct MonteCarloStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p05 = 0.0;   ///< 5th percentile
+  double p95 = 0.0;   ///< 95th percentile
+  std::size_t samples = 0;
+};
+
+/// Monte Carlo over a metric of the varied device.
+MonteCarloStats monte_carlo(const TftParams& nominal, const VariationModel& vm,
+                            std::size_t n_samples, std::uint64_t seed,
+                            const std::function<double(const TftParams&)>& metric);
+
+/// Convenience: on-current spread at a bias point.
+MonteCarloStats on_current_spread(const TftParams& nominal, const VariationModel& vm,
+                                  double vg, double vd, std::size_t n_samples = 500,
+                                  std::uint64_t seed = 21);
+
+}  // namespace stco::compact

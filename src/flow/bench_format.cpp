@@ -1,0 +1,222 @@
+#include "src/flow/bench_format.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace stco::flow {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::invalid_argument("parse_bench: line " + std::to_string(line) + ": " + msg);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+struct GateDef {
+  std::size_t line;
+  std::string op;                   ///< upper-case
+  std::vector<std::string> inputs;  ///< signal names
+};
+
+/// Base cell name for an op at a supported arity (2..4 for AND-family).
+std::string cell_for(const std::string& op, std::size_t arity, std::size_t line) {
+  if (op == "NOT") return "INV";
+  if (op == "BUFF" || op == "BUF") return "BUF";
+  if (op == "XOR") return "XOR2";
+  if (op == "XNOR") return "XNOR2";
+  if (op == "AND" || op == "NAND" || op == "OR" || op == "NOR") {
+    if (arity < 2 || arity > 4) fail(line, "internal arity error");
+    const char* base = op == "AND" ? "AND" : op == "NAND" ? "NAND"
+                       : op == "OR" ? "OR"
+                                    : "NOR";
+    return std::string(base) + std::to_string(arity);
+  }
+  fail(line, "unknown gate op " + op);
+}
+
+}  // namespace
+
+GateNetlist parse_bench(const std::string& text, const std::string& name) {
+  std::vector<std::string> inputs, outputs;
+  std::map<std::string, GateDef> defs;   // signal -> its defining gate
+  std::vector<std::string> def_order;    // textual order, for stable ids
+
+  {
+    std::istringstream in(text);
+    std::string raw;
+    std::size_t ln = 0;
+    while (std::getline(in, raw)) {
+      ++ln;
+      std::string s = trim(raw);
+      if (s.empty() || s[0] == '#') continue;
+      const std::string u = upper(s);
+      auto inside_parens = [&](const std::string& str) {
+        const auto l = str.find('('), r = str.rfind(')');
+        if (l == std::string::npos || r == std::string::npos || r < l)
+          fail(ln, "expected (...)");
+        return trim(str.substr(l + 1, r - l - 1));
+      };
+      if (u.rfind("INPUT", 0) == 0) {
+        inputs.push_back(inside_parens(s));
+        continue;
+      }
+      if (u.rfind("OUTPUT", 0) == 0) {
+        outputs.push_back(inside_parens(s));
+        continue;
+      }
+      const auto eq = s.find('=');
+      if (eq == std::string::npos) fail(ln, "expected assignment: " + s);
+      const std::string target = trim(s.substr(0, eq));
+      const std::string rhs = trim(s.substr(eq + 1));
+      const auto l = rhs.find('(');
+      if (l == std::string::npos) fail(ln, "expected OP(...) after '='");
+      GateDef def;
+      def.line = ln;
+      def.op = upper(trim(rhs.substr(0, l)));
+      std::string args = inside_parens(rhs);
+      std::istringstream as(args);
+      std::string a;
+      while (std::getline(as, a, ',')) {
+        a = trim(a);
+        if (a.empty()) fail(ln, "empty operand");
+        def.inputs.push_back(a);
+      }
+      if (def.inputs.empty()) fail(ln, "gate with no inputs");
+      if (defs.count(target)) fail(ln, "signal " + target + " defined twice");
+      defs[target] = std::move(def);
+      def_order.push_back(target);
+    }
+  }
+
+  // Topological order over combinational gates (DFF outputs are sources).
+  std::map<std::string, std::size_t> pending;  // unresolved fanin count
+  std::map<std::string, std::vector<std::string>> dependents;
+  std::vector<std::string> ready;
+  std::map<std::string, bool> known;
+  for (const auto& pi : inputs) known[pi] = true;
+  for (const auto& [sig, def] : defs)
+    if (def.op == "DFF") known[sig] = true;
+
+  for (const auto& sig : def_order) {
+    const auto& def = defs[sig];
+    if (def.op == "DFF") continue;
+    std::size_t unresolved = 0;
+    for (const auto& in : def.inputs) {
+      if (known.count(in)) continue;
+      if (!defs.count(in)) fail(def.line, "undefined signal " + in);
+      ++unresolved;
+      dependents[in].push_back(sig);
+    }
+    pending[sig] = unresolved;
+    if (unresolved == 0) ready.push_back(sig);
+  }
+
+  std::vector<std::string> topo;
+  while (!ready.empty()) {
+    const std::string sig = ready.back();
+    ready.pop_back();
+    topo.push_back(sig);
+    for (const auto& dep : dependents[sig])
+      if (--pending[dep] == 0) ready.push_back(dep);
+  }
+  std::size_t comb_count = 0;
+  for (const auto& [sig, def] : defs)
+    if (def.op != "DFF") ++comb_count;
+  if (topo.size() != comb_count)
+    throw std::invalid_argument("parse_bench: combinational cycle detected");
+
+  // Build the netlist.
+  GateNetlist nl(name);
+  std::map<std::string, NetId> net;
+  for (const auto& pi : inputs) net[pi] = nl.add_primary_input();
+  std::vector<std::string> ff_signals;
+  for (const auto& sig : def_order)
+    if (defs[sig].op == "DFF") {
+      net[sig] = nl.add_flipflop(0);  // D rewired at the end
+      ff_signals.push_back(sig);
+    }
+
+  // Reduce wide AND/OR-family fanin with balanced trees of <=4-ary cells.
+  auto emit = [&](const std::string& op, std::vector<NetId> ins,
+                  std::size_t line) -> NetId {
+    const bool and_family = op == "AND" || op == "NAND";
+    const bool or_family = op == "OR" || op == "NOR";
+    if ((and_family || or_family) && ins.size() > 4) {
+      const std::string reducer = and_family ? "AND" : "OR";
+      while (ins.size() > 4) {
+        std::vector<NetId> next;
+        for (std::size_t i = 0; i < ins.size(); i += 4) {
+          const std::size_t n = std::min<std::size_t>(4, ins.size() - i);
+          if (n == 1) {
+            next.push_back(ins[i]);
+          } else {
+            std::vector<NetId> chunk(ins.begin() + i, ins.begin() + i + n);
+            next.push_back(nl.add_gate(cell_for(reducer, n, line), std::move(chunk)));
+          }
+        }
+        ins = std::move(next);
+      }
+    }
+    if ((op == "XOR" || op == "XNOR") && ins.size() > 2) {
+      // Chain XOR2; final stage carries the (X)NOR polarity.
+      NetId acc = ins[0];
+      for (std::size_t i = 1; i + 1 < ins.size(); ++i)
+        acc = nl.add_gate("XOR2", {acc, ins[i]});
+      return nl.add_gate(op == "XOR" ? "XOR2" : "XNOR2", {acc, ins.back()});
+    }
+    if ((op == "NOT" || op == "BUFF" || op == "BUF") && ins.size() != 1)
+      fail(line, op + " takes exactly one input");
+    if ((op == "XOR" || op == "XNOR") && ins.size() != 2)
+      fail(line, op + " takes two inputs after reduction");
+    if ((and_family || or_family) && ins.size() == 1)
+      return nl.add_gate(op == "AND" || op == "OR" ? "BUF" : "INV", std::move(ins));
+    // Resolve the cell name before moving `ins`: argument evaluation order
+    // is unspecified and a right-to-left compiler would empty it first.
+    const std::string cell = cell_for(op, ins.size(), line);
+    return nl.add_gate(cell, std::move(ins));
+  };
+
+  for (const auto& sig : topo) {
+    const auto& def = defs[sig];
+    std::vector<NetId> ins;
+    for (const auto& in : def.inputs) {
+      const auto it = net.find(in);
+      if (it == net.end()) fail(def.line, "signal used before defined: " + in);
+      ins.push_back(it->second);
+    }
+    net[sig] = emit(def.op, std::move(ins), def.line);
+  }
+
+  for (std::size_t i = 0; i < ff_signals.size(); ++i) {
+    const auto& def = defs[ff_signals[i]];
+    if (def.inputs.size() != 1) fail(def.line, "DFF takes exactly one input");
+    const auto it = net.find(def.inputs[0]);
+    if (it == net.end()) fail(def.line, "undefined DFF input " + def.inputs[0]);
+    nl.set_flipflop_d(i, it->second);
+  }
+  for (const auto& po : outputs) {
+    const auto it = net.find(po);
+    if (it == net.end())
+      throw std::invalid_argument("parse_bench: undefined output " + po);
+    nl.mark_primary_output(it->second);
+  }
+  nl.check();
+  return nl;
+}
+
+}  // namespace stco::flow

@@ -1,0 +1,28 @@
+#pragma once
+// Reader for the ISCAS'89 ".bench" netlist format, so the real benchmark
+// circuits (s298, s1488, ...) can be dropped in when available instead of
+// the synthetic stand-ins from benchmarks.hpp.
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = DFF(G14)
+//   G11 = NAND(G0, G10)
+//   G17 = NOT(G11)
+//
+// Gate ops: AND, NAND, OR, NOR, NOT, BUFF/BUF, XOR, XNOR, DFF. Definitions
+// may appear in any order (a topological sort is performed); gates wider
+// than the library's 4 inputs are decomposed into balanced trees.
+
+#include <string>
+
+#include "src/flow/netlist.hpp"
+
+namespace stco::flow {
+
+/// Parse .bench text into a gate netlist mapped onto the standard library.
+/// Throws std::invalid_argument with a line-numbered message on malformed
+/// input, undefined signals, or combinational cycles.
+GateNetlist parse_bench(const std::string& text, const std::string& name = "bench");
+
+}  // namespace stco::flow

@@ -1,0 +1,172 @@
+#include "src/flow/benchmarks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stco::flow {
+
+namespace {
+
+/// Cell mix for random logic, roughly matching a mapped ISCAS circuit.
+struct CellChoice {
+  const char* name;
+  std::size_t arity;
+  double weight;
+};
+const CellChoice kMix[] = {
+    {"INV", 1, 0.16},   {"BUF", 1, 0.04},   {"NAND2", 2, 0.22}, {"NOR2", 2, 0.14},
+    {"NAND3", 3, 0.08}, {"NOR3", 3, 0.05},  {"AND2", 2, 0.08},  {"OR2", 2, 0.06},
+    {"XOR2", 2, 0.05},  {"XNOR2", 2, 0.03}, {"AOI21", 3, 0.05}, {"OAI21", 3, 0.04},
+    {"NAND4", 4, 0.02}, {"MUX2", 3, 0.02},
+};
+
+const CellChoice& sample_cell(numeric::Rng& rng) {
+  double total = 0.0;
+  for (const auto& c : kMix) total += c.weight;
+  double x = rng.uniform(0.0, total);
+  for (const auto& c : kMix) {
+    x -= c.weight;
+    if (x <= 0.0) return c;
+  }
+  return kMix[0];
+}
+
+}  // namespace
+
+GateNetlist synthesize_random(const SyntheticSpec& spec) {
+  if (spec.n_gates == 0 || spec.n_inputs == 0)
+    throw std::invalid_argument("synthesize_random: empty spec");
+  numeric::Rng rng(spec.seed);
+  GateNetlist nl(spec.name);
+
+  std::vector<NetId> pool;
+  for (std::size_t i = 0; i < spec.n_inputs; ++i) pool.push_back(nl.add_primary_input());
+  for (std::size_t i = 0; i < spec.n_ffs; ++i)
+    pool.push_back(nl.add_flipflop(pool[0]));  // D rewired below
+
+  for (std::size_t g = 0; g < spec.n_gates; ++g) {
+    const auto& choice = sample_cell(rng);
+    std::vector<NetId> fanin;
+    for (std::size_t k = 0; k < choice.arity; ++k) {
+      // Locality bias: prefer recently created nets (shallow logic cones
+      // reconverge the way mapped circuits do).
+      const std::size_t span = std::min<std::size_t>(pool.size(), 48);
+      const std::size_t base = pool.size() - span;
+      const std::size_t idx =
+          rng.bernoulli(0.7) ? base + rng.uniform_index(span)
+                             : rng.uniform_index(pool.size());
+      fanin.push_back(pool[idx]);
+    }
+    pool.push_back(nl.add_gate(choice.name, std::move(fanin)));
+  }
+
+  // Close the loop: FF D pins and primary outputs tap late nets.
+  const std::size_t tail = std::min<std::size_t>(pool.size(), spec.n_gates / 2 + 4);
+  auto pick_late = [&] { return pool[pool.size() - 1 - rng.uniform_index(tail)]; };
+  for (std::size_t i = 0; i < spec.n_ffs; ++i) nl.set_flipflop_d(i, pick_late());
+  for (std::size_t i = 0; i < spec.n_outputs; ++i) nl.mark_primary_output(pick_late());
+  nl.check();
+  return nl;
+}
+
+namespace {
+
+/// Full adder: (sum, carry) from 5 two-input gates.
+std::pair<NetId, NetId> full_adder(GateNetlist& nl, NetId a, NetId b, NetId cin) {
+  const NetId axb = nl.add_gate("XOR2", {a, b});
+  const NetId s = nl.add_gate("XOR2", {axb, cin});
+  const NetId t1 = nl.add_gate("AND2", {a, b});
+  const NetId t2 = nl.add_gate("AND2", {axb, cin});
+  const NetId cout = nl.add_gate("OR2", {t1, t2});
+  return {s, cout};
+}
+
+/// Ripple adder over equal-width vectors; returns sum (width + 1 bits).
+std::vector<NetId> ripple_add(GateNetlist& nl, const std::vector<NetId>& a,
+                              const std::vector<NetId>& b, NetId zero) {
+  const std::size_t w = std::max(a.size(), b.size());
+  std::vector<NetId> sum;
+  NetId carry = zero;
+  for (std::size_t i = 0; i < w; ++i) {
+    const NetId ai = i < a.size() ? a[i] : zero;
+    const NetId bi = i < b.size() ? b[i] : zero;
+    auto [s, c] = full_adder(nl, ai, bi, carry);
+    sum.push_back(s);
+    carry = c;
+  }
+  sum.push_back(carry);
+  return sum;
+}
+
+}  // namespace
+
+GateNetlist make_mac(std::size_t bits) {
+  if (bits < 2) throw std::invalid_argument("make_mac: need >= 2 bits");
+  GateNetlist nl(std::to_string(bits) + "bit_MAC");
+  std::vector<NetId> a, b;
+  for (std::size_t i = 0; i < bits; ++i) a.push_back(nl.add_primary_input());
+  for (std::size_t i = 0; i < bits; ++i) b.push_back(nl.add_primary_input());
+
+  // Structural zero (constant net for adder padding).
+  const NetId a0n = nl.add_gate("INV", {a[0]});
+  const NetId zero = nl.add_gate("AND2", {a[0], a0n});
+
+  // Schoolbook array multiplier: accumulate shifted partial-product rows.
+  std::vector<NetId> acc;  // running sum, little-endian
+  for (std::size_t j = 0; j < bits; ++j) {
+    std::vector<NetId> row(j, zero);  // shift by j
+    for (std::size_t i = 0; i < bits; ++i)
+      row.push_back(nl.add_gate("AND2", {a[i], b[j]}));
+    acc = j == 0 ? row : ripple_add(nl, acc, row, zero);
+  }
+
+  // Accumulator register: 2n + 2 bits.
+  const std::size_t aw = acc.size() + 1;
+  std::vector<NetId> acc_q;
+  for (std::size_t i = 0; i < aw; ++i) acc_q.push_back(nl.add_flipflop(zero));
+  const auto next = ripple_add(nl, acc, acc_q, zero);
+  for (std::size_t i = 0; i < aw; ++i) nl.set_flipflop_d(i, next[std::min(i, next.size() - 1)]);
+  for (std::size_t i = 0; i < aw; ++i) nl.mark_primary_output(acc_q[i]);
+  nl.check();
+  return nl;
+}
+
+const std::vector<BenchmarkScale>& benchmark_scales() {
+  static const std::vector<BenchmarkScale> scales = {
+      {"s298", 119, 14, 3, 6},      {"s386", 159, 6, 7, 7},
+      {"s526", 193, 21, 3, 6},      {"s820", 289, 5, 18, 19},
+      {"s1196", 529, 18, 14, 14},   {"s1488", 653, 6, 8, 19},
+      {"16bit MAC", 0, 0, 0, 0},    {"32bit MAC", 0, 0, 0, 0},
+      {"Picorv32", 9200, 1100, 40, 96}, {"Darkriscv", 18500, 1400, 64, 64},
+  };
+  return scales;
+}
+
+const std::vector<std::string>& table1_benchmarks() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& s : benchmark_scales()) v.push_back(s.name);
+    return v;
+  }();
+  return names;
+}
+
+GateNetlist make_benchmark(const std::string& name) {
+  if (name == "16bit MAC") return make_mac(16);
+  if (name == "32bit MAC") return make_mac(32);
+  for (std::size_t i = 0; i < benchmark_scales().size(); ++i) {
+    const auto& s = benchmark_scales()[i];
+    if (s.name != name) continue;
+    SyntheticSpec spec;
+    spec.name = s.name;
+    spec.n_inputs = s.inputs;
+    spec.n_outputs = s.outputs;
+    spec.n_ffs = s.ffs;
+    spec.n_gates = s.gates;
+    spec.seed = 1000 + i;
+    return synthesize_random(spec);
+  }
+  throw std::invalid_argument("make_benchmark: unknown benchmark " + name);
+}
+
+}  // namespace stco::flow

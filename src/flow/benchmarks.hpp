@@ -1,0 +1,52 @@
+#pragma once
+// Benchmark netlist generators for the paper's Table I suite: six ISCAS89
+// circuits, two MAC cores, and two RISC-V-class cores.
+//
+// We do not have the original netlists (commercial synthesis flow); these
+// generators produce circuits of matching scale and style. The ISCAS89 and
+// CPU-like designs are seeded random sequential logic with realistic cell
+// mix and depth; the MAC cores are *structural* — a real array multiplier
+// (AND partial products + full-adder array) with an accumulator register —
+// so the arithmetic benchmarks carry genuine arithmetic structure.
+
+#include "src/flow/netlist.hpp"
+#include "src/numeric/rng.hpp"
+
+namespace stco::flow {
+
+/// Scale descriptor for a synthetic sequential circuit.
+struct SyntheticSpec {
+  std::string name;
+  std::size_t n_inputs = 8;
+  std::size_t n_outputs = 8;
+  std::size_t n_ffs = 8;
+  std::size_t n_gates = 100;
+  std::uint64_t seed = 1;
+};
+
+/// Random sequential logic: gates are created in topological order with
+/// locality-biased fanin selection; flip-flop D inputs and primary outputs
+/// tap late nets, closing the sequential loop.
+GateNetlist synthesize_random(const SyntheticSpec& spec);
+
+/// n-bit multiply-accumulate core: array multiplier + 2n-bit accumulator.
+GateNetlist make_mac(std::size_t bits);
+
+/// Named Table I benchmarks.
+GateNetlist make_benchmark(const std::string& name);
+
+/// The ten Table I benchmark names in paper order.
+const std::vector<std::string>& table1_benchmarks();
+
+/// Reference scale data (approximate gate/FF counts of the real designs)
+/// used by the generators.
+struct BenchmarkScale {
+  std::string name;
+  std::size_t gates;
+  std::size_t ffs;
+  std::size_t inputs;
+  std::size_t outputs;
+};
+const std::vector<BenchmarkScale>& benchmark_scales();
+
+}  // namespace stco::flow

@@ -1,0 +1,161 @@
+#include "src/flow/liberty.hpp"
+
+#include <stdexcept>
+
+#include "src/charlib/encoder.hpp"
+#include "src/numeric/stats.hpp"
+
+namespace stco::flow {
+
+double CellTiming::delay_at(double slew, double load) const {
+  return numeric::interp2(slew_axis, load_axis, delay, slew, load);
+}
+
+double CellTiming::slew_at(double slew, double load) const {
+  return numeric::interp2(slew_axis, load_axis, out_slew, slew, load);
+}
+
+const CellTiming& TimingLibrary::cell(const std::string& name) const {
+  const auto it = cells.find(name);
+  if (it == cells.end())
+    throw std::invalid_argument("TimingLibrary: no cell " + name);
+  return it->second;
+}
+
+const std::vector<std::string>& mapped_cell_set() {
+  static const std::vector<std::string> names = {
+      "INV",   "INVX2", "INVX4", "BUF",   "BUFX2", "BUFX4", "NAND2",
+      "NAND3", "NAND4", "NOR2",  "NOR3",  "AND2",  "OR2",   "XOR2",
+      "XNOR2", "AOI21", "OAI21", "MUX2",  "DFF",
+  };
+  return names;
+}
+
+namespace {
+
+std::vector<std::string> effective_cells(const LibraryBuildOptions& opts) {
+  return opts.cell_names.empty() ? mapped_cell_set() : opts.cell_names;
+}
+
+void finalize_sequential(TimingLibrary& lib) {
+  if (!lib.has_cell("DFF")) return;
+  const auto& d = lib.cell("DFF");
+  lib.dff_clk2q = d.delay(d.slew_axis.size() / 2, d.load_axis.size() / 2);
+  lib.dff_cap = d.input_cap;
+  lib.dff_leakage = d.leakage;
+  lib.dff_flip_energy = d.flip_energy;
+}
+
+std::size_t transistor_count(const std::string& name) {
+  return cells::find_cell(name).num_transistors();
+}
+
+}  // namespace
+
+TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
+                                  const LibraryBuildOptions& opts) {
+  TimingLibrary lib;
+  lib.tech = tech;
+  for (const auto& name : effective_cells(opts)) {
+    const auto& def = cells::find_cell(name);
+    CellTiming ct;
+    ct.slew_axis = opts.slew_axis;
+    ct.load_axis = opts.load_axis;
+    ct.delay.resize(opts.slew_axis.size(), opts.load_axis.size());
+    ct.out_slew.resize(opts.slew_axis.size(), opts.load_axis.size());
+    ct.transistors = def.num_transistors();
+
+    for (std::size_t si = 0; si < opts.slew_axis.size(); ++si) {
+      for (std::size_t li = 0; li < opts.load_axis.size(); ++li) {
+        cells::CharConfig cfg;
+        cfg.tech = tech;
+        cfg.sizing = opts.sizing;
+        cfg.input_slew = opts.slew_axis[si];
+        cfg.load_cap = opts.load_axis[li];
+        cfg.dt = opts.char_dt;
+        cfg.time_unit = opts.char_time_unit;
+        const auto ch = cells::characterize_cell(def, cfg);
+        double wd = 0.0, ws = 0.0;
+        for (const auto& arc : ch.arcs) {
+          wd = std::max(wd, arc.delay);
+          ws = std::max(ws, arc.output_slew);
+        }
+        ct.delay(si, li) = wd;
+        ct.out_slew(si, li) = ws;
+        if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
+          ct.leakage = ch.leakage_power;
+          ct.flip_energy = ch.mean_flip_energy();
+          if (!ch.nonflip.empty()) {
+            double e = 0.0;
+            for (const auto& nf : ch.nonflip) e += nf.energy;
+            ct.nonflip_energy = e / static_cast<double>(ch.nonflip.size());
+          }
+          for (const auto& [pin, cap] : ch.input_capacitance)
+            ct.input_cap = std::max(ct.input_cap, cap);
+          if (def.sequential) lib.dff_setup = std::max(lib.dff_setup, ch.min_setup);
+        }
+      }
+    }
+    lib.cells.emplace(name, std::move(ct));
+  }
+  finalize_sequential(lib);
+  return lib;
+}
+
+TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
+                                const compact::TechnologyPoint& tech,
+                                const LibraryBuildOptions& opts) {
+  TimingLibrary lib;
+  lib.tech = tech;
+  for (const auto& name : effective_cells(opts)) {
+    const auto& def = cells::find_cell(name);
+    CellTiming ct;
+    ct.slew_axis = opts.slew_axis;
+    ct.load_axis = opts.load_axis;
+    ct.delay.resize(opts.slew_axis.size(), opts.load_axis.size());
+    ct.out_slew.resize(opts.slew_axis.size(), opts.load_axis.size());
+    ct.transistors = transistor_count(name);
+
+    // Stimulus context: toggle the first data input with the others low —
+    // the worst-arc convention the training samples encode.
+    auto ctx_for = [&](double slew, double load) {
+      charlib::PinContext ctx;
+      for (const auto& pin : def.inputs) {
+        ctx.current_state[pin] = false;
+        ctx.next_state[pin] = false;
+      }
+      const auto data = def.data_inputs();
+      const std::string tog =
+          def.sequential ? def.clock_pin : (data.empty() ? def.inputs[0] : data[0]);
+      ctx.toggling_pin = tog;
+      ctx.next_state[tog] = true;
+      ctx.input_slew = slew;
+      ctx.output_load = load;
+      return ctx;
+    };
+
+    for (std::size_t si = 0; si < opts.slew_axis.size(); ++si) {
+      for (std::size_t li = 0; li < opts.load_axis.size(); ++li) {
+        const auto g = charlib::encode_cell(
+            def, tech, opts.sizing, ctx_for(opts.slew_axis[si], opts.load_axis[li]),
+            opts.scales);
+        ct.delay(si, li) = model.predict(g, cells::Metric::kDelay);
+        ct.out_slew(si, li) = model.predict(g, cells::Metric::kOutputSlew);
+        if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
+          ct.leakage = model.predict(g, cells::Metric::kLeakagePower);
+          ct.flip_energy = model.predict(g, cells::Metric::kFlipPower);
+          ct.nonflip_energy = model.predict(g, cells::Metric::kNonFlipPower);
+          ct.input_cap = model.predict(g, cells::Metric::kCapacitance);
+          if (def.sequential)
+            lib.dff_setup =
+                std::max(lib.dff_setup, model.predict(g, cells::Metric::kMinSetup));
+        }
+      }
+    }
+    lib.cells.emplace(name, std::move(ct));
+  }
+  finalize_sequential(lib);
+  return lib;
+}
+
+}  // namespace stco::flow

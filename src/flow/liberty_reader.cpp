@@ -1,0 +1,222 @@
+#include "src/flow/liberty_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/cells/library.hpp"
+
+namespace stco::flow {
+
+namespace {
+
+constexpr double kFromNs = 1e-9;
+constexpr double kFromPf = 1e-12;
+constexpr double kFromNw = 1e-9;
+constexpr double kFromPj = 1e-12;
+
+/// Strip /* ... */ comments.
+std::string strip_comments(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size();) {
+    if (i + 1 < s.size() && s[i] == '/' && s[i + 1] == '*') {
+      const auto end = s.find("*/", i + 2);
+      if (end == std::string::npos)
+        throw std::invalid_argument("read_liberty: unterminated comment");
+      i = end + 2;
+    } else {
+      out.push_back(s[i++]);
+    }
+  }
+  return out;
+}
+
+/// Parse all numbers out of mixed text ("values (\"1, 2.5e-3\")" -> 1,
+/// 0.0025). A number starts at a digit, or at a sign/dot directly followed
+/// by a digit; strtod consumes the full literal including exponents.
+numeric::Vec numbers_in(const std::string& s) {
+  numeric::Vec out;
+  const char* base = s.c_str();
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    const bool signed_start =
+        (c == '-' || c == '+' || c == '.') && i + 1 < s.size() &&
+        std::isdigit(static_cast<unsigned char>(s[i + 1]));
+    if (digit || signed_start) {
+      char* end = nullptr;
+      out.push_back(std::strtod(base + i, &end));
+      i = static_cast<std::size_t>(end - base);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Text between the '{' after `pos` and its matching '}'.
+std::string brace_block(const std::string& s, std::size_t pos, std::size_t* end_out) {
+  const auto open = s.find('{', pos);
+  if (open == std::string::npos)
+    throw std::invalid_argument("read_liberty: expected '{'");
+  int depth = 1;
+  std::size_t i = open + 1;
+  for (; i < s.size() && depth > 0; ++i) {
+    if (s[i] == '{') ++depth;
+    if (s[i] == '}') --depth;
+  }
+  if (depth != 0) throw std::invalid_argument("read_liberty: unbalanced braces");
+  if (end_out) *end_out = i;
+  return s.substr(open + 1, i - open - 2);
+}
+
+/// Value of `name : value;` within a block ("" if absent).
+std::string attribute(const std::string& block, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = block.find(name, pos)) != std::string::npos) {
+    const auto colon = block.find(':', pos);
+    const auto semi = block.find(';', pos);
+    const auto between = block.substr(pos + name.size(),
+                                      colon == std::string::npos
+                                          ? 0
+                                          : colon - pos - name.size());
+    const bool clean = between.find_first_not_of(" \t\n") == std::string::npos;
+    if (colon != std::string::npos && semi != std::string::npos && colon < semi &&
+        clean) {
+      std::string v = block.substr(colon + 1, semi - colon - 1);
+      const auto b = v.find_first_not_of(" \t\n\"");
+      const auto e = v.find_last_not_of(" \t\n\"");
+      return b == std::string::npos ? "" : v.substr(b, e - b + 1);
+    }
+    pos += name.size();
+  }
+  return "";
+}
+
+/// The values(...) grid of a named table group inside `block`.
+numeric::Matrix parse_table(const std::string& block, const std::string& group,
+                            std::size_t rows, std::size_t cols) {
+  const auto pos = block.find(group + " (");
+  if (pos == std::string::npos)
+    throw std::invalid_argument("read_liberty: missing table " + group);
+  const std::string body = brace_block(block, pos, nullptr);
+  const auto vals = numbers_in(body);
+  if (vals.size() != rows * cols)
+    throw std::invalid_argument("read_liberty: table " + group + " has " +
+                                std::to_string(vals.size()) + " values, expected " +
+                                std::to_string(rows * cols));
+  numeric::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = vals[r * cols + c] * kFromNs;
+  return m;
+}
+
+}  // namespace
+
+TimingLibrary read_liberty(const std::string& raw) {
+  const std::string text = strip_comments(raw);
+  TimingLibrary lib;
+
+  // Template axes.
+  numeric::Vec slew_axis, load_axis;
+  {
+    const auto tpos = text.find("lu_table_template");
+    if (tpos == std::string::npos)
+      throw std::invalid_argument("read_liberty: no lu_table_template");
+    const std::string block = brace_block(text, tpos, nullptr);
+    const auto i1 = block.find("index_1");
+    const auto i2 = block.find("index_2");
+    if (i1 == std::string::npos || i2 == std::string::npos)
+      throw std::invalid_argument("read_liberty: template missing axes");
+    auto line_of = [&](std::size_t p) {
+      return block.substr(p, block.find(';', p) - p);
+    };
+    slew_axis = numbers_in(line_of(i1));
+    load_axis = numbers_in(line_of(i2));
+    // The first number on each line is the "1" from the index_1 / index_2
+    // attribute names themselves.
+    slew_axis.erase(slew_axis.begin());
+    load_axis.erase(load_axis.begin());
+    for (auto& v : slew_axis) v *= kFromNs;
+    for (auto& v : load_axis) v *= kFromPf;
+    if (slew_axis.empty() || load_axis.empty())
+      throw std::invalid_argument("read_liberty: empty template axes");
+  }
+
+  const double nom_voltage = [&] {
+    const std::string v = attribute(text, "nom_voltage");
+    return v.empty() ? 0.0 : std::stod(v);
+  }();
+  lib.tech.vdd = nom_voltage;
+
+  // Cells.
+  std::size_t pos = 0;
+  while ((pos = text.find("cell (", pos)) != std::string::npos) {
+    const auto name_end = text.find(')', pos);
+    const std::string name = text.substr(pos + 6, name_end - pos - 6);
+    std::size_t block_end = 0;
+    const std::string block = brace_block(text, pos, &block_end);
+    pos = block_end;
+
+    CellTiming ct;
+    ct.slew_axis = slew_axis;
+    ct.load_axis = load_axis;
+    const std::string leak = attribute(block, "cell_leakage_power");
+    if (!leak.empty()) ct.leakage = std::stod(leak) * kFromNw;
+
+    // Max input pin capacitance.
+    std::size_t p = 0;
+    while ((p = block.find("capacitance :", p)) != std::string::npos) {
+      const auto semi = block.find(';', p);
+      ct.input_cap = std::max(
+          ct.input_cap, std::stod(block.substr(p + 13, semi - p - 13)) * kFromPf);
+      p = semi;
+    }
+
+    ct.delay = parse_table(block, "cell_rise", slew_axis.size(), load_axis.size());
+    ct.out_slew =
+        parse_table(block, "rise_transition", slew_axis.size(), load_axis.size());
+
+    const std::string fe = attribute(block, "rise_power_value");
+    if (!fe.empty()) ct.flip_energy = std::stod(fe) * kFromPj;
+    const std::string nfe = attribute(block, "non_flip_power_value");
+    if (!nfe.empty()) ct.nonflip_energy = std::stod(nfe) * kFromPj;
+
+    // Transistor count from the in-repo library when the name matches.
+    try {
+      ct.transistors = cells::find_cell(name).num_transistors();
+    } catch (const std::invalid_argument&) {
+      ct.transistors = 0;
+    }
+
+    const bool sequential = block.find("ff (") != std::string::npos;
+    if (sequential) {
+      const std::string st = attribute(block, "setup_time");
+      if (!st.empty()) lib.dff_setup = std::stod(st) * kFromNs;
+    }
+    lib.cells.emplace(name, std::move(ct));
+  }
+  if (lib.cells.empty()) throw std::invalid_argument("read_liberty: no cells");
+
+  if (lib.has_cell("DFF")) {
+    const auto& d = lib.cell("DFF");
+    lib.dff_clk2q = d.delay(d.slew_axis.size() / 2, d.load_axis.size() / 2);
+    lib.dff_cap = d.input_cap;
+    lib.dff_leakage = d.leakage;
+    lib.dff_flip_energy = d.flip_energy;
+  }
+  return lib;
+}
+
+TimingLibrary read_liberty_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("read_liberty_file: cannot open " + path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return read_liberty(ss.str());
+}
+
+}  // namespace stco::flow

@@ -1,0 +1,22 @@
+#pragma once
+// Liberty (.lib) reader for the subset our writer emits: library units and
+// nominal voltage, the shared lu_table_template axes, and per-cell leakage,
+// pin capacitances, NLDM delay / transition tables, internal power, and
+// sequential markers. Enables round-tripping characterized libraries to
+// disk and consuming externally characterized .lib files of the same shape.
+
+#include <string>
+
+#include "src/flow/liberty.hpp"
+
+namespace stco::flow {
+
+/// Parse Liberty text into a TimingLibrary. Unknown attributes are skipped;
+/// structural problems (unbalanced braces, missing tables) throw
+/// std::invalid_argument.
+TimingLibrary read_liberty(const std::string& text);
+
+/// Convenience: from a file; throws on I/O failure.
+TimingLibrary read_liberty_file(const std::string& path);
+
+}  // namespace stco::flow

@@ -1,0 +1,33 @@
+#pragma once
+// Liberty (.lib) text export for a TimingLibrary — the interchange format
+// downstream synthesis/STA tools consume. Emits library-level units, one
+// cell group per entry with leakage, pin capacitance, NLDM delay and
+// output-slew tables (lu_table_template), and internal power.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/flow/liberty.hpp"
+
+namespace stco::flow {
+
+struct LibertyWriteOptions {
+  std::string library_name = "fast_stco_lib";
+  /// Time values are written in ns, capacitance in pF, power in nW,
+  /// energy in pJ (Liberty conventions).
+  bool include_power = true;
+};
+
+/// Serialize the library as Liberty text.
+void write_liberty(std::ostream& os, const TimingLibrary& lib,
+                   const LibertyWriteOptions& opts = {});
+
+/// Convenience: to a string.
+std::string liberty_text(const TimingLibrary& lib,
+                         const LibertyWriteOptions& opts = {});
+
+/// Convenience: to a file; throws on I/O failure.
+void write_liberty_file(const std::string& path, const TimingLibrary& lib,
+                        const LibertyWriteOptions& opts = {});
+
+}  // namespace stco::flow

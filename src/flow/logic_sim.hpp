@@ -1,0 +1,53 @@
+#pragma once
+// Cycle-based gate-level logic simulation for switching-activity extraction.
+//
+// The STA power model needs per-net toggle rates. Rather than assuming a
+// constant activity factor, this simulator applies random primary-input
+// vectors, evaluates the netlist through compiled truth tables, clocks the
+// flip-flops, and counts toggles per net. flow::analyze() can consume the
+// resulting activity vector for vector-based dynamic power.
+
+#include "src/flow/netlist.hpp"
+#include "src/numeric/matrix.hpp"
+#include "src/numeric/rng.hpp"
+
+namespace stco::flow {
+
+/// Compiled logic function of a library cell: truth table over <= 6 inputs.
+struct CellFunction {
+  std::size_t arity = 0;
+  std::uint64_t table = 0;  ///< bit i = output for input pattern i
+
+  bool eval(std::uint32_t pattern) const { return (table >> pattern) & 1; }
+};
+
+/// Compile the logic function of a combinational library cell (by name).
+/// Throws for sequential cells.
+CellFunction compile_cell_function(const std::string& cell_name);
+
+struct SimOptions {
+  std::size_t cycles = 256;       ///< clock cycles to simulate
+  double input_toggle_prob = 0.5; ///< per-PI per-cycle toggle probability
+  std::uint64_t seed = 2;
+  bool randomize_initial_state = true;  ///< FF initial values
+};
+
+struct ActivityReport {
+  /// Per-net toggle probability per cycle (0..1; XOR-style nets can exceed
+  /// the input rate, flip-flop outputs toggle at most once per cycle).
+  numeric::Vec net_activity;
+  /// Mean activity over all nets.
+  double mean_activity = 0.0;
+  std::size_t cycles = 0;
+};
+
+/// Simulate and report per-net switching activity.
+ActivityReport simulate_activity(const GateNetlist& nl, const SimOptions& opts = {});
+
+/// Functional evaluation of one cycle (exposed for tests): given PI values
+/// and current FF states, returns all net values after settling.
+std::vector<bool> evaluate_cycle(const GateNetlist& nl,
+                                 const std::vector<bool>& pi_values,
+                                 const std::vector<bool>& ff_states);
+
+}  // namespace stco::flow

@@ -1,0 +1,26 @@
+#pragma once
+// Structural Verilog export and human-readable statistics for gate-level
+// netlists, so generated benchmarks can be inspected or fed to external
+// tools.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/flow/netlist.hpp"
+
+namespace stco::flow {
+
+/// Emit the netlist as structural Verilog (one module; cells instantiated
+/// positionally as `CELL uX (.Y(netN), .A(netM), ...)`; flip-flops as DFF
+/// instances with an implicit clk port).
+void write_verilog(std::ostream& os, const GateNetlist& nl);
+std::string verilog_text(const GateNetlist& nl);
+void write_verilog_file(const std::string& path, const GateNetlist& nl);
+
+/// Multi-line human-readable summary: sizes, cell histogram, logic depth.
+std::string netlist_stats(const GateNetlist& nl);
+
+/// Maximum combinational depth (gates on the longest PI/FF-to-PO/FF path).
+std::size_t logic_depth(const GateNetlist& nl);
+
+}  // namespace stco::flow

@@ -1,0 +1,151 @@
+#include "src/flow/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace stco::flow {
+
+std::string next_drive_variant(const std::string& cell) {
+  if (cell == "INV") return "INVX2";
+  if (cell == "INVX2") return "INVX4";
+  if (cell == "BUF") return "BUFX2";
+  if (cell == "BUFX2") return "BUFX4";
+  return "";
+}
+
+OptimizeResult upsize_critical_path(const GateNetlist& nl, const TimingLibrary& lib,
+                                    const OptimizeOptions& opts) {
+  OptimizeResult res;
+  res.netlist = nl;
+  res.period_before = analyze(res.netlist, lib, opts.sta).min_period;
+  double current = res.period_before;
+
+  for (std::size_t pass = 0; pass < opts.max_passes; ++pass) {
+    // Gates on the present critical path, by output net.
+    const auto cp = trace_critical_path(res.netlist, lib, current, opts.sta);
+    std::map<NetId, bool> on_path;
+    for (const auto& st : cp.stages) on_path[st.net] = true;
+
+    bool improved = false;
+    for (std::size_t gi = 0; gi < res.netlist.gates().size(); ++gi) {
+      const auto& g = res.netlist.gates()[gi];
+      if (!on_path.count(g.out)) continue;
+      const std::string bigger = next_drive_variant(g.cell);
+      if (bigger.empty() || !lib.has_cell(bigger)) continue;
+      const std::string original = g.cell;
+      res.netlist.set_gate_cell(gi, bigger);
+      const double trial = analyze(res.netlist, lib, opts.sta).min_period;
+      if (trial + opts.min_gain < current) {
+        current = trial;
+        ++res.cells_upsized;
+        improved = true;
+      } else {
+        res.netlist.set_gate_cell(gi, original);  // revert
+      }
+    }
+    if (!improved) break;
+  }
+  res.period_after = current;
+  return res;
+}
+
+OptimizeResult insert_buffers(const GateNetlist& nl, const TimingLibrary& lib,
+                              const OptimizeOptions& opts) {
+  nl.check();
+
+  // Consumer gate lists per net (only gate fanins count; FF D pins and
+  // primary outputs stay on the original driver).
+  std::vector<std::vector<std::size_t>> consumers(nl.num_nets());
+  for (std::size_t gi = 0; gi < nl.gates().size(); ++gi)
+    for (NetId in : nl.gates()[gi].fanin) consumers[in].push_back(gi);
+
+  // Nets to split: gate-driven nets with heavy gate fanout.
+  std::map<NetId, std::size_t> split;  // net -> keep count
+  for (NetId n = 0; n < nl.num_nets(); ++n)
+    if (consumers[n].size() > opts.fanout_threshold)
+      split[n] = opts.fanout_threshold / 2;
+
+  OptimizeResult res;
+  res.period_before = analyze(nl, lib, opts.sta).min_period;
+  if (split.empty()) {
+    res.netlist = nl;
+    res.period_after = res.period_before;
+    return res;
+  }
+
+  // Identify each old net's creator so the netlist can be replayed in old
+  // net-id order (ids are assigned in creation order, and gate fanins
+  // always have smaller ids than the gate's output).
+  enum class Origin { kPi, kFfQ, kGateOut };
+  struct Creator {
+    Origin origin;
+    std::size_t index;  // PI index / FF index / gate index
+  };
+  std::vector<Creator> creator(nl.num_nets());
+  for (std::size_t i = 0; i < nl.primary_inputs().size(); ++i)
+    creator[nl.primary_inputs()[i]] = {Origin::kPi, i};
+  for (std::size_t i = 0; i < nl.num_flipflops(); ++i)
+    creator[nl.flipflops()[i].q] = {Origin::kFfQ, i};
+  for (std::size_t i = 0; i < nl.gates().size(); ++i)
+    creator[nl.gates()[i].out] = {Origin::kGateOut, i};
+
+  // A unit-drive buffer cannot beat the load it relieves; use the biggest
+  // available drive variant.
+  const std::string buf_cell = lib.has_cell("BUFX4")   ? "BUFX4"
+                               : lib.has_cell("BUFX2") ? "BUFX2"
+                                                       : "BUF";
+
+  GateNetlist out(nl.name());
+  std::vector<NetId> remap(nl.num_nets());
+  std::map<NetId, NetId> buffered;  // old net -> new BUF output net
+
+  for (NetId old = 0; old < nl.num_nets(); ++old) {
+    const auto& c = creator[old];
+    switch (c.origin) {
+      case Origin::kPi:
+        remap[old] = out.add_primary_input();
+        break;
+      case Origin::kFfQ:
+        remap[old] = out.add_flipflop(0);  // D rewired below
+        break;
+      case Origin::kGateOut: {
+        const auto& g = nl.gates()[c.index];
+        std::vector<NetId> fanin;
+        for (NetId in : g.fanin) {
+          NetId mapped = remap[in];
+          const auto sp = split.find(in);
+          if (sp != split.end()) {
+            // Is this gate beyond the keep quota of net `in`?
+            const auto& cons = consumers[in];
+            const auto pos = std::find(cons.begin(), cons.end(), c.index);
+            const std::size_t rank = static_cast<std::size_t>(pos - cons.begin());
+            if (rank >= sp->second) mapped = buffered.at(in);
+          }
+          fanin.push_back(mapped);
+        }
+        remap[old] = out.add_gate(g.cell, std::move(fanin));
+        if (split.count(old)) {
+          buffered[old] = out.add_gate(buf_cell, {remap[old]});
+          ++res.buffers_inserted;
+        }
+        break;
+      }
+    }
+    // PI- or FF-driven nets can also be heavy; buffer them right away.
+    if (c.origin != Origin::kGateOut && split.count(old)) {
+      buffered[old] = out.add_gate(buf_cell, {remap[old]});
+      ++res.buffers_inserted;
+    }
+  }
+  for (std::size_t i = 0; i < nl.num_flipflops(); ++i)
+    out.set_flipflop_d(i, remap[nl.flipflops()[i].d]);
+  for (NetId po : nl.primary_outputs()) out.mark_primary_output(remap[po]);
+  out.check();
+
+  res.netlist = std::move(out);
+  res.period_after = analyze(res.netlist, lib, opts.sta).min_period;
+  return res;
+}
+
+}  // namespace stco::flow

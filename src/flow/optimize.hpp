@@ -1,0 +1,45 @@
+#pragma once
+// Timing-driven netlist optimization passes — the lightweight "physical
+// synthesis" step between technology mapping and signoff:
+//
+//  * gate upsizing: swap drive-1 cells for X2/X4 variants along the
+//    critical path while the minimum period improves, and
+//  * buffer insertion: split high-fanout nets by inserting BUF cells for
+//    the less-critical consumers.
+//
+// Both passes are greedy and evaluate candidate changes with the real STA,
+// so they compose with either the SPICE- or GNN-characterized library.
+
+#include "src/flow/sta.hpp"
+
+namespace stco::flow {
+
+struct OptimizeOptions {
+  StaOptions sta{};
+  std::size_t max_passes = 8;        ///< upsizing iterations
+  double min_gain = 1e-12;           ///< required period improvement [s]
+  std::size_t fanout_threshold = 8;  ///< buffer nets with more consumers
+};
+
+struct OptimizeResult {
+  GateNetlist netlist;      ///< optimized copy
+  double period_before = 0.0;
+  double period_after = 0.0;
+  std::size_t cells_upsized = 0;
+  std::size_t buffers_inserted = 0;
+};
+
+/// Upsize cells along the critical path (INV -> INVX2 -> INVX4,
+/// BUF -> BUFX2 -> BUFX4). Greedy: keeps a swap only if min_period drops.
+OptimizeResult upsize_critical_path(const GateNetlist& nl, const TimingLibrary& lib,
+                                    const OptimizeOptions& opts = {});
+
+/// Insert buffers on nets whose fanout exceeds the threshold: the original
+/// driver keeps the `keep` most critical consumers, a BUF takes the rest.
+OptimizeResult insert_buffers(const GateNetlist& nl, const TimingLibrary& lib,
+                              const OptimizeOptions& opts = {});
+
+/// The drive-variant ladder for a cell name ("" if no bigger variant).
+std::string next_drive_variant(const std::string& cell);
+
+}  // namespace stco::flow

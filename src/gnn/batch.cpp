@@ -1,0 +1,66 @@
+#include "src/gnn/batch.hpp"
+
+#include <stdexcept>
+
+#include "src/tensor/ops.hpp"
+
+namespace stco::gnn {
+
+BatchedGraph merge_graphs(std::span<const Graph> graphs) {
+  if (graphs.empty()) throw std::invalid_argument("merge_graphs: empty batch");
+  const std::size_t node_dim = graphs[0].node_dim;
+  const std::size_t edge_dim = graphs[0].edge_dim;
+
+  BatchedGraph out;
+  out.num_graphs = graphs.size();
+  out.merged.node_dim = node_dim;
+  out.merged.edge_dim = edge_dim;
+
+  bool all_have_graph_targets = true;
+  out.target_dim = graphs[0].graph_targets.size();
+
+  std::uint32_t offset = 0;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
+    if (g.node_dim != node_dim || g.edge_dim != edge_dim)
+      throw std::invalid_argument("merge_graphs: feature width mismatch");
+    g.check();
+    out.merged.node_features.insert(out.merged.node_features.end(),
+                                    g.node_features.begin(), g.node_features.end());
+    out.merged.edge_features.insert(out.merged.edge_features.end(),
+                                    g.edge_features.begin(), g.edge_features.end());
+    out.merged.node_targets.insert(out.merged.node_targets.end(),
+                                   g.node_targets.begin(), g.node_targets.end());
+    for (std::size_t e = 0; e < g.num_edges(); ++e) {
+      out.merged.edge_src.push_back(g.edge_src[e] + offset);
+      out.merged.edge_dst.push_back(g.edge_dst[e] + offset);
+    }
+    for (std::size_t n = 0; n < g.num_nodes; ++n)
+      out.graph_id.push_back(static_cast<std::uint32_t>(gi));
+    offset += static_cast<std::uint32_t>(g.num_nodes);
+
+    if (g.graph_targets.size() != out.target_dim) all_have_graph_targets = false;
+    if (all_have_graph_targets)
+      out.graph_targets.insert(out.graph_targets.end(), g.graph_targets.begin(),
+                               g.graph_targets.end());
+  }
+  out.merged.num_nodes = offset;
+  if (!all_have_graph_targets || out.target_dim == 0) {
+    out.graph_targets.clear();
+    out.target_dim = 0;
+  }
+  out.merged.check();
+  return out;
+}
+
+tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch) {
+  if (!model.config().graph_regression)
+    throw std::invalid_argument(
+        "forward_batched: model is node-regression; call forward(merged)");
+  const tensor::Tensor h = model.trunk(batch.merged);
+  const tensor::Tensor pooled =
+      tensor::segment_mean(h, batch.graph_id, batch.num_graphs);
+  return model.head(pooled);
+}
+
+}  // namespace stco::gnn

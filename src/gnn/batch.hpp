@@ -1,0 +1,33 @@
+#pragma once
+// Graph batching: merge many graphs into one disjoint union so a single
+// forward pass covers the whole mini-batch. Node indices are offset, the
+// per-node graph id drives segment pooling for graph-level regression.
+
+#include <span>
+
+#include "src/gnn/models.hpp"
+
+namespace stco::gnn {
+
+struct BatchedGraph {
+  Graph merged;                 ///< disjoint union of the inputs
+  tensor::IndexVec graph_id;    ///< per node: which input graph it came from
+  std::size_t num_graphs = 0;
+
+  /// Stacked graph-level targets (num_graphs x target_dim), when every
+  /// input graph carried graph_targets.
+  std::vector<double> graph_targets;
+  std::size_t target_dim = 0;
+};
+
+/// Merge graphs (all must share node_dim / edge_dim). Node targets are
+/// concatenated; graph targets are stacked when present on every input.
+BatchedGraph merge_graphs(std::span<const Graph> graphs);
+
+/// Graph-regression forward over a batch: one shared trunk pass, then
+/// per-graph mean pooling and the MLP head. Returns (num_graphs x out_dim).
+/// Requires a graph_regression-configured model; per-node outputs of
+/// node-regression models can simply be read off forward(merged).
+tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch);
+
+}  // namespace stco::gnn

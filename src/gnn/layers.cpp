@@ -1,0 +1,135 @@
+#include "src/gnn/layers.hpp"
+
+#include <stdexcept>
+
+namespace stco::gnn {
+
+using tensor::Tensor;
+
+Tensor apply_activation(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return tensor::relu(x);
+    case Activation::kLeakyRelu: return tensor::leaky_relu(x);
+    case Activation::kElu: return tensor::elu(x);
+    case Activation::kTanh: return tensor::tanh_t(x);
+    case Activation::kSigmoid: return tensor::sigmoid(x);
+  }
+  return x;
+}
+
+Linear::Linear(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng)
+    : w_(tensor::xavier_uniform(in_dim, out_dim, rng)), b_(tensor::zero_bias(out_dim)) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return tensor::add(tensor::matmul(x, w_), b_);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, numeric::Rng& rng, Activation hidden_act)
+    : act_(hidden_act) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least {in, out}");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    if (i + 1 < layers_.size()) h = apply_activation(h, act_);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::parameters() const {
+  std::vector<Tensor> ps;
+  for (const auto& l : layers_)
+    for (auto& p : l.parameters()) ps.push_back(p);
+  return ps;
+}
+
+LayerNorm::LayerNorm(std::size_t dim)
+    : gain_(tensor::ones_row(dim)), bias_(tensor::zero_bias(dim)) {}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return tensor::layer_norm(x, gain_, bias_);
+}
+
+GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng,
+                   Activation act)
+    : lin_(in_dim, out_dim, rng), act_(act) {}
+
+Tensor GcnLayer::forward(const Tensor& x, const Graph& g) const {
+  // Symmetric normalization with self-loops: deg counts incoming edges + 1.
+  const std::size_t n = g.num_nodes;
+  std::vector<double> deg(n, 1.0);
+  for (auto d : g.edge_dst) deg[d] += 1.0;
+  // For the src side normalization use out-degree + 1; on the undirected
+  // meshes/netlists we build, in-degree == out-degree, so this matches the
+  // classic D^-1/2 (A + I) D^-1/2.
+  std::vector<double> deg_out(n, 1.0);
+  for (auto s : g.edge_src) deg_out[s] += 1.0;
+
+  const Tensor h = lin_.forward(x);
+
+  // Edge-weight column: 1 / sqrt(deg_out[src] * deg[dst]).
+  std::vector<double> wdata(g.num_edges());
+  for (std::size_t e = 0; e < g.num_edges(); ++e)
+    wdata[e] = 1.0 / std::sqrt(deg_out[g.edge_src[e]] * deg[g.edge_dst[e]]);
+  const Tensor w = Tensor::from_data(std::move(wdata), g.num_edges(), 1);
+
+  const Tensor msgs = tensor::scale_rows(tensor::gather_rows(h, g.edge_src), w);
+  Tensor agg = tensor::scatter_add_rows(msgs, g.edge_dst, n);
+
+  // Self loop: h_i / deg_i.
+  std::vector<double> self_w(n);
+  for (std::size_t i = 0; i < n; ++i) self_w[i] = 1.0 / std::sqrt(deg_out[i] * deg[i]);
+  agg = tensor::add(agg, tensor::scale_rows(h, Tensor::from_data(std::move(self_w), n, 1)));
+
+  return apply_activation(agg, act_);
+}
+
+RelGatLayer::RelGatLayer(std::size_t in_dim, std::size_t edge_dim, std::size_t out_dim,
+                         std::size_t heads, numeric::Rng& rng)
+    : heads_(heads) {
+  if (heads == 0 || out_dim % heads != 0)
+    throw std::invalid_argument("RelGatLayer: out_dim must be divisible by heads");
+  head_dim_ = out_dim / heads;
+  for (std::size_t h = 0; h < heads; ++h) {
+    w_.push_back(tensor::xavier_uniform(in_dim, head_dim_, rng));
+    we_.push_back(tensor::xavier_uniform(edge_dim, head_dim_, rng));
+    a_.push_back(tensor::xavier_uniform(2 * head_dim_, 1, rng));
+  }
+  bias_ = tensor::zero_bias(out_dim);
+}
+
+Tensor RelGatLayer::forward(const Tensor& x, const Graph& g) const {
+  const Tensor e = g.edge_tensor();
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(heads_);
+  for (std::size_t h = 0; h < heads_; ++h) {
+    const Tensor z = tensor::matmul(x, w_[h]);
+    const Tensor ze = tensor::matmul(e, we_[h]);
+    const Tensor msg = tensor::add(tensor::gather_rows(z, g.edge_src), ze);
+    const Tensor cat = tensor::concat_cols({tensor::gather_rows(z, g.edge_dst), msg});
+    const Tensor logits = tensor::leaky_relu(tensor::matmul(cat, a_[h]));
+    const Tensor alpha = tensor::segment_softmax(logits, g.edge_dst, g.num_nodes);
+    head_outputs.push_back(
+        tensor::scatter_add_rows(tensor::scale_rows(msg, alpha), g.edge_dst, g.num_nodes));
+  }
+  Tensor out = heads_ == 1 ? head_outputs[0] : tensor::concat_cols(head_outputs);
+  return tensor::add(out, bias_);
+}
+
+std::vector<Tensor> RelGatLayer::parameters() const {
+  std::vector<Tensor> ps;
+  for (std::size_t h = 0; h < heads_; ++h) {
+    ps.push_back(w_[h]);
+    ps.push_back(we_[h]);
+    ps.push_back(a_[h]);
+  }
+  ps.push_back(bias_);
+  return ps;
+}
+
+}  // namespace stco::gnn

@@ -1,0 +1,101 @@
+#pragma once
+// Neural network layers: Linear, MLP, LayerNorm, GCN, and the paper's
+// RelGAT — a graph attention layer whose attention logits and messages both
+// incorporate edge features ("deep graph attention network with edge
+// feature", paper section II.A).
+
+#include <memory>
+#include <vector>
+
+#include "src/gnn/graph.hpp"
+#include "src/numeric/rng.hpp"
+#include "src/tensor/init.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace stco::gnn {
+
+enum class Activation { kNone, kRelu, kLeakyRelu, kElu, kTanh, kSigmoid };
+
+tensor::Tensor apply_activation(const tensor::Tensor& x, Activation act);
+
+/// Affine layer y = x W + b.
+class Linear {
+ public:
+  Linear(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng);
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+  std::vector<tensor::Tensor> parameters() const { return {w_, b_}; }
+  std::size_t in_dim() const { return w_.rows(); }
+  std::size_t out_dim() const { return w_.cols(); }
+
+ private:
+  tensor::Tensor w_, b_;
+};
+
+/// Multilayer perceptron with a fixed hidden activation and linear output.
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; requires at least {in, out}.
+  Mlp(const std::vector<std::size_t>& dims, numeric::Rng& rng,
+      Activation hidden_act = Activation::kRelu);
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+  std::vector<tensor::Tensor> parameters() const;
+  std::size_t num_layers() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation act_;
+};
+
+/// Learnable per-feature layer normalization.
+class LayerNorm {
+ public:
+  explicit LayerNorm(std::size_t dim);
+  tensor::Tensor forward(const tensor::Tensor& x) const;
+  std::vector<tensor::Tensor> parameters() const { return {gain_, bias_}; }
+
+ private:
+  tensor::Tensor gain_, bias_;
+};
+
+/// Graph convolution (Kipf & Welling) with self-loops and symmetric degree
+/// normalization, used by the cell-characterization model (section II.C).
+class GcnLayer {
+ public:
+  GcnLayer(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng,
+           Activation act = Activation::kRelu);
+  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g) const;
+  std::vector<tensor::Tensor> parameters() const { return lin_.parameters(); }
+
+ private:
+  Linear lin_;
+  Activation act_;
+};
+
+/// RelGAT: multi-head graph attention with edge features.
+///
+/// Per head h:
+///   z   = x W_h                (node projection)
+///   ze  = e We_h               (edge projection)
+///   msg = z[src] + ze          (relational message)
+///   l   = LeakyReLU([z[dst] || msg] a_h)
+///   alpha = segment_softmax(l, dst)
+///   out_h = scatter_add(alpha * msg, dst)
+/// Heads are concatenated (so out_dim must be divisible by heads).
+class RelGatLayer {
+ public:
+  RelGatLayer(std::size_t in_dim, std::size_t edge_dim, std::size_t out_dim,
+              std::size_t heads, numeric::Rng& rng);
+  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g) const;
+  std::vector<tensor::Tensor> parameters() const;
+  std::size_t heads() const { return heads_; }
+  std::size_t out_dim() const { return heads_ * head_dim_; }
+
+ private:
+  std::size_t heads_, head_dim_;
+  std::vector<tensor::Tensor> w_;    ///< per head: in_dim x head_dim
+  std::vector<tensor::Tensor> we_;   ///< per head: edge_dim x head_dim
+  std::vector<tensor::Tensor> a_;    ///< per head: 2*head_dim x 1
+  tensor::Tensor bias_;              ///< 1 x out_dim
+};
+
+}  // namespace stco::gnn

@@ -1,0 +1,94 @@
+#include "src/gnn/models.hpp"
+
+namespace stco::gnn {
+
+using tensor::Tensor;
+
+RelGatModel::RelGatModel(const RelGatConfig& cfg, numeric::Rng& rng)
+    : cfg_(cfg), input_proj_(cfg.node_dim, cfg.hidden, rng), head_([&] {
+        std::vector<std::size_t> dims{cfg.hidden};
+        dims.insert(dims.end(), cfg.mlp_hidden.begin(), cfg.mlp_hidden.end());
+        dims.push_back(cfg.out_dim);
+        return dims;
+      }(), rng) {
+  const std::size_t edge_dim = cfg.use_edge_features ? cfg.edge_dim : 1;
+  for (std::size_t i = 0; i < cfg.num_layers; ++i) {
+    gat_layers_.emplace_back(cfg.hidden, edge_dim, cfg.hidden, cfg.heads, rng);
+    if (cfg.use_layer_norm) norms_.emplace_back(cfg.hidden);
+  }
+}
+
+Tensor RelGatModel::trunk(const Graph& g) const {
+  Graph local;
+  const Graph* gp = &g;
+  if (!cfg_.use_edge_features) {
+    // Ablation mode: replace edge features with a constant 1 column.
+    local = g;
+    local.edge_dim = 1;
+    local.edge_features.assign(g.num_edges(), 1.0);
+    gp = &local;
+  }
+
+  Tensor h = input_proj_.forward(g.node_tensor());
+  for (std::size_t i = 0; i < gat_layers_.size(); ++i) {
+    Tensor z = gat_layers_[i].forward(h, *gp);
+    if (cfg_.use_layer_norm) z = norms_[i].forward(z);
+    z = tensor::elu(z);
+    h = cfg_.use_residual ? tensor::add(z, h) : z;
+  }
+  return h;
+}
+
+Tensor RelGatModel::head(const Tensor& h) const { return head_.forward(h); }
+
+Tensor RelGatModel::forward(const Graph& g) const {
+  Tensor h = trunk(g);
+  if (cfg_.graph_regression) h = tensor::mean_rows(h);
+  return head_.forward(h);
+}
+
+std::vector<Tensor> RelGatModel::parameters() const {
+  std::vector<Tensor> ps = input_proj_.parameters();
+  for (const auto& l : gat_layers_)
+    for (auto& p : l.parameters()) ps.push_back(p);
+  for (const auto& n : norms_)
+    for (auto& p : n.parameters()) ps.push_back(p);
+  for (auto& p : head_.parameters()) ps.push_back(p);
+  return ps;
+}
+
+std::size_t RelGatModel::num_parameters() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p.size();
+  return n;
+}
+
+RelGatConfig poisson_emulator_config(std::size_t node_dim, std::size_t edge_dim,
+                                     std::size_t hidden) {
+  RelGatConfig cfg;
+  cfg.node_dim = node_dim;
+  cfg.edge_dim = edge_dim;
+  cfg.hidden = hidden;
+  cfg.heads = 2;
+  cfg.num_layers = 12;
+  cfg.mlp_hidden = {hidden};
+  cfg.out_dim = 1;
+  cfg.graph_regression = false;
+  return cfg;
+}
+
+RelGatConfig iv_predictor_config(std::size_t node_dim, std::size_t edge_dim,
+                                 std::size_t hidden) {
+  RelGatConfig cfg;
+  cfg.node_dim = node_dim;
+  cfg.edge_dim = edge_dim;
+  cfg.hidden = hidden;
+  cfg.heads = 1;
+  cfg.num_layers = 3;
+  cfg.mlp_hidden = {hidden, hidden, hidden};  // 4-layer MLP head
+  cfg.out_dim = 1;
+  cfg.graph_regression = true;
+  return cfg;
+}
+
+}  // namespace stco::gnn

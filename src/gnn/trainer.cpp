@@ -1,0 +1,53 @@
+#include "src/gnn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/tensor/ops.hpp"
+
+namespace stco::gnn {
+
+TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_loss,
+                 std::size_t n_samples, const TrainConfig& cfg) {
+  if (n_samples == 0) throw std::invalid_argument("train: empty dataset");
+  tensor::Adam opt(std::move(params), cfg.lr);
+  numeric::Rng rng(cfg.shuffle_seed);
+
+  std::vector<std::size_t> order(n_samples);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = n_samples; i > 1; --i)
+      std::swap(order[i - 1], order[rng.uniform_index(i)]);
+
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n_samples; start += cfg.batch_size) {
+      const std::size_t end = std::min(start + cfg.batch_size, n_samples);
+      opt.zero_grad();
+      tensor::Tensor batch_loss;
+      for (std::size_t k = start; k < end; ++k) {
+        tensor::Tensor l = sample_loss(order[k]);
+        batch_loss = batch_loss.defined() ? tensor::add(batch_loss, l) : l;
+      }
+      batch_loss = tensor::scale(batch_loss, 1.0 / static_cast<double>(end - start));
+      batch_loss.backward();
+      if (cfg.grad_clip > 0) opt.clip_grad_norm(cfg.grad_clip);
+      opt.step();
+      epoch_loss += batch_loss.item();
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+    stats.epoch_loss.push_back(epoch_loss);
+    stats.final_loss = epoch_loss;
+    stats.epochs_run = epoch + 1;
+    opt.lr() *= cfg.lr_decay;
+    if (cfg.on_epoch && !cfg.on_epoch(epoch, epoch_loss)) break;
+  }
+  return stats;
+}
+
+}  // namespace stco::gnn

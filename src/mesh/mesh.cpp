@@ -1,0 +1,71 @@
+#include "src/mesh/mesh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::mesh {
+
+std::string to_string(Material m) {
+  switch (m) {
+    case Material::kMetal: return "metal";
+    case Material::kOxide: return "oxide";
+    case Material::kSemiconductor: return "semiconductor";
+  }
+  return "?";
+}
+
+std::string to_string(Region r) {
+  switch (r) {
+    case Region::kGate: return "gate";
+    case Region::kGateOxide: return "gate_oxide";
+    case Region::kChannel: return "channel";
+    case Region::kSource: return "source";
+    case Region::kDrain: return "drain";
+  }
+  return "?";
+}
+
+DeviceMesh::DeviceMesh(std::size_t nx, std::size_t ny, double lx, double ly)
+    : nx_(nx), ny_(ny), lx_(lx), ly_(ly) {
+  if (nx < 2 || ny < 2) throw std::invalid_argument("DeviceMesh: need at least 2x2");
+  if (lx <= 0 || ly <= 0) throw std::invalid_argument("DeviceMesh: nonpositive extent");
+  dx_ = lx / static_cast<double>(nx - 1);
+  dy_ = ly / static_cast<double>(ny - 1);
+  nodes_.resize(nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy)
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      auto& n = nodes_[index(ix, iy)];
+      n.x = static_cast<double>(ix) * dx_;
+      n.y = static_cast<double>(iy) * dy_;
+    }
+}
+
+const std::vector<MeshEdge>& DeviceMesh::edges() const {
+  if (!edges_.empty()) return edges_;
+  edges_.reserve(4 * nx_ * ny_);
+  auto add_pair = [&](std::size_t a, std::size_t b) {
+    const auto& na = nodes_[a];
+    const auto& nb = nodes_[b];
+    const double dx = nb.x - na.x, dy = nb.y - na.y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    edges_.push_back({static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b),
+                      dx, dy, len});
+    edges_.push_back({static_cast<std::uint32_t>(b), static_cast<std::uint32_t>(a),
+                      -dx, -dy, len});
+  };
+  for (std::size_t iy = 0; iy < ny_; ++iy)
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      if (ix + 1 < nx_) add_pair(index(ix, iy), index(ix + 1, iy));
+      if (iy + 1 < ny_) add_pair(index(ix, iy), index(ix, iy + 1));
+    }
+  return edges_;
+}
+
+std::size_t DeviceMesh::num_dirichlet() const {
+  std::size_t n = 0;
+  for (const auto& nd : nodes_)
+    if (nd.dirichlet) ++n;
+  return n;
+}
+
+}  // namespace stco::mesh

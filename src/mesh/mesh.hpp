@@ -1,0 +1,94 @@
+#pragma once
+// Structured 2-D device cross-section mesh for TCAD simulation and for the
+// GNN surrogate's graph encoding (paper Fig. 2: "unified device encoding
+// scheme based on finite element mesh").
+//
+// Geometry (bottom-gate thin-film transistor, the device family the paper
+// targets with CNT / IGZO / LTPS):
+//
+//        x -->  (channel direction, length Lx)
+//   y=0  S S S . . . . . . D D D     top row: source / drain contacts
+//    |   c c c c c c c c c c c c     semiconductor channel (t_ch)
+//    v   o o o o o o o o o o o o     gate oxide (t_ox)
+//        G G G G G G G G G G G G     bottom row: gate electrode
+//
+// Nodes carry material + region ids and Dirichlet flags; edges are the
+// 4-neighbour finite-volume connectivity.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stco::mesh {
+
+enum class Material : std::uint8_t { kMetal = 0, kOxide = 1, kSemiconductor = 2 };
+enum class Region : std::uint8_t {
+  kGate = 0,
+  kGateOxide = 1,
+  kChannel = 2,
+  kSource = 3,
+  kDrain = 4,
+};
+
+inline constexpr std::size_t kNumMaterials = 3;
+inline constexpr std::size_t kNumRegions = 5;
+
+std::string to_string(Material m);
+std::string to_string(Region r);
+
+struct MeshNode {
+  double x = 0.0;  ///< position along the channel [m]
+  double y = 0.0;  ///< position through the stack, 0 at the top surface [m]
+  Material material = Material::kOxide;
+  Region region = Region::kGateOxide;
+  bool dirichlet = false;       ///< potential pinned (contact node)
+  double dirichlet_value = 0.0; ///< boundary potential when pinned [V]
+};
+
+/// Directed edge of the mesh graph (both directions stored).
+struct MeshEdge {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double dx = 0.0;    ///< x(dst) - x(src) [m]
+  double dy = 0.0;    ///< y(dst) - y(src) [m]
+  double length = 0.0;
+};
+
+/// Structured rectangular mesh. Node index = iy * nx + ix, iy = 0 at the top.
+class DeviceMesh {
+ public:
+  DeviceMesh(std::size_t nx, std::size_t ny, double lx, double ly);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  double lx() const { return lx_; }
+  double ly() const { return ly_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+
+  std::size_t index(std::size_t ix, std::size_t iy) const { return iy * nx_ + ix; }
+
+  MeshNode& node(std::size_t ix, std::size_t iy) { return nodes_[index(ix, iy)]; }
+  const MeshNode& node(std::size_t ix, std::size_t iy) const { return nodes_[index(ix, iy)]; }
+  MeshNode& node(std::size_t i) { return nodes_[i]; }
+  const MeshNode& node(std::size_t i) const { return nodes_[i]; }
+
+  const std::vector<MeshNode>& nodes() const { return nodes_; }
+
+  /// Directed edge list (u->v and v->u for every 4-neighbour pair);
+  /// built lazily and cached.
+  const std::vector<MeshEdge>& edges() const;
+
+  /// Number of nodes with a Dirichlet boundary condition.
+  std::size_t num_dirichlet() const;
+
+ private:
+  std::size_t nx_, ny_;
+  double lx_, ly_, dx_, dy_;
+  std::vector<MeshNode> nodes_;
+  mutable std::vector<MeshEdge> edges_;  ///< cache
+};
+
+}  // namespace stco::mesh

@@ -1,0 +1,81 @@
+#pragma once
+// Dense row-major matrix / vector with the small set of BLAS-like operations
+// the rest of the project needs (MNA systems, Jacobians, tensor backend).
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace stco::numeric {
+
+using Vec = std::vector<double>;
+
+/// Dense row-major matrix of double.
+///
+/// Invariant: data_.size() == rows_ * cols_ at all times.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list; all rows must agree in length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+  void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, double s) { return a *= s; }
+  friend Matrix operator*(double s, Matrix a) { return a *= s; }
+
+  /// Matrix product; throws on dimension mismatch.
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+
+  /// Matrix-vector product y = A x.
+  Vec apply(const Vec& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+// --- Vector helpers -------------------------------------------------------
+
+double dot(const Vec& a, const Vec& b);
+double norm2(const Vec& v);
+double norm_inf(const Vec& v);
+/// y += alpha * x
+void axpy(double alpha, const Vec& x, Vec& y);
+Vec operator+(const Vec& a, const Vec& b);
+Vec operator-(const Vec& a, const Vec& b);
+Vec operator*(double s, const Vec& v);
+
+}  // namespace stco::numeric

@@ -1,0 +1,199 @@
+#include "src/numeric/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::numeric {
+
+std::optional<DenseLu> DenseLu::factor(const Matrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("DenseLu: square required");
+  const std::size_t n = a.rows();
+  DenseLu f;
+  f.lu_ = a;
+  f.perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) f.perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::fabs(f.lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(f.lu_(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(f.lu_(k, j), f.lu_(piv, j));
+      std::swap(f.perm_[k], f.perm_[piv]);
+    }
+    const double pivot = f.lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = f.lu_(i, k) / pivot;
+      f.lu_(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) f.lu_(i, j) -= m * f.lu_(k, j);
+    }
+  }
+  return f;
+}
+
+Vec DenseLu::solve(const Vec& b) const {
+  const std::size_t n = dim();
+  if (b.size() != n) throw std::invalid_argument("DenseLu::solve: size");
+  Vec x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower).
+  for (std::size_t i = 1; i < n; ++i) {
+    double s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+Vec solve_dense(const Matrix& a, const Vec& b) {
+  auto lu = DenseLu::factor(a);
+  if (!lu) throw std::runtime_error("solve_dense: singular matrix");
+  return lu->solve(b);
+}
+
+Vec solve_tridiagonal(const Vec& lower, const Vec& diag, const Vec& upper, const Vec& b) {
+  const std::size_t n = diag.size();
+  if (lower.size() + 1 != n || upper.size() + 1 != n || b.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: sizes");
+  Vec c(n), d(n);
+  c[0] = upper.empty() ? 0.0 : upper[0] / diag[0];
+  d[0] = b[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = diag[i] - lower[i - 1] * c[i - 1];
+    if (std::fabs(m) < 1e-300) throw std::runtime_error("solve_tridiagonal: singular");
+    c[i] = (i + 1 < n) ? upper[i] / m : 0.0;
+    d[i] = (b[i] - lower[i - 1] * d[i - 1]) / m;
+  }
+  Vec x(n);
+  x[n - 1] = d[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) x[ii] = d[ii] - c[ii] * x[ii + 1];
+  return x;
+}
+
+namespace {
+Vec jacobi_inverse_diag(const SparseMatrix& a) {
+  Vec inv(a.rows(), 1.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double d = a.coeff(r, r);
+    inv[r] = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
+  }
+  return inv;
+}
+}  // namespace
+
+IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
+                         std::size_t max_iter) {
+  const std::size_t n = b.size();
+  if (max_iter == 0) max_iter = 4 * n + 100;
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const Vec minv = jacobi_inverse_diag(a);
+
+  Vec r = b;  // x0 = 0
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+  Vec p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const Vec ap = a.apply(p);
+    const double pap = dot(p, ap);
+    if (std::fabs(pap) < 1e-300) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, res.x);
+    axpy(-alpha, ap, r);
+    res.iterations = it + 1;
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < tol) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
+                               std::size_t max_iter) {
+  const std::size_t n = b.size();
+  if (max_iter == 0) max_iter = 8 * n + 200;
+  IterativeResult res;
+  res.x.assign(n, 0.0);
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    res.converged = true;
+    return res;
+  }
+  const Vec minv = jacobi_inverse_diag(a);
+
+  Vec r = b;
+  Vec r0 = r;
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  Vec v(n, 0.0), p(n, 0.0);
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    const double rho_new = dot(r0, r);
+    if (std::fabs(rho_new) < 1e-300) break;
+    const double beta = (rho_new / rho) * (alpha / omega);
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
+    Vec phat(n);
+    for (std::size_t i = 0; i < n; ++i) phat[i] = minv[i] * p[i];
+    v = a.apply(phat);
+    const double r0v = dot(r0, v);
+    if (std::fabs(r0v) < 1e-300) break;
+    alpha = rho / r0v;
+    Vec s = r;
+    axpy(-alpha, v, s);
+    res.iterations = it + 1;
+    if (norm2(s) / bnorm < tol) {
+      axpy(alpha, phat, res.x);
+      res.residual = norm2(s) / bnorm;
+      res.converged = true;
+      return res;
+    }
+    Vec shat(n);
+    for (std::size_t i = 0; i < n; ++i) shat[i] = minv[i] * s[i];
+    const Vec t = a.apply(shat);
+    const double tt = dot(t, t);
+    if (tt < 1e-300) break;
+    omega = dot(t, s) / tt;
+    axpy(alpha, phat, res.x);
+    axpy(omega, shat, res.x);
+    r = s;
+    axpy(-omega, t, r);
+    res.residual = norm2(r) / bnorm;
+    if (res.residual < tol) {
+      res.converged = true;
+      return res;
+    }
+    if (std::fabs(omega) < 1e-300) break;
+  }
+  return res;
+}
+
+}  // namespace stco::numeric

@@ -1,0 +1,58 @@
+#pragma once
+// Linear solvers: dense LU (partial pivoting) for small MNA systems,
+// Thomas algorithm for tridiagonal transport systems, and Jacobi-
+// preconditioned CG / BiCGSTAB for the sparse Poisson Jacobians.
+
+#include <cstddef>
+#include <optional>
+
+#include "src/numeric/matrix.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::numeric {
+
+/// Result of an iterative solve.
+struct IterativeResult {
+  Vec x;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final ||Ax-b|| / ||b||
+  bool converged = false;
+};
+
+/// Dense LU factorization with partial pivoting.
+///
+/// Factor once, solve many right-hand sides — the SPICE transient loop
+/// refactors only when the Jacobian changes.
+class DenseLu {
+ public:
+  /// Factors a copy of `a`. Returns nullopt if the matrix is singular to
+  /// working precision.
+  static std::optional<DenseLu> factor(const Matrix& a);
+
+  /// Solve L U x = P b.
+  Vec solve(const Vec& b) const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  DenseLu() = default;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// Convenience: solve a dense system, throwing on singularity.
+Vec solve_dense(const Matrix& a, const Vec& b);
+
+/// Thomas algorithm for tridiagonal systems.
+/// `lower`, `diag`, `upper` have sizes n-1, n, n-1.
+Vec solve_tridiagonal(const Vec& lower, const Vec& diag, const Vec& upper, const Vec& b);
+
+/// Jacobi-preconditioned conjugate gradient (A must be SPD).
+IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
+                         std::size_t max_iter = 0);
+
+/// Jacobi-preconditioned BiCGSTAB for general nonsymmetric systems.
+IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
+                               std::size_t max_iter = 0);
+
+}  // namespace stco::numeric

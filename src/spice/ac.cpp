@@ -1,0 +1,175 @@
+#include "src/spice/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::spice {
+
+namespace {
+
+using Cx = std::complex<double>;
+
+/// Dense complex LU with partial pivoting (local helper: the AC systems are
+/// small and complex-valued, unlike the shared real solvers).
+std::vector<Cx> solve_complex(std::vector<Cx> a, std::vector<Cx> b, std::size_t n) {
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(a[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a[i * n + k]) > best) {
+        best = std::abs(a[i * n + k]);
+        piv = i;
+      }
+    if (best < 1e-300) throw std::runtime_error("ac_analysis: singular AC matrix");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a[k * n + j], a[piv * n + j]);
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const Cx m = a[i * n + k] / a[k * n + k];
+      a[i * n + k] = m;
+      for (std::size_t j = k + 1; j < n; ++j) a[i * n + j] -= m * a[k * n + j];
+      b[i] -= m * b[k];
+    }
+  }
+  std::vector<Cx> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    Cx s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a[ii * n + j] * x[j];
+    x[ii] = s / a[ii * n + ii];
+  }
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> log_frequencies(double f_lo, double f_hi, std::size_t n) {
+  if (f_lo <= 0 || f_hi <= f_lo || n < 2)
+    throw std::invalid_argument("log_frequencies: bad range");
+  std::vector<double> f(n);
+  const double r = std::log(f_hi / f_lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) f[i] = f_lo * std::exp(r * static_cast<double>(i));
+  return f;
+}
+
+AcResult ac_analysis(const Netlist& nl, const std::string& ac_source,
+                     const std::vector<double>& frequencies,
+                     const EngineOptions& opts) {
+  const std::size_t src_idx = nl.vsource_index(ac_source);
+
+  // DC operating point for the linearization.
+  const auto dc = dc_operating_point(nl, 0.0, opts);
+  AcResult res;
+  res.dc_converged = dc.converged;
+
+  const std::size_t nn = nl.num_nodes();
+  const std::size_t nv = nl.vsources().size();
+  const std::size_t dim = (nn - 1) + nv;
+  auto row_of = [&](NodeId n) { return n - 1; };
+
+  // Frequency-independent real part: conductances + source rows + TFT
+  // small-signal stamps.
+  std::vector<Cx> g0(dim * dim, Cx{0.0, 0.0});
+  auto add = [&](std::size_t r, std::size_t c, Cx v) { g0[r * dim + c] += v; };
+  auto stamp_g = [&](NodeId a, NodeId b, double g) {
+    if (a != kGround) add(row_of(a), row_of(a), g);
+    if (b != kGround) add(row_of(b), row_of(b), g);
+    if (a != kGround && b != kGround) {
+      add(row_of(a), row_of(b), -g);
+      add(row_of(b), row_of(a), -g);
+    }
+  };
+  for (NodeId n = 1; n < nn; ++n) add(row_of(n), row_of(n), opts.gmin);
+  for (const auto& r : nl.resistors()) stamp_g(r.n1, r.n2, 1.0 / r.r);
+  for (std::size_t j = 0; j < nv; ++j) {
+    const auto& src = nl.vsources()[j];
+    const std::size_t rs = (nn - 1) + j;
+    if (src.pos != kGround) {
+      add(row_of(src.pos), rs, 1.0);
+      add(rs, row_of(src.pos), 1.0);
+    }
+    if (src.neg != kGround) {
+      add(row_of(src.neg), rs, -1.0);
+      add(rs, row_of(src.neg), -1.0);
+    }
+  }
+  for (const auto& tft : nl.tfts()) {
+    const double vg = tft.gate == kGround ? 0.0 : dc.node_voltage[tft.gate];
+    const double vd = tft.drain == kGround ? 0.0 : dc.node_voltage[tft.drain];
+    const double vs = tft.source == kGround ? 0.0 : dc.node_voltage[tft.source];
+    const auto e = compact::evaluate_tft(tft.params, vg, vd, vs);
+    // i_d = gm * v_gs + gds * v_ds (small signal), flowing drain -> source.
+    auto kcl = [&](NodeId at, double coeff, NodeId wrt) {
+      if (at == kGround || wrt == kGround) return;
+      add(row_of(at), row_of(wrt), coeff);
+    };
+    kcl(tft.drain, e.gds, tft.drain);
+    kcl(tft.drain, e.gm, tft.gate);
+    kcl(tft.drain, -(e.gds + e.gm), tft.source);
+    kcl(tft.source, -e.gds, tft.drain);
+    kcl(tft.source, -e.gm, tft.gate);
+    kcl(tft.source, e.gds + e.gm, tft.source);
+  }
+
+  // Capacitor list: explicit + TFT gate capacitances (as in transient).
+  struct CapRef {
+    NodeId n1, n2;
+    double c;
+  };
+  std::vector<CapRef> caps;
+  for (const auto& c : nl.capacitors()) caps.push_back({c.n1, c.n2, c.c});
+  for (const auto& t : nl.tfts()) {
+    const double cg = compact::gate_half_capacitance(t.params) + t.c_overlap;
+    caps.push_back({t.gate, t.source, cg});
+    caps.push_back({t.gate, t.drain, cg});
+  }
+
+  // RHS: unit AC magnitude on the designated source's branch row.
+  std::vector<Cx> rhs0(dim, Cx{0.0, 0.0});
+  rhs0[(nn - 1) + src_idx] = Cx{1.0, 0.0};
+
+  for (double f : frequencies) {
+    std::vector<Cx> a = g0;
+    const double w = 2.0 * M_PI * f;
+    for (const auto& c : caps) {
+      const Cx jwc{0.0, w * c.c};
+      if (c.n1 != kGround) a[row_of(c.n1) * dim + row_of(c.n1)] += jwc;
+      if (c.n2 != kGround) a[row_of(c.n2) * dim + row_of(c.n2)] += jwc;
+      if (c.n1 != kGround && c.n2 != kGround) {
+        a[row_of(c.n1) * dim + row_of(c.n2)] -= jwc;
+        a[row_of(c.n2) * dim + row_of(c.n1)] -= jwc;
+      }
+    }
+    const auto x = solve_complex(std::move(a), rhs0, dim);
+    std::vector<Cx> v(nn, Cx{0.0, 0.0});
+    for (NodeId n = 1; n < nn; ++n) v[n] = x[row_of(n)];
+    res.frequency.push_back(f);
+    res.phasor.push_back(std::move(v));
+  }
+  return res;
+}
+
+double AcResult::gain_db(std::size_t k, NodeId node) const {
+  return 20.0 * std::log10(std::max(magnitude(k, node), 1e-300));
+}
+
+double bandwidth_3db(const AcResult& res, NodeId node) {
+  if (res.frequency.empty()) return 0.0;
+  const double ref = res.magnitude(0, node);
+  const double target = ref / std::sqrt(2.0);
+  for (std::size_t k = 1; k < res.frequency.size(); ++k) {
+    const double m0 = res.magnitude(k - 1, node);
+    const double m1 = res.magnitude(k, node);
+    if (m0 >= target && m1 < target) {
+      // Log-linear interpolation between the bracketing points.
+      const double t = (m0 - target) / std::max(m0 - m1, 1e-300);
+      return res.frequency[k - 1] *
+             std::pow(res.frequency[k] / res.frequency[k - 1], t);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace stco::spice

@@ -1,0 +1,47 @@
+#pragma once
+// Small-signal AC analysis: linearize every nonlinear device at the DC
+// operating point, then solve the complex MNA system (G + jwC) x = b per
+// frequency. TFTs contribute their gm / gds at the operating point; the
+// engine's implicit gate capacitances and explicit capacitors contribute
+// jwC stamps. One voltage source is designated the AC stimulus (unit
+// magnitude, zero phase); all other sources are AC grounds.
+
+#include <complex>
+#include <vector>
+
+#include "src/spice/engine.hpp"
+
+namespace stco::spice {
+
+struct AcResult {
+  std::vector<double> frequency;  ///< [Hz]
+  /// phasor[k][node]: complex node voltage at frequency[k] (entry 0 = gnd).
+  std::vector<std::vector<std::complex<double>>> phasor;
+  bool dc_converged = false;
+
+  /// |V(node)| at frequency index k.
+  double magnitude(std::size_t k, NodeId node) const {
+    return std::abs(phasor[k][node]);
+  }
+  /// 20 log10 |V(node)|.
+  double gain_db(std::size_t k, NodeId node) const;
+  /// Phase in radians.
+  double phase(std::size_t k, NodeId node) const {
+    return std::arg(phasor[k][node]);
+  }
+};
+
+/// Run AC analysis over the given frequencies. `ac_source` names the
+/// stimulus voltage source (unit AC magnitude). Throws if absent.
+AcResult ac_analysis(const Netlist& nl, const std::string& ac_source,
+                     const std::vector<double>& frequencies,
+                     const EngineOptions& opts = {});
+
+/// Logarithmically spaced frequency grid [f_lo, f_hi], n points.
+std::vector<double> log_frequencies(double f_lo, double f_hi, std::size_t n);
+
+/// -3 dB bandwidth of a node relative to its lowest-frequency gain;
+/// returns 0 if the response never drops 3 dB within the sweep.
+double bandwidth_3db(const AcResult& res, NodeId node);
+
+}  // namespace stco::spice

@@ -1,0 +1,421 @@
+#include "src/spice/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/solve.hpp"
+
+namespace stco::spice {
+
+namespace {
+
+/// Working capacitor (netlist caps + TFT gate caps expanded).
+struct WorkCap {
+  NodeId n1, n2;
+  double c;
+  double i_prev = 0.0;  ///< companion-model history current
+  double v_prev = 0.0;  ///< voltage across at previous accepted step
+};
+
+struct System {
+  const Netlist* nl = nullptr;
+  std::size_t nn = 0;   ///< nodes including ground
+  std::size_t nv = 0;   ///< voltage sources
+  std::size_t dim = 0;  ///< (nn - 1) + nv
+  std::vector<WorkCap> caps;
+
+  std::size_t row_of_node(NodeId n) const { return n - 1; }  // n > 0
+  std::size_t row_of_src(std::size_t j) const { return nn - 1 + j; }
+};
+
+System make_system(const Netlist& nl) {
+  System s;
+  s.nl = &nl;
+  s.nn = nl.num_nodes();
+  s.nv = nl.vsources().size();
+  s.dim = (s.nn - 1) + s.nv;
+  for (const auto& c : nl.capacitors()) s.caps.push_back({c.n1, c.n2, c.c});
+  for (const auto& t : nl.tfts()) {
+    const double cg = compact::gate_half_capacitance(t.params) + t.c_overlap;
+    s.caps.push_back({t.gate, t.source, cg});
+    s.caps.push_back({t.gate, t.drain, cg});
+  }
+  return s;
+}
+
+/// One Newton solve of the (possibly companion-augmented) nonlinear system.
+/// `use_caps` enables capacitor companion stamps with time step `dt`.
+/// `x` carries the initial guess in/out; returns convergence.
+bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
+                  double dt, bool trapezoidal, const EngineOptions& opts,
+                  std::size_t* iterations_out) {
+  const Netlist& nl = *sys.nl;
+  const std::size_t dim = sys.dim;
+
+  auto v_of = [&](const numeric::Vec& xx, NodeId n) -> double {
+    return n == kGround ? 0.0 : xx[sys.row_of_node(n)];
+  };
+
+  double limit = opts.max_update;
+  double prev_max_dv = 1e300;
+  int stall_count = 0;
+
+  for (std::size_t it = 0; it < opts.max_newton; ++it) {
+    if (iterations_out) *iterations_out = it + 1;
+    numeric::Matrix a(dim, dim);
+    numeric::Vec rhs(dim, 0.0);
+
+    auto stamp_g = [&](NodeId n1, NodeId n2, double g) {
+      if (n1 != kGround) a(sys.row_of_node(n1), sys.row_of_node(n1)) += g;
+      if (n2 != kGround) a(sys.row_of_node(n2), sys.row_of_node(n2)) += g;
+      if (n1 != kGround && n2 != kGround) {
+        a(sys.row_of_node(n1), sys.row_of_node(n2)) -= g;
+        a(sys.row_of_node(n2), sys.row_of_node(n1)) -= g;
+      }
+    };
+    // Current `amps` flowing out of node n1 into n2 through the element.
+    auto stamp_i = [&](NodeId n1, NodeId n2, double amps) {
+      if (n1 != kGround) rhs[sys.row_of_node(n1)] -= amps;
+      if (n2 != kGround) rhs[sys.row_of_node(n2)] += amps;
+    };
+
+    // gmin to ground on every non-ground node.
+    for (NodeId n = 1; n < sys.nn; ++n)
+      a(sys.row_of_node(n), sys.row_of_node(n)) += opts.gmin;
+
+    for (const auto& r : nl.resistors()) stamp_g(r.n1, r.n2, 1.0 / r.r);
+
+    // Independent current sources: i(t) flows from -> to (injects at `to`).
+    for (const auto& is : nl.isources()) stamp_i(is.from, is.to, is.wave.at(t));
+
+    if (use_caps) {
+      for (const auto& c : sys.caps) {
+        if (c.c <= 0.0) continue;
+        const double geq = (trapezoidal ? 2.0 : 1.0) * c.c / dt;
+        const double ieq = trapezoidal ? (geq * c.v_prev + c.i_prev) : (geq * c.v_prev);
+        stamp_g(c.n1, c.n2, geq);
+        // Companion current source ieq from n2 to n1 (opposes geq*v_prev).
+        stamp_i(c.n2, c.n1, ieq);
+      }
+    }
+
+    // Voltage sources.
+    for (std::size_t j = 0; j < sys.nv; ++j) {
+      const auto& src = nl.vsources()[j];
+      const std::size_t rs = sys.row_of_src(j);
+      if (src.pos != kGround) {
+        a(sys.row_of_node(src.pos), rs) += 1.0;
+        a(rs, sys.row_of_node(src.pos)) += 1.0;
+      }
+      if (src.neg != kGround) {
+        a(sys.row_of_node(src.neg), rs) -= 1.0;
+        a(rs, sys.row_of_node(src.neg)) -= 1.0;
+      }
+      rhs[rs] = src.wave.at(t);
+    }
+
+    // TFTs: Newton linearization around the present x.
+    for (const auto& tft : nl.tfts()) {
+      const double vg = v_of(x, tft.gate);
+      const double vd = v_of(x, tft.drain);
+      const double vs = v_of(x, tft.source);
+      const auto e = compact::evaluate_tft(tft.params, vg, vd, vs);
+      // Id flows drain -> source. Linear model:
+      //   id = Ieq + gm * vgs + gds * vds
+      const double ieq = e.id - e.gm * (vg - vs) - e.gds * (vd - vs);
+      // Conductance stamps.
+      if (tft.drain != kGround) {
+        const std::size_t rd = sys.row_of_node(tft.drain);
+        a(rd, rd) += e.gds;
+        if (tft.gate != kGround) a(rd, sys.row_of_node(tft.gate)) += e.gm;
+        if (tft.source != kGround) a(rd, sys.row_of_node(tft.source)) -= (e.gds + e.gm);
+      }
+      if (tft.source != kGround) {
+        const std::size_t rsrc = sys.row_of_node(tft.source);
+        if (tft.drain != kGround) a(rsrc, sys.row_of_node(tft.drain)) -= e.gds;
+        if (tft.gate != kGround) a(rsrc, sys.row_of_node(tft.gate)) -= e.gm;
+        a(rsrc, rsrc) += (e.gds + e.gm);
+      }
+      stamp_i(tft.drain, tft.source, ieq);
+    }
+
+    numeric::Vec x_new;
+    try {
+      x_new = numeric::solve_dense(a, rhs);
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+
+    // Per-node voltage limiting (SPICE-style): each node moves at most
+    // `limit` volts per iteration; branch currents follow freely. If the
+    // iteration stops making progress (limit cycle), tighten the limit.
+    double max_dv = 0.0;
+    for (std::size_t k = 0; k < sys.nn - 1; ++k) {
+      double dv = x_new[k] - x[k];
+      dv = std::clamp(dv, -limit, limit);
+      x[k] += dv;
+      max_dv = std::max(max_dv, std::fabs(dv));
+    }
+    for (std::size_t k = sys.nn - 1; k < dim; ++k) x[k] = x_new[k];
+
+    if (max_dv < opts.abstol_v) return true;
+    // Limit-cycle backoff: if the update norm stops shrinking *and* the
+    // steps are not simply clamp-limited steady progress, tighten the
+    // per-node limit to break the oscillation.
+    const bool clamp_limited = max_dv > 0.99 * limit;
+    if (!clamp_limited && max_dv > 0.75 * prev_max_dv) {
+      if (++stall_count >= 3) {
+        limit = std::max(limit * 0.5, 1e-3);
+        stall_count = 0;
+      }
+    } else {
+      stall_count = 0;
+    }
+    prev_max_dv = max_dv;
+  }
+  return false;
+}
+
+void unpack(const System& sys, const numeric::Vec& x, numeric::Vec& node_v,
+            numeric::Vec& src_i) {
+  node_v.assign(sys.nn, 0.0);
+  for (NodeId n = 1; n < sys.nn; ++n) node_v[n] = x[sys.row_of_node(n)];
+  src_i.assign(sys.nv, 0.0);
+  for (std::size_t j = 0; j < sys.nv; ++j) src_i[j] = x[sys.row_of_src(j)];
+}
+
+/// Commit the companion history after an accepted step of size h.
+void update_caps(System& sys, const numeric::Vec& x, double h, bool trap) {
+  auto v_across = [&](NodeId n1, NodeId n2) {
+    const double v1 = n1 == kGround ? 0.0 : x[n1 - 1];
+    const double v2 = n2 == kGround ? 0.0 : x[n2 - 1];
+    return v1 - v2;
+  };
+  for (auto& c : sys.caps) {
+    const double v_now = v_across(c.n1, c.n2);
+    const double geq = (trap ? 2.0 : 1.0) * c.c / h;
+    const double ieq = trap ? (geq * c.v_prev + c.i_prev) : (geq * c.v_prev);
+    double i_new = geq * v_now - ieq;
+    const bool ringing =
+        i_new * c.i_prev < 0.0 &&
+        std::fabs(i_new + c.i_prev) < 0.25 * std::fabs(i_new - c.i_prev);
+    if (ringing) i_new *= 0.5;
+    c.i_prev = i_new;
+    c.v_prev = v_now;
+  }
+}
+
+}  // namespace
+
+numeric::Vec TranResult::node_waveform(NodeId n) const {
+  numeric::Vec w(samples());
+  for (std::size_t k = 0; k < samples(); ++k) w[k] = v[k][n];
+  return w;
+}
+
+numeric::Vec TranResult::source_waveform(std::size_t src) const {
+  numeric::Vec w(samples());
+  for (std::size_t k = 0; k < samples(); ++k) w[k] = i_src[k][src];
+  return w;
+}
+
+DcResult dc_operating_point(const Netlist& nl, double t, const EngineOptions& opts) {
+  const System sys = make_system(nl);
+  numeric::Vec x(sys.dim, 0.0);
+  DcResult res;
+  res.converged = newton_solve(sys, t, x, /*use_caps=*/false, 0.0, false, opts,
+                               &res.newton_iterations);
+  unpack(sys, x, res.node_voltage, res.source_current);
+  return res;
+}
+
+TranResult transient(const Netlist& nl, double t_stop, double dt,
+                     const EngineOptions& opts) {
+  if (t_stop <= 0.0 || dt <= 0.0)
+    throw std::invalid_argument("transient: nonpositive t_stop or dt");
+  System sys = make_system(nl);
+
+  // Time grid: uniform plus source breakpoints.
+  std::vector<double> grid;
+  for (double t = 0.0; t < t_stop + 0.5 * dt; t += dt) grid.push_back(std::min(t, t_stop));
+  std::vector<double> breakpoints;
+  for (const auto& src : nl.vsources())
+    for (double b : src.wave.breakpoints())
+      if (b > 0.0 && b < t_stop) {
+        grid.push_back(b);
+        breakpoints.push_back(b);
+      }
+  for (const auto& src : nl.isources())
+    for (double b : src.wave.breakpoints())
+      if (b > 0.0 && b < t_stop) {
+        grid.push_back(b);
+        breakpoints.push_back(b);
+      }
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [&](double a, double b) { return std::fabs(a - b) < 1e-18; }),
+             grid.end());
+  std::sort(breakpoints.begin(), breakpoints.end());
+  // Waveform slope discontinuities excite the trapezoidal rule's marginal
+  // +-oscillation mode; one backward-Euler step leaving each breakpoint
+  // damps it before it starts (standard practice in circuit simulators).
+  auto at_breakpoint = [&](double t) {
+    const auto it = std::lower_bound(breakpoints.begin(), breakpoints.end(), t - 1e-18);
+    return it != breakpoints.end() && std::fabs(*it - t) < 1e-15;
+  };
+
+  TranResult out;
+  out.converged = true;
+
+  // DC at t = 0 (or all-zero initial conditions when opts.uic).
+  numeric::Vec x(sys.dim, 0.0);
+  if (!opts.uic && !newton_solve(sys, 0.0, x, false, 0.0, false, opts, nullptr))
+    out.converged = false;
+
+  auto v_across = [&](const numeric::Vec& xx, NodeId n1, NodeId n2) {
+    const double v1 = n1 == kGround ? 0.0 : xx[n1 - 1];
+    const double v2 = n2 == kGround ? 0.0 : xx[n2 - 1];
+    return v1 - v2;
+  };
+  for (auto& c : sys.caps) {
+    c.v_prev = v_across(x, c.n1, c.n2);
+    c.i_prev = 0.0;  // steady state
+  }
+
+  numeric::Vec node_v, src_i;
+  unpack(sys, x, node_v, src_i);
+  out.time.push_back(0.0);
+  out.v.push_back(node_v);
+  out.i_src.push_back(src_i);
+
+  bool first_step = true;
+  for (std::size_t k = 1; k < grid.size(); ++k) {
+    const double t = grid[k];
+    const double h = t - grid[k - 1];
+    if (h <= 0.0) continue;
+    // Backward Euler on the first step (no valid i_prev yet) and on the
+    // step leaving any source breakpoint; trapezoidal elsewhere.
+    const bool trap = opts.trapezoidal && !first_step && !at_breakpoint(grid[k - 1]);
+    if (!newton_solve(sys, t, x, true, h, trap, opts, nullptr)) out.converged = false;
+    first_step = false;
+
+    // Commit companion history (with ringing suppression; see update_caps).
+    update_caps(sys, x, h, trap);
+
+    unpack(sys, x, node_v, src_i);
+    out.time.push_back(t);
+    out.v.push_back(node_v);
+    out.i_src.push_back(src_i);
+  }
+  return out;
+}
+
+}  // namespace stco::spice
+
+namespace stco::spice {
+
+TranResult transient_adaptive(const Netlist& nl, double t_stop,
+                              const AdaptiveOptions& aopts) {
+  if (t_stop <= 0.0) throw std::invalid_argument("transient_adaptive: t_stop");
+  const EngineOptions& opts = aopts.engine;
+  System sys = make_system(nl);
+
+  const double dt_max = aopts.dt_max > 0 ? aopts.dt_max : t_stop / 50.0;
+  double dt = aopts.dt_initial > 0 ? aopts.dt_initial : dt_max / 10.0;
+  dt = std::clamp(dt, aopts.dt_min, dt_max);
+
+  // Sorted breakpoints the stepper must land on exactly.
+  std::vector<double> breakpoints;
+  for (const auto& src : nl.vsources())
+    for (double b : src.wave.breakpoints())
+      if (b > 0.0 && b < t_stop) breakpoints.push_back(b);
+  for (const auto& src : nl.isources())
+    for (double b : src.wave.breakpoints())
+      if (b > 0.0 && b < t_stop) breakpoints.push_back(b);
+  breakpoints.push_back(t_stop);
+  std::sort(breakpoints.begin(), breakpoints.end());
+  breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                    breakpoints.end());
+
+  TranResult out;
+  out.converged = true;
+
+  numeric::Vec x(sys.dim, 0.0);
+  if (!opts.uic && !newton_solve(sys, 0.0, x, false, 0.0, false, opts, nullptr))
+    out.converged = false;
+  {
+    auto v_across = [&](NodeId n1, NodeId n2) {
+      const double v1 = n1 == kGround ? 0.0 : x[n1 - 1];
+      const double v2 = n2 == kGround ? 0.0 : x[n2 - 1];
+      return v1 - v2;
+    };
+    for (auto& c : sys.caps) {
+      c.v_prev = v_across(c.n1, c.n2);
+      c.i_prev = 0.0;
+    }
+  }
+  numeric::Vec node_v, src_i;
+  unpack(sys, x, node_v, src_i);
+  out.time.push_back(0.0);
+  out.v.push_back(node_v);
+  out.i_src.push_back(src_i);
+
+  double t = 0.0;
+  bool after_discontinuity = true;  // first step and post-breakpoint: BE
+  std::size_t next_bp = 0;
+  while (t < t_stop - 1e-18) {
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + 1e-18)
+      ++next_bp;
+    const double t_limit =
+        next_bp < breakpoints.size() ? breakpoints[next_bp] : t_stop;
+    double h = std::min(dt, t_limit - t);
+    // The backward-Euler step leaving a discontinuity has no LTE control;
+    // keep it short so a waveform edge is never crossed in one blind jump.
+    if (after_discontinuity) h = std::min(h, std::max(aopts.dt_min, 0.1 * dt));
+    h = std::max(h, aopts.dt_min);
+    const double t_next = t + h;
+
+    const bool trap = opts.trapezoidal && !after_discontinuity;
+    numeric::Vec x_main = x;
+    if (!newton_solve(sys, t_next, x_main, true, h, trap, opts, nullptr))
+      out.converged = false;
+
+    double lte = 0.0;
+    if (trap) {
+      // BE predictor as the error reference.
+      numeric::Vec x_be = x;
+      if (!newton_solve(sys, t_next, x_be, true, h, false, opts, nullptr))
+        out.converged = false;
+      for (std::size_t k = 0; k < sys.nn - 1; ++k)
+        lte = std::max(lte, std::fabs(x_main[k] - x_be[k]));
+      if (lte > 4.0 * aopts.lte_target && h > aopts.dt_min * 1.01) {
+        dt = std::max(h * aopts.shrink_on_reject, aopts.dt_min);
+        continue;  // reject the step
+      }
+    }
+
+    // Accept.
+    x = std::move(x_main);
+    update_caps(sys, x, h, trap);
+    unpack(sys, x, node_v, src_i);
+    out.time.push_back(t_next);
+    out.v.push_back(node_v);
+    out.i_src.push_back(src_i);
+    t = t_next;
+    after_discontinuity =
+        next_bp < breakpoints.size() && std::fabs(t - breakpoints[next_bp]) < 1e-18;
+
+    if (trap) {
+      const double ratio =
+          std::sqrt(aopts.lte_target / std::max(lte, 1e-12 * aopts.lte_target));
+      dt = std::clamp(h * std::clamp(ratio, 0.3, aopts.grow_limit), aopts.dt_min,
+                      dt_max);
+    } else {
+      dt = std::clamp(dt, aopts.dt_min, dt_max);
+    }
+  }
+  return out;
+}
+
+}  // namespace stco::spice

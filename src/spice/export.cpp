@@ -1,0 +1,46 @@
+#include "src/spice/export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stco::spice {
+
+void write_waveforms_csv(std::ostream& os, const TranResult& tr,
+                         const CsvColumns& cols) {
+  if (tr.samples() == 0) throw std::invalid_argument("write_waveforms_csv: empty");
+  for (const auto& [name, node] : cols.nodes)
+    if (node >= tr.v[0].size())
+      throw std::out_of_range("write_waveforms_csv: node column " + name);
+  for (const auto& [name, src] : cols.sources)
+    if (src >= tr.i_src[0].size())
+      throw std::out_of_range("write_waveforms_csv: source column " + name);
+
+  os << "time";
+  for (const auto& [name, node] : cols.nodes) os << ",v(" << name << ")";
+  for (const auto& [name, src] : cols.sources) os << ",i(" << name << ")";
+  os << "\n";
+  os.precision(9);
+  for (std::size_t k = 0; k < tr.samples(); ++k) {
+    os << tr.time[k];
+    for (const auto& [name, node] : cols.nodes) os << "," << tr.v[k][node];
+    for (const auto& [name, src] : cols.sources) os << "," << tr.i_src[k][src];
+    os << "\n";
+  }
+}
+
+std::string waveforms_csv(const TranResult& tr, const CsvColumns& cols) {
+  std::ostringstream ss;
+  write_waveforms_csv(ss, tr, cols);
+  return ss.str();
+}
+
+void write_waveforms_csv_file(const std::string& path, const TranResult& tr,
+                              const CsvColumns& cols) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_waveforms_csv_file: cannot open " + path);
+  write_waveforms_csv(f, tr, cols);
+}
+
+}  // namespace stco::spice

@@ -1,0 +1,26 @@
+#pragma once
+// Waveform export: dump transient results as CSV (time + selected node
+// voltages + source currents) for plotting with external tools.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/spice/engine.hpp"
+
+namespace stco::spice {
+
+struct CsvColumns {
+  std::vector<std::pair<std::string, NodeId>> nodes;     ///< (header, node)
+  std::vector<std::pair<std::string, std::size_t>> sources;  ///< (header, src idx)
+};
+
+/// Write "time,<v headers>,<i headers>" rows. Throws if a column index is
+/// out of range for the result.
+void write_waveforms_csv(std::ostream& os, const TranResult& tr,
+                         const CsvColumns& cols);
+std::string waveforms_csv(const TranResult& tr, const CsvColumns& cols);
+void write_waveforms_csv_file(const std::string& path, const TranResult& tr,
+                              const CsvColumns& cols);
+
+}  // namespace stco::spice

@@ -1,0 +1,216 @@
+#include "src/spice/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace stco::spice {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::invalid_argument("parse_spice: line " + std::to_string(line) + ": " + msg);
+}
+
+/// Split on whitespace, breaking out '(' ')' '=' as separate tokens.
+std::vector<std::string> tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    if (!cur.empty()) out.push_back(cur);
+    cur.clear();
+  };
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+      flush();
+    } else if (c == '(' || c == ')' || c == '=') {
+      flush();
+      out.push_back(std::string(1, c));
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+double parse_spice_value(const std::string& token) {
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double v;
+  try {
+    v = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("parse_spice_value: not a number: " + token);
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return v;
+  if (suffix == "f") return v * 1e-15;
+  if (suffix == "p") return v * 1e-12;
+  if (suffix == "n") return v * 1e-9;
+  if (suffix == "u") return v * 1e-6;
+  if (suffix == "m") return v * 1e-3;
+  if (suffix == "k") return v * 1e3;
+  if (suffix == "meg") return v * 1e6;
+  if (suffix == "g") return v * 1e9;
+  // Trailing unit letters after a recognized suffix (e.g. "10pf") are
+  // tolerated if the first character resolves.
+  if (suffix.size() > 1) return parse_spice_value(t.substr(0, pos + 1));
+  throw std::invalid_argument("parse_spice_value: bad suffix: " + token);
+}
+
+Netlist parse_spice(const std::string& deck) {
+  // Join continuation lines, strip comments.
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  {
+    std::istringstream in(deck);
+    std::string raw;
+    std::size_t ln = 0;
+    while (std::getline(in, raw)) {
+      ++ln;
+      const auto semi = raw.find(';');
+      if (semi != std::string::npos) raw.erase(semi);
+      if (raw.empty()) continue;
+      if (raw[0] == '*') continue;
+      if (raw[0] == '+') {
+        if (lines.empty()) fail(ln, "continuation with no previous card");
+        lines.back().second += " " + raw.substr(1);
+      } else {
+        lines.push_back({ln, raw});
+      }
+    }
+  }
+
+  Netlist nl;
+  std::map<std::string, compact::TftParams> models;
+
+  // First pass: .model cards (instances may reference them before/after).
+  for (const auto& [ln, text] : lines) {
+    const auto tok = tokenize(text);
+    if (tok.empty() || lower(tok[0]) != ".model") continue;
+    if (tok.size() < 3) fail(ln, ".model needs a name and a type");
+    compact::TftParams p;
+    const std::string type = lower(tok[2]);
+    if (type == "ntft")
+      p.type = compact::TftType::kNType;
+    else if (type == "ptft")
+      p.type = compact::TftType::kPType;
+    else
+      fail(ln, "unknown model type " + tok[2]);
+    for (std::size_t i = 3; i + 2 < tok.size() + 1; ++i) {
+      if (tok[i] == "(" || tok[i] == ")") continue;
+      if (i + 2 < tok.size() && tok[i + 1] == "=") {
+        const std::string key = lower(tok[i]);
+        const double v = parse_spice_value(tok[i + 2]);
+        if (key == "mu0") p.mu0 = v;
+        else if (key == "vth") p.vth = v;
+        else if (key == "gamma") p.gamma = v;
+        else if (key == "cox") p.cox = v;
+        else if (key == "ss") p.ss_factor = v;
+        else if (key == "lambda") p.lambda = v;
+        else if (key == "w") p.width = v;
+        else if (key == "l") p.length = v;
+        else fail(ln, "unknown model parameter " + tok[i]);
+        i += 2;
+      }
+    }
+    models[lower(tok[1])] = p;
+  }
+
+  // Second pass: element cards.
+  for (const auto& [ln, text] : lines) {
+    const auto tok = tokenize(text);
+    if (tok.empty()) continue;
+    const std::string head = lower(tok[0]);
+    if (head[0] == '.') {
+      if (head == ".end" || head == ".model") continue;
+      fail(ln, "unsupported directive " + tok[0]);
+    }
+    const char kind = head[0];
+    auto node = [&](const std::string& name) { return nl.node(lower(name)); };
+
+    switch (kind) {
+      case 'r': {
+        if (tok.size() < 4) fail(ln, "R card needs 2 nodes and a value");
+        nl.add_resistor(tok[0], node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        break;
+      }
+      case 'c': {
+        if (tok.size() < 4) fail(ln, "C card needs 2 nodes and a value");
+        nl.add_capacitor(tok[0], node(tok[1]), node(tok[2]), parse_spice_value(tok[3]));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (tok.size() < 4) fail(ln, "source card needs 2 nodes and a value");
+        Waveform w = Waveform::dc(0.0);
+        const std::string spec = lower(tok[3]);
+        if (spec == "dc") {
+          if (tok.size() < 5) fail(ln, "DC needs a value");
+          w = Waveform::dc(parse_spice_value(tok[4]));
+        } else if (spec == "pwl") {
+          std::vector<std::pair<double, double>> pts;
+          std::vector<double> vals;
+          for (std::size_t i = 4; i < tok.size(); ++i) {
+            if (tok[i] == "(" || tok[i] == ")") continue;
+            vals.push_back(parse_spice_value(tok[i]));
+          }
+          if (vals.size() < 2 || vals.size() % 2 != 0)
+            fail(ln, "PWL needs (t, v) pairs");
+          for (std::size_t i = 0; i + 1 < vals.size(); i += 2)
+            pts.push_back({vals[i], vals[i + 1]});
+          w = Waveform::pwl(std::move(pts));
+        } else if (spec == "pulse") {
+          std::vector<double> vals;
+          for (std::size_t i = 4; i < tok.size(); ++i) {
+            if (tok[i] == "(" || tok[i] == ")") continue;
+            vals.push_back(parse_spice_value(tok[i]));
+          }
+          if (vals.size() < 6) fail(ln, "PULSE needs v0 v1 td tr w tf");
+          w = Waveform::pulse(vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]);
+        } else {
+          // Bare value: treat as DC.
+          w = Waveform::dc(parse_spice_value(tok[3]));
+        }
+        if (kind == 'v')
+          nl.add_vsource(tok[0], node(tok[1]), node(tok[2]), std::move(w));
+        else
+          nl.add_isource(tok[0], node(tok[1]), node(tok[2]), std::move(w));
+        break;
+      }
+      case 'm': {
+        if (tok.size() < 5) fail(ln, "M card needs d g s and a model");
+        const auto it = models.find(lower(tok[4]));
+        if (it == models.end()) fail(ln, "unknown model " + tok[4]);
+        compact::TftParams p = it->second;
+        for (std::size_t i = 5; i + 2 < tok.size() + 1; ++i) {
+          if (i + 2 < tok.size() && tok[i + 1] == "=") {
+            const std::string key = lower(tok[i]);
+            const double v = parse_spice_value(tok[i + 2]);
+            if (key == "w") p.width = v;
+            else if (key == "l") p.length = v;
+            else fail(ln, "unknown instance parameter " + tok[i]);
+            i += 2;
+          }
+        }
+        nl.add_tft(tok[0], node(tok[1]), node(tok[2]), node(tok[3]), p);
+        break;
+      }
+      default:
+        fail(ln, std::string("unknown card type '") + tok[0] + "'");
+    }
+  }
+  return nl;
+}
+
+}  // namespace stco::spice

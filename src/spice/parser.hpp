@@ -1,0 +1,28 @@
+#pragma once
+// SPICE-deck text parser: build a Netlist from the classic card format so
+// externally authored decks can run on the engine.
+//
+// Supported cards (case-insensitive, '*' comments, '+' continuations):
+//   Rname n1 n2 value
+//   Cname n1 n2 value
+//   Vname n+ n- DC <v> | PWL(t1 v1 t2 v2 ...) | PULSE(v0 v1 td tr w tf)
+//   Iname n+ n- DC <v>
+//   Mname d g s <model>          (TFT instance; W=... L=... overrides)
+//   .model <name> NTFT|PTFT (mu0=... vth=... gamma=... cox=... ss=... lambda=...)
+//   .end
+// Values accept engineering suffixes: f p n u m k meg g (e.g. 10k, 50f).
+
+#include <string>
+
+#include "src/spice/netlist.hpp"
+
+namespace stco::spice {
+
+/// Parse a deck; throws std::invalid_argument with a line-numbered message
+/// on malformed input.
+Netlist parse_spice(const std::string& deck);
+
+/// Engineering-notation number ("4.7k", "100f", "2meg"); throws on junk.
+double parse_spice_value(const std::string& token);
+
+}  // namespace stco::spice

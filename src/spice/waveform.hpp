@@ -1,0 +1,73 @@
+#pragma once
+// Independent-source waveforms for the circuit simulator: DC, piecewise
+// linear, and pulse. Evaluated at absolute simulation time.
+
+#include <stdexcept>
+#include <vector>
+
+namespace stco::spice {
+
+/// Piecewise-linear / pulse / DC waveform.
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value) {
+    Waveform w;
+    w.points_ = {{0.0, value}};
+    return w;
+  }
+
+  /// Piecewise-linear: (time, value) points with nondecreasing time; holds
+  /// the last value after the final point.
+  static Waveform pwl(std::vector<std::pair<double, double>> points) {
+    if (points.empty()) throw std::invalid_argument("Waveform::pwl: empty");
+    for (std::size_t i = 1; i < points.size(); ++i)
+      if (points[i].first < points[i - 1].first)
+        throw std::invalid_argument("Waveform::pwl: time must be nondecreasing");
+    Waveform w;
+    w.points_ = std::move(points);
+    return w;
+  }
+
+  /// Single pulse from v0 to v1: delay, rise, width (at v1), fall.
+  static Waveform pulse(double v0, double v1, double delay, double rise, double width,
+                        double fall) {
+    return pwl({{0.0, v0},
+                {delay, v0},
+                {delay + rise, v1},
+                {delay + rise + width, v1},
+                {delay + rise + width + fall, v0}});
+  }
+
+  /// A rising or falling ramp between v0 and v1 starting at `delay` with
+  /// the given transition time.
+  static Waveform ramp(double v0, double v1, double delay, double transition) {
+    return pwl({{0.0, v0}, {delay, v0}, {delay + transition, v1}});
+  }
+
+  double at(double t) const {
+    if (t <= points_.front().first) return points_.front().second;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (t <= points_[i].first) {
+        const double t0 = points_[i - 1].first, t1 = points_[i].first;
+        const double v0 = points_[i - 1].second, v1 = points_[i].second;
+        if (t1 == t0) return v1;
+        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+      }
+    }
+    return points_.back().second;
+  }
+
+  /// Times where the slope changes; the transient integrator aligns steps
+  /// with these so sharp edges are not smeared.
+  std::vector<double> breakpoints() const {
+    std::vector<double> ts;
+    for (const auto& p : points_) ts.push_back(p.first);
+    return ts;
+  }
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+}  // namespace stco::spice

@@ -1,0 +1,55 @@
+#include "src/stco/loop.hpp"
+
+namespace stco {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+StcoEngine::StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model)
+    : cfg_(cfg), model_(model), netlist_(flow::make_benchmark(cfg.benchmark)) {}
+
+flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const flow::TimingLibrary lib =
+      model_ ? flow::build_library_gnn(*model_, tech, cfg_.lib_opts)
+             : flow::build_library_spice(tech, cfg_.lib_opts);
+  timing_.library_seconds += seconds_since(t0);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto rep = flow::analyze(netlist_, lib, cfg_.sta_opts);
+  timing_.sta_seconds += seconds_since(t1);
+  ++timing_.evaluations;
+  return rep;
+}
+
+const PpaWeights& StcoEngine::weights() {
+  if (!weights_ready_) {
+    const TechGrid grid(cfg_.ranges, cfg_.grid_n);
+    const auto nominal = evaluate(grid.point(grid.num_states() / 2));
+    weights_ = calibrated_weights(nominal, cfg_.w_delay, cfg_.w_power, cfg_.w_area);
+    weights_ready_ = true;
+  }
+  return weights_;
+}
+
+double StcoEngine::cost(const compact::TechnologyPoint& tech) {
+  const auto& w = weights();
+  return w.cost(evaluate(tech));
+}
+
+SearchResult StcoEngine::optimize() {
+  const TechGrid grid(cfg_.ranges, cfg_.grid_n);
+  return q_learning_search(
+      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, cfg_.rl);
+}
+
+SearchResult StcoEngine::optimize_random(std::size_t budget) {
+  const TechGrid grid(cfg_.ranges, cfg_.grid_n);
+  return random_search(
+      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, budget);
+}
+
+}  // namespace stco

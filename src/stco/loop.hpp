@@ -1,0 +1,69 @@
+#pragma once
+// The full fast-STCO iteration loop (paper Fig. 1): technology parameters
+// -> cell library (GNN fast path or SPICE traditional path) -> system
+// evaluation (STA + power + area) -> PPA cost -> RL exploration.
+
+#include <chrono>
+
+#include "src/flow/benchmarks.hpp"
+#include "src/flow/sta.hpp"
+#include "src/stco/ppa.hpp"
+#include "src/stco/rl.hpp"
+
+namespace stco {
+
+struct StcoConfig {
+  std::string benchmark = "s298";
+  charlib::CornerRanges ranges{};
+  std::size_t grid_n = 4;        ///< technology grid resolution per axis
+  RlConfig rl{};
+  flow::LibraryBuildOptions lib_opts{};
+  flow::StaOptions sta_opts{};
+  double w_delay = 1.0, w_power = 1.0, w_area = 0.5;
+  StcoConfig() {
+    // Small NLDM axes keep per-iteration library builds cheap.
+    lib_opts.slew_axis = {10e-9, 40e-9};
+    lib_opts.load_axis = {20e-15, 100e-15};
+  }
+};
+
+/// Wall-clock accounting for one engine's lifetime.
+struct StcoTiming {
+  double library_seconds = 0.0;  ///< technology loop (TCAD-side excluded)
+  double sta_seconds = 0.0;      ///< system evaluation
+  std::size_t evaluations = 0;
+};
+
+class StcoEngine {
+ public:
+  /// `model` non-null selects the GNN fast path for library building;
+  /// null falls back to transistor-level SPICE characterization.
+  StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model);
+
+  /// Library + STA at one technology point (uncached; the searches cache).
+  flow::StaReport evaluate(const compact::TechnologyPoint& tech);
+
+  /// Scalar PPA cost (weights calibrated on the mid-grid nominal point at
+  /// first use).
+  double cost(const compact::TechnologyPoint& tech);
+
+  /// RL exploration over the technology grid.
+  SearchResult optimize();
+  /// Random-search baseline with a comparable budget.
+  SearchResult optimize_random(std::size_t budget);
+
+  const StcoTiming& timing() const { return timing_; }
+  const flow::GateNetlist& netlist() const { return netlist_; }
+  const PpaWeights& weights();
+  bool fast_path() const { return model_ != nullptr; }
+
+ private:
+  StcoConfig cfg_;
+  const charlib::CellCharModel* model_;
+  flow::GateNetlist netlist_;
+  StcoTiming timing_;
+  PpaWeights weights_{};
+  bool weights_ready_ = false;
+};
+
+}  // namespace stco

@@ -1,0 +1,45 @@
+#include "src/stco/pareto.hpp"
+
+#include <algorithm>
+
+namespace stco {
+
+std::vector<PpaPoint> pareto_front(const std::vector<PpaPoint>& points) {
+  std::vector<PpaPoint> front;
+  for (const auto& p : points) {
+    bool dominated = false;
+    for (const auto& q : points) {
+      if (&p == &q) continue;
+      if (q.dominates(p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(p);
+  }
+  std::sort(front.begin(), front.end(),
+            [](const PpaPoint& a, const PpaPoint& b) { return a.delay < b.delay; });
+  // Drop exact duplicates (identical objectives from distinct tech points).
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const PpaPoint& a, const PpaPoint& b) {
+                            return a.delay == b.delay && a.power == b.power &&
+                                   a.area == b.area;
+                          }),
+              front.end());
+  return front;
+}
+
+ParetoSweep sweep_pareto(const TechGrid& grid,
+                         const std::function<flow::StaReport(
+                             const compact::TechnologyPoint&)>& eval) {
+  ParetoSweep out;
+  for (std::size_t s = 0; s < grid.num_states(); ++s) {
+    const auto tech = grid.point(s);
+    const auto rep = eval(tech);
+    out.all.push_back({tech, rep.min_period, rep.total_power, rep.area});
+  }
+  out.front = pareto_front(out.all);
+  return out;
+}
+
+}  // namespace stco

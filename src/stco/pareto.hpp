@@ -1,0 +1,41 @@
+#pragma once
+// Pareto-front extraction over evaluated technology points: STCO is a
+// multi-objective problem (delay / power / area); the scalarized RL search
+// finds one point, the Pareto front shows the full trade-off surface.
+
+#include <vector>
+
+#include "src/flow/sta.hpp"
+#include "src/stco/rl.hpp"
+
+namespace stco {
+
+/// One evaluated design point.
+struct PpaPoint {
+  compact::TechnologyPoint tech;
+  double delay = 0.0;  ///< min clock period [s]
+  double power = 0.0;  ///< total power [W]
+  double area = 0.0;   ///< [m^2]
+
+  /// True if this point is no worse than `o` in every objective and
+  /// strictly better in at least one (minimization).
+  bool dominates(const PpaPoint& o) const {
+    const bool no_worse = delay <= o.delay && power <= o.power && area <= o.area;
+    const bool better = delay < o.delay || power < o.power || area < o.area;
+    return no_worse && better;
+  }
+};
+
+/// Non-dominated subset, sorted by delay ascending. O(n^2); grids are small.
+std::vector<PpaPoint> pareto_front(const std::vector<PpaPoint>& points);
+
+/// Evaluate every grid point with `eval` and return (all points, front).
+struct ParetoSweep {
+  std::vector<PpaPoint> all;
+  std::vector<PpaPoint> front;
+};
+ParetoSweep sweep_pareto(const TechGrid& grid,
+                         const std::function<flow::StaReport(
+                             const compact::TechnologyPoint&)>& eval);
+
+}  // namespace stco

@@ -1,0 +1,42 @@
+#pragma once
+// Power-performance-area objective for the STCO search.
+
+#include <cmath>
+
+#include "src/flow/sta.hpp"
+
+namespace stco {
+
+/// Scalarization of a PPA triple. References normalize each term so the
+/// weighted sum is dimensionless; lower is better.
+struct PpaWeights {
+  double w_delay = 1.0;
+  double w_power = 1.0;
+  double w_area = 0.5;
+  double ref_delay = 1e-6;   ///< [s]
+  double ref_power = 1e-4;   ///< [W]
+  double ref_area = 1e-6;    ///< [m^2]
+
+  double cost(const flow::StaReport& rep) const {
+    return w_delay * (rep.min_period / ref_delay) +
+           w_power * (rep.total_power / ref_power) +
+           w_area * (rep.area / ref_area);
+  }
+};
+
+/// Calibrate reference values from a nominal evaluation so each term starts
+/// near 1 and the weights express intent rather than units.
+inline PpaWeights calibrated_weights(const flow::StaReport& nominal,
+                                     double w_delay = 1.0, double w_power = 1.0,
+                                     double w_area = 0.5) {
+  PpaWeights w;
+  w.w_delay = w_delay;
+  w.w_power = w_power;
+  w.w_area = w_area;
+  w.ref_delay = std::max(nominal.min_period, 1e-12);
+  w.ref_power = std::max(nominal.total_power, 1e-12);
+  w.ref_area = std::max(nominal.area, 1e-18);
+  return w;
+}
+
+}  // namespace stco

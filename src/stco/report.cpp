@@ -1,0 +1,80 @@
+#include "src/stco/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace stco {
+
+void write_run_report(std::ostream& os, const RunReportInputs& in) {
+  os << "# STCO exploration report — " << in.benchmark << "\n\n";
+  os << "Technology path: " << (in.fast_path ? "GNN fast path" : "SPICE traditional")
+     << "\n\n";
+
+  os << "## Selected technology point\n\n";
+  os << "| knob | value |\n|---|---|\n";
+  os << "| VDD | " << in.search.best_point.vdd << " V |\n";
+  os << "| Vth | " << in.search.best_point.vth << " V |\n";
+  os << "| Cox | " << in.search.best_point.cox * 1e5 << " nF/cm^2 |\n";
+  os << "| scalarized cost | " << in.search.best_cost << " |\n\n";
+
+  os << "## PPA at the selected point\n\n";
+  os << "| metric | value |\n|---|---|\n";
+  os << "| min clock period | " << in.best_ppa.min_period * 1e6 << " us |\n";
+  os << "| fmax | " << in.best_ppa.fmax / 1e6 << " MHz |\n";
+  os << "| dynamic power | " << in.best_ppa.dynamic_power * 1e6 << " uW |\n";
+  os << "| leakage power | " << in.best_ppa.leakage_power * 1e6 << " uW |\n";
+  os << "| area | " << in.best_ppa.area * 1e6 << " mm^2 |\n";
+  os << "| gates / FFs | " << in.best_ppa.num_gates << " / " << in.best_ppa.num_ffs
+     << " |\n\n";
+
+  os << "## Search\n\n";
+  os << "- unique technology evaluations: " << in.search.unique_evaluations << "\n";
+  os << "- wall time: library characterization " << in.timing.library_seconds
+     << " s, system evaluation " << in.timing.sta_seconds << " s\n";
+  if (!in.search.best_cost_history.empty()) {
+    os << "- best-cost trajectory:";
+    const auto& h = in.search.best_cost_history;
+    const std::size_t stride = std::max<std::size_t>(1, h.size() / 8);
+    for (std::size_t i = 0; i < h.size(); i += stride) os << " " << h[i];
+    os << "\n";
+  }
+  os << "\n";
+
+  if (!in.pareto.front.empty()) {
+    os << "## Pareto front (delay / power / area)\n\n";
+    os << "| VDD [V] | Vth [V] | Cox [nF/cm^2] | period [us] | power [uW] | area "
+          "[mm^2] |\n|---|---|---|---|---|---|\n";
+    for (const auto& p : in.pareto.front)
+      os << "| " << p.tech.vdd << " | " << p.tech.vth << " | " << p.tech.cox * 1e5
+         << " | " << p.delay * 1e6 << " | " << p.power * 1e6 << " | " << p.area * 1e6
+         << " |\n";
+    os << "\n";
+  }
+
+  // Per-iteration runtime accounting versus the commercial baseline.
+  try {
+    const auto row = table1_row(in.benchmark);
+    os << "## Runtime accounting (Table I calibration)\n\n";
+    os << "- traditional flow: " << row.traditional << " s/iteration\n";
+    os << "- fast STCO: " << row.ours << " s/iteration (" << row.speedup
+       << "x speedup)\n";
+  } catch (const std::invalid_argument&) {
+    // Custom benchmark without calibration data: skip the section.
+  }
+}
+
+std::string run_report_markdown(const RunReportInputs& in) {
+  std::ostringstream ss;
+  write_run_report(ss, in);
+  return ss.str();
+}
+
+void write_run_report_file(const std::string& path, const RunReportInputs& in) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_run_report_file: cannot open " + path);
+  write_run_report(f, in);
+}
+
+}  // namespace stco

@@ -1,0 +1,30 @@
+#pragma once
+// Human-readable run reports: render an STCO exploration (search result,
+// PPA of the chosen point, Pareto front, runtime accounting) as Markdown,
+// the artifact a designer would archive per technology-exploration run.
+
+#include <iosfwd>
+#include <string>
+
+#include "src/stco/loop.hpp"
+#include "src/stco/pareto.hpp"
+#include "src/stco/runtime_model.hpp"
+
+namespace stco {
+
+struct RunReportInputs {
+  std::string benchmark;
+  SearchResult search;
+  flow::StaReport best_ppa;
+  StcoTiming timing;
+  bool fast_path = false;
+  /// Optional Pareto sweep (empty front = omitted from the report).
+  ParetoSweep pareto{};
+};
+
+/// Render the report as Markdown.
+void write_run_report(std::ostream& os, const RunReportInputs& in);
+std::string run_report_markdown(const RunReportInputs& in);
+void write_run_report_file(const std::string& path, const RunReportInputs& in);
+
+}  // namespace stco

@@ -1,0 +1,39 @@
+#include "src/stco/runtime_model.hpp"
+
+#include <stdexcept>
+
+namespace stco {
+
+const std::vector<Table1Reference>& table1_reference() {
+  static const std::vector<Table1Reference> rows = {
+      {"s298", 142, 2184, 160, 13.6},   {"s386", 136, 2178, 154, 14.1},
+      {"s526", 202, 2244, 220, 10.2},   {"s820", 198, 2240, 216, 10.4},
+      {"s1196", 223, 2265, 241, 9.4},   {"s1488", 230, 2272, 248, 9.2},
+      {"16bit MAC", 536, 2578, 554, 4.7}, {"32bit MAC", 1270, 3312, 1288, 2.6},
+      {"Picorv32", 939, 2981, 957, 3.1},  {"Darkriscv", 2250, 4292, 2268, 1.9},
+  };
+  return rows;
+}
+
+double system_evaluation_seconds(const std::string& benchmark) {
+  for (const auto& r : table1_reference())
+    if (r.benchmark == benchmark) return r.system_evaluation;
+  throw std::invalid_argument("system_evaluation_seconds: unknown benchmark " +
+                              benchmark);
+}
+
+Table1Row table1_row(const std::string& benchmark, const RuntimeConstants& c,
+                     double measured_env, double measured_tcad, double measured_char) {
+  Table1Row row;
+  row.benchmark = benchmark;
+  row.system_evaluation = system_evaluation_seconds(benchmark);
+  row.traditional = row.system_evaluation + c.tcad_commercial + c.char_commercial;
+  const double env = measured_env >= 0 ? measured_env : c.env_setup_fast;
+  const double tc = measured_tcad >= 0 ? measured_tcad : c.tcad_fast;
+  const double ch = measured_char >= 0 ? measured_char : c.char_fast;
+  row.ours = row.system_evaluation + env + tc + ch;
+  row.speedup = row.ours > 0 ? row.traditional / row.ours : 0.0;
+  return row;
+}
+
+}  // namespace stco

@@ -1,0 +1,60 @@
+#pragma once
+// Runtime accounting for Table I.
+//
+// The paper's per-iteration runtime decomposes as
+//   traditional = system_evaluation + TCAD_commercial + char_commercial
+//   ours        = system_evaluation + env_setup + TCAD_gnn + char_gnn
+// with the commercial technology-loop costs measured by the authors
+// (142.07 s average device simulation over a 576-device calibrated study,
+// ~1900 s cell library characterization) and the fast path measured on
+// their GNN stack (8.12 s shared setup + 1.38 s TCAD + 8.88 s char).
+//
+// We cannot run the commercial tools, so the system-evaluation column and
+// the commercial technology-loop constants are *calibrated* to the paper's
+// reported values, while the fast path can additionally be *measured* on
+// our own GNN stack (see bench_table1_runtime). DESIGN.md documents this
+// substitution.
+
+#include <string>
+#include <vector>
+
+namespace stco {
+
+/// Calibrated constants (seconds), defaulting to the paper's measurements.
+struct RuntimeConstants {
+  double tcad_commercial = 142.07;
+  double char_commercial = 1900.0;
+  double env_setup_fast = 8.12;
+  double tcad_fast = 1.38;
+  double char_fast = 8.88;
+};
+
+/// Paper-reported commercial system-evaluation seconds per benchmark
+/// (synthesis + P&R + DRC/LVS); Table I column "System Evaluation".
+double system_evaluation_seconds(const std::string& benchmark);
+
+struct Table1Row {
+  std::string benchmark;
+  double system_evaluation = 0.0;
+  double traditional = 0.0;
+  double ours = 0.0;
+  double speedup = 0.0;
+};
+
+/// Compute one Table I row. Pass measured fast-path seconds to override the
+/// paper's constants with this machine's numbers (negative = use defaults).
+Table1Row table1_row(const std::string& benchmark, const RuntimeConstants& c = {},
+                     double measured_env = -1.0, double measured_tcad = -1.0,
+                     double measured_char = -1.0);
+
+/// Paper's reported Table I values for side-by-side printing.
+struct Table1Reference {
+  std::string benchmark;
+  double system_evaluation;
+  double traditional;
+  double ours;
+  double speedup;
+};
+const std::vector<Table1Reference>& table1_reference();
+
+}  // namespace stco

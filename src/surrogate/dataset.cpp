@@ -1,0 +1,56 @@
+#include "src/surrogate/dataset.hpp"
+
+#include <cmath>
+
+namespace stco::surrogate {
+
+double normalize_current(double id_amps) {
+  return (std::log10(std::fabs(id_amps) + 1e-15) + 9.0) / 6.0;
+}
+
+double denormalize_current(double y) { return std::pow(10.0, 6.0 * y - 9.0); }
+
+std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
+                                              const PopulationOptions& opts) {
+  std::vector<DeviceSample> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DeviceSample s;
+    auto& dev = s.device;
+    const auto kind = opts.kinds[rng.uniform_index(opts.kinds.size())];
+    dev.semi = tcad::params_for(kind);
+    // Jitter material parameters so each device is "independent" the way a
+    // process-variation study would be.
+    dev.semi.mu0 *= rng.log_uniform(0.6, 1.6);
+    dev.semi.gamma *= rng.uniform(0.8, 1.25);
+    dev.semi.ni *= rng.log_uniform(0.5, 2.0);
+    dev.semi.vth0 *= rng.uniform(0.8, 1.25);
+
+    dev.length = rng.uniform(opts.length_min, opts.length_max);
+    dev.width = dev.length * rng.uniform(2.0, 10.0);
+    dev.t_ox = rng.uniform(opts.tox_min, opts.tox_max);
+    dev.t_ch = rng.uniform(opts.tch_min, opts.tch_max);
+    dev.contact_len = dev.length * rng.uniform(0.15, 0.3);
+    dev.doping = rng.uniform(-opts.doping_mag_max, opts.doping_mag_max);
+
+    const double sign = dev.semi.carrier == tcad::CarrierType::kNType ? 1.0 : -1.0;
+    s.bias.vg = sign * rng.uniform(opts.vg_mag_min, opts.vg_mag_max);
+    s.bias.vd = sign * rng.uniform(opts.vd_mag_min, opts.vd_mag_max);
+    s.bias.vs = 0.0;
+
+    const auto mesh = tcad::build_mesh(dev, s.bias, opts.mesh_nx, opts.mesh_nch,
+                                       opts.mesh_nox);
+    const auto sol = tcad::solve_poisson(dev, s.bias, mesh);
+    s.drain_current = tcad::drain_current(dev, s.bias);
+
+    s.poisson_graph = encode_device(dev, s.bias, mesh, sol,
+                                    EncodingTask::kPoissonEmulator, opts.scales);
+    s.iv_graph = encode_device(dev, s.bias, mesh, sol, EncodingTask::kIvPredictor,
+                               opts.scales);
+    s.iv_graph.graph_targets = {normalize_current(s.drain_current)};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace stco::surrogate

@@ -1,0 +1,54 @@
+#pragma once
+// Procedural device-population generator — our stand-in for the paper's
+// 50,000-device TCAD dataset (and the 576-device calibrated study of planar
+// CNT devices). Sizes are parameters; the distributional role is identical.
+
+#include <vector>
+
+#include "src/gnn/graph.hpp"
+#include "src/numeric/rng.hpp"
+#include "src/surrogate/encoding.hpp"
+#include "src/tcad/device.hpp"
+#include "src/tcad/poisson.hpp"
+#include "src/tcad/transport.hpp"
+
+namespace stco::surrogate {
+
+/// One solved device at one bias point, with both encodings attached.
+struct DeviceSample {
+  tcad::TftDevice device;
+  tcad::Bias bias;
+  double drain_current = 0.0;   ///< TCAD ground truth [A]
+  gnn::Graph poisson_graph;     ///< node-regression sample
+  gnn::Graph iv_graph;          ///< graph-regression sample (target set later)
+};
+
+struct PopulationOptions {
+  std::size_t mesh_nx = 14;
+  std::size_t mesh_nch = 4;
+  std::size_t mesh_nox = 3;
+  /// Technologies sampled uniformly.
+  std::vector<tcad::SemiconductorKind> kinds = {tcad::SemiconductorKind::kCnt,
+                                                tcad::SemiconductorKind::kIgzo,
+                                                tcad::SemiconductorKind::kLtps};
+  double length_min = 0.8e-6, length_max = 4e-6;
+  double tox_min = 50e-9, tox_max = 200e-9;
+  double tch_min = 20e-9, tch_max = 60e-9;
+  double vg_mag_min = 0.0, vg_mag_max = 5.0;
+  double vd_mag_min = 0.1, vd_mag_max = 5.0;
+  double doping_mag_max = 3e22;  ///< |N_D - N_A| upper bound [1/m^3]
+  EncodingScales scales;
+};
+
+/// Generate `count` independent random devices, solve each with the TCAD
+/// substrate, and attach both graph encodings (including the normalized
+/// log-current target on iv_graph).
+std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
+                                              const PopulationOptions& opts = {});
+
+/// Normalized log-current target used by the IV predictor.
+/// y = (log10(|id| + 1e-15) + 9) / 6 maps pA..mA into roughly [-1, 1].
+double normalize_current(double id_amps);
+double denormalize_current(double y);
+
+}  // namespace stco::surrogate

@@ -1,0 +1,100 @@
+#include "src/surrogate/encoding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::surrogate {
+
+double normalize_potential(double phi, const EncodingScales& s) {
+  return phi / s.potential;
+}
+double denormalize_potential(double v, const EncodingScales& s) {
+  return v * s.potential;
+}
+
+gnn::Graph encode_device(const tcad::TftDevice& dev, const tcad::Bias& bias,
+                         const mesh::DeviceMesh& mesh, const tcad::PoissonSolution& sol,
+                         EncodingTask task, const EncodingScales& s) {
+  const std::size_t n = mesh.num_nodes();
+  if (sol.potential.size() != n || sol.charge_density.size() != n)
+    throw std::invalid_argument("encode_device: solution/mesh size mismatch");
+
+  gnn::Graph g;
+  g.num_nodes = n;
+  g.node_dim = kNodeDim;
+  g.edge_dim = kEdgeDim;
+  g.node_features.assign(n * kNodeDim, 0.0);
+
+  const auto& sp = dev.semi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = mesh.node(i);
+    double* f = g.node_features.data() + i * kNodeDim;
+    std::size_t k = 0;
+
+    // Material one-hot.
+    f[k + static_cast<std::size_t>(nd.material)] = 1.0;
+    k += kMaterialOneHot;
+
+    // Material parameter vector (zeros for metal — its parameters are
+    // irrelevant because the potential is pinned there).
+    if (nd.material == mesh::Material::kSemiconductor) {
+      f[k + 0] = sp.eps_r / s.eps_r;
+      f[k + 1] = std::log10(sp.ni) / s.log_ni_div;
+      f[k + 2] = sp.mu0 / s.mobility;
+      f[k + 3] = sp.gamma;
+      f[k + 4] = std::log10(sp.tau_srh_n + sp.tau_srh_p) / s.log_ni_div;
+    } else if (nd.material == mesh::Material::kOxide) {
+      f[k + 0] = dev.oxide.eps_r / s.eps_r;
+    }
+    k += kMaterialParams;
+
+    // Region one-hot.
+    f[k + static_cast<std::size_t>(nd.region)] = 1.0;
+    k += kRegionOneHot;
+
+    // Device-level attributes: position, doping, bias context.
+    f[k + 0] = nd.x / mesh.lx();
+    f[k + 1] = nd.y / mesh.ly();
+    f[k + 2] = std::asinh(dev.doping / s.doping) / s.charge_asinh_div;
+    f[k + 3] = nd.dirichlet ? 1.0 : 0.0;
+    f[k + 4] = nd.dirichlet ? normalize_potential(nd.dirichlet_value, s) : 0.0;
+    f[k + 5] = normalize_potential(sol.quasi_fermi[i], s);
+    f[k + 6] = normalize_potential(bias.vg, s);
+    k += kDeviceAttrs;
+
+    // Task-specific self-consistent quantities.
+    f[k + 0] = std::asinh(sol.charge_density[i] / s.charge) / s.charge_asinh_div;
+    if (task == EncodingTask::kIvPredictor)
+      f[k + 1] = normalize_potential(sol.potential[i], s);
+    k += kSelfConsistent;
+  }
+
+  // Spatial relationship edge features.
+  const auto& edges = mesh.edges();
+  g.edge_src.reserve(edges.size());
+  g.edge_dst.reserve(edges.size());
+  g.edge_features.reserve(edges.size() * kEdgeDim);
+  for (const auto& e : edges) {
+    g.edge_src.push_back(e.src);
+    g.edge_dst.push_back(e.dst);
+    g.edge_features.push_back(e.dx / mesh.lx());
+    g.edge_features.push_back(e.dy / mesh.ly());
+    g.edge_features.push_back(e.length / std::sqrt(mesh.lx() * mesh.ly()));
+  }
+
+  if (task == EncodingTask::kPoissonEmulator) {
+    // Residual targets: deviation of the potential from the quasi-Fermi
+    // baseline. For Dirichlet nodes the baseline is the pinned value
+    // itself, so their targets are exactly representable too.
+    g.node_targets.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& nd = mesh.node(i);
+      const double baseline = nd.dirichlet ? nd.dirichlet_value : sol.quasi_fermi[i];
+      g.node_targets[i] = (sol.potential[i] - baseline) / s.potential_residual;
+    }
+  }
+  g.check();
+  return g;
+}
+
+}  // namespace stco::surrogate

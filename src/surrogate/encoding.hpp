@@ -1,0 +1,68 @@
+#pragma once
+// Unified device encoding (paper Fig. 2).
+//
+// Each mesh node becomes a graph node carrying:
+//   * material-level embedding — one-hot material type + a parameter vector
+//     describing material properties / physical-model parameters (SRH
+//     lifetimes, mobility law, permittivity, intrinsic density),
+//   * device-level embedding — one-hot region (gate / oxide / channel /
+//     source / drain) + an attribute vector with position and operating
+//     parameters (doping, bias, contact potentials, quasi-Fermi level),
+//   * task-specific self-consistent quantities — charge density (Poisson
+//     emulator input) and additionally potential (IV predictor input).
+// Each mesh edge becomes a directed graph edge with the relative position
+// (dx, dy, distance) as edge features, "inspired by finite element methods".
+
+#include "src/gnn/graph.hpp"
+#include "src/mesh/mesh.hpp"
+#include "src/tcad/device.hpp"
+#include "src/tcad/poisson.hpp"
+
+namespace stco::surrogate {
+
+/// Which self-consistent quantities to embed as node features.
+enum class EncodingTask {
+  kPoissonEmulator,  ///< charge density in, potential is the target
+  kIvPredictor,      ///< charge density + potential in, current is the target
+};
+
+/// Normalization constants for the encoding. Fixed scales (not per-dataset
+/// statistics) so train/test/unseen splits share one embedding space.
+struct EncodingScales {
+  double potential = 5.0;        ///< volts
+  /// The Poisson emulator learns the *deviation* of the potential from the
+  /// quasi-Fermi baseline, normalized by this scale — the residual field is
+  /// smaller and far easier to regress than the raw potential, and the
+  /// reconstruction phi = baseline + scale * prediction is exact.
+  double potential_residual = 2.0;
+  double charge = 1e6;           ///< C/m^3 before asinh compression
+  double charge_asinh_div = 12.0;
+  double doping = 1e22;          ///< 1/m^3 before asinh compression
+  double log_ni_div = 25.0;
+  double mobility = 1e-2;        ///< m^2/Vs
+  double eps_r = 12.0;
+};
+
+inline constexpr std::size_t kMaterialOneHot = stco::mesh::kNumMaterials;  // 3
+inline constexpr std::size_t kMaterialParams = 5;
+inline constexpr std::size_t kRegionOneHot = stco::mesh::kNumRegions;      // 5
+inline constexpr std::size_t kDeviceAttrs = 7;
+inline constexpr std::size_t kSelfConsistent = 2;  // charge, potential slots
+inline constexpr std::size_t kNodeDim =
+    kMaterialOneHot + kMaterialParams + kRegionOneHot + kDeviceAttrs + kSelfConsistent;
+inline constexpr std::size_t kEdgeDim = 3;
+
+/// Encode a solved device into a GNN graph.
+///
+/// Targets: for kPoissonEmulator, per-node normalized potential; for
+/// kIvPredictor the caller sets graph_targets afterwards (the encoder does
+/// not know the current).
+gnn::Graph encode_device(const tcad::TftDevice& dev, const tcad::Bias& bias,
+                         const mesh::DeviceMesh& mesh, const tcad::PoissonSolution& sol,
+                         EncodingTask task, const EncodingScales& scales = {});
+
+/// Normalize / denormalize helper for potential targets.
+double normalize_potential(double phi, const EncodingScales& s);
+double denormalize_potential(double v, const EncodingScales& s);
+
+}  // namespace stco::surrogate

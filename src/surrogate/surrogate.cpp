@@ -1,0 +1,135 @@
+#include "src/surrogate/surrogate.hpp"
+
+#include "src/numeric/stats.hpp"
+#include "src/tensor/ops.hpp"
+#include "src/tensor/serialize.hpp"
+
+namespace stco::surrogate {
+
+TcadSurrogate::TcadSurrogate(const SurrogateConfig& cfg) : cfg_(cfg) {
+  numeric::Rng rng(cfg.init_seed);
+  poisson_ = std::make_unique<gnn::RelGatModel>(
+      gnn::poisson_emulator_config(kNodeDim, kEdgeDim, cfg.poisson_hidden), rng);
+  iv_ = std::make_unique<gnn::RelGatModel>(
+      gnn::iv_predictor_config(kNodeDim, kEdgeDim, cfg.iv_hidden), rng);
+}
+
+gnn::TrainStats TcadSurrogate::train_poisson(std::span<const DeviceSample> train) {
+  auto loss = [&](std::size_t i) {
+    const auto& g = train[i].poisson_graph;
+    return tensor::mse_loss(poisson_->forward(g), g.node_target_tensor(1));
+  };
+  return gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train);
+}
+
+gnn::TrainStats TcadSurrogate::train_iv(std::span<const DeviceSample> train) {
+  auto loss = [&](std::size_t i) {
+    const auto& g = train[i].iv_graph;
+    return tensor::mse_loss(iv_->forward(g), g.graph_target_tensor());
+  };
+  return gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train);
+}
+
+std::vector<double> TcadSurrogate::predict_potential(const gnn::Graph& g) const {
+  return poisson_->forward(g).value();
+}
+
+std::vector<double> TcadSurrogate::predict_potential_volts(
+    const gnn::Graph& g, const EncodingScales& scales) const {
+  auto out = predict_potential(g);
+  // Baseline lives in the device-attribute block of the node features:
+  // [dirichlet flag, normalized dirichlet value, normalized quasi-Fermi].
+  const std::size_t attr0 = kMaterialOneHot + kMaterialParams + kRegionOneHot;
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    const double* f = g.node_features.data() + i * g.node_dim;
+    const bool dirichlet = f[attr0 + 3] > 0.5;
+    const double baseline = denormalize_potential(
+        dirichlet ? f[attr0 + 4] : f[attr0 + 5], scales);
+    out[i] = baseline + out[i] * scales.potential_residual;
+  }
+  return out;
+}
+
+double TcadSurrogate::predict_current(const gnn::Graph& g) const {
+  return denormalize_current(iv_->forward(g).item());
+}
+
+void TcadSurrogate::save_weights(const std::string& path) const {
+  auto params = poisson_->parameters();
+  for (auto& p : iv_->parameters()) params.push_back(p);
+  tensor::save_parameters_file(path, params);
+}
+
+void TcadSurrogate::load_weights(const std::string& path) {
+  auto params = poisson_->parameters();
+  for (auto& p : iv_->parameters()) params.push_back(p);
+  tensor::load_parameters_file(path, params);
+}
+
+namespace {
+/// Collect flattened (predicted, actual) pairs for either model.
+void collect(const gnn::RelGatModel& model, std::span<const DeviceSample> split,
+             bool poisson, numeric::Vec& pred, numeric::Vec& act) {
+  for (const auto& s : split) {
+    const auto& g = poisson ? s.poisson_graph : s.iv_graph;
+    const auto out = model.forward(g).value();
+    if (poisson) {
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        pred.push_back(out[i]);
+        act.push_back(g.node_targets[i]);
+      }
+    } else {
+      pred.push_back(out[0]);
+      act.push_back(g.graph_targets[0]);
+    }
+  }
+}
+}  // namespace
+
+double TcadSurrogate::poisson_mse(std::span<const DeviceSample> split) const {
+  numeric::Vec p, a;
+  collect(*poisson_, split, true, p, a);
+  return numeric::mse(p, a);
+}
+
+double TcadSurrogate::iv_mse(std::span<const DeviceSample> split) const {
+  numeric::Vec p, a;
+  collect(*iv_, split, false, p, a);
+  return numeric::mse(p, a);
+}
+
+double TcadSurrogate::poisson_r2(std::span<const DeviceSample> split) const {
+  numeric::Vec p, a;
+  collect(*poisson_, split, true, p, a);
+  return numeric::r_squared(p, a);
+}
+
+double TcadSurrogate::iv_r2(std::span<const DeviceSample> split) const {
+  numeric::Vec p, a;
+  collect(*iv_, split, false, p, a);
+  return numeric::r_squared(p, a);
+}
+
+AccuracyRow TcadSurrogate::evaluate_poisson(std::span<const DeviceSample> val,
+                                            std::span<const DeviceSample> test,
+                                            std::span<const DeviceSample> unseen) const {
+  AccuracyRow r;
+  r.validation_mse = poisson_mse(val);
+  r.testing_mse = poisson_mse(test);
+  r.unseen_mse = poisson_mse(unseen);
+  r.unseen_r2 = poisson_r2(unseen);
+  return r;
+}
+
+AccuracyRow TcadSurrogate::evaluate_iv(std::span<const DeviceSample> val,
+                                       std::span<const DeviceSample> test,
+                                       std::span<const DeviceSample> unseen) const {
+  AccuracyRow r;
+  r.validation_mse = iv_mse(val);
+  r.testing_mse = iv_mse(test);
+  r.unseen_mse = iv_mse(unseen);
+  r.unseen_r2 = iv_r2(unseen);
+  return r;
+}
+
+}  // namespace stco::surrogate

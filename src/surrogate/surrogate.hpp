@@ -1,0 +1,92 @@
+#pragma once
+// GNN-based surrogate model for TCAD simulation (paper section II.A).
+//
+// Bundles the Poisson emulator (node regression) and the IV predictor
+// (graph regression), their training loops, and the evaluation harness that
+// regenerates Table II (MSE on validation / testing / unseen splits + R^2).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/gnn/models.hpp"
+#include "src/gnn/trainer.hpp"
+#include "src/surrogate/dataset.hpp"
+
+namespace stco::surrogate {
+
+struct SurrogateConfig {
+  std::size_t poisson_hidden = 24;
+  std::size_t iv_hidden = 24;
+  gnn::TrainConfig poisson_train{};
+  gnn::TrainConfig iv_train{};
+  std::uint64_t init_seed = 42;
+  SurrogateConfig() {
+    poisson_train.epochs = 60;
+    poisson_train.lr = 3e-3;
+    iv_train.epochs = 80;
+    iv_train.lr = 3e-3;
+  }
+};
+
+/// Per-split accuracy for one model (a row of Table II).
+struct AccuracyRow {
+  double validation_mse = 0.0;
+  double testing_mse = 0.0;
+  double unseen_mse = 0.0;
+  double unseen_r2 = 0.0;
+};
+
+class TcadSurrogate {
+ public:
+  explicit TcadSurrogate(const SurrogateConfig& cfg = {});
+
+  /// Train both models. `train` drives gradient steps; `val` is used for
+  /// the on_epoch callbacks' reporting only (no early stopping by default).
+  gnn::TrainStats train_poisson(std::span<const DeviceSample> train);
+  gnn::TrainStats train_iv(std::span<const DeviceSample> train);
+
+  /// Predicted node potentials in the model's normalized residual units
+  /// (deviation from the quasi-Fermi / boundary baseline; see
+  /// EncodingScales::potential_residual).
+  std::vector<double> predict_potential(const gnn::Graph& g) const;
+
+  /// Predicted node potentials reconstructed to volts: baseline (from the
+  /// graph's own encoded features) + residual * scale.
+  std::vector<double> predict_potential_volts(const gnn::Graph& g,
+                                              const EncodingScales& scales = {}) const;
+  /// Predicted drain current in amperes.
+  double predict_current(const gnn::Graph& g) const;
+
+  /// MSE of the Poisson emulator over a split (normalized potential units).
+  double poisson_mse(std::span<const DeviceSample> split) const;
+  /// MSE of the IV predictor over a split (normalized log-current units).
+  double iv_mse(std::span<const DeviceSample> split) const;
+  /// R^2 of per-node potential (Poisson) over a split.
+  double poisson_r2(std::span<const DeviceSample> split) const;
+  /// R^2 of normalized log-current (IV) over a split.
+  double iv_r2(std::span<const DeviceSample> split) const;
+
+  /// Regenerate both rows of Table II.
+  AccuracyRow evaluate_poisson(std::span<const DeviceSample> val,
+                               std::span<const DeviceSample> test,
+                               std::span<const DeviceSample> unseen) const;
+  AccuracyRow evaluate_iv(std::span<const DeviceSample> val,
+                          std::span<const DeviceSample> test,
+                          std::span<const DeviceSample> unseen) const;
+
+  const gnn::RelGatModel& poisson_model() const { return *poisson_; }
+  const gnn::RelGatModel& iv_model() const { return *iv_; }
+
+  /// Persist / restore both models' weights (topology must match, i.e. the
+  /// surrogate must be constructed with the same SurrogateConfig).
+  void save_weights(const std::string& path) const;
+  void load_weights(const std::string& path);
+
+ private:
+  SurrogateConfig cfg_;
+  std::unique_ptr<gnn::RelGatModel> poisson_;
+  std::unique_ptr<gnn::RelGatModel> iv_;
+};
+
+}  // namespace stco::surrogate

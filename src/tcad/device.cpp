@@ -1,0 +1,59 @@
+#include "src/tcad/device.hpp"
+
+#include <stdexcept>
+
+namespace stco::tcad {
+
+mesh::DeviceMesh build_mesh(const TftDevice& dev, const Bias& bias, std::size_t nx,
+                            std::size_t n_ch, std::size_t n_ox) {
+  if (nx < 6) throw std::invalid_argument("build_mesh: nx must be >= 6");
+  if (n_ch < 2 || n_ox < 2) throw std::invalid_argument("build_mesh: layers need >= 2 rows");
+  if (dev.length <= 0.0 || dev.contact_len < 0.0)
+    throw std::invalid_argument("build_mesh: nonpositive channel / negative contact");
+  // The top row must keep at least one non-contact node between the
+  // source and drain overlaps, or the channel surface is fully pinned.
+  const double dx_probe = dev.total_length() / static_cast<double>(nx - 1);
+  if (2.0 * (dev.contact_len + dx_probe) >= dev.total_length())
+    throw std::invalid_argument("build_mesh: contacts leave no open channel surface");
+
+  const std::size_t ny = n_ch + n_ox + 1;  // +1 row of gate metal
+  const double lx = dev.total_length();
+  const double ly = dev.t_ch + dev.t_ox;
+  mesh::DeviceMesh m(nx, ny, lx, ly);
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      auto& nd = m.node(ix, iy);
+      if (iy < n_ch) {
+        nd.material = mesh::Material::kSemiconductor;
+        nd.region = mesh::Region::kChannel;
+      } else if (iy < n_ch + n_ox) {
+        nd.material = mesh::Material::kOxide;
+        nd.region = mesh::Region::kGateOxide;
+      } else {
+        nd.material = mesh::Material::kMetal;
+        nd.region = mesh::Region::kGate;
+        nd.dirichlet = true;
+        nd.dirichlet_value = bias.vg - dev.semi.flatband;
+      }
+    }
+  }
+
+  // Source / drain contacts: top surface of the film over the contact
+  // overlap length.
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    auto& nd = m.node(ix, 0);
+    if (nd.x <= dev.contact_len + 1e-15) {
+      nd.region = mesh::Region::kSource;
+      nd.dirichlet = true;
+      nd.dirichlet_value = bias.vs + dev.contact_phi;
+    } else if (nd.x >= lx - dev.contact_len - 1e-15) {
+      nd.region = mesh::Region::kDrain;
+      nd.dirichlet = true;
+      nd.dirichlet_value = bias.vd + dev.contact_phi;
+    }
+  }
+  return m;
+}
+
+}  // namespace stco::tcad

@@ -1,0 +1,44 @@
+#pragma once
+// Planar thin-film transistor descriptor and mesh builder.
+
+#include "src/mesh/mesh.hpp"
+#include "src/tcad/materials.hpp"
+
+namespace stco::tcad {
+
+/// Geometry + technology description of a planar bottom-gate TFT.
+///
+/// All lengths in meters. The cross-section meshed by `build_mesh` spans the
+/// full channel length plus the source/drain contact overlaps.
+struct TftDevice {
+  SemiconductorParams semi = cnt_params();
+  DielectricParams oxide = sio2_params();
+  double length = 2e-6;        ///< channel length L (between contacts)
+  double width = 10e-6;        ///< device width W (out-of-plane)
+  double t_ox = 100e-9;        ///< gate oxide thickness
+  double t_ch = 40e-9;         ///< semiconductor film thickness
+  double contact_len = 0.4e-6; ///< source/drain contact overlap length
+  double doping = 0.0;         ///< net doping N_D - N_A [1/m^3] (signed)
+  double contact_phi = 0.0;    ///< contact built-in potential offset [V]
+
+  double total_length() const { return length + 2.0 * contact_len; }
+};
+
+/// Terminal bias for a 3-terminal TFT (source is the reference).
+struct Bias {
+  double vg = 0.0;  ///< gate-source voltage
+  double vd = 0.0;  ///< drain-source voltage
+  double vs = 0.0;  ///< source potential (normally 0)
+};
+
+/// Build a structured mesh of the device cross-section.
+///
+/// Rows 0 .. n_ch-1 are the semiconductor film (row 0 = top surface, where
+/// source/drain contact nodes are pinned), rows n_ch .. n_ch+n_ox-1 are the
+/// gate oxide, and the last row is the gate electrode (pinned to
+/// vg - flatband). Throws if nx/n_ch/n_ox are too small to represent the
+/// structure.
+mesh::DeviceMesh build_mesh(const TftDevice& dev, const Bias& bias, std::size_t nx = 16,
+                            std::size_t n_ch = 5, std::size_t n_ox = 4);
+
+}  // namespace stco::tcad

@@ -1,0 +1,296 @@
+#include "src/tcad/drift_diffusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/solve.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::tcad {
+
+double bernoulli(double x) {
+  if (std::fabs(x) < 1e-4) return 1.0 - 0.5 * x + x * x / 12.0;
+  if (x > 40.0) return x * std::exp(-x);
+  if (x < -40.0) return -x;
+  return x / std::expm1(x);
+}
+
+namespace {
+
+double clamped_exp(double x, double clamp) {
+  return std::exp(std::clamp(x, -clamp, clamp));
+}
+
+/// Geometry shared with the Poisson solver: finite-volume edge weight
+/// (face length / distance, per unit depth) and node control area.
+struct Geometry {
+  const mesh::DeviceMesh& m;
+  double face_over_dist(std::size_t ix_a, std::size_t iy_a, std::size_t ix_b,
+                        std::size_t iy_b) const {
+    const bool horizontal = iy_a == iy_b;
+    double face = horizontal ? m.dy() : m.dx();
+    if (horizontal && (iy_a == 0 || iy_a == m.ny() - 1)) face *= 0.5;
+    if (!horizontal && (ix_a == 0 || ix_a == m.nx() - 1)) face *= 0.5;
+    const double dist = horizontal ? m.dx() : m.dy();
+    return face / dist;
+  }
+  double cell_area(std::size_t ix, std::size_t iy) const {
+    const double wx = (ix == 0 || ix == m.nx() - 1) ? 0.5 * m.dx() : m.dx();
+    const double wy = (iy == 0 || iy == m.ny() - 1) ? 0.5 * m.dy() : m.dy();
+    return wx * wy;
+  }
+};
+
+/// Equilibrium ohmic-contact carrier densities for net doping N.
+void contact_densities(double ni, double doping, double& n_eq, double& p_eq) {
+  const double half = 0.5 * doping;
+  n_eq = half + std::sqrt(half * half + ni * ni);
+  p_eq = ni * ni / n_eq;
+}
+
+}  // namespace
+
+DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
+                                             const mesh::DeviceMesh& m,
+                                             const DriftDiffusionOptions& opts) {
+  const std::size_t n_nodes = m.num_nodes();
+  const std::size_t nx = m.nx(), ny = m.ny();
+  const double vt = thermal_voltage(opts.temperature_k);
+  const Geometry geo{m};
+
+  // Semiconductor sub-indexing.
+  std::vector<std::size_t> semi_index(n_nodes, SIZE_MAX);
+  std::vector<std::size_t> semi_nodes;
+  for (std::size_t i = 0; i < n_nodes; ++i)
+    if (m.node(i).material == mesh::Material::kSemiconductor) {
+      semi_index[i] = semi_nodes.size();
+      semi_nodes.push_back(i);
+    }
+  const std::size_t ns = semi_nodes.size();
+
+  // Initial state from the decoupled Poisson solve.
+  PoissonOptions popts;
+  popts.temperature_k = opts.temperature_k;
+  const auto init = solve_poisson(dev, bias, m, popts);
+
+  DriftDiffusionSolution sol;
+  sol.potential = init.potential;
+  sol.electron_density = init.electron_density;
+  sol.hole_density = init.hole_density;
+
+  // Contact carrier boundary conditions: heavily doped ohmic reservoirs
+  // with the film's majority carrier.
+  const double signed_contact_doping =
+      dev.semi.carrier == CarrierType::kNType ? opts.contact_doping
+                                              : -opts.contact_doping;
+  double n_eq, p_eq;
+  contact_densities(dev.semi.ni, signed_contact_doping, n_eq, p_eq);
+  auto is_carrier_contact = [&](std::size_t i) {
+    const auto& nd = m.node(i);
+    return nd.dirichlet && nd.material == mesh::Material::kSemiconductor;
+  };
+  for (std::size_t i : semi_nodes)
+    if (is_carrier_contact(i)) {
+      sol.electron_density[i] = n_eq;
+      sol.hole_density[i] = p_eq;
+    }
+  // Floor densities for numerical stability.
+  for (std::size_t i : semi_nodes) {
+    sol.electron_density[i] = std::max(sol.electron_density[i], 1e-6 * dev.semi.ni);
+    sol.hole_density[i] = std::max(sol.hole_density[i], 1e-6 * dev.semi.ni);
+  }
+
+  numeric::Vec phi = sol.potential;
+
+  // Terminal current of a contact region (per unit depth x width), used
+  // both for convergence monitoring and the final report.
+  auto contact_current = [&](mesh::Region region) {
+    double i_sum = 0.0;
+    for (std::size_t i : semi_nodes) {
+      if (!is_carrier_contact(i) || m.node(i).region != region) continue;
+      const std::size_t ix = i % nx, iy = i / nx;
+      auto flux = [&](std::size_t jx, std::size_t jy) {
+        const std::size_t j = m.index(jx, jy);
+        if (semi_index[j] == SIZE_MAX || is_carrier_contact(j)) return;
+        const double d = (phi[j] - phi[i]) / vt;
+        const double wn = geo.face_over_dist(ix, iy, jx, jy) * dev.semi.mu0 * vt;
+        const double wp = wn * 0.5;  // hole mobility derating as in continuity
+        const double phi_n = wn * (sol.electron_density[i] * bernoulli(-d) -
+                                   sol.electron_density[j] * bernoulli(d));
+        const double phi_p = wp * (sol.hole_density[i] * bernoulli(d) -
+                                   sol.hole_density[j] * bernoulli(-d));
+        i_sum += kQ * (phi_p - phi_n);
+      };
+      if (ix > 0) flux(ix - 1, iy);
+      if (ix + 1 < nx) flux(ix + 1, iy);
+      if (iy > 0) flux(ix, iy - 1);
+      if (iy + 1 < ny) flux(ix, iy + 1);
+    }
+    return i_sum * dev.width;
+  };
+
+  // --- Gummel outer loop ----------------------------------------------------
+  double id_prev = 0.0;
+  for (std::size_t outer = 0; outer < opts.max_gummel; ++outer) {
+    sol.gummel_iterations = outer + 1;
+    const numeric::Vec phi_outer = phi;
+
+    // (1) Poisson with carriers exponentially tied to phi around the
+    // current state (keeps the Jacobian an M-matrix).
+    {
+      const numeric::Vec phi_ref = phi;
+      for (std::size_t it = 0; it < opts.max_inner_newton; ++it) {
+        numeric::TripletBuilder jac(n_nodes, n_nodes);
+        numeric::Vec f(n_nodes, 0.0);
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            const std::size_t i = m.index(ix, iy);
+            const auto& nd = m.node(i);
+            if (nd.dirichlet) {
+              jac.add(i, i, 1.0);
+              f[i] = nd.dirichlet_value - phi[i];
+              continue;
+            }
+            auto stamp = [&](std::size_t jx, std::size_t jy) {
+              const std::size_t j = m.index(jx, jy);
+              const double ea =
+                  nd.material == mesh::Material::kSemiconductor ? dev.semi.eps_r
+                  : nd.material == mesh::Material::kOxide       ? dev.oxide.eps_r
+                                                                : 1.0;
+              const auto& nj = m.node(j);
+              const double eb =
+                  nj.material == mesh::Material::kSemiconductor ? dev.semi.eps_r
+                  : nj.material == mesh::Material::kOxide       ? dev.oxide.eps_r
+                                                                : 1.0;
+              const double c =
+                  kEps0 * (2.0 * ea * eb / (ea + eb)) * geo.face_over_dist(ix, iy, jx, jy);
+              f[i] += c * (phi[j] - phi[i]);
+              jac.add(i, i, -c);
+              jac.add(i, j, c);
+            };
+            if (ix > 0) stamp(ix - 1, iy);
+            if (ix + 1 < nx) stamp(ix + 1, iy);
+            if (iy > 0) stamp(ix, iy - 1);
+            if (iy + 1 < ny) stamp(ix, iy + 1);
+
+            if (nd.material == mesh::Material::kSemiconductor) {
+              const double en = clamped_exp((phi[i] - phi_ref[i]) / vt, opts.exp_clamp);
+              const double ep = clamped_exp((phi_ref[i] - phi[i]) / vt, opts.exp_clamp);
+              const double nn = sol.electron_density[i] * en;
+              const double pp = sol.hole_density[i] * ep;
+              const double area = geo.cell_area(ix, iy);
+              f[i] += kQ * (pp - nn + dev.doping) * area;
+              jac.add(i, i, -(kQ / vt) * (nn + pp) * area);
+            }
+          }
+        }
+        auto a = numeric::SparseMatrix::from_triplets(jac);
+        numeric::Vec rhs(n_nodes);
+        for (std::size_t i = 0; i < n_nodes; ++i) rhs[i] = -f[i];
+        auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
+        if (!res.converged) res.x = numeric::solve_dense(a.to_dense(), rhs);
+        const double step = numeric::norm_inf(res.x);
+        const double damp = std::min(1.0, opts.max_step / std::max(step, 1e-300));
+        for (std::size_t i = 0; i < n_nodes; ++i) phi[i] += damp * res.x[i];
+        if (step * damp < 1e-9) break;
+      }
+      // Consistent carrier update for the exponential tie.
+      for (std::size_t i : semi_nodes) {
+        sol.electron_density[i] *=
+            clamped_exp((phi[i] - phi_ref[i]) / vt, opts.exp_clamp);
+        sol.hole_density[i] *=
+            clamped_exp((phi_ref[i] - phi[i]) / vt, opts.exp_clamp);
+      }
+      for (std::size_t i : semi_nodes)
+        if (is_carrier_contact(i)) {
+          sol.electron_density[i] = n_eq;
+          sol.hole_density[i] = p_eq;
+        }
+    }
+
+    // (2)/(3) Carrier continuity with Scharfetter-Gummel fluxes. Electrons
+    // first, then holes, each linear given phi and the lagged SRH
+    // denominator.
+    for (int carrier = 0; carrier < 2; ++carrier) {
+      const bool electrons = carrier == 0;
+      const double mu = electrons ? dev.semi.mu0 : dev.semi.mu0 * 0.5;
+      numeric::TripletBuilder a(ns, ns);
+      numeric::Vec rhs(ns, 0.0);
+      for (std::size_t k = 0; k < ns; ++k) {
+        const std::size_t i = semi_nodes[k];
+        if (is_carrier_contact(i)) {
+          a.add(k, k, 1.0);
+          rhs[k] = electrons ? n_eq : p_eq;
+          continue;
+        }
+        const std::size_t ix = i % nx, iy = i / nx;
+        auto stamp = [&](std::size_t jx, std::size_t jy) {
+          const std::size_t j = m.index(jx, jy);
+          if (semi_index[j] == SIZE_MAX) return;  // insulated boundary
+          const double w = geo.face_over_dist(ix, iy, jx, jy) * mu * vt;
+          const double d = (phi[j] - phi[i]) / vt;
+          // Electron particle outflow i->j:
+          //   w [ n_i B(-d) - n_j B(d) ]
+          // Hole particle outflow i->j:
+          //   w [ p_i B(d) - p_j B(-d) ]
+          const double ci = electrons ? bernoulli(-d) : bernoulli(d);
+          const double cj = electrons ? bernoulli(d) : bernoulli(-d);
+          a.add(k, k, w * ci);
+          a.add(k, semi_index[j], -w * cj);
+        };
+        if (ix > 0) stamp(ix - 1, iy);
+        if (ix + 1 < nx) stamp(ix + 1, iy);
+        if (iy > 0) stamp(ix, iy - 1);
+        if (iy + 1 < ny) stamp(ix, iy + 1);
+
+        // SRH with lagged denominator: R = (x * other - ni^2) / D_old.
+        const auto& sp = dev.semi;
+        const double denom = sp.tau_srh_p * (sol.electron_density[i] + sp.ni) +
+                             sp.tau_srh_n * (sol.hole_density[i] + sp.ni);
+        const double area = geo.cell_area(ix, iy);
+        const double other = electrons ? sol.hole_density[i] : sol.electron_density[i];
+        // Outflow + R*area = 0  ->  A x = rhs with R split linear/const.
+        a.add(k, k, area * other / denom);
+        rhs[k] = area * sp.ni * sp.ni / denom;
+      }
+      const auto mat = numeric::SparseMatrix::from_triplets(a);
+      auto res = numeric::solve_bicgstab(mat, rhs, 1e-12);
+      if (!res.converged) res.x = numeric::solve_dense(mat.to_dense(), rhs);
+      for (std::size_t k = 0; k < ns; ++k) {
+        const double v = std::max(res.x[k], 1e-10 * dev.semi.ni);
+        (electrons ? sol.electron_density : sol.hole_density)[semi_nodes[k]] = v;
+      }
+    }
+
+    double dphi = 0.0;
+    for (std::size_t i = 0; i < n_nodes; ++i)
+      dphi = std::max(dphi, std::fabs(phi[i] - phi_outer[i]));
+    const double id_now = contact_current(mesh::Region::kDrain);
+    const bool phi_ok = dphi < opts.tol_phi;
+    const bool current_ok =
+        outer > 2 && dphi < std::sqrt(opts.tol_phi) &&
+        std::fabs(id_now - id_prev) <=
+            opts.tol_current * std::max(std::fabs(id_now), 1e-18);
+    id_prev = id_now;
+    if ((phi_ok || current_ok) && outer > 0) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  sol.potential = phi;
+  sol.source_current = contact_current(mesh::Region::kSource);
+  sol.drain_current = contact_current(mesh::Region::kDrain);
+  return sol;
+}
+
+DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
+                                             std::size_t nx, std::size_t n_ch,
+                                             std::size_t n_ox,
+                                             const DriftDiffusionOptions& opts) {
+  const auto m = build_mesh(dev, bias, nx, n_ch, n_ox);
+  return solve_drift_diffusion(dev, bias, m, opts);
+}
+
+}  // namespace stco::tcad

@@ -1,0 +1,108 @@
+#include "src/tcad/materials.hpp"
+
+#include <stdexcept>
+
+namespace stco::tcad {
+
+std::string to_string(SemiconductorKind k) {
+  switch (k) {
+    case SemiconductorKind::kCnt: return "CNT";
+    case SemiconductorKind::kIgzo: return "IGZO";
+    case SemiconductorKind::kLtps: return "LTPS";
+    case SemiconductorKind::kSilicon: return "Si";
+  }
+  return "?";
+}
+
+std::string to_string(CarrierType t) {
+  return t == CarrierType::kNType ? "N" : "P";
+}
+
+SemiconductorParams cnt_params() {
+  SemiconductorParams p;
+  p.kind = SemiconductorKind::kCnt;
+  p.carrier = CarrierType::kPType;  // CNT network TFTs are typically p-type
+  p.eps_r = 5.0;
+  p.ni = 5e16;
+  p.mu0 = 2.5e-3;   // 25 cm^2/Vs
+  p.gamma = 0.25;
+  p.tau_srh_n = 5e-8;
+  p.tau_srh_p = 5e-8;
+  p.vth0 = 0.8;
+  p.flatband = -0.2;
+  p.tail_trap_density = 3e23;
+  p.hop_energy_mev = 40.0;
+  return p;
+}
+
+SemiconductorParams igzo_params() {
+  SemiconductorParams p;
+  p.kind = SemiconductorKind::kIgzo;
+  p.carrier = CarrierType::kNType;
+  p.eps_r = 10.0;
+  p.ni = 1e15;
+  p.mu0 = 1.2e-3;   // 12 cm^2/Vs
+  p.gamma = 0.45;
+  p.tau_srh_n = 2e-7;
+  p.tau_srh_p = 2e-7;
+  p.vth0 = 1.2;
+  p.flatband = 0.1;
+  p.tail_trap_density = 5e23;
+  p.hop_energy_mev = 50.0;
+  return p;
+}
+
+SemiconductorParams ltps_params() {
+  SemiconductorParams p;
+  p.kind = SemiconductorKind::kLtps;
+  p.carrier = CarrierType::kNType;
+  p.eps_r = 11.7;
+  p.ni = 1.5e16;
+  p.mu0 = 8e-3;     // 80 cm^2/Vs
+  p.gamma = 0.15;
+  p.tau_srh_n = 1e-7;
+  p.tau_srh_p = 1e-7;
+  p.vth0 = 1.0;
+  p.flatband = 0.0;
+  p.tail_trap_density = 1e23;
+  p.hop_energy_mev = 30.0;
+  return p;
+}
+
+SemiconductorParams silicon_params() {
+  SemiconductorParams p;
+  p.kind = SemiconductorKind::kSilicon;
+  p.carrier = CarrierType::kNType;
+  p.eps_r = 11.7;
+  p.ni = 1.0e16;    // effective value for a thin channel at 300 K
+  p.mu0 = 1.4e-2;
+  p.gamma = 0.05;   // crystalline: nearly field-independent
+  p.tau_srh_n = 1e-6;
+  p.tau_srh_p = 1e-6;
+  p.vth0 = 0.45;
+  p.flatband = 0.0;
+  p.tail_trap_density = 1e21;
+  p.hop_energy_mev = 26.0;
+  return p;
+}
+
+SemiconductorParams params_for(SemiconductorKind k) {
+  switch (k) {
+    case SemiconductorKind::kCnt: return cnt_params();
+    case SemiconductorKind::kIgzo: return igzo_params();
+    case SemiconductorKind::kLtps: return ltps_params();
+    case SemiconductorKind::kSilicon: return silicon_params();
+  }
+  throw std::invalid_argument("params_for: unknown kind");
+}
+
+DielectricParams sio2_params() { return {}; }
+
+double srh_rate(const SemiconductorParams& sp, double n, double p) {
+  const double n1 = sp.ni, p1 = sp.ni;
+  const double denom = sp.tau_srh_p * (n + n1) + sp.tau_srh_n * (p + p1);
+  if (denom <= 0.0) return 0.0;
+  return (n * p - sp.ni * sp.ni) / denom;
+}
+
+}  // namespace stco::tcad

@@ -1,0 +1,67 @@
+#pragma once
+// Material physics for the TCAD substrate: dielectric constants, effective
+// band parameters, mobility, and Shockley-Read-Hall lifetimes for the
+// emerging thin-film technologies the paper targets (CNT networks, IGZO,
+// LTPS) plus the SiO2 gate dielectric and reference silicon.
+//
+// Values are representative literature numbers for thin-film devices; they
+// parameterize the physical models (SRH recombination, Boltzmann statistics,
+// power-law mobility enhancement from tail-distributed traps / variable
+// range hopping) rather than claiming foundry accuracy.
+
+#include <cstdint>
+#include <string>
+
+namespace stco::tcad {
+
+// Physical constants (SI).
+inline constexpr double kQ = 1.602176634e-19;      ///< elementary charge [C]
+inline constexpr double kEps0 = 8.8541878128e-12;  ///< vacuum permittivity [F/m]
+inline constexpr double kKb = 1.380649e-23;        ///< Boltzmann constant [J/K]
+inline constexpr double kT300 = 300.0;             ///< default temperature [K]
+/// Thermal voltage at temperature T.
+inline double thermal_voltage(double temperature_k = kT300) {
+  return kKb * temperature_k / kQ;
+}
+
+enum class SemiconductorKind : std::uint8_t { kCnt = 0, kIgzo = 1, kLtps = 2, kSilicon = 3 };
+enum class CarrierType : std::uint8_t { kNType = 0, kPType = 1 };
+
+std::string to_string(SemiconductorKind k);
+std::string to_string(CarrierType t);
+
+/// Parameter set for a semiconductor thin film.
+struct SemiconductorParams {
+  SemiconductorKind kind = SemiconductorKind::kCnt;
+  CarrierType carrier = CarrierType::kPType;
+  double eps_r = 5.0;          ///< relative permittivity
+  double ni = 1e16;            ///< effective intrinsic carrier density [1/m^3]
+  double mu0 = 1e-3;           ///< low-field mobility at |Vg-Vth| = 1 V [m^2/Vs]
+  double gamma = 0.3;          ///< mobility field-enhancement exponent (TDT/VRH)
+  double tau_srh_n = 1e-7;     ///< SRH electron lifetime [s]
+  double tau_srh_p = 1e-7;     ///< SRH hole lifetime [s]
+  double vth0 = 0.5;           ///< nominal threshold magnitude [V]
+  double flatband = 0.0;       ///< flat-band voltage offset at the gate [V]
+  double tail_trap_density = 1e23;  ///< tail-distributed trap density [1/m^3]
+  double hop_energy_mev = 35.0;     ///< characteristic VRH hopping energy [meV]
+};
+
+/// Gate dielectric parameters.
+struct DielectricParams {
+  double eps_r = 3.9;  ///< SiO2 default
+};
+
+/// Canonical technology presets (paper section II.B lists CNT / IGZO / LTPS).
+SemiconductorParams cnt_params();
+SemiconductorParams igzo_params();
+SemiconductorParams ltps_params();
+SemiconductorParams silicon_params();
+SemiconductorParams params_for(SemiconductorKind k);
+
+DielectricParams sio2_params();
+
+/// SRH recombination rate [1/m^3/s] for carrier densities n, p.
+/// R = (n p - ni^2) / (tau_p (n + n1) + tau_n (p + p1)), n1 = p1 = ni.
+double srh_rate(const SemiconductorParams& sp, double n, double p);
+
+}  // namespace stco::tcad

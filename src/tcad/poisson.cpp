@@ -1,0 +1,188 @@
+#include "src/tcad/poisson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/solve.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::tcad {
+
+namespace {
+
+double clamped_exp(double x, double clamp) {
+  return std::exp(std::clamp(x, -clamp, clamp));
+}
+
+/// Relative permittivity at a node.
+double node_eps(const mesh::MeshNode& n, const TftDevice& dev) {
+  switch (n.material) {
+    case mesh::Material::kSemiconductor: return dev.semi.eps_r;
+    case mesh::Material::kOxide: return dev.oxide.eps_r;
+    case mesh::Material::kMetal: return 1.0;  // unused: metal rows are Dirichlet
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+  const std::size_t n = m.num_nodes();
+  const std::size_t nx = m.nx();
+  const double vt = thermal_voltage(opts.temperature_k);
+  const double dx = m.dx(), dy = m.dy();
+
+  PoissonSolution sol;
+  sol.potential.assign(n, 0.0);
+  sol.electron_density.assign(n, 0.0);
+  sol.hole_density.assign(n, 0.0);
+  sol.charge_density.assign(n, 0.0);
+  sol.quasi_fermi.assign(n, 0.0);
+
+  // Quasi-Fermi ramp along the channel between the contact edges.
+  const double x_src_edge = dev.contact_len;
+  const double x_drn_edge = m.lx() - dev.contact_len;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = m.node(i);
+    double f = 0.0;
+    if (x_drn_edge > x_src_edge)
+      f = std::clamp((nd.x - x_src_edge) / (x_drn_edge - x_src_edge), 0.0, 1.0);
+    sol.quasi_fermi[i] = bias.vs + f * (bias.vd - bias.vs);
+  }
+
+  // Initial guess: Dirichlet values where pinned, quasi-Fermi elsewhere.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = m.node(i);
+    sol.potential[i] = nd.dirichlet ? nd.dirichlet_value : sol.quasi_fermi[i];
+  }
+
+  // Per-node control-volume area (per unit depth) with half cells at edges.
+  auto cell_area = [&](std::size_t ix, std::size_t iy) {
+    const double wx = (ix == 0 || ix == nx - 1) ? 0.5 * dx : dx;
+    const double wy = (iy == 0 || iy == m.ny() - 1) ? 0.5 * dy : dy;
+    return wx * wy;
+  };
+
+  // Edge coupling: eps0 * harmonic-mean(eps_r) * (face length / distance).
+  auto coupling = [&](std::size_t a, std::size_t b, bool horizontal,
+                      std::size_t perp_edge_count) {
+    const double ea = node_eps(m.node(a), dev);
+    const double eb = node_eps(m.node(b), dev);
+    const double eh = 2.0 * ea * eb / (ea + eb);
+    double face = horizontal ? dy : dx;
+    // Half face for boundary rows/columns.
+    if (perp_edge_count == 1) face *= 0.5;
+    const double dist = horizontal ? dx : dy;
+    return kEps0 * eh * face / dist;
+  };
+
+  numeric::Vec phi = sol.potential;
+  numeric::Vec f_res(n), np(n), pp(n);
+
+  const double carrier_scale = kQ;  // residual in Coulombs per unit depth
+
+  for (std::size_t it = 0; it < opts.max_newton; ++it) {
+    sol.newton_iterations = it + 1;
+
+    // Carrier densities and residual.
+    std::fill(f_res.begin(), f_res.end(), 0.0);
+    for (std::size_t iy = 0; iy < m.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = m.index(ix, iy);
+        const auto& nd = m.node(i);
+        double rho = 0.0;
+        if (nd.material == mesh::Material::kSemiconductor) {
+          const double ni = dev.semi.ni;
+          np[i] = ni * clamped_exp((phi[i] - sol.quasi_fermi[i]) / vt, opts.exp_clamp);
+          pp[i] = ni * clamped_exp((sol.quasi_fermi[i] - phi[i]) / vt, opts.exp_clamp);
+          rho = carrier_scale * (pp[i] - np[i] + dev.doping);
+        } else {
+          np[i] = pp[i] = 0.0;
+        }
+        f_res[i] += rho * cell_area(ix, iy);
+      }
+    }
+
+    numeric::TripletBuilder jac(n, n);
+    for (std::size_t iy = 0; iy < m.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t i = m.index(ix, iy);
+        const auto& nd = m.node(i);
+        if (nd.dirichlet) {
+          // Identity row: dphi_i = (bc - phi_i); keep phi pinned exactly.
+          jac.add(i, i, 1.0);
+          f_res[i] = nd.dirichlet_value - phi[i];
+          continue;
+        }
+        auto stamp_neighbor = [&](std::size_t j, bool horizontal,
+                                  std::size_t perp_edge_count) {
+          const double c = coupling(i, j, horizontal, perp_edge_count);
+          f_res[i] += c * (phi[j] - phi[i]);
+          jac.add(i, i, -c);
+          if (!m.node(j).dirichlet) jac.add(i, j, c);
+          // Dirichlet neighbours contribute to the residual only; their
+          // dphi is handled by their identity rows (which give dphi = 0
+          // once converged; during iteration the pinned residual pulls
+          // them exactly onto the boundary value).
+          else jac.add(i, j, c);
+        };
+        const bool top_or_bottom = (iy == 0 || iy == m.ny() - 1);
+        const bool left_or_right = (ix == 0 || ix == nx - 1);
+        if (ix > 0) stamp_neighbor(m.index(ix - 1, iy), true, top_or_bottom ? 1 : 2);
+        if (ix + 1 < nx) stamp_neighbor(m.index(ix + 1, iy), true, top_or_bottom ? 1 : 2);
+        if (iy > 0) stamp_neighbor(m.index(ix, iy - 1), false, left_or_right ? 1 : 2);
+        if (iy + 1 < m.ny()) stamp_neighbor(m.index(ix, iy + 1), false, left_or_right ? 1 : 2);
+
+        // d rho / d phi = -(q/vt) (n + p)
+        if (nd.material == mesh::Material::kSemiconductor) {
+          const double drho = -(carrier_scale / vt) * (np[i] + pp[i]);
+          jac.add(i, i, drho * cell_area(ix, iy));
+        }
+      }
+    }
+
+    // Newton step: J dphi = -F.
+    numeric::Vec rhs(n);
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = -f_res[i];
+    auto a = numeric::SparseMatrix::from_triplets(jac);
+    auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
+    if (!res.converged) {
+      // Fall back to a dense solve for robustness on tiny meshes.
+      res.x = numeric::solve_dense(a.to_dense(), rhs);
+    }
+
+    double step_inf = numeric::norm_inf(res.x);
+    const double damp = std::min(1.0, opts.max_step / std::max(step_inf, 1e-300));
+    for (std::size_t i = 0; i < n; ++i) phi[i] += damp * res.x[i];
+
+    if (step_inf * damp < opts.tol_update) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  sol.potential = phi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& nd = m.node(i);
+    if (nd.material == mesh::Material::kSemiconductor) {
+      sol.electron_density[i] =
+          dev.semi.ni * clamped_exp((phi[i] - sol.quasi_fermi[i]) / vt, opts.exp_clamp);
+      sol.hole_density[i] =
+          dev.semi.ni * clamped_exp((sol.quasi_fermi[i] - phi[i]) / vt, opts.exp_clamp);
+      sol.charge_density[i] =
+          kQ * (sol.hole_density[i] - sol.electron_density[i] + dev.doping);
+    }
+  }
+  return sol;
+}
+
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias, std::size_t nx,
+                              std::size_t n_ch, std::size_t n_ox,
+                              const PoissonOptions& opts) {
+  const auto m = build_mesh(dev, bias, nx, n_ch, n_ox);
+  return solve_poisson(dev, bias, m, opts);
+}
+
+}  // namespace stco::tcad

@@ -1,0 +1,48 @@
+#pragma once
+// Nonlinear 2-D Poisson solver (damped Newton over a finite-volume
+// discretization with Boltzmann carrier statistics). This is the "expensive
+// physics" half of the TCAD substrate: the GNN Poisson emulator is trained
+// to reproduce its output (paper Table II, row 1).
+
+#include <cstddef>
+
+#include "src/mesh/mesh.hpp"
+#include "src/numeric/matrix.hpp"
+#include "src/tcad/device.hpp"
+
+namespace stco::tcad {
+
+/// Converged solution fields, one entry per mesh node.
+struct PoissonSolution {
+  numeric::Vec potential;        ///< electrostatic potential [V]
+  numeric::Vec electron_density; ///< n [1/m^3] (0 outside the semiconductor)
+  numeric::Vec hole_density;     ///< p [1/m^3]
+  numeric::Vec charge_density;   ///< net space charge q(p - n + N) [C/m^3]
+  numeric::Vec quasi_fermi;      ///< quasi-Fermi potential used per node [V]
+  std::size_t newton_iterations = 0;
+  bool converged = false;
+};
+
+struct PoissonOptions {
+  std::size_t max_newton = 80;
+  double tol_update = 1e-8;     ///< stop when ||dphi||_inf below this [V]
+  double max_step = 1.0;        ///< per-iteration |dphi| cap [V]
+  double exp_clamp = 34.0;      ///< Boltzmann exponent clamp
+  double temperature_k = kT300;
+};
+
+/// Solve the nonlinear Poisson equation on the mesh built for `dev`/`bias`.
+///
+/// The quasi-Fermi potential is ramped linearly along the channel between
+/// the source and drain contact potentials (a gradual-channel closure; the
+/// drift-diffusion transport solve lives in transport.hpp).
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                              const mesh::DeviceMesh& mesh,
+                              const PoissonOptions& opts = {});
+
+/// Convenience overload that builds the default mesh first.
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                              std::size_t nx = 16, std::size_t n_ch = 5,
+                              std::size_t n_ox = 4, const PoissonOptions& opts = {});
+
+}  // namespace stco::tcad

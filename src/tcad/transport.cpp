@@ -1,0 +1,191 @@
+#include "src/tcad/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/numeric/solve.hpp"
+
+namespace stco::tcad {
+
+double oxide_capacitance(const TftDevice& dev) {
+  return kEps0 * dev.oxide.eps_r / dev.t_ox;
+}
+
+namespace {
+
+/// 1-D vertical Poisson slice through film + oxide.
+///
+/// Grid: index 0 at the film top surface (Neumann), increasing into the
+/// stack; last node is the gate electrode (Dirichlet vg - flatband).
+/// Returns the mobile sheet charge integrated over the film.
+double solve_slice(const TftDevice& dev, double vg, double v_channel,
+                   const TransportOptions& opts) {
+  const double vt = thermal_voltage(opts.temperature_k);
+  const std::size_t n_total = std::max<std::size_t>(opts.slice_points, 8);
+  // Split rows between film and oxide proportionally, at least 3 each.
+  std::size_t n_film =
+      std::max<std::size_t>(3, static_cast<std::size_t>(std::round(
+                                   static_cast<double>(n_total) * dev.t_ch /
+                                   (dev.t_ch + dev.t_ox))));
+  if (n_film > n_total - 4) n_film = n_total - 4;
+  const std::size_t n_ox = n_total - n_film;  // last node = gate
+  const double dyf = dev.t_ch / static_cast<double>(n_film);
+  const double dyo = dev.t_ox / static_cast<double>(n_ox);
+
+  const std::size_t n = n_film + n_ox + 1;
+  const double vgate = vg - dev.semi.flatband;
+  const double ni = dev.semi.ni;
+  const double clamp = 34.0;
+
+  std::vector<double> phi(n, v_channel);
+  phi[n - 1] = vgate;
+
+  auto spacing_below = [&](std::size_t i) {  // distance to node i+1
+    return (i < n_film) ? ((i + 1 <= n_film) ? dyf : dyo) : dyo;
+  };
+  auto eps_between = [&](std::size_t i) {  // permittivity of segment i..i+1
+    return kEps0 * ((i + 1 <= n_film) ? dev.semi.eps_r : dev.oxide.eps_r);
+  };
+  auto node_dy = [&](std::size_t i) {  // control length of node i
+    if (i == 0) return 0.5 * dyf;
+    if (i < n_film) return dyf;
+    if (i == n_film) return 0.5 * (dyf + dyo);
+    if (i < n - 1) return dyo;
+    return 0.5 * dyo;
+  };
+
+  auto cexp = [&](double x) { return std::exp(std::clamp(x, -clamp, clamp)); };
+
+  for (std::size_t it = 0; it < opts.max_newton; ++it) {
+    numeric::Vec lower(n - 1, 0.0), diag(n, 0.0), upper(n - 1, 0.0), rhs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == n - 1) {  // gate Dirichlet
+        diag[i] = 1.0;
+        rhs[i] = vgate - phi[i];
+        continue;
+      }
+      double f = 0.0;
+      // Coupling to i+1 (always exists for i < n-1).
+      {
+        const double c = eps_between(i) / spacing_below(i);
+        f += c * (phi[i + 1] - phi[i]);
+        diag[i] -= c;
+        upper[i] += c;
+      }
+      // Coupling to i-1 (not for the top surface: Neumann there).
+      if (i > 0) {
+        const double c = eps_between(i - 1) / spacing_below(i - 1);
+        f += c * (phi[i - 1] - phi[i]);
+        diag[i] -= c;
+        lower[i - 1] += c;
+      }
+      // Space charge in the film.
+      if (i <= n_film) {
+        const double nn = ni * cexp((phi[i] - v_channel) / vt);
+        const double pp = ni * cexp((v_channel - phi[i]) / vt);
+        const double dy_i = (i == n_film) ? 0.5 * dyf  // film half of the interface cell
+                                          : node_dy(i);
+        f += kQ * (pp - nn + dev.doping) * dy_i;
+        diag[i] += -(kQ / vt) * (nn + pp) * dy_i;
+      }
+      rhs[i] = -f;
+    }
+
+    numeric::Vec dphi = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+    const double step = numeric::norm_inf(dphi);
+    const double damp = std::min(1.0, 1.0 / std::max(step, 1e-300));
+    for (std::size_t i = 0; i < n; ++i) phi[i] += damp * dphi[i];
+    if (step * damp < opts.tol_update) break;
+  }
+
+  // Mobile sheet charge: integrate the dominant carrier over the film.
+  double qs = 0.0;
+  const bool ntype = dev.semi.carrier == CarrierType::kNType;
+  for (std::size_t i = 0; i <= n_film; ++i) {
+    const double nn = ni * cexp((phi[i] - v_channel) / vt);
+    const double pp = ni * cexp((v_channel - phi[i]) / vt);
+    const double dy_i = (i == n_film) ? 0.5 * dyf : node_dy(i);
+    qs += kQ * (ntype ? nn : pp) * dy_i;
+  }
+  return qs;
+}
+
+}  // namespace
+
+double sheet_charge(const TftDevice& dev, double vg, double v_channel,
+                    const TransportOptions& opts) {
+  return solve_slice(dev, vg, v_channel, opts);
+}
+
+double srh_leakage(const TftDevice& dev, double vd) {
+  // Generation current of the reverse-biased channel/drain volume plus a
+  // numerical floor; gives the gate-independent off-state plateau.
+  const auto& sp = dev.semi;
+  const double gen = kQ * sp.ni / (sp.tau_srh_n + sp.tau_srh_p);
+  return gen * dev.width * dev.length * dev.t_ch * std::tanh(std::fabs(vd) / 0.1);
+}
+
+double drain_current(const TftDevice& dev, const Bias& bias,
+                     const TransportOptions& opts) {
+  const bool ntype = dev.semi.carrier == CarrierType::kNType;
+  // For a P-type device with negative vg/vd, work in mirrored coordinates:
+  // the slice solver handles sign through the Boltzmann factors directly.
+  const double vd_mag = std::fabs(bias.vd - bias.vs);
+  if (vd_mag == 0.0) return 0.0;
+  const double sgn_vd = (bias.vd - bias.vs) >= 0 ? 1.0 : -1.0;
+
+  const double cox = oxide_capacitance(dev);
+  const double q_ref = cox * 1.0;  // sheet charge at 1 V overdrive
+  const double mu0 = dev.semi.mu0;
+  const double gamma = dev.semi.gamma;
+
+  // Gradual channel integration. The local channel quasi-Fermi potential
+  // runs from vs to vd; for N-type forward operation that de-biases the
+  // charge toward the drain (pinch-off emerges naturally since Q_s decays
+  // exponentially once the local overdrive is gone).
+  const std::size_t steps = std::max<std::size_t>(opts.integration_steps, 4);
+  const double dv = vd_mag / static_cast<double>(steps);
+  double integral = 0.0;
+  double q_prev = -1.0, mu_prev = 0.0;
+  for (std::size_t k = 0; k <= steps; ++k) {
+    const double v_local = bias.vs + sgn_vd * static_cast<double>(k) * dv;
+    const double qs = solve_slice(dev, bias.vg, v_local, opts);
+    const double mu = mu0 * std::pow(std::max(qs, 1e-12) / q_ref, gamma);
+    if (q_prev >= 0.0) {
+      // Trapezoid on mu(Qs)*Qs.
+      integral += 0.5 * (mu * qs + mu_prev * q_prev) * dv;
+    }
+    q_prev = qs;
+    mu_prev = mu;
+  }
+  (void)ntype;
+  const double ion = (dev.width / dev.length) * integral;
+  return ion + srh_leakage(dev, vd_mag) + opts.gmin * vd_mag;
+}
+
+std::vector<IvPoint> transfer_curve(const TftDevice& dev, double vd,
+                                    const std::vector<double>& vg_values,
+                                    const TransportOptions& opts) {
+  std::vector<IvPoint> out;
+  out.reserve(vg_values.size());
+  for (double vg : vg_values) {
+    Bias b{vg, vd, 0.0};
+    out.push_back({vg, vd, drain_current(dev, b, opts)});
+  }
+  return out;
+}
+
+std::vector<IvPoint> output_curve(const TftDevice& dev, double vg,
+                                  const std::vector<double>& vd_values,
+                                  const TransportOptions& opts) {
+  std::vector<IvPoint> out;
+  out.reserve(vd_values.size());
+  for (double vd : vd_values) {
+    Bias b{vg, vd, 0.0};
+    out.push_back({vg, vd, drain_current(dev, b, opts)});
+  }
+  return out;
+}
+
+}  // namespace stco::tcad

@@ -1,0 +1,65 @@
+#pragma once
+// Quasi-1D drift transport for the TFT: a gradual-channel integration over
+// vertical Poisson slices. Together with poisson.hpp this forms the
+// "commercial TCAD" stand-in whose I-V output trains the GNN IV predictor
+// (paper Table II, row 2).
+//
+// Current model (N-type; P-type mirrored):
+//   I_D = (W / L) * integral_{0}^{V_D} mu(Q_s(V)) * Q_s(V) dV  +  I_SRH
+// where Q_s(V) is the mobile sheet charge from a 1-D vertical nonlinear
+// Poisson slice with channel quasi-Fermi potential V, and
+//   mu(Q_s) = mu0 * (Q_s / Q_ref)^gamma,  Q_ref = C_ox * 1 V
+// is the tail-trap / variable-range-hopping mobility enhancement that the
+// unified compact model (Eq. 1) abstracts as mu0 |V_G - V_th|^gamma.
+
+#include <vector>
+
+#include "src/tcad/device.hpp"
+
+namespace stco::tcad {
+
+struct TransportOptions {
+  std::size_t slice_points = 24;    ///< vertical mesh rows in the film+oxide slice
+  std::size_t integration_steps = 32;
+  std::size_t max_newton = 60;
+  double tol_update = 1e-10;        ///< Newton stop [V]
+  double temperature_k = kT300;
+  double gmin = 1e-12;              ///< numerical floor conductance [S]
+};
+
+/// Mobile sheet charge [C/m^2] in the film for gate bias `vg` and local
+/// channel quasi-Fermi potential `v_channel`. Always >= 0 (magnitude of the
+/// dominant mobile carrier charge).
+double sheet_charge(const TftDevice& dev, double vg, double v_channel,
+                    const TransportOptions& opts = {});
+
+/// Gate oxide capacitance per area [F/m^2].
+double oxide_capacitance(const TftDevice& dev);
+
+/// DC drain current [A] at the given bias. Sign convention: returned value
+/// is the magnitude of the source-to-drain current (both N and P devices
+/// report positive on-current for their natural bias polarity).
+double drain_current(const TftDevice& dev, const Bias& bias,
+                     const TransportOptions& opts = {});
+
+/// One simulated I-V sample.
+struct IvPoint {
+  double vg = 0.0;
+  double vd = 0.0;
+  double id = 0.0;
+};
+
+/// Transfer characteristic: sweep vg at fixed vd.
+std::vector<IvPoint> transfer_curve(const TftDevice& dev, double vd,
+                                    const std::vector<double>& vg_values,
+                                    const TransportOptions& opts = {});
+
+/// Output characteristic: sweep vd at fixed vg.
+std::vector<IvPoint> output_curve(const TftDevice& dev, double vg,
+                                  const std::vector<double>& vd_values,
+                                  const TransportOptions& opts = {});
+
+/// SRH generation-limited leakage floor [A] (gate-independent).
+double srh_leakage(const TftDevice& dev, double vd);
+
+}  // namespace stco::tcad

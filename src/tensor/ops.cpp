@@ -1,0 +1,515 @@
+#include "src/tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::tensor {
+
+namespace {
+
+enum class Broadcast { kSame, kRow, kScalar };
+
+Broadcast classify(const Tensor& a, const Tensor& b) {
+  if (a.rows() == b.rows() && a.cols() == b.cols()) return Broadcast::kSame;
+  if (b.rows() == 1 && b.cols() == a.cols()) return Broadcast::kRow;
+  if (b.size() == 1) return Broadcast::kScalar;
+  throw std::invalid_argument("tensor op: incompatible shapes");
+}
+
+// Accumulate a full-shaped gradient `g` (rows x cols) into parent `p`,
+// reducing over broadcast dimensions as needed.
+void accumulate_broadcast(Node& p, const std::vector<double>& g, std::size_t rows,
+                          std::size_t cols, Broadcast bc) {
+  if (!p.requires_grad) return;
+  switch (bc) {
+    case Broadcast::kSame:
+      for (std::size_t i = 0; i < g.size(); ++i) p.grad[i] += g[i];
+      break;
+    case Broadcast::kRow:
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) p.grad[c] += g[r * cols + c];
+      break;
+    case Broadcast::kScalar: {
+      double s = 0.0;
+      for (double v : g) s += v;
+      p.grad[0] += s;
+      break;
+    }
+  }
+}
+
+double broadcast_at(const Node& b, std::size_t r, std::size_t c, std::size_t cols,
+                    Broadcast bc) {
+  switch (bc) {
+    case Broadcast::kSame:
+      return b.value[r * cols + c];
+    case Broadcast::kRow:
+      return b.value[c];
+    case Broadcast::kScalar:
+      return b.value[0];
+  }
+  return 0.0;
+}
+
+/// Elementwise unary op helper: forward maps value, backward multiplies the
+/// output grad by dfwd evaluated from (input value, output value).
+template <typename Fwd, typename Dfn>
+Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
+  Tensor out = Tensor::make_op(a.rows(), a.cols(), {a}, [dfn](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (std::size_t i = 0; i < n.value.size(); ++i)
+      p.grad[i] += n.grad[i] * dfn(p.value[i], n.value[i]);
+  });
+  auto& v = out.value();
+  const auto& av = a.value();
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = fwd(av[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor out = Tensor::make_op(m, n, {a, b}, [m, k, n](Node& node) {
+    Node& pa = *node.parents[0];
+    Node& pb = *node.parents[1];
+    // dA = dC * B^T
+    if (pa.requires_grad) {
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+          const double g = node.grad[i * n + j];
+          if (g == 0.0) continue;
+          for (std::size_t kk = 0; kk < k; ++kk)
+            pa.grad[i * k + kk] += g * pb.value[kk * n + j];
+        }
+    }
+    // dB = A^T * dC
+    if (pb.requires_grad) {
+      for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double av = pa.value[i * k + kk];
+          if (av == 0.0) continue;
+          for (std::size_t j = 0; j < n; ++j)
+            pb.grad[kk * n + j] += av * node.grad[i * n + j];
+        }
+    }
+  });
+  auto& c = out.value();
+  const auto& av = a.value();
+  const auto& bv = b.value();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = av[i * k + kk];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * bv[kk * n + j];
+    }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  const Broadcast bc = classify(a, b);
+  const std::size_t rows = a.rows(), cols = a.cols();
+  Tensor out = Tensor::make_op(rows, cols, {a, b}, [rows, cols, bc](Node& n) {
+    accumulate_broadcast(*n.parents[0], n.grad, rows, cols, Broadcast::kSame);
+    accumulate_broadcast(*n.parents[1], n.grad, rows, cols, bc);
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      v[r * cols + c] = a.value()[r * cols + c] + broadcast_at(*b.raw(), r, c, cols, bc);
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  const Broadcast bc = classify(a, b);
+  const std::size_t rows = a.rows(), cols = a.cols();
+  Tensor out = Tensor::make_op(rows, cols, {a, b}, [rows, cols, bc](Node& n) {
+    accumulate_broadcast(*n.parents[0], n.grad, rows, cols, Broadcast::kSame);
+    std::vector<double> neg_g(n.grad.size());
+    for (std::size_t i = 0; i < n.grad.size(); ++i) neg_g[i] = -n.grad[i];
+    accumulate_broadcast(*n.parents[1], neg_g, rows, cols, bc);
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      v[r * cols + c] = a.value()[r * cols + c] - broadcast_at(*b.raw(), r, c, cols, bc);
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  const Broadcast bc = classify(a, b);
+  const std::size_t rows = a.rows(), cols = a.cols();
+  Tensor out = Tensor::make_op(rows, cols, {a, b}, [rows, cols, bc](Node& n) {
+    Node& pa = *n.parents[0];
+    Node& pb = *n.parents[1];
+    if (pa.requires_grad) {
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+          pa.grad[r * cols + c] +=
+              n.grad[r * cols + c] * broadcast_at(pb, r, c, cols, bc);
+    }
+    if (pb.requires_grad) {
+      std::vector<double> g(n.grad.size());
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+          g[r * cols + c] = n.grad[r * cols + c] * pa.value[r * cols + c];
+      accumulate_broadcast(pb, g, rows, cols, bc);
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      v[r * cols + c] = a.value()[r * cols + c] * broadcast_at(*b.raw(), r, c, cols, bc);
+  return out;
+}
+
+Tensor scale(const Tensor& a, double s) {
+  return unary(a, [s](double x) { return s * x; }, [s](double, double) { return s; });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0); }
+
+Tensor relu(const Tensor& a) {
+  return unary(a, [](double x) { return x > 0 ? x : 0.0; },
+               [](double x, double) { return x > 0 ? 1.0 : 0.0; });
+}
+
+Tensor leaky_relu(const Tensor& a, double alpha) {
+  return unary(a, [alpha](double x) { return x > 0 ? x : alpha * x; },
+               [alpha](double x, double) { return x > 0 ? 1.0 : alpha; });
+}
+
+Tensor elu(const Tensor& a, double alpha) {
+  return unary(a, [alpha](double x) { return x > 0 ? x : alpha * (std::exp(x) - 1.0); },
+               [alpha](double x, double y) { return x > 0 ? 1.0 : y + alpha; });
+}
+
+Tensor tanh_t(const Tensor& a) {
+  return unary(a, [](double x) { return std::tanh(x); },
+               [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+               [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor exp_t(const Tensor& a) {
+  return unary(a, [](double x) { return std::exp(x); },
+               [](double, double y) { return y; });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unary(
+      a,
+      [](double x) { return x > 30 ? x : std::log1p(std::exp(x)); },
+      [](double x, double) { return 1.0 / (1.0 + std::exp(-x)); });
+}
+
+Tensor sum_all(const Tensor& a) {
+  Tensor out = Tensor::make_op(1, 1, {a}, [](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (auto& g : p.grad) g += n.grad[0];
+  });
+  double s = 0.0;
+  for (double v : a.value()) s += v;
+  out.value()[0] = s;
+  return out;
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0 / static_cast<double>(a.size()));
+}
+
+Tensor mean_rows(const Tensor& a) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  if (rows == 0) throw std::invalid_argument("mean_rows: empty");
+  Tensor out = Tensor::make_op(1, cols, {a}, [rows, cols](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    const double inv = 1.0 / static_cast<double>(rows);
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) p.grad[r * cols + c] += inv * n.grad[c];
+  });
+  auto& v = out.value();
+  const double inv = 1.0 / static_cast<double>(rows);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) v[c] += inv * a.value()[r * cols + c];
+  return out;
+}
+
+Tensor segment_mean(const Tensor& a, const IndexVec& seg, std::size_t n_seg) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  if (seg.size() != rows) throw std::invalid_argument("segment_mean: seg size");
+  auto counts = std::make_shared<std::vector<double>>(n_seg, 0.0);
+  for (auto s : seg) {
+    if (s >= n_seg) throw std::out_of_range("segment_mean: segment id");
+    ++(*counts)[s];
+  }
+  Tensor out =
+      Tensor::make_op(n_seg, cols, {a}, [seg, counts, cols](Node& n) {
+        Node& p = *n.parents[0];
+        if (!p.requires_grad) return;
+        for (std::size_t r = 0; r < seg.size(); ++r) {
+          const double inv = 1.0 / std::max(1.0, (*counts)[seg[r]]);
+          for (std::size_t c = 0; c < cols; ++c)
+            p.grad[r * cols + c] += inv * n.grad[seg[r] * cols + c];
+        }
+      });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      v[seg[r] * cols + c] += a.value()[r * cols + c];
+  for (std::size_t s = 0; s < n_seg; ++s) {
+    const double inv = 1.0 / std::max(1.0, (*counts)[s]);
+    for (std::size_t c = 0; c < cols; ++c) v[s * cols + c] *= inv;
+  }
+  return out;
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: empty");
+  const std::size_t rows = parts[0].rows();
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    if (p.rows() != rows) throw std::invalid_argument("concat_cols: row mismatch");
+    total += p.cols();
+  }
+  std::vector<std::size_t> offsets;
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    offsets.push_back(off);
+    off += p.cols();
+  }
+  Tensor out = Tensor::make_op(rows, total, parts, [offsets, rows, total](Node& n) {
+    for (std::size_t k = 0; k < n.parents.size(); ++k) {
+      Node& p = *n.parents[k];
+      if (!p.requires_grad) continue;
+      const std::size_t pc = p.cols;
+      for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < pc; ++c)
+          p.grad[r * pc + c] += n.grad[r * total + offsets[k] + c];
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t k = 0; k < parts.size(); ++k) {
+    const auto& pv = parts[k].value();
+    const std::size_t pc = parts[k].cols();
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < pc; ++c)
+        v[r * total + offsets[k] + c] = pv[r * pc + c];
+  }
+  return out;
+}
+
+Tensor slice_cols(const Tensor& a, std::size_t c0, std::size_t c1) {
+  if (c0 >= c1 || c1 > a.cols()) throw std::invalid_argument("slice_cols: range");
+  const std::size_t rows = a.rows(), cols = a.cols(), w = c1 - c0;
+  Tensor out = Tensor::make_op(rows, w, {a}, [rows, cols, c0, w](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < w; ++c)
+        p.grad[r * cols + c0 + c] += n.grad[r * w + c];
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < w; ++c) v[r * w + c] = a.value()[r * cols + c0 + c];
+  return out;
+}
+
+Tensor gather_rows(const Tensor& a, const IndexVec& idx) {
+  const std::size_t cols = a.cols();
+  for (auto i : idx)
+    if (i >= a.rows()) throw std::out_of_range("gather_rows: index");
+  Tensor out = Tensor::make_op(idx.size(), cols, {a}, [idx, cols](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (std::size_t r = 0; r < idx.size(); ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        p.grad[idx[r] * cols + c] += n.grad[r * cols + c];
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < idx.size(); ++r)
+    for (std::size_t c = 0; c < cols; ++c) v[r * cols + c] = a.value()[idx[r] * cols + c];
+  return out;
+}
+
+Tensor scatter_add_rows(const Tensor& a, const IndexVec& idx, std::size_t n_rows) {
+  const std::size_t cols = a.cols();
+  if (idx.size() != a.rows()) throw std::invalid_argument("scatter_add_rows: idx size");
+  for (auto i : idx)
+    if (i >= n_rows) throw std::out_of_range("scatter_add_rows: index");
+  Tensor out = Tensor::make_op(n_rows, cols, {a}, [idx, cols](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (std::size_t r = 0; r < idx.size(); ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        p.grad[r * cols + c] += n.grad[idx[r] * cols + c];
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < idx.size(); ++r)
+    for (std::size_t c = 0; c < cols; ++c) v[idx[r] * cols + c] += a.value()[r * cols + c];
+  return out;
+}
+
+Tensor scale_rows(const Tensor& a, const Tensor& s) {
+  if (s.rows() != a.rows() || s.cols() != 1)
+    throw std::invalid_argument("scale_rows: s must be rows x 1");
+  const std::size_t rows = a.rows(), cols = a.cols();
+  Tensor out = Tensor::make_op(rows, cols, {a, s}, [rows, cols](Node& n) {
+    Node& pa = *n.parents[0];
+    Node& ps = *n.parents[1];
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double g = n.grad[r * cols + c];
+        if (pa.requires_grad) pa.grad[r * cols + c] += g * ps.value[r];
+        acc += g * pa.value[r * cols + c];
+      }
+      if (ps.requires_grad) ps.grad[r] += acc;
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      v[r * cols + c] = a.value()[r * cols + c] * s.value()[r];
+  return out;
+}
+
+Tensor segment_softmax(const Tensor& logits, const IndexVec& seg, std::size_t n_seg) {
+  if (logits.cols() != 1) throw std::invalid_argument("segment_softmax: expects E x 1");
+  if (seg.size() != logits.rows())
+    throw std::invalid_argument("segment_softmax: seg size");
+  for (auto s : seg)
+    if (s >= n_seg) throw std::out_of_range("segment_softmax: segment id");
+
+  const std::size_t e = logits.rows();
+  Tensor out = Tensor::make_op(e, 1, {logits}, [seg, n_seg, e](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    // dL/dx_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j)
+    std::vector<double> seg_gy(n_seg, 0.0);
+    for (std::size_t i = 0; i < e; ++i) seg_gy[seg[i]] += n.grad[i] * n.value[i];
+    for (std::size_t i = 0; i < e; ++i)
+      p.grad[i] += n.value[i] * (n.grad[i] - seg_gy[seg[i]]);
+  });
+
+  auto& y = out.value();
+  const auto& x = logits.value();
+  std::vector<double> seg_max(n_seg, -1e300), seg_sum(n_seg, 0.0);
+  for (std::size_t i = 0; i < e; ++i) seg_max[seg[i]] = std::max(seg_max[seg[i]], x[i]);
+  for (std::size_t i = 0; i < e; ++i) {
+    y[i] = std::exp(x[i] - seg_max[seg[i]]);
+    seg_sum[seg[i]] += y[i];
+  }
+  for (std::size_t i = 0; i < e; ++i) y[i] /= std::max(seg_sum[seg[i]], 1e-300);
+  return out;
+}
+
+Tensor layer_norm(const Tensor& x, const Tensor& gain, const Tensor& bias, double eps) {
+  const std::size_t rows = x.rows(), cols = x.cols();
+  if (gain.rows() != 1 || gain.cols() != cols || bias.rows() != 1 || bias.cols() != cols)
+    throw std::invalid_argument("layer_norm: gain/bias must be 1 x F");
+
+  // Cache per-row (mean, inv_std) and normalized values for backward.
+  auto cache = std::make_shared<std::vector<double>>(rows * (cols + 1));
+  // layout: rows * cols normalized values, then rows inv_std values.
+
+  Tensor out = Tensor::make_op(
+      rows, cols, {x, gain, bias}, [rows, cols, cache](Node& n) {
+        Node& px = *n.parents[0];
+        Node& pg = *n.parents[1];
+        Node& pb = *n.parents[2];
+        const double* xhat = cache->data();
+        const double* inv_std = cache->data() + rows * cols;
+        for (std::size_t r = 0; r < rows; ++r) {
+          // Per-row backward for y = gain * xhat + bias.
+          double mean_gdy = 0.0, mean_gdy_xhat = 0.0;
+          for (std::size_t c = 0; c < cols; ++c) {
+            const double gdy = pg.value[c] * n.grad[r * cols + c];
+            mean_gdy += gdy;
+            mean_gdy_xhat += gdy * xhat[r * cols + c];
+          }
+          mean_gdy /= static_cast<double>(cols);
+          mean_gdy_xhat /= static_cast<double>(cols);
+          for (std::size_t c = 0; c < cols; ++c) {
+            const double gdy = pg.value[c] * n.grad[r * cols + c];
+            if (px.requires_grad)
+              px.grad[r * cols + c] +=
+                  (gdy - mean_gdy - xhat[r * cols + c] * mean_gdy_xhat) * inv_std[r];
+            if (pg.requires_grad)
+              pg.grad[c] += n.grad[r * cols + c] * xhat[r * cols + c];
+            if (pb.requires_grad) pb.grad[c] += n.grad[r * cols + c];
+          }
+        }
+      });
+
+  auto& y = out.value();
+  const auto& xv = x.value();
+  double* xhat = cache->data();
+  double* inv_std = cache->data() + rows * cols;
+  for (std::size_t r = 0; r < rows; ++r) {
+    double m = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) m += xv[r * cols + c];
+    m /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double d = xv[r * cols + c] - m;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    inv_std[r] = 1.0 / std::sqrt(var + eps);
+    for (std::size_t c = 0; c < cols; ++c) {
+      xhat[r * cols + c] = (xv[r * cols + c] - m) * inv_std[r];
+      y[r * cols + c] = gain.value()[c] * xhat[r * cols + c] + bias.value()[c];
+    }
+  }
+  return out;
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols())
+    throw std::invalid_argument("mse_loss: shape");
+  const std::size_t n = pred.size();
+  Tensor out = Tensor::make_op(1, 1, {pred, target}, [n](Node& node) {
+    Node& p = *node.parents[0];
+    const Node& t = *node.parents[1];
+    if (!p.requires_grad) return;
+    const double scale2 = 2.0 * node.grad[0] / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+      p.grad[i] += scale2 * (p.value[i] - t.value[i]);
+  });
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target.value()[i];
+    s += d * d;
+  }
+  out.value()[0] = s / static_cast<double>(n);
+  return out;
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.rows() != target.rows() || pred.cols() != target.cols())
+    throw std::invalid_argument("l1_loss: shape");
+  const std::size_t n = pred.size();
+  Tensor out = Tensor::make_op(1, 1, {pred, target}, [n](Node& node) {
+    Node& p = *node.parents[0];
+    const Node& t = *node.parents[1];
+    if (!p.requires_grad) return;
+    const double sc = node.grad[0] / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = p.value[i] - t.value[i];
+      p.grad[i] += sc * (d > 0 ? 1.0 : (d < 0 ? -1.0 : 0.0));
+    }
+  });
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::fabs(pred.value()[i] - target.value()[i]);
+  out.value()[0] = s / static_cast<double>(n);
+  return out;
+}
+
+}  // namespace stco::tensor

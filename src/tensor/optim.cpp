@@ -1,0 +1,78 @@
+#include "src/tensor/optim.hpp"
+
+#include <cmath>
+
+namespace stco::tensor {
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double total = 0.0;
+  for (auto& p : params_)
+    for (double g : p.grad()) total += g * g;
+  total = std::sqrt(total);
+  if (total > max_norm && total > 0.0) {
+    const double sc = max_norm / total;
+    for (auto& p : params_) {
+      auto& g = p.raw()->grad;
+      for (auto& x : g) x *= sc;
+    }
+  }
+  return total;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    velocity_[i].assign(params_[i].size(), 0.0);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = *params_[i].raw();
+    p.ensure_grad();
+    auto& vel = velocity_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      vel[k] = momentum_ * vel[k] - lr_ * p.grad[k];
+      p.value[k] += vel[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0);
+    v_[i].assign(params_[i].size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = *params_[i].raw();
+    p.ensure_grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t k = 0; k < p.value.size(); ++k) {
+      double g = p.grad[k];
+      if (weight_decay_ != 0.0) g += weight_decay_ * p.value[k];
+      m[k] = beta1_ * m[k] + (1.0 - beta1_) * g;
+      v[k] = beta2_ * v[k] + (1.0 - beta2_) * g * g;
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      p.value[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace stco::tensor

@@ -1,0 +1,58 @@
+#pragma once
+// First-order optimizers over a flat parameter list.
+
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace stco::tensor {
+
+/// Base optimizer interface; parameters are captured as shared handles.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+  /// Global L2 gradient clipping; returns the pre-clip norm.
+  double clip_grad_norm(double max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+  void step() override;
+  double& lr() { return lr_; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional weight decay.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+  double& lr() { return lr_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace stco::tensor

@@ -1,0 +1,76 @@
+#include "src/tensor/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace stco::tensor {
+
+namespace {
+constexpr char kMagic[4] = {'S', 'T', 'C', 'W'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_parameters: truncated stream");
+  return v;
+}
+}  // namespace
+
+void save_parameters(std::ostream& os, const std::vector<Tensor>& params) {
+  os.write(kMagic, 4);
+  put<std::uint32_t>(os, kVersion);
+  put<std::uint64_t>(os, params.size());
+  for (const auto& p : params) {
+    put<std::uint64_t>(os, p.rows());
+    put<std::uint64_t>(os, p.cols());
+    os.write(reinterpret_cast<const char*>(p.value().data()),
+             static_cast<std::streamsize>(p.size() * sizeof(double)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(std::istream& is, std::vector<Tensor>& params) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("load_parameters: bad magic");
+  if (get<std::uint32_t>(is) != kVersion)
+    throw std::runtime_error("load_parameters: unsupported version");
+  const auto count = get<std::uint64_t>(is);
+  if (count != params.size())
+    throw std::runtime_error("load_parameters: tensor count mismatch");
+  for (auto& p : params) {
+    const auto rows = get<std::uint64_t>(is);
+    const auto cols = get<std::uint64_t>(is);
+    if (rows != p.rows() || cols != p.cols())
+      throw std::runtime_error("load_parameters: shape mismatch");
+    is.read(reinterpret_cast<char*>(p.value().data()),
+            static_cast<std::streamsize>(p.size() * sizeof(double)));
+    if (!is) throw std::runtime_error("load_parameters: truncated tensor data");
+  }
+}
+
+void save_parameters_file(const std::string& path, const std::vector<Tensor>& params) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("save_parameters_file: cannot open " + path);
+  save_parameters(f, params);
+}
+
+void load_parameters_file(const std::string& path, std::vector<Tensor>& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("load_parameters_file: cannot open " + path);
+  load_parameters(f, params);
+}
+
+}  // namespace stco::tensor

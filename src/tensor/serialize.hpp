@@ -1,0 +1,25 @@
+#pragma once
+// Binary parameter serialization: persist a trained model's parameter list
+// and restore it into a freshly constructed model of identical topology.
+//
+// Format (little-endian): magic "STCW", u32 version, u64 tensor count, then
+// per tensor: u64 rows, u64 cols, rows*cols f64 values.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace stco::tensor {
+
+/// Write the parameter values (not gradients) to a stream.
+void save_parameters(std::ostream& os, const std::vector<Tensor>& params);
+void save_parameters_file(const std::string& path, const std::vector<Tensor>& params);
+
+/// Load values into existing parameter tensors; shapes must match exactly.
+/// Throws std::runtime_error on format or shape mismatch.
+void load_parameters(std::istream& is, std::vector<Tensor>& params);
+void load_parameters_file(const std::string& path, std::vector<Tensor>& params);
+
+}  // namespace stco::tensor

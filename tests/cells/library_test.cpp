@@ -1,0 +1,146 @@
+#include "src/cells/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace stco::cells {
+namespace {
+
+TEST(Library, HasExactly35Cells) {
+  EXPECT_EQ(standard_library().size(), 35u);
+  EXPECT_EQ(combinational_names().size(), 30u);
+  EXPECT_EQ(sequential_names().size(), 5u);
+}
+
+TEST(Library, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& c : standard_library()) names.insert(c.name);
+  EXPECT_EQ(names.size(), 35u);
+}
+
+TEST(Library, FindCellWorksAndThrows) {
+  EXPECT_EQ(find_cell("NAND2").name, "NAND2");
+  EXPECT_THROW(find_cell("NAND9"), std::invalid_argument);
+}
+
+TEST(Library, TransistorCountsMatchTopology) {
+  EXPECT_EQ(find_cell("INV").num_transistors(), 2u);
+  EXPECT_EQ(find_cell("NAND2").num_transistors(), 4u);
+  EXPECT_EQ(find_cell("NAND4").num_transistors(), 8u);
+  EXPECT_EQ(find_cell("AND2").num_transistors(), 6u);
+  EXPECT_EQ(find_cell("XOR2").num_transistors(), 12u);
+  EXPECT_EQ(find_cell("AOI22").num_transistors(), 8u);
+  // Master-slave TG flip-flop: 5 inverters + 4 TGs = 18 devices.
+  EXPECT_EQ(find_cell("DFF").num_transistors(), 18u);
+}
+
+TEST(Library, SequentialCellsDeclareClock) {
+  for (const auto& name : sequential_names()) {
+    const auto& c = find_cell(name);
+    EXPECT_TRUE(c.sequential);
+    EXPECT_FALSE(c.clock_pin.empty());
+    EXPECT_EQ(c.data_inputs().size(), c.inputs.size() - 1);
+  }
+}
+
+// Exhaustive truth-table checks for representative combinational cells.
+std::map<std::string, bool> bits(const CellDef& c, unsigned mask) {
+  std::map<std::string, bool> m;
+  for (std::size_t i = 0; i < c.inputs.size(); ++i) m[c.inputs[i]] = (mask >> i) & 1;
+  return m;
+}
+
+TEST(Logic, Inverters) {
+  for (const char* n : {"INV", "INVX2", "INVX4"}) {
+    const auto& c = find_cell(n);
+    EXPECT_TRUE(eval_combinational(c, {{"A", false}}));
+    EXPECT_FALSE(eval_combinational(c, {{"A", true}}));
+  }
+  for (const char* n : {"BUF", "BUFX2", "BUFX4"}) {
+    const auto& c = find_cell(n);
+    EXPECT_FALSE(eval_combinational(c, {{"A", false}}));
+    EXPECT_TRUE(eval_combinational(c, {{"A", true}}));
+  }
+}
+
+TEST(Logic, NandNorAndOrFamilies) {
+  for (std::size_t k : {2u, 3u, 4u}) {
+    const auto& nand_c = find_cell("NAND" + std::to_string(k));
+    const auto& nor_c = find_cell("NOR" + std::to_string(k));
+    const auto& and_c = find_cell("AND" + std::to_string(k));
+    const auto& or_c = find_cell("OR" + std::to_string(k));
+    for (unsigned m = 0; m < (1u << k); ++m) {
+      bool all = true, any = false;
+      for (std::size_t i = 0; i < k; ++i) {
+        all &= bool((m >> i) & 1);
+        any |= bool((m >> i) & 1);
+      }
+      EXPECT_EQ(eval_combinational(nand_c, bits(nand_c, m)), !all);
+      EXPECT_EQ(eval_combinational(nor_c, bits(nor_c, m)), !any);
+      EXPECT_EQ(eval_combinational(and_c, bits(and_c, m)), all);
+      EXPECT_EQ(eval_combinational(or_c, bits(or_c, m)), any);
+    }
+  }
+}
+
+TEST(Logic, XorXnor) {
+  const auto& x = find_cell("XOR2");
+  const auto& xn = find_cell("XNOR2");
+  for (unsigned m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1;
+    EXPECT_EQ(eval_combinational(x, bits(x, m)), a != b);
+    EXPECT_EQ(eval_combinational(xn, bits(xn, m)), a == b);
+  }
+}
+
+TEST(Logic, AoiOaiFamilies) {
+  const auto& aoi21 = find_cell("AOI21");
+  const auto& oai21 = find_cell("OAI21");
+  const auto& aoi22 = find_cell("AOI22");
+  const auto& oai22 = find_cell("OAI22");
+  for (unsigned m = 0; m < 16; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1, d = (m >> 3) & 1;
+    if (m < 8) {
+      EXPECT_EQ(eval_combinational(aoi21, bits(aoi21, m)), !((a && b) || c));
+      EXPECT_EQ(eval_combinational(oai21, bits(oai21, m)), !((a || b) && c));
+    }
+    EXPECT_EQ(eval_combinational(aoi22, bits(aoi22, m)), !((a && b) || (c && d)));
+    EXPECT_EQ(eval_combinational(oai22, bits(oai22, m)), !((a || b) && (c || d)));
+  }
+}
+
+TEST(Logic, MuxAndInvertedInputGates) {
+  const auto& mux = find_cell("MUX2");
+  // inputs: A, B, S -> bit order A=bit0, B=bit1, S=bit2
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, s = (m >> 2) & 1;
+    EXPECT_EQ(eval_combinational(mux, bits(mux, m)), s ? b : a);
+    const auto& muxi = find_cell("MUX2I");
+    EXPECT_EQ(eval_combinational(muxi, bits(muxi, m)), !(s ? b : a));
+  }
+  const auto& n2b = find_cell("NAND2B");
+  const auto& r2b = find_cell("NOR2B");
+  for (unsigned m = 0; m < 4; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1;
+    EXPECT_EQ(eval_combinational(n2b, bits(n2b, m)), !(!a && b));
+    EXPECT_EQ(eval_combinational(r2b, bits(r2b, m)), !(!a || b));
+  }
+}
+
+TEST(Logic, SequentialCellsRejectCombinationalEval) {
+  EXPECT_THROW(eval_combinational(find_cell("DFF"), {{"D", true}, {"CK", false}}),
+               std::invalid_argument);
+}
+
+TEST(Expr, DeviceCountsAndValidation) {
+  EXPECT_EQ(in_("A").num_devices(), 1u);
+  EXPECT_EQ(series({in_("A"), in_("B")}).num_devices(), 2u);
+  EXPECT_EQ(parallel({series({in_("A"), in_("B")}), in_("C")}).num_devices(), 3u);
+  EXPECT_THROW(series({in_("A")}), std::invalid_argument);
+  EXPECT_THROW(parallel({}), std::invalid_argument);
+  EXPECT_THROW(in_("A").eval({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::cells

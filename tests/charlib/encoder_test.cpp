@@ -1,0 +1,118 @@
+#include "src/charlib/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco::charlib {
+namespace {
+
+PinContext default_ctx(const cells::CellDef& cell) {
+  PinContext ctx;
+  for (const auto& pin : cell.inputs) {
+    ctx.current_state[pin] = false;
+    ctx.next_state[pin] = false;
+  }
+  return ctx;
+}
+
+TEST(Encoder, InverterGraphShape) {
+  const auto& inv = cells::find_cell("INV");
+  const auto g = encode_cell(inv, compact::cnt_tech(), {}, default_ctx(inv));
+  // Nodes: A, Y, 2 FETs, VDD, VSS = 6.
+  EXPECT_EQ(g.num_nodes, 6u);
+  EXPECT_EQ(g.node_dim, kCellNodeDim);
+  EXPECT_EQ(g.edge_dim, kCellEdgeDim);
+  // Each FET has 3 terminal edges (gate->A, d/s->Y and rail), bidirectional.
+  EXPECT_EQ(g.num_edges(), 12u);
+}
+
+TEST(Encoder, TableIIIBitAssignments) {
+  const auto& inv = cells::find_cell("INV");
+  const auto tech = compact::cnt_tech();
+  PinContext ctx = default_ctx(inv);
+  ctx.toggling_pin = "A";
+  ctx.input_slew = 25e-9;
+  ctx.output_load = 50e-15;
+  ctx.current_state["A"] = true;
+  ctx.next_state["A"] = false;
+  const CellScales s;
+  const auto g = encode_cell(inv, tech, {}, ctx, s);
+
+  // Node order: inputs (A=0), OUT=1, FETs 2..3, VDD=4, VSS=5.
+  const auto f = [&](std::size_t n, std::size_t bit) {
+    return g.node_features[n * kCellNodeDim + bit];
+  };
+  // IN node: bit2 = 1, slew on bit8, states on bits 10/11.
+  EXPECT_DOUBLE_EQ(f(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(f(0, 8), 25e-9 / s.slew);
+  EXPECT_DOUBLE_EQ(f(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(f(0, 11), 0.0);
+  // OUT node: bit1 = 1, load on bit9.
+  EXPECT_DOUBLE_EQ(f(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(f(1, 9), 50e-15 / s.load);
+  // FET nodes: bits 1,2 set, polarity on bit3 (+-1), width/cox/vth on 5-7.
+  double pol_sum = 0.0;
+  for (std::size_t n : {2u, 3u}) {
+    EXPECT_DOUBLE_EQ(f(n, 1), 1.0);
+    EXPECT_DOUBLE_EQ(f(n, 2), 1.0);
+    EXPECT_NE(f(n, 3), 0.0);
+    pol_sum += f(n, 3);
+    EXPECT_GT(f(n, 5), 0.0);
+    EXPECT_GT(f(n, 6), 0.0);
+    EXPECT_GT(f(n, 7), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(pol_sum, 0.0);  // one N (-1) and one P (+1)
+  // VDD node: bit0 = 1, bit4 = vdd.
+  EXPECT_DOUBLE_EQ(f(4, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f(4, 4), tech.vdd / s.vdd);
+  // VSS node: bits 0 and 2.
+  EXPECT_DOUBLE_EQ(f(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(f(5, 2), 1.0);
+  EXPECT_DOUBLE_EQ(f(5, 4), 0.0);
+}
+
+TEST(Encoder, VthKnobReachesFetNodes) {
+  const auto& inv = cells::find_cell("INV");
+  auto t1 = compact::cnt_tech();
+  auto t2 = t1;
+  t2.vth = t1.vth * 1.5;
+  const auto g1 = encode_cell(inv, t1, {}, default_ctx(inv));
+  const auto g2 = encode_cell(inv, t2, {}, default_ctx(inv));
+  EXPECT_NEAR(g2.node_features[2 * kCellNodeDim + 7] /
+                  g1.node_features[2 * kCellNodeDim + 7],
+              1.5, 1e-9);
+}
+
+TEST(Encoder, InternalNetsBecomeFetFetEdges) {
+  // NAND2's stacked NFETs share an internal net that is not a pin.
+  const auto& nand2 = cells::find_cell("NAND2");
+  const auto g = encode_cell(nand2, compact::cnt_tech(), {}, default_ctx(nand2));
+  // Nodes: A, B, Y, 4 FETs, VDD, VSS = 9.
+  EXPECT_EQ(g.num_nodes, 9u);
+  // Terminal edges: 4 gates + (pull-up: 2 P x 2 terminals) + pull-down:
+  // top N -> Y, bottom N -> VSS, plus 1 FET-FET internal edge; x2 directed.
+  EXPECT_EQ(g.num_edges(), 2u * (4 + 4 + 2 + 1));
+}
+
+TEST(Encoder, SequentialCellEncodes) {
+  const auto& dff = cells::find_cell("DFF");
+  const auto g = encode_cell(dff, compact::cnt_tech(), {}, default_ctx(dff));
+  // D, CK, Q + 18 FETs + rails.
+  EXPECT_EQ(g.num_nodes, 2u + 1u + 18u + 2u);
+  EXPECT_NO_THROW(g.check());
+  EXPECT_GT(g.num_edges(), 40u);
+}
+
+TEST(Encoder, EdgeTypesDistinguishGateFromChannel) {
+  const auto& inv = cells::find_cell("INV");
+  const auto g = encode_cell(inv, compact::cnt_tech(), {}, default_ctx(inv));
+  std::size_t gate_edges = 0, sd_edges = 0;
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_features[e * kCellEdgeDim + 0] > 0.5) ++gate_edges;
+    if (g.edge_features[e * kCellEdgeDim + 1] > 0.5) ++sd_edges;
+  }
+  EXPECT_EQ(gate_edges, 4u);  // 2 FET gates x 2 directions
+  EXPECT_EQ(sd_edges, 8u);
+}
+
+}  // namespace
+}  // namespace stco::charlib

@@ -1,0 +1,85 @@
+#include "src/compact/extraction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco::compact {
+namespace {
+
+TEST(ReferenceModel, ContactResistanceReducesOnCurrent) {
+  const auto dev = fig3_ltps();
+  ReferenceExtras no_rc = dev.extras;
+  no_rc.contact_resistance = 0.0;
+  const double with_rc = reference_current(dev.truth, dev.extras, 8.0, 8.0, 0.0);
+  const double without = reference_current(dev.truth, no_rc, 8.0, 8.0, 0.0);
+  EXPECT_LT(with_rc, without);
+  EXPECT_GT(with_rc, 0.5 * without);
+}
+
+TEST(ReferenceModel, MeasurementNoiseIsBounded) {
+  const auto dev = fig3_ltps();
+  numeric::Rng rng(1);
+  const auto pts = measure_transfer(dev.truth, dev.extras, 2.0, dev.vg_sweep, rng);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double clean =
+        reference_current(dev.truth, dev.extras, pts[i].vg, pts[i].vd, 0.0);
+    if (std::fabs(clean) < 1e-12) continue;
+    EXPECT_NEAR(pts[i].id / clean, 1.0, 0.1);
+  }
+}
+
+TEST(Extraction, RecoversParametersFromCleanNTypeData) {
+  auto dev = fig3_ltps();
+  dev.extras.noise_rel = 0.0;
+  dev.extras.contact_resistance = 0.0;
+  dev.extras.lambda = 0.0;
+  dev.extras.mobility_rolloff = 0.0;
+  // With the reference reduced to the compact model itself, extraction must
+  // recover the truth nearly exactly.
+  const auto res = validate_fig3_device(dev, 5);
+  EXPECT_NEAR(res.extraction.params.vth, dev.truth.vth, 0.08);
+  EXPECT_NEAR(res.extraction.params.mu0 / dev.truth.mu0, 1.0, 0.1);
+  EXPECT_NEAR(res.extraction.params.gamma, dev.truth.gamma, 0.1);
+  EXPECT_LT(res.extraction.on_mape, 2.0);
+}
+
+TEST(Extraction, Fig3DevicesFitWithinRealisticError) {
+  // Full non-idealities: the compact model should still land single-digit
+  // on-state MAPE, like the paper's visual agreement in Fig. 3.
+  for (const auto& dev : {fig3_cnt(), fig3_ltps(), fig3_igzo()}) {
+    const auto res = validate_fig3_device(dev);
+    EXPECT_LT(res.extraction.on_mape, 7.0) << dev.name;
+    EXPECT_GT(res.extraction.params.mu0, 0.0) << dev.name;
+    // Extracted parameters land near the reference-device truth.
+    EXPECT_NEAR(res.extraction.params.vth, dev.truth.vth,
+                0.15 * std::fabs(dev.truth.vth))
+        << dev.name;
+    EXPECT_NEAR(res.extraction.params.mu0 / dev.truth.mu0, 1.0, 0.25) << dev.name;
+  }
+}
+
+TEST(Extraction, CntIsPTypeFit) {
+  const auto res = validate_fig3_device(fig3_cnt());
+  EXPECT_EQ(res.extraction.params.type, TftType::kPType);
+  EXPECT_LT(res.extraction.params.vth, 0.0);
+}
+
+TEST(Extraction, DeterministicForSeed) {
+  const auto r1 = validate_fig3_device(fig3_igzo(), 9);
+  const auto r2 = validate_fig3_device(fig3_igzo(), 9);
+  EXPECT_DOUBLE_EQ(r1.extraction.params.mu0, r2.extraction.params.mu0);
+  EXPECT_DOUBLE_EQ(r1.extraction.params.vth, r2.extraction.params.vth);
+}
+
+TEST(Extraction, GeometriesMatchPaperFig3) {
+  EXPECT_NEAR(fig3_cnt().truth.length, 25e-6, 1e-12);
+  EXPECT_NEAR(fig3_cnt().truth.width, 125e-6, 1e-12);
+  EXPECT_NEAR(fig3_ltps().truth.length, 16e-6, 1e-12);
+  EXPECT_NEAR(fig3_ltps().truth.width, 40e-6, 1e-12);
+  EXPECT_NEAR(fig3_igzo().truth.length, 20e-6, 1e-12);
+  EXPECT_NEAR(fig3_igzo().truth.width, 30e-6, 1e-12);
+}
+
+}  // namespace
+}  // namespace stco::compact

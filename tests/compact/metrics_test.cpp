@@ -1,0 +1,109 @@
+#include "src/compact/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compact/technology.hpp"
+
+namespace stco::compact {
+namespace {
+
+/// Noise-free transfer curve of a known compact-model device.
+TransferCurve curve_of(const TftParams& p, double vd, double vg_lo, double vg_hi,
+                       std::size_t n = 121) {
+  TransferCurve out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double vg =
+        vg_lo + (vg_hi - vg_lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back({vg, vd, tft_current(p, vg, vd, 0.0)});
+  }
+  return out;
+}
+
+TftParams device() {
+  auto p = make_nfet(cnt_tech(), 10e-6, 2e-6);
+  p.vth = 0.8;
+  return p;
+}
+
+TEST(DeviceMetrics, ConstantCurrentVthNearModelVth) {
+  const auto p = device();
+  const auto curve = curve_of(p, 2.0, -2.0, 4.0);
+  const double vth = vth_constant_current(curve, p.width, p.length);
+  ASSERT_FALSE(std::isnan(vth));
+  // The constant-current criterion lands near (within a few hundred mV of)
+  // the model threshold.
+  EXPECT_NEAR(vth, p.vth, 0.45);
+}
+
+TEST(DeviceMetrics, ExtrapolatedVthTracksModelVth) {
+  for (double true_vth : {0.5, 0.8, 1.2}) {
+    auto p = device();
+    p.vth = true_vth;
+    const auto curve = curve_of(p, 0.1, -1.0, 5.0);  // linear-region extraction
+    const double vth = vth_linear_extrapolation(curve);
+    ASSERT_FALSE(std::isnan(vth)) << true_vth;
+    EXPECT_NEAR(vth, true_vth, 0.5) << true_vth;
+    // The method must track shifts: slope of extracted vs true ~ 1.
+  }
+  // Relative tracking between two devices 0.5 V apart.
+  auto a = device();
+  a.vth = 0.6;
+  auto b = device();
+  b.vth = 1.1;
+  const double va = vth_linear_extrapolation(curve_of(a, 0.1, -1.0, 5.0));
+  const double vb = vth_linear_extrapolation(curve_of(b, 0.1, -1.0, 5.0));
+  EXPECT_NEAR(vb - va, 0.5, 0.1);
+}
+
+TEST(DeviceMetrics, SubthresholdSwingMatchesSsFactor) {
+  auto p = device();
+  p.ss_factor = 2.0;
+  const auto curve = curve_of(p, 2.0, -2.0, 4.0, 241);
+  const double swing = subthreshold_swing(curve);
+  ASSERT_FALSE(std::isnan(swing));
+  // Theoretical swing = ss_factor * kT/q * ln(10) * (gamma+1 exponent ~ 1).
+  const double expected = 2.0 * 0.02585 * std::log(10.0);
+  EXPECT_NEAR(swing / expected, 1.0, 0.35);
+  // Higher ss_factor -> larger swing.
+  auto steep = device();
+  steep.ss_factor = 1.2;
+  const double swing2 = subthreshold_swing(curve_of(steep, 2.0, -2.0, 4.0, 241));
+  EXPECT_LT(swing2, swing);
+}
+
+TEST(DeviceMetrics, OnOffRatioSpansDecades) {
+  const auto curve = curve_of(device(), 2.0, -2.0, 4.0);
+  EXPECT_GT(on_off_ratio(curve), 1e6);
+}
+
+TEST(DeviceMetrics, GmMaxPositiveAndScalesWithWidth) {
+  auto p = device();
+  const double gm1 = max_transconductance(curve_of(p, 2.0, -2.0, 4.0));
+  p.width *= 2.0;
+  const double gm2 = max_transconductance(curve_of(p, 2.0, -2.0, 4.0));
+  EXPECT_GT(gm1, 0.0);
+  EXPECT_NEAR(gm2 / gm1, 2.0, 0.05);
+}
+
+TEST(DeviceMetrics, ExtractFiguresBundle) {
+  const auto p = device();
+  const auto f = extract_figures(curve_of(p, 2.0, -2.0, 4.0), p.width, p.length);
+  EXPECT_FALSE(std::isnan(f.vth_cc));
+  EXPECT_FALSE(std::isnan(f.vth_extrap));
+  EXPECT_FALSE(std::isnan(f.swing));
+  EXPECT_GT(f.on_off, 1e3);
+  EXPECT_GT(f.gm_max, 0.0);
+}
+
+TEST(DeviceMetrics, DegenerateInputsRejectedOrNan) {
+  EXPECT_THROW(vth_constant_current({}, 1e-6, 1e-6), std::invalid_argument);
+  EXPECT_THROW(on_off_ratio({{0, 0, 0}}), std::invalid_argument);
+  // Never-crossing constant-current criterion -> NaN.
+  TransferCurve flat = {{0, 1, 1e-15}, {1, 1, 1.1e-15}, {2, 1, 1.2e-15}};
+  EXPECT_TRUE(std::isnan(vth_constant_current(flat, 1e-6, 1e-6)));
+}
+
+}  // namespace
+}  // namespace stco::compact

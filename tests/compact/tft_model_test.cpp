@@ -1,0 +1,150 @@
+#include "src/compact/tft_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco::compact {
+namespace {
+
+TftParams ntype() {
+  TftParams p;
+  p.type = TftType::kNType;
+  p.mu0 = 5e-3;
+  p.vth = 1.0;
+  p.gamma = 0.3;
+  p.cox = 2e-4;
+  p.width = 20e-6;
+  p.length = 4e-6;
+  return p;
+}
+
+TftParams ptype() {
+  TftParams p = ntype();
+  p.type = TftType::kPType;
+  p.vth = -1.0;
+  return p;
+}
+
+TEST(TftModel, OffBelowThresholdOnAbove) {
+  const auto p = ntype();
+  const double ioff = tft_current(p, 0.0, 2.0, 0.0);
+  const double ion = tft_current(p, 4.0, 2.0, 0.0);
+  EXPECT_GT(ion, 1e4 * ioff);
+  EXPECT_GT(ioff, 0.0);  // smooth subthreshold, not hard zero
+}
+
+TEST(TftModel, SaturationCurrentMatchesClosedForm) {
+  // Deep saturation, lambda = 0: I = K/(g+1) * (Vgs-Vth)^(g+1).
+  auto p = ntype();
+  p.lambda = 0.0;
+  const double vgs = 5.0, vds = 10.0;
+  const double k = (p.width / p.length) * p.mu0 * p.cox;
+  const double expected = k / (p.gamma + 1.0) * std::pow(vgs - p.vth, p.gamma + 1.0);
+  EXPECT_NEAR(tft_current(p, vgs, vds, 0.0) / expected, 1.0, 0.02);
+}
+
+TEST(TftModel, TriodeRegionLinearInSmallVds) {
+  auto p = ntype();
+  p.lambda = 0.0;
+  const double i1 = tft_current(p, 5.0, 0.05, 0.0);
+  const double i2 = tft_current(p, 5.0, 0.10, 0.0);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.05);
+}
+
+TEST(TftModel, GmMatchesFiniteDifference) {
+  const auto p = ntype();
+  for (double vg : {0.5, 1.5, 3.0}) {
+    const auto e = evaluate_tft(p, vg, 2.0, 0.0);
+    const double h = 1e-6;
+    const double fd = (tft_current(p, vg + h, 2.0, 0.0) -
+                       tft_current(p, vg - h, 2.0, 0.0)) / (2 * h);
+    EXPECT_NEAR(e.gm, fd, std::max(1e-12, 1e-5 * std::fabs(fd)));
+  }
+}
+
+TEST(TftModel, GdsMatchesFiniteDifference) {
+  const auto p = ntype();
+  for (double vd : {0.1, 1.0, 4.0}) {
+    const auto e = evaluate_tft(p, 3.0, vd, 0.0);
+    const double h = 1e-6;
+    const double fd = (tft_current(p, 3.0, vd + h, 0.0) -
+                       tft_current(p, 3.0, vd - h, 0.0)) / (2 * h);
+    EXPECT_NEAR(e.gds, fd, std::max(1e-12, 1e-5 * std::fabs(fd)));
+  }
+}
+
+TEST(TftModel, SourceDrainSymmetry) {
+  // Swapping source and drain must negate the current (symmetric device).
+  const auto p = ntype();
+  const double fwd = tft_current(p, 3.0, 2.0, 0.0);
+  const double rev = tft_current(p, 1.0, -2.0, 0.0);
+  // rev case: vg=1, vd=-2, vs=0 is the same device as vg'=3, vd'=2 seen
+  // from the other terminal.
+  EXPECT_NEAR(rev, -fwd, 1e-15 + 1e-9 * std::fabs(fwd));
+}
+
+TEST(TftModel, ReverseModeDerivativesMatchFiniteDifference) {
+  const auto p = ntype();
+  const double vg = 2.0, vd = -1.5, vs = 0.0, h = 1e-6;
+  const auto e = evaluate_tft(p, vg, vd, vs);
+  const double fd_gm =
+      (tft_current(p, vg + h, vd, vs) - tft_current(p, vg - h, vd, vs)) / (2 * h);
+  const double fd_gds =
+      (tft_current(p, vg, vd + h, vs) - tft_current(p, vg, vd - h, vs)) / (2 * h);
+  EXPECT_NEAR(e.gm, fd_gm, 1e-5 * std::max(1.0, std::fabs(fd_gm)));
+  EXPECT_NEAR(e.gds, fd_gds, 1e-5 * std::max(1.0, std::fabs(fd_gds)));
+}
+
+TEST(TftModel, PTypeMirrorsNType) {
+  const auto pn = ntype();
+  const auto pp = ptype();
+  const double in = tft_current(pn, 3.0, 2.0, 0.0);
+  const double ip = tft_current(pp, -3.0, -2.0, 0.0);
+  EXPECT_NEAR(ip, -in, 1e-15 + 1e-12 * std::fabs(in));
+}
+
+TEST(TftModel, PTypeConductsForNegativeGate) {
+  const auto p = ptype();
+  const double on = std::fabs(tft_current(p, -4.0, -2.0, 0.0));
+  const double off = std::fabs(tft_current(p, 1.0, -2.0, 0.0));
+  EXPECT_GT(on, 1e4 * off);
+}
+
+TEST(TftModel, Eq1MobilityLaw) {
+  // Above threshold, mu = mu0 |Vg - Vth|^gamma (paper Eq. 1).
+  const auto p = ntype();
+  for (double ov : {1.0, 2.0, 4.0}) {
+    const double mu = effective_mobility(p, p.vth + ov);
+    EXPECT_NEAR(mu / (p.mu0 * std::pow(ov, p.gamma)), 1.0, 0.05);
+  }
+  // mu0 is the mobility at exactly 1 V overdrive.
+  EXPECT_NEAR(effective_mobility(p, p.vth + 1.0) / p.mu0, 1.0, 0.05);
+}
+
+TEST(TftModel, LambdaIncreasesSaturationSlope) {
+  auto p0 = ntype();
+  p0.lambda = 0.0;
+  auto p1 = ntype();
+  p1.lambda = 0.05;
+  const double s0 = tft_current(p0, 3.0, 8.0, 0.0) - tft_current(p0, 3.0, 6.0, 0.0);
+  const double s1 = tft_current(p1, 3.0, 8.0, 0.0) - tft_current(p1, 3.0, 6.0, 0.0);
+  EXPECT_GT(s1, s0);
+}
+
+TEST(TftModel, InvalidParamsThrow) {
+  auto p = ntype();
+  p.gamma = -0.1;
+  EXPECT_THROW(evaluate_tft(p, 1, 1, 0), std::invalid_argument);
+  p = ntype();
+  p.length = 0.0;
+  EXPECT_THROW(evaluate_tft(p, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(TftModel, GateCapacitance) {
+  const auto p = ntype();
+  EXPECT_NEAR(gate_half_capacitance(p), 0.5 * p.cox * p.width * p.length, 1e-20);
+}
+
+}  // namespace
+}  // namespace stco::compact

@@ -1,0 +1,81 @@
+#include "src/compact/variation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compact/technology.hpp"
+
+namespace stco::compact {
+namespace {
+
+TftParams nominal() { return make_nfet(cnt_tech(), 10e-6, 2e-6); }
+
+TEST(Variation, SampleRespectsModel) {
+  numeric::Rng rng(1);
+  const VariationModel vm;
+  double vth_sum = 0.0, vth_sq = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const auto p = sample_variation(nominal(), vm, rng);
+    const double d = p.vth - nominal().vth;
+    vth_sum += d;
+    vth_sq += d * d;
+    EXPECT_GT(p.mu0, 0.0);
+    EXPECT_GE(p.gamma, 0.0);
+  }
+  EXPECT_NEAR(vth_sum / n, 0.0, 0.005);
+  EXPECT_NEAR(std::sqrt(vth_sq / n), vm.sigma_vth, 0.005);
+}
+
+TEST(Variation, MonteCarloStatsConsistent) {
+  const auto st = on_current_spread(nominal(), {}, 3.0, 3.0, 600);
+  EXPECT_EQ(st.samples, 600u);
+  EXPECT_GT(st.mean, 0.0);
+  EXPECT_GT(st.stddev, 0.0);
+  EXPECT_LT(st.p05, st.mean);
+  EXPECT_GT(st.p95, st.mean);
+  EXPECT_LT(st.stddev / st.mean, 0.5);  // reasonable spread
+}
+
+TEST(Variation, ZeroSigmaCollapsesSpread) {
+  VariationModel vm;
+  vm.sigma_vth = 0.0;
+  vm.sigma_mu0_frac = 0.0;
+  vm.sigma_gamma = 0.0;
+  const auto st = on_current_spread(nominal(), vm, 3.0, 3.0, 100);
+  EXPECT_NEAR(st.stddev / st.mean, 0.0, 1e-12);
+  EXPECT_NEAR(st.p95, st.p05, 1e-18);
+}
+
+TEST(Variation, LargerVthSigmaWidensSpread) {
+  VariationModel small, big;
+  small.sigma_vth = 0.02;
+  big.sigma_vth = 0.15;
+  const auto ss = on_current_spread(nominal(), small, 2.0, 3.0, 500);
+  const auto sb = on_current_spread(nominal(), big, 2.0, 3.0, 500);
+  EXPECT_GT(sb.stddev / sb.mean, ss.stddev / ss.mean);
+}
+
+TEST(Variation, SubthresholdAmplifiesVthVariation) {
+  // Near threshold the current depends exponentially on vth: relative
+  // spread must far exceed the on-state spread.
+  const auto sub = on_current_spread(nominal(), {}, nominal().vth - 0.2, 3.0, 500);
+  const auto on = on_current_spread(nominal(), {}, nominal().vth + 2.0, 3.0, 500);
+  EXPECT_GT(sub.stddev / sub.mean, 3.0 * on.stddev / on.mean);
+}
+
+TEST(Variation, DeterministicPerSeed) {
+  const auto a = on_current_spread(nominal(), {}, 3.0, 3.0, 100, 9);
+  const auto b = on_current_spread(nominal(), {}, 3.0, 3.0, 100, 9);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(Variation, InvalidSampleCountThrows) {
+  EXPECT_THROW(monte_carlo(nominal(), {}, 1, 1, [](const TftParams&) { return 0.0; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::compact

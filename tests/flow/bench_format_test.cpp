@@ -1,0 +1,138 @@
+#include "src/flow/bench_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/logic_sim.hpp"
+
+namespace stco::flow {
+namespace {
+
+// A small sequential circuit in ISCAS .bench style (deliberately listing
+// gates out of topological order).
+const char* kSample = R"(
+# sample circuit
+INPUT(A)
+INPUT(B)
+OUTPUT(Y)
+
+Y = NOT(n2)
+n2 = NAND(A, q)
+q = DFF(n3)
+n3 = OR(n2, B)
+)";
+
+TEST(BenchFormat, ParsesOutOfOrderDefinitions) {
+  const auto nl = parse_bench(kSample, "sample");
+  EXPECT_EQ(nl.primary_inputs().size(), 2u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.num_flipflops(), 1u);
+  EXPECT_EQ(nl.num_gates(), 3u);  // NOT + NAND + OR
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(BenchFormat, LogicFunctionIsCorrect) {
+  const auto nl = parse_bench(kSample);
+  // With q = 0: n2 = NAND(A,0) = 1, Y = NOT(1) = 0 regardless of A.
+  for (bool a : {false, true}) {
+    const auto v = evaluate_cycle(nl, {a, false}, {false});
+    EXPECT_FALSE(v[nl.primary_outputs()[0]]);
+  }
+  // With q = 1: n2 = NOT(A), Y = A.
+  for (bool a : {false, true}) {
+    const auto v = evaluate_cycle(nl, {a, false}, {true});
+    EXPECT_EQ(v[nl.primary_outputs()[0]], a);
+  }
+}
+
+TEST(BenchFormat, WideGatesDecompose) {
+  const char* wide = R"(
+INPUT(a) INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+INPUT(f)
+OUTPUT(y)
+y = NAND(a, b, c, d, e, f)
+)";
+  // Note: two INPUTs on one line is malformed; fix the text first.
+  (void)wide;
+  const char* wide_ok = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+INPUT(e)
+INPUT(f)
+OUTPUT(y)
+y = NAND(a, b, c, d, e, f)
+)";
+  const auto nl = parse_bench(wide_ok);
+  // 6 inputs -> AND4(a..d) + AND2(e,f) -> NAND2 of the two: 3 gates.
+  EXPECT_EQ(nl.num_gates(), 3u);
+  // Functional check: output low only when all inputs high.
+  std::vector<bool> all_high(6, true);
+  EXPECT_FALSE(evaluate_cycle(nl, all_high, {})[nl.primary_outputs()[0]]);
+  auto one_low = all_high;
+  one_low[3] = false;
+  EXPECT_TRUE(evaluate_cycle(nl, one_low, {})[nl.primary_outputs()[0]]);
+}
+
+TEST(BenchFormat, XorChainAndPolarity) {
+  const char* x = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = XNOR(a, b, c)
+)";
+  const auto nl = parse_bench(x);
+  for (unsigned m = 0; m < 8; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, c = (m >> 2) & 1;
+    const bool expected = !(a ^ b ^ c);
+    EXPECT_EQ(evaluate_cycle(nl, {a, b, c}, {})[nl.primary_outputs()[0]], expected)
+        << m;
+  }
+}
+
+TEST(BenchFormat, ErrorsAreDiagnosed) {
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = NAND(a, zzz)\nOUTPUT(y)\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"),
+               std::invalid_argument);
+  // Combinational cycle.
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(x)\nx = NOT(z)\nz = NOT(x)\n"),
+               std::invalid_argument);
+  // Duplicate definition.
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"),
+               std::invalid_argument);
+  // Undefined output.
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(nope)\ny = NOT(a)\n"),
+               std::invalid_argument);
+}
+
+TEST(BenchFormat, SequentialLoopThroughDffIsLegal) {
+  // q feeds logic that feeds q's D input — fine through a flip-flop.
+  const char* loop = R"(
+INPUT(en)
+OUTPUT(q)
+q = DFF(d)
+nq = NOT(q)
+d = AND(nq, en)
+)";
+  const auto nl = parse_bench(loop);
+  EXPECT_NO_THROW(nl.check());
+  // With en=1 this is a toggle divider: q alternates each cycle.
+  SimOptions so;
+  so.cycles = 50;
+  so.input_toggle_prob = 0.0;
+  so.randomize_initial_state = false;
+  // Force en high by toggling once... simpler: evaluate manually.
+  auto v0 = evaluate_cycle(nl, {true}, {false});
+  const NetId d_net = nl.flipflops()[0].d;
+  EXPECT_TRUE(v0[d_net]);   // d = !0 & 1 = 1
+  auto v1 = evaluate_cycle(nl, {true}, {true});
+  EXPECT_FALSE(v1[d_net]);  // d = !1 & 1 = 0
+}
+
+}  // namespace
+}  // namespace stco::flow

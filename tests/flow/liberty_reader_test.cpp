@@ -1,0 +1,76 @@
+#include "src/flow/liberty_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/benchmarks.hpp"
+#include "src/flow/liberty_writer.hpp"
+#include "src/flow/sta.hpp"
+
+namespace stco::flow {
+namespace {
+
+const TimingLibrary& original() {
+  static const TimingLibrary lib = [] {
+    LibraryBuildOptions opts;
+    opts.cell_names = {"INV", "NAND2", "NOR2", "DFF"};
+    opts.slew_axis = {10e-9, 40e-9};
+    opts.load_axis = {20e-15, 100e-15};
+    return build_library_spice(compact::cnt_tech(), opts);
+  }();
+  return lib;
+}
+
+TEST(LibertyReader, RoundTripPreservesTables) {
+  const auto& src = original();
+  const auto back = read_liberty(liberty_text(src));
+  ASSERT_EQ(back.cells.size(), src.cells.size());
+  EXPECT_NEAR(back.tech.vdd, src.tech.vdd, 1e-9);
+  for (const auto& [name, ct] : src.cells) {
+    ASSERT_TRUE(back.has_cell(name)) << name;
+    const auto& rt = back.cell(name);
+    EXPECT_EQ(rt.slew_axis.size(), ct.slew_axis.size());
+    EXPECT_EQ(rt.load_axis.size(), ct.load_axis.size());
+    for (std::size_t i = 0; i < ct.slew_axis.size(); ++i)
+      EXPECT_NEAR(rt.slew_axis[i], ct.slew_axis[i], 1e-12) << name;
+    for (std::size_t r = 0; r < ct.delay.rows(); ++r)
+      for (std::size_t c = 0; c < ct.delay.cols(); ++c) {
+        EXPECT_NEAR(rt.delay(r, c) / ct.delay(r, c), 1.0, 1e-4) << name;
+        EXPECT_NEAR(rt.out_slew(r, c) / ct.out_slew(r, c), 1.0, 1e-4) << name;
+      }
+    EXPECT_NEAR(rt.input_cap / ct.input_cap, 1.0, 1e-4) << name;
+    EXPECT_NEAR(rt.leakage / ct.leakage, 1.0, 1e-4) << name;
+    EXPECT_NEAR(rt.flip_energy / ct.flip_energy, 1.0, 1e-4) << name;
+    EXPECT_EQ(rt.transistors, ct.transistors) << name;
+  }
+  EXPECT_NEAR(back.dff_setup / src.dff_setup, 1.0, 1e-4);
+  EXPECT_NEAR(back.dff_clk2q / src.dff_clk2q, 1.0, 1e-4);
+}
+
+TEST(LibertyReader, RoundTrippedLibraryDrivesSta) {
+  const auto back = read_liberty(liberty_text(original()));
+  GateNetlist nl("t");
+  NetId n = nl.add_primary_input();
+  for (int i = 0; i < 3; ++i) n = nl.add_gate("NAND2", {n, n});
+  const NetId q = nl.add_flipflop(n);
+  nl.mark_primary_output(q);
+  const auto a = analyze(nl, original());
+  const auto b = analyze(nl, back);
+  EXPECT_NEAR(b.critical_path / a.critical_path, 1.0, 1e-3);
+  EXPECT_NEAR(b.leakage_power / a.leakage_power, 1.0, 1e-3);
+}
+
+TEST(LibertyReader, FileRoundTrip) {
+  write_liberty_file("/tmp/stco_rt.lib", original());
+  const auto back = read_liberty_file("/tmp/stco_rt.lib");
+  EXPECT_TRUE(back.has_cell("INV"));
+  EXPECT_THROW(read_liberty_file("/no/such/file.lib"), std::runtime_error);
+}
+
+TEST(LibertyReader, MalformedInputsRejected) {
+  EXPECT_THROW(read_liberty("library (x) { cell (A) { "), std::invalid_argument);
+  EXPECT_THROW(read_liberty("library (x) { }"), std::invalid_argument);
+  EXPECT_THROW(read_liberty("/* unterminated"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::flow

@@ -1,0 +1,119 @@
+#include "src/flow/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/benchmarks.hpp"
+
+namespace stco::flow {
+namespace {
+
+TEST(GateNetlist, BasicConstruction) {
+  GateNetlist nl("t");
+  const NetId a = nl.add_primary_input();
+  const NetId b = nl.add_primary_input();
+  const NetId y = nl.add_gate("NAND2", {a, b});
+  nl.mark_primary_output(y);
+  EXPECT_EQ(nl.num_gates(), 1u);
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(GateNetlist, RejectsBadNets) {
+  GateNetlist nl;
+  EXPECT_THROW(nl.add_gate("INV", {5}), std::out_of_range);
+  EXPECT_THROW(nl.add_gate("INV", {}), std::invalid_argument);
+  EXPECT_THROW(nl.add_flipflop(9), std::out_of_range);
+}
+
+TEST(GateNetlist, CheckCatchesUndrivenUse) {
+  GateNetlist nl;
+  const NetId a = nl.add_primary_input();
+  const NetId dangling = nl.new_net();  // never driven
+  nl.add_gate("NAND2", {a, dangling});
+  EXPECT_THROW(nl.check(), std::invalid_argument);
+}
+
+TEST(GateNetlist, FlipFlopRewire) {
+  GateNetlist nl;
+  const NetId a = nl.add_primary_input();
+  const NetId q = nl.add_flipflop(a);
+  const NetId y = nl.add_gate("INV", {q});
+  nl.set_flipflop_d(0, y);
+  nl.mark_primary_output(q);
+  EXPECT_NO_THROW(nl.check());
+  EXPECT_EQ(nl.flipflops()[0].d, y);
+}
+
+TEST(Benchmarks, RandomSynthesisMatchesSpec) {
+  SyntheticSpec spec;
+  spec.name = "rnd";
+  spec.n_inputs = 6;
+  spec.n_outputs = 4;
+  spec.n_ffs = 5;
+  spec.n_gates = 200;
+  spec.seed = 3;
+  const auto nl = synthesize_random(spec);
+  EXPECT_EQ(nl.num_gates(), 200u);
+  EXPECT_EQ(nl.num_flipflops(), 5u);
+  EXPECT_EQ(nl.primary_inputs().size(), 6u);
+  EXPECT_EQ(nl.primary_outputs().size(), 4u);
+  EXPECT_NO_THROW(nl.check());
+}
+
+TEST(Benchmarks, RandomSynthesisDeterministicPerSeed) {
+  SyntheticSpec spec;
+  spec.n_gates = 50;
+  const auto a = synthesize_random(spec);
+  const auto b = synthesize_random(spec);
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  for (std::size_t i = 0; i < a.num_gates(); ++i) {
+    EXPECT_EQ(a.gates()[i].cell, b.gates()[i].cell);
+    EXPECT_EQ(a.gates()[i].fanin, b.gates()[i].fanin);
+  }
+}
+
+TEST(Benchmarks, MacIsStructural) {
+  const auto mac = make_mac(8);
+  EXPECT_NO_THROW(mac.check());
+  // 8x8: 64 partial products + FA arrays; accumulator of ~18 FFs.
+  EXPECT_GT(mac.num_gates(), 300u);
+  EXPECT_GE(mac.num_flipflops(), 17u);
+  // Only arithmetic cells appear.
+  for (const auto& [cell, count] : mac.cell_histogram()) {
+    EXPECT_TRUE(cell == "AND2" || cell == "XOR2" || cell == "OR2" || cell == "INV")
+        << cell;
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(Benchmarks, MacScalesQuadratically) {
+  const auto m8 = make_mac(8);
+  const auto m16 = make_mac(16);
+  const double ratio = static_cast<double>(m16.num_gates()) /
+                       static_cast<double>(m8.num_gates());
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+TEST(Benchmarks, AllTable1BenchmarksBuild) {
+  ASSERT_EQ(table1_benchmarks().size(), 10u);
+  for (const auto& name : table1_benchmarks()) {
+    const auto nl = make_benchmark(name);
+    EXPECT_NO_THROW(nl.check()) << name;
+    EXPECT_GT(nl.num_gates(), 50u) << name;
+  }
+}
+
+TEST(Benchmarks, Iscas89ScalesMatchPublishedCounts) {
+  EXPECT_EQ(make_benchmark("s298").num_gates(), 119u);
+  EXPECT_EQ(make_benchmark("s298").num_flipflops(), 14u);
+  EXPECT_EQ(make_benchmark("s1488").num_gates(), 653u);
+  EXPECT_EQ(make_benchmark("s1488").num_flipflops(), 6u);
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("s9999"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::flow

@@ -1,0 +1,115 @@
+#include "src/flow/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/benchmarks.hpp"
+#include "src/flow/logic_sim.hpp"
+
+namespace stco::flow {
+namespace {
+
+const TimingLibrary& lib() {
+  static const TimingLibrary l = [] {
+    LibraryBuildOptions opts;
+    opts.slew_axis = {10e-9, 40e-9};
+    // The load axis must reach the un-buffered fanout-20 loads these tests
+    // construct, or table clamping hides the very penalty buffering fixes.
+    opts.load_axis = {20e-15, 100e-15, 320e-15};
+    return build_library_spice(compact::cnt_tech(), opts);
+  }();
+  return l;
+}
+
+TEST(DriveLadder, VariantsChain) {
+  EXPECT_EQ(next_drive_variant("INV"), "INVX2");
+  EXPECT_EQ(next_drive_variant("INVX2"), "INVX4");
+  EXPECT_EQ(next_drive_variant("BUF"), "BUFX2");
+  EXPECT_EQ(next_drive_variant("NAND2"), "");
+}
+
+/// An INV chain driving a heavy load: upsizing the chain must speed it up.
+GateNetlist loaded_chain() {
+  GateNetlist nl("loaded");
+  NetId n = nl.add_primary_input();
+  for (int i = 0; i < 4; ++i) n = nl.add_gate("INV", {n});
+  // Fan the last stage out to many consumers (load).
+  for (int i = 0; i < 12; ++i) nl.mark_primary_output(nl.add_gate("INV", {n}));
+  nl.mark_primary_output(n);
+  return nl;
+}
+
+TEST(Upsize, ImprovesLoadedChainPeriod) {
+  const auto nl = loaded_chain();
+  const auto res = upsize_critical_path(nl, lib());
+  EXPECT_GT(res.cells_upsized, 0u);
+  EXPECT_LT(res.period_after, res.period_before);
+  EXPECT_NO_THROW(res.netlist.check());
+  // Gate count unchanged: sizing only swaps cells.
+  EXPECT_EQ(res.netlist.num_gates(), nl.num_gates());
+}
+
+TEST(Upsize, NeverWorsensTiming) {
+  for (const char* name : {"s298", "s386"}) {
+    const auto nl = make_benchmark(name);
+    const auto res = upsize_critical_path(nl, lib());
+    EXPECT_LE(res.period_after, res.period_before) << name;
+  }
+}
+
+TEST(InsertBuffers, SplitsHighFanoutNets) {
+  // One INV driving 20 other INVs: fanout 20 >> threshold.
+  GateNetlist nl("fanout");
+  const NetId a = nl.add_primary_input();
+  const NetId hub = nl.add_gate("INV", {a});
+  for (int i = 0; i < 20; ++i) nl.mark_primary_output(nl.add_gate("INV", {hub}));
+  const auto res = insert_buffers(nl, lib());
+  EXPECT_GE(res.buffers_inserted, 1u);
+  EXPECT_NO_THROW(res.netlist.check());
+  EXPECT_EQ(res.netlist.num_gates(), nl.num_gates() + res.buffers_inserted);
+  // The hub's direct gate fanout shrank: timing should improve (smaller
+  // load on the critical driver).
+  EXPECT_LT(res.period_after, res.period_before);
+}
+
+TEST(InsertBuffers, NoOpBelowThreshold) {
+  GateNetlist nl("small");
+  const NetId a = nl.add_primary_input();
+  const NetId y = nl.add_gate("INV", {a});
+  nl.mark_primary_output(nl.add_gate("INV", {y}));
+  const auto res = insert_buffers(nl, lib());
+  EXPECT_EQ(res.buffers_inserted, 0u);
+  EXPECT_DOUBLE_EQ(res.period_after, res.period_before);
+}
+
+TEST(InsertBuffers, PreservesLogicFunction) {
+  // Buffering must not change the simulated behaviour of the circuit.
+  const auto nl = make_benchmark("s298");
+  OptimizeOptions opts;
+  opts.fanout_threshold = 4;  // force many insertions
+  const auto res = insert_buffers(nl, lib(), opts);
+  ASSERT_GT(res.buffers_inserted, 0u);
+
+  SimOptions so;
+  so.cycles = 32;
+  const auto act_before = simulate_activity(nl, so);
+  const auto act_after = simulate_activity(res.netlist, so);
+  // Primary outputs toggle identically cycle-by-cycle => equal activity.
+  for (std::size_t i = 0; i < nl.primary_outputs().size(); ++i) {
+    EXPECT_DOUBLE_EQ(act_before.net_activity[nl.primary_outputs()[i]],
+                     act_after.net_activity[res.netlist.primary_outputs()[i]])
+        << "PO " << i;
+  }
+}
+
+TEST(InsertBuffers, ComposesWithUpsizing) {
+  const auto nl = loaded_chain();
+  OptimizeOptions opts;
+  opts.fanout_threshold = 6;
+  const auto buffered = insert_buffers(nl, lib(), opts);
+  const auto sized = upsize_critical_path(buffered.netlist, lib(), opts);
+  EXPECT_LE(sized.period_after, buffered.period_after);
+  EXPECT_NO_THROW(sized.netlist.check());
+}
+
+}  // namespace
+}  // namespace stco::flow

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/flow/benchmarks.hpp"
+#include "src/flow/sta.hpp"
+
+namespace stco::flow {
+namespace {
+
+const TimingLibrary& lib() {
+  static const TimingLibrary l = [] {
+    LibraryBuildOptions opts;
+    opts.slew_axis = {10e-9, 40e-9};
+    opts.load_axis = {20e-15, 100e-15};
+    return build_library_spice(compact::cnt_tech(), opts);
+  }();
+  return l;
+}
+
+TEST(CriticalPath, ChainPathHasAllStages) {
+  GateNetlist nl("chain");
+  NetId n = nl.add_primary_input();
+  for (int i = 0; i < 4; ++i) n = nl.add_gate("INV", {n});
+  nl.mark_primary_output(n);
+  const auto rep = analyze(nl, lib());
+  const auto cp = trace_critical_path(nl, lib(), rep.min_period);
+  // <input> + 4 INV stages.
+  ASSERT_EQ(cp.stages.size(), 5u);
+  EXPECT_EQ(cp.stages.front().cell, "<input>");
+  for (std::size_t i = 1; i < cp.stages.size(); ++i) {
+    EXPECT_EQ(cp.stages[i].cell, "INV");
+    EXPECT_GT(cp.stages[i].arrival, cp.stages[i - 1].arrival);
+  }
+  EXPECT_FALSE(cp.endpoint_is_ff);
+  EXPECT_NEAR(cp.arrival, rep.critical_path, 1e-12);
+}
+
+TEST(CriticalPath, PicksTheSlowerBranch) {
+  // Two parallel branches into an AND2: a 1-INV branch and a 3-INV branch;
+  // the trace must follow the deep branch.
+  GateNetlist nl("branchy");
+  const NetId a = nl.add_primary_input();
+  const NetId quick = nl.add_gate("INV", {a});
+  NetId slow = a;
+  for (int i = 0; i < 3; ++i) slow = nl.add_gate("INV", {slow});
+  const NetId y = nl.add_gate("AND2", {quick, slow});
+  nl.mark_primary_output(y);
+  const auto rep = analyze(nl, lib());
+  const auto cp = trace_critical_path(nl, lib(), rep.min_period);
+  // <input> + 3 INVs + AND2.
+  ASSERT_EQ(cp.stages.size(), 5u);
+  EXPECT_EQ(cp.stages.back().cell, "AND2");
+  EXPECT_EQ(cp.stages[1].cell, "INV");
+  EXPECT_EQ(cp.stages[3].cell, "INV");
+}
+
+TEST(CriticalPath, SlackZeroAtMinPeriodEndpoint) {
+  const auto nl = make_benchmark("s298");
+  const auto rep = analyze(nl, lib());
+  // min_period includes the clock margin, so the worst slack is the margin
+  // slice (minus setup bookkeeping); at the raw critical path the worst
+  // endpoint should be within rounding of zero slack.
+  const auto cp = trace_critical_path(nl, lib(), rep.critical_path);
+  EXPECT_NEAR(cp.slack, cp.required - cp.arrival, 1e-15);
+  EXPECT_LE(cp.slack, 1e-12);
+  EXPECT_GE(cp.stages.size(), 2u);
+}
+
+TEST(CriticalPath, FfEndpointsIncludeSetup) {
+  const auto nl = make_benchmark("s298");
+  const auto rep = analyze(nl, lib());
+  const auto cp = trace_critical_path(nl, lib(), rep.min_period);
+  if (cp.endpoint_is_ff) EXPECT_NEAR(cp.required, rep.min_period - lib().dff_setup, 1e-15);
+  EXPECT_GE(cp.slack, 0.0);  // min_period has margin, so nothing violates
+}
+
+TEST(EndpointSlacks, CountsAndOrdering) {
+  const auto nl = make_benchmark("s386");
+  const auto rep = analyze(nl, lib());
+  const auto slacks = endpoint_slacks(nl, lib(), rep.min_period);
+  EXPECT_EQ(slacks.size(), nl.num_flipflops() + nl.primary_outputs().size());
+  double worst = 1e300;
+  for (double s : slacks) worst = std::min(worst, s);
+  // At min_period (with margin) every endpoint meets timing.
+  EXPECT_GE(worst, 0.0);
+  // Halving the period must create violations.
+  const auto tight = endpoint_slacks(nl, lib(), rep.min_period / 4.0);
+  double worst_tight = 1e300;
+  for (double s : tight) worst_tight = std::min(worst_tight, s);
+  EXPECT_LT(worst_tight, 0.0);
+}
+
+}  // namespace
+}  // namespace stco::flow

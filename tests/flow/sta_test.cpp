@@ -1,0 +1,117 @@
+#include "src/flow/sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/flow/benchmarks.hpp"
+
+namespace stco::flow {
+namespace {
+
+/// One SPICE-characterized library shared by the suite (slow to build).
+const TimingLibrary& spice_lib() {
+  static const TimingLibrary lib = [] {
+    LibraryBuildOptions opts;
+    opts.slew_axis = {10e-9, 40e-9};
+    opts.load_axis = {20e-15, 100e-15};
+    return build_library_spice(compact::cnt_tech(), opts);
+  }();
+  return lib;
+}
+
+TEST(Liberty, SpiceLibraryCoversMappedCells) {
+  const auto& lib = spice_lib();
+  for (const auto& name : mapped_cell_set()) {
+    ASSERT_TRUE(lib.has_cell(name)) << name;
+    const auto& ct = lib.cell(name);
+    EXPECT_GT(ct.input_cap, 0.0) << name;
+    EXPECT_GT(ct.leakage, 0.0) << name;
+    EXPECT_GT(ct.transistors, 0u) << name;
+    for (std::size_t si = 0; si < ct.slew_axis.size(); ++si)
+      for (std::size_t li = 0; li < ct.load_axis.size(); ++li)
+        EXPECT_GT(ct.delay(si, li), 0.0) << name;
+  }
+  EXPECT_GT(lib.dff_clk2q, 0.0);
+  EXPECT_GT(lib.dff_setup, 0.0);
+  EXPECT_GT(lib.dff_cap, 0.0);
+}
+
+TEST(Liberty, DelayIncreasesWithLoad) {
+  const auto& ct = spice_lib().cell("INV");
+  EXPECT_GT(ct.delay_at(10e-9, 100e-15), ct.delay_at(10e-9, 20e-15));
+}
+
+TEST(Liberty, InterpolationWithinTableRange) {
+  const auto& ct = spice_lib().cell("NAND2");
+  const double mid = ct.delay_at(25e-9, 60e-15);
+  EXPECT_GT(mid, ct.delay_at(10e-9, 20e-15));
+  EXPECT_LT(mid, ct.delay_at(40e-9, 100e-15));
+}
+
+TEST(Liberty, UnknownCellThrows) {
+  EXPECT_THROW(spice_lib().cell("NAND9"), std::invalid_argument);
+}
+
+TEST(Sta, ChainDelayAccumulates) {
+  // INV chain of length 4: critical path ~ 4 inverter delays.
+  GateNetlist nl("chain");
+  NetId n = nl.add_primary_input();
+  for (int i = 0; i < 4; ++i) n = nl.add_gate("INV", {n});
+  nl.mark_primary_output(n);
+  const auto rep1 = analyze(nl, spice_lib());
+
+  GateNetlist nl2("chain8");
+  NetId m = nl2.add_primary_input();
+  for (int i = 0; i < 8; ++i) m = nl2.add_gate("INV", {m});
+  nl2.mark_primary_output(m);
+  const auto rep2 = analyze(nl2, spice_lib());
+  EXPECT_NEAR(rep2.critical_path / rep1.critical_path, 2.0, 0.35);
+}
+
+TEST(Sta, ReportFieldsConsistent) {
+  const auto nl = make_benchmark("s298");
+  const auto rep = analyze(nl, spice_lib());
+  EXPECT_GT(rep.critical_path, 0.0);
+  EXPECT_GT(rep.min_period, rep.critical_path * 0.99);
+  EXPECT_NEAR(rep.fmax * rep.min_period, 1.0, 1e-9);
+  EXPECT_GT(rep.dynamic_power, 0.0);
+  EXPECT_GT(rep.leakage_power, 0.0);
+  EXPECT_NEAR(rep.total_power, rep.dynamic_power + rep.leakage_power, 1e-12);
+  EXPECT_GT(rep.area, 0.0);
+  EXPECT_EQ(rep.num_gates, 119u);
+}
+
+TEST(Sta, BiggerBenchmarkHasMoreAreaAndPower) {
+  const auto s298 = analyze(make_benchmark("s298"), spice_lib());
+  const auto s1488 = analyze(make_benchmark("s1488"), spice_lib());
+  EXPECT_GT(s1488.area, 2.0 * s298.area);
+  EXPECT_GT(s1488.leakage_power, 2.0 * s298.leakage_power);
+}
+
+TEST(Sta, MacCriticalPathGrowsWithWidth) {
+  const auto m8 = analyze(make_mac(8), spice_lib());
+  const auto m16 = analyze(make_mac(16), spice_lib());
+  EXPECT_GT(m16.critical_path, 1.4 * m8.critical_path);
+}
+
+TEST(Sta, HigherVddIsFaster) {
+  LibraryBuildOptions opts;
+  opts.slew_axis = {10e-9, 40e-9};
+  opts.load_axis = {20e-15, 100e-15};
+  auto hi_tech = compact::cnt_tech();
+  hi_tech.vdd *= 1.3;
+  const auto lib_hi = build_library_spice(hi_tech, opts);
+  const auto nl = make_benchmark("s386");
+  const auto lo = analyze(nl, spice_lib());
+  const auto hi = analyze(nl, lib_hi);
+  EXPECT_LT(hi.critical_path, lo.critical_path);
+}
+
+TEST(Sta, CellAreaScalesWithTransistors) {
+  const auto& inv = spice_lib().cell("INV");
+  const auto& nand4 = spice_lib().cell("NAND4");
+  EXPECT_NEAR(cell_area(nand4, compact::cnt_tech()) / cell_area(inv, compact::cnt_tech()),
+              4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stco::flow

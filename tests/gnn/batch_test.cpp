@@ -1,0 +1,100 @@
+#include "src/gnn/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco::gnn {
+namespace {
+
+Graph make_graph(std::size_t n, double feat, double target, std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  Graph g;
+  g.num_nodes = n;
+  g.node_dim = 3;
+  g.edge_dim = 2;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    g.edge_src.push_back(i);
+    g.edge_dst.push_back(i + 1);
+    g.edge_src.push_back(i + 1);
+    g.edge_dst.push_back(i);
+  }
+  g.node_features.resize(n * 3);
+  for (auto& v : g.node_features) v = feat + 0.1 * rng.normal();
+  g.edge_features.assign(g.num_edges() * 2, 0.5);
+  g.graph_targets = {target};
+  return g;
+}
+
+TEST(Batch, MergePreservesStructure) {
+  const std::vector<Graph> gs = {make_graph(3, 0.0, -1.0, 1), make_graph(5, 1.0, 1.0, 2),
+                                 make_graph(2, 2.0, 0.0, 3)};
+  const auto b = merge_graphs(gs);
+  EXPECT_EQ(b.num_graphs, 3u);
+  EXPECT_EQ(b.merged.num_nodes, 10u);
+  EXPECT_EQ(b.merged.num_edges(), gs[0].num_edges() + gs[1].num_edges() +
+                                      gs[2].num_edges());
+  EXPECT_EQ(b.graph_id.size(), 10u);
+  EXPECT_EQ(b.graph_id[0], 0u);
+  EXPECT_EQ(b.graph_id[3], 1u);
+  EXPECT_EQ(b.graph_id[9], 2u);
+  // No cross-graph edges: every edge stays within its graph's id range.
+  for (std::size_t e = 0; e < b.merged.num_edges(); ++e)
+    EXPECT_EQ(b.graph_id[b.merged.edge_src[e]], b.graph_id[b.merged.edge_dst[e]]);
+  ASSERT_EQ(b.graph_targets.size(), 3u);
+  EXPECT_DOUBLE_EQ(b.graph_targets[1], 1.0);
+}
+
+TEST(Batch, EmptyBatchThrows) {
+  EXPECT_THROW(merge_graphs({}), std::invalid_argument);
+}
+
+TEST(Batch, WidthMismatchThrows) {
+  auto a = make_graph(3, 0.0, 0.0, 1);
+  auto b = make_graph(3, 0.0, 0.0, 2);
+  b.node_dim = 4;
+  b.node_features.resize(12);
+  std::vector<Graph> gs = {a, b};
+  EXPECT_THROW(merge_graphs(gs), std::invalid_argument);
+}
+
+TEST(Batch, BatchedForwardMatchesPerGraphForward) {
+  const std::vector<Graph> gs = {make_graph(4, 0.2, 0.0, 4), make_graph(6, -0.4, 0.0, 5),
+                                 make_graph(3, 1.0, 0.0, 6)};
+  numeric::Rng rng(9);
+  const RelGatModel model(iv_predictor_config(3, 2, 8), rng);
+  const auto batch = merge_graphs(gs);
+  const auto out = forward_batched(model, batch);
+  ASSERT_EQ(out.rows(), 3u);
+  for (std::size_t i = 0; i < gs.size(); ++i) {
+    const double single = model.forward(gs[i]).item();
+    EXPECT_NEAR(out(i, 0), single, 1e-9) << "graph " << i;
+  }
+}
+
+TEST(Batch, NodeRegressionForwardOnMergedMatches) {
+  const std::vector<Graph> gs = {make_graph(4, 0.2, 0.0, 7), make_graph(3, -0.1, 0.0, 8)};
+  numeric::Rng rng(10);
+  RelGatConfig cfg = poisson_emulator_config(3, 2, 8);
+  cfg.num_layers = 3;
+  const RelGatModel model(cfg, rng);
+  const auto batch = merge_graphs(gs);
+  const auto merged_out = model.forward(batch.merged);
+  const auto a = model.forward(gs[0]);
+  const auto b = model.forward(gs[1]);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(merged_out(i, 0), a(i, 0), 1e-9);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(merged_out(4 + i, 0), b(i, 0), 1e-9);
+}
+
+TEST(Batch, NodeRegressionModelRejectsPooledForward) {
+  numeric::Rng rng(11);
+  RelGatConfig cfg = poisson_emulator_config(3, 2, 8);
+  cfg.num_layers = 2;
+  const RelGatModel model(cfg, rng);
+  const std::vector<Graph> gs = {make_graph(3, 0.0, 0.0, 12)};
+  const auto batch = merge_graphs(gs);
+  EXPECT_THROW(forward_batched(model, batch), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::gnn

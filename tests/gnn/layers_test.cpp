@@ -1,0 +1,128 @@
+#include "src/gnn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco::gnn {
+namespace {
+
+/// Tiny 3-node path graph 0 - 1 - 2 (both directions) with 2-dim edges.
+Graph path_graph() {
+  Graph g;
+  g.num_nodes = 3;
+  g.node_dim = 4;
+  g.edge_dim = 2;
+  g.edge_src = {0, 1, 1, 2};
+  g.edge_dst = {1, 0, 2, 1};
+  g.node_features = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2};
+  g.edge_features = {1, 0, -1, 0, 1, 0, -1, 0};
+  g.check();
+  return g;
+}
+
+TEST(Graph, CheckDetectsBadIndices) {
+  Graph g = path_graph();
+  g.edge_src[0] = 7;
+  EXPECT_THROW(g.check(), std::invalid_argument);
+}
+
+TEST(Graph, CheckDetectsFeatureSizeMismatch) {
+  Graph g = path_graph();
+  g.node_features.pop_back();
+  EXPECT_THROW(g.check(), std::invalid_argument);
+}
+
+TEST(Linear, ShapeAndBias) {
+  numeric::Rng rng(1);
+  Linear lin(4, 3, rng);
+  const auto y = lin.forward(tensor::Tensor::zeros(2, 4));
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 3u);
+  // Zero input -> bias (zero-initialized).
+  for (double v : y.value()) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(lin.parameters().size(), 2u);
+}
+
+TEST(Mlp, LayerCountAndShapes) {
+  numeric::Rng rng(2);
+  Mlp mlp({4, 8, 8, 1}, rng);
+  EXPECT_EQ(mlp.num_layers(), 3u);
+  const auto y = mlp.forward(tensor::Tensor::full(5, 4, 0.3));
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 1u);
+  EXPECT_EQ(mlp.parameters().size(), 6u);
+  EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(GcnLayer, OutputShapeAndFiniteValues) {
+  numeric::Rng rng(3);
+  const Graph g = path_graph();
+  GcnLayer gcn(4, 6, rng);
+  const auto y = gcn.forward(g.node_tensor(), g);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 6u);
+  for (double v : y.value()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GcnLayer, IsolatedNodeGetsSelfLoopOnly) {
+  numeric::Rng rng(4);
+  Graph g;
+  g.num_nodes = 2;
+  g.node_dim = 2;
+  g.edge_dim = 1;
+  g.node_features = {1.0, 2.0, 0.0, 0.0};
+  GcnLayer gcn(2, 2, rng, Activation::kNone);
+  const auto y = gcn.forward(g.node_tensor(), g);
+  // Node 1 has zero features and no neighbours: output is the bias (0).
+  EXPECT_DOUBLE_EQ(y(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(1, 1), 0.0);
+}
+
+TEST(RelGatLayer, ShapeAndHeadDivisibility) {
+  numeric::Rng rng(5);
+  const Graph g = path_graph();
+  RelGatLayer gat(4, 2, 8, 2, rng);
+  const auto y = gat.forward(g.node_tensor(), g);
+  EXPECT_EQ(y.rows(), 3u);
+  EXPECT_EQ(y.cols(), 8u);
+  EXPECT_THROW(RelGatLayer(4, 2, 7, 2, rng), std::invalid_argument);
+}
+
+TEST(RelGatLayer, EdgeFeaturesAffectOutput) {
+  numeric::Rng rng(6);
+  Graph g = path_graph();
+  RelGatLayer gat(4, 2, 4, 1, rng);
+  const auto y1 = gat.forward(g.node_tensor(), g).value();
+  for (auto& e : g.edge_features) e *= -3.0;
+  const auto y2 = gat.forward(g.node_tensor(), g).value();
+  double diff = 0.0;
+  for (std::size_t i = 0; i < y1.size(); ++i) diff += std::fabs(y1[i] - y2[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(RelGatLayer, GradientsFlowToAllParameters) {
+  numeric::Rng rng(7);
+  const Graph g = path_graph();
+  RelGatLayer gat(4, 2, 4, 2, rng);
+  const auto y = gat.forward(g.node_tensor(), g);
+  tensor::sum_all(tensor::mul(y, y)).backward();
+  for (const auto& p : gat.parameters()) {
+    double gsum = 0.0;
+    for (double v : p.grad()) gsum += std::fabs(v);
+    EXPECT_GT(gsum, 0.0) << "a parameter received no gradient";
+  }
+}
+
+TEST(LayerNorm, NormalizesAndIsTrainable) {
+  LayerNorm ln(3);
+  const auto x = tensor::Tensor::from_data({1, 2, 3}, 1, 3);
+  const auto y = ln.forward(x);
+  double m = 0;
+  for (double v : y.value()) m += v;
+  EXPECT_NEAR(m, 0.0, 1e-9);
+  EXPECT_EQ(ln.parameters().size(), 2u);
+}
+
+}  // namespace
+}  // namespace stco::gnn

@@ -1,0 +1,99 @@
+#include "src/mesh/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/tcad/device.hpp"
+
+namespace stco::mesh {
+namespace {
+
+TEST(DeviceMesh, ConstructionAndSpacing) {
+  DeviceMesh m(5, 3, 4.0, 1.0);
+  EXPECT_EQ(m.num_nodes(), 15u);
+  EXPECT_DOUBLE_EQ(m.dx(), 1.0);
+  EXPECT_DOUBLE_EQ(m.dy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.node(4, 2).x, 4.0);
+  EXPECT_DOUBLE_EQ(m.node(4, 2).y, 1.0);
+}
+
+TEST(DeviceMesh, InvalidSizesThrow) {
+  EXPECT_THROW(DeviceMesh(1, 3, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DeviceMesh(3, 3, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(DeviceMesh, EdgesAreBidirectionalFourNeighbour) {
+  DeviceMesh m(3, 2, 2.0, 1.0);
+  // Horizontal pairs: 2 per row * 2 rows = 4; vertical: 3. Directed: 14.
+  EXPECT_EQ(m.edges().size(), 14u);
+  // Every edge has its reverse.
+  for (const auto& e : m.edges()) {
+    bool found = false;
+    for (const auto& r : m.edges())
+      if (r.src == e.dst && r.dst == e.src) found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(DeviceMesh, EdgeGeometry) {
+  DeviceMesh m(3, 3, 2.0, 2.0);
+  for (const auto& e : m.edges()) {
+    EXPECT_NEAR(e.length, 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(e.dx) + std::abs(e.dy), 1.0, 1e-12);
+  }
+}
+
+TEST(BuildMesh, TftRegionsAndContacts) {
+  tcad::TftDevice dev;
+  dev.length = 2e-6;
+  dev.contact_len = 0.5e-6;
+  tcad::Bias bias{2.0, 1.0, 0.0};
+  const auto m = tcad::build_mesh(dev, bias, 12, 4, 3);
+
+  EXPECT_EQ(m.ny(), 8u);
+  // Bottom row is gate metal, pinned to vg - flatband.
+  for (std::size_t ix = 0; ix < m.nx(); ++ix) {
+    const auto& nd = m.node(ix, m.ny() - 1);
+    EXPECT_EQ(nd.region, Region::kGate);
+    EXPECT_TRUE(nd.dirichlet);
+    EXPECT_DOUBLE_EQ(nd.dirichlet_value, bias.vg - dev.semi.flatband);
+  }
+  // Top-left node is the source contact at vs; top-right the drain at vd.
+  EXPECT_EQ(m.node(0, 0).region, Region::kSource);
+  EXPECT_DOUBLE_EQ(m.node(0, 0).dirichlet_value, 0.0 + dev.contact_phi);
+  EXPECT_EQ(m.node(m.nx() - 1, 0).region, Region::kDrain);
+  EXPECT_DOUBLE_EQ(m.node(m.nx() - 1, 0).dirichlet_value, 1.0 + dev.contact_phi);
+  // Middle of the top row is plain channel (no contact).
+  EXPECT_EQ(m.node(m.nx() / 2, 0).region, Region::kChannel);
+  EXPECT_FALSE(m.node(m.nx() / 2, 0).dirichlet);
+}
+
+TEST(BuildMesh, LayerMaterials) {
+  tcad::TftDevice dev;
+  const auto m = tcad::build_mesh(dev, {}, 8, 4, 3);
+  EXPECT_EQ(m.node(3, 0).material, Material::kSemiconductor);
+  EXPECT_EQ(m.node(3, 3).material, Material::kSemiconductor);
+  EXPECT_EQ(m.node(3, 4).material, Material::kOxide);
+  EXPECT_EQ(m.node(3, 6).material, Material::kOxide);
+  EXPECT_EQ(m.node(3, 7).material, Material::kMetal);
+}
+
+TEST(BuildMesh, RejectsBadArguments) {
+  tcad::TftDevice dev;
+  EXPECT_THROW(tcad::build_mesh(dev, {}, 4, 4, 3), std::invalid_argument);
+  EXPECT_THROW(tcad::build_mesh(dev, {}, 8, 1, 3), std::invalid_argument);
+  dev.contact_len = 100.0 * dev.length;  // contacts swallow the whole surface
+  EXPECT_THROW(tcad::build_mesh(dev, {}, 8, 4, 3), std::invalid_argument);
+  dev.contact_len = 0.4e-6;
+  dev.length = 0.0;
+  EXPECT_THROW(tcad::build_mesh(dev, {}, 8, 4, 3), std::invalid_argument);
+}
+
+TEST(DeviceMesh, NumDirichletCountsContactsAndGate) {
+  tcad::TftDevice dev;
+  const auto m = tcad::build_mesh(dev, {}, 10, 4, 3);
+  // Gate row (10) + some contact nodes at the top.
+  EXPECT_GE(m.num_dirichlet(), 12u);
+}
+
+}  // namespace
+}  // namespace stco::mesh

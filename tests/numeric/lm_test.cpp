@@ -1,0 +1,80 @@
+#include "src/numeric/lm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numeric/rng.hpp"
+
+namespace stco::numeric {
+namespace {
+
+TEST(LevenbergMarquardt, FitsLine) {
+  // y = 2x + 1 with no noise.
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  auto fn = [&](const Vec& p, Vec& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      r[i] = p[0] * xs[i] + p[1] - (2.0 * xs[i] + 1.0);
+  };
+  const auto res = levenberg_marquardt(fn, {0.0, 0.0}, xs.size());
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.params[0], 2.0, 1e-6);
+  EXPECT_NEAR(res.params[1], 1.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, FitsExponentialDecay) {
+  // y = a * exp(-b x), truth a=3, b=0.7, from a distant start.
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    const double x = 0.2 * i;
+    xs.push_back(x);
+    ys.push_back(3.0 * std::exp(-0.7 * x));
+  }
+  auto fn = [&](const Vec& p, Vec& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      r[i] = p[0] * std::exp(-p[1] * xs[i]) - ys[i];
+  };
+  const auto res = levenberg_marquardt(fn, {1.0, 0.1}, xs.size());
+  EXPECT_NEAR(res.params[0], 3.0, 1e-4);
+  EXPECT_NEAR(res.params[1], 0.7, 1e-4);
+  EXPECT_LT(res.cost, 1e-10);
+}
+
+TEST(LevenbergMarquardt, RespectsBounds) {
+  // Unconstrained optimum is p = 5; box forces p <= 2.
+  auto fn = [](const Vec& p, Vec& r) { r[0] = p[0] - 5.0; };
+  const auto res = levenberg_marquardt(fn, {0.0}, 1, {}, {-10.0}, {2.0});
+  EXPECT_LE(res.params[0], 2.0 + 1e-12);
+  EXPECT_NEAR(res.params[0], 2.0, 1e-6);
+}
+
+TEST(LevenbergMarquardt, EmptyParamsThrows) {
+  auto fn = [](const Vec&, Vec&) {};
+  EXPECT_THROW(levenberg_marquardt(fn, {}, 1), std::invalid_argument);
+}
+
+TEST(LevenbergMarquardt, BoundSizeMismatchThrows) {
+  auto fn = [](const Vec& p, Vec& r) { r[0] = p[0]; };
+  EXPECT_THROW(levenberg_marquardt(fn, {0.0}, 1, {}, {0.0, 1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(LevenbergMarquardt, NoisyFitStaysClose) {
+  Rng rng(9);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    const double x = 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(1.5 * x + 0.5 + rng.normal(0.0, 0.01));
+  }
+  auto fn = [&](const Vec& p, Vec& r) {
+    for (std::size_t i = 0; i < xs.size(); ++i) r[i] = p[0] * xs[i] + p[1] - ys[i];
+  };
+  const auto res = levenberg_marquardt(fn, {0.0, 0.0}, xs.size());
+  EXPECT_NEAR(res.params[0], 1.5, 0.01);
+  EXPECT_NEAR(res.params[1], 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace stco::numeric

@@ -1,0 +1,109 @@
+#include "src/numeric/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco::numeric {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsCheck) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  const Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  const Matrix k = 2.0 * a;
+  EXPECT_DOUBLE_EQ(k(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a * b * b, std::invalid_argument);
+}
+
+TEST(Matrix, Product) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, Apply) {
+  Matrix a{{1, 2}, {3, 4}};
+  const Vec y = a.apply({1.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_THROW(a.apply({1.0}), std::invalid_argument);
+}
+
+TEST(VecOps, DotNormAxpy) {
+  Vec a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7, 3}), 7.0);
+  Vec y{1, 1, 1};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[2], 7.0);
+  EXPECT_THROW(dot(a, {1.0}), std::invalid_argument);
+}
+
+TEST(VecOps, ArithmeticOperators) {
+  Vec a{1, 2}, b{3, 5};
+  const Vec s = a + b;
+  EXPECT_DOUBLE_EQ(s[1], 7.0);
+  const Vec d = b - a;
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  const Vec k = 3.0 * a;
+  EXPECT_DOUBLE_EQ(k[1], 6.0);
+}
+
+}  // namespace
+}  // namespace stco::numeric

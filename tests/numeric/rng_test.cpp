@@ -1,0 +1,67 @@
+#include "src/numeric/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco::numeric {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.next_u64() != b.next_u64());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  Rng r(3);
+  double s = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) s += r.uniform();
+  EXPECT_NEAR(s / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng r(13);
+  double s = 0, s2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    s += x;
+    s2 += x * x;
+  }
+  EXPECT_NEAR(s / n, 0.0, 0.05);
+  EXPECT_NEAR(s2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, LogUniformWithinBounds) {
+  Rng r(17);
+  for (int i = 0; i < 500; ++i) {
+    const double v = r.log_uniform(1e-3, 1e3);
+    EXPECT_GE(v, 1e-3 * (1 - 1e-12));
+    EXPECT_LE(v, 1e3 * (1 + 1e-12));
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(23);
+  bool seen[5] = {};
+  for (int i = 0; i < 200; ++i) seen[r.uniform_index(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace stco::numeric

@@ -1,0 +1,103 @@
+#include "src/numeric/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/rng.hpp"
+
+namespace stco::numeric {
+namespace {
+
+TEST(DenseLu, SolvesKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  const Vec x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseLu, SingularReturnsNullopt) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(DenseLu::factor(a).has_value());
+  EXPECT_THROW(solve_dense(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(DenseLu, PivotingHandlesZeroDiagonal) {
+  Matrix a{{0, 1}, {1, 0}};
+  const Vec x = solve_dense(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(DenseLu, RandomRoundTrip) {
+  Rng rng(11);
+  const std::size_t n = 20;
+  Matrix a(n, n);
+  Vec x_true(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x_true[i] = rng.uniform(-2, 2);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+    a(i, i) += 5.0;  // diagonally dominant
+  }
+  const Vec b = a.apply(x_true);
+  const Vec x = solve_dense(a, b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Tridiagonal, SolvesKnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3]
+  const Vec x = solve_tridiagonal({1, 1}, {2, 2, 2}, {1, 1}, {4, 8, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, SizeMismatchThrows) {
+  EXPECT_THROW(solve_tridiagonal({1}, {2, 2, 2}, {1, 1}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+SparseMatrix laplacian_1d(std::size_t n) {
+  TripletBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  return SparseMatrix::from_triplets(b);
+}
+
+TEST(Cg, SolvesSpdLaplacian) {
+  const std::size_t n = 50;
+  const auto a = laplacian_1d(n);
+  Vec x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = std::sin(0.3 * static_cast<double>(i));
+  const Vec b = a.apply(x_true);
+  const auto res = solve_cg(a, b, 1e-12);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_true[i], 1e-8);
+}
+
+TEST(Cg, ZeroRhsConvergesImmediately) {
+  const auto a = laplacian_1d(5);
+  const auto res = solve_cg(a, Vec(5, 0.0));
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0u);
+}
+
+TEST(BiCgStab, SolvesNonsymmetricSystem) {
+  const std::size_t n = 40;
+  TripletBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 4.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -2.0);  // nonsymmetric
+  }
+  const auto a = SparseMatrix::from_triplets(b);
+  Vec x_true(n, 1.0);
+  const Vec rhs = a.apply(x_true);
+  const auto res = solve_bicgstab(a, rhs, 1e-12);
+  ASSERT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace stco::numeric

@@ -1,0 +1,105 @@
+#include "src/spice/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compact/technology.hpp"
+
+namespace stco::spice {
+namespace {
+
+TEST(LogFrequencies, SpacingAndBounds) {
+  const auto f = log_frequencies(1.0, 1e6, 7);
+  ASSERT_EQ(f.size(), 7u);
+  EXPECT_DOUBLE_EQ(f.front(), 1.0);
+  EXPECT_NEAR(f.back(), 1e6, 1e-6);
+  for (std::size_t i = 1; i < f.size(); ++i)
+    EXPECT_NEAR(f[i] / f[i - 1], 10.0, 1e-9);
+  EXPECT_THROW(log_frequencies(0.0, 10.0, 3), std::invalid_argument);
+}
+
+/// RC low-pass: |H(f)| = 1/sqrt(1+(2 pi f R C)^2), -3 dB at 1/(2 pi R C).
+TEST(Ac, RcLowPassMatchesAnalytic) {
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("VIN", in, kGround, Waveform::dc(0.0));
+  const double r = 1e4, c = 1e-9;
+  nl.add_resistor("R", in, out, r);
+  nl.add_capacitor("C", out, kGround, c);
+
+  const double fc = 1.0 / (2.0 * M_PI * r * c);
+  const auto res = ac_analysis(nl, "VIN", log_frequencies(fc / 100, fc * 100, 41));
+  ASSERT_TRUE(res.dc_converged);
+  for (std::size_t k = 0; k < res.frequency.size(); ++k) {
+    const double f = res.frequency[k];
+    const double expected = 1.0 / std::sqrt(1.0 + std::pow(f / fc, 2));
+    EXPECT_NEAR(res.magnitude(k, out), expected, 0.01) << "f=" << f;
+  }
+  EXPECT_NEAR(bandwidth_3db(res, out) / fc, 1.0, 0.05);
+  // Phase approaches -90 degrees far above the pole.
+  EXPECT_NEAR(res.phase(res.frequency.size() - 1, out), -M_PI / 2, 0.05);
+}
+
+TEST(Ac, InputNodeFollowsSource) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource("VIN", in, kGround, Waveform::dc(0.0));
+  nl.add_resistor("R", in, kGround, 1e3);
+  const auto res = ac_analysis(nl, "VIN", {1e3, 1e6});
+  for (std::size_t k = 0; k < 2; ++k) EXPECT_NEAR(res.magnitude(k, in), 1.0, 1e-9);
+}
+
+TEST(Ac, InverterHasGainAndRollsOff) {
+  // Sweep the input bias to find the switching point (both devices
+  // saturated, maximum gm/gds), then check the frequency response there.
+  const auto tech = compact::cnt_tech();
+  auto run_at = [&](double vin) {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd"), in = nl.node("in"), out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, Waveform::dc(tech.vdd));
+    nl.add_vsource("VIN", in, kGround, Waveform::dc(vin));
+    nl.add_tft("MP", out, in, vdd, compact::make_pfet(tech, 16e-6, 2e-6));
+    nl.add_tft("MN", out, in, kGround, compact::make_nfet(tech, 8e-6, 2e-6));
+    nl.add_capacitor("CL", out, kGround, 100e-15);
+    return ac_analysis(nl, "VIN", log_frequencies(10.0, 1e8, 36));
+  };
+  // The high-gain window of a soft-subthreshold TFT inverter is narrow
+  // (~0.1 V); sweep finely through the transition region.
+  double best_gain = 0.0;
+  AcResult best;
+  for (double f = 0.44; f <= 0.56; f += 0.005) {
+    auto res = run_at(f * tech.vdd);
+    if (res.dc_converged && res.magnitude(0, 3) > best_gain) {
+      best_gain = res.magnitude(0, 3);  // node 3 = out
+      best = std::move(res);
+    }
+  }
+  // Low-frequency voltage gain well above 1 at the high-gain bias.
+  EXPECT_GT(best_gain, 3.0);
+  // Gain monotonically non-increasing with frequency and eventually < 1.
+  for (std::size_t k = 1; k < best.frequency.size(); ++k)
+    EXPECT_LE(best.magnitude(k, 3), best.magnitude(k - 1, 3) * 1.001);
+  EXPECT_LT(best.magnitude(best.frequency.size() - 1, 3), 1.0);
+  EXPECT_GT(bandwidth_3db(best, 3), 0.0);
+}
+
+TEST(Ac, GainDbConsistent) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource("VIN", in, kGround, Waveform::dc(0.0));
+  nl.add_resistor("R", in, kGround, 1e3);
+  const auto res = ac_analysis(nl, "VIN", {1e3});
+  EXPECT_NEAR(res.gain_db(0, in), 0.0, 1e-6);
+}
+
+TEST(Ac, UnknownSourceThrows) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource("VIN", in, kGround, Waveform::dc(0.0));
+  nl.add_resistor("R", in, kGround, 1e3);
+  EXPECT_THROW(ac_analysis(nl, "NOPE", {1e3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stco::spice

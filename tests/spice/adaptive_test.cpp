@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/compact/technology.hpp"
+#include "src/spice/engine.hpp"
+#include "src/spice/measure.hpp"
+
+namespace stco::spice {
+namespace {
+
+Netlist rc_circuit(double r, double c) {
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("V", in, kGround, Waveform::pwl({{0, 0}, {1e-9, 1.0}}));
+  nl.add_resistor("R", in, out, r);
+  nl.add_capacitor("C", out, kGround, c);
+  return nl;
+}
+
+TEST(Adaptive, RcMatchesAnalytic) {
+  const double tau = 1e-6;
+  const auto nl = rc_circuit(1e3, 1e-9);
+  AdaptiveOptions opts;
+  opts.lte_target = 2e-4;
+  const auto tr = transient_adaptive(nl, 8 * tau, opts);
+  ASSERT_TRUE(tr.converged);
+  const NodeId out = 2;
+  for (std::size_t k = 0; k < tr.samples(); ++k) {
+    const double expected =
+        1.0 - std::exp(-std::max(0.0, tr.time[k] - 1e-9) / tau);
+    EXPECT_NEAR(tr.v[k][out], expected, 0.01) << "t=" << tr.time[k];
+  }
+}
+
+TEST(Adaptive, UsesFewerSamplesThanFixedStepAtSameAccuracy) {
+  const double tau = 1e-6;
+  const auto nl = rc_circuit(1e3, 1e-9);
+  const auto fixed = transient(nl, 8 * tau, tau / 200);
+  AdaptiveOptions opts;
+  opts.lte_target = 2e-4;
+  const auto adaptive = transient_adaptive(nl, 8 * tau, opts);
+  EXPECT_LT(adaptive.samples(), fixed.samples() / 3);
+  EXPECT_GT(adaptive.samples(), 10u);
+}
+
+TEST(Adaptive, TimeAxisStrictlyIncreasingAndComplete) {
+  const auto nl = rc_circuit(1e4, 1e-12);
+  const auto tr = transient_adaptive(nl, 1e-6);
+  ASSERT_GE(tr.samples(), 2u);
+  EXPECT_DOUBLE_EQ(tr.time.front(), 0.0);
+  EXPECT_NEAR(tr.time.back(), 1e-6, 1e-12);
+  for (std::size_t k = 1; k < tr.samples(); ++k)
+    EXPECT_GT(tr.time[k], tr.time[k - 1]);
+}
+
+TEST(Adaptive, LandsExactlyOnBreakpoints) {
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  nl.add_vsource("V", in, kGround, Waveform::pulse(0, 1, 3e-7, 1e-8, 2e-7, 1e-8));
+  nl.add_resistor("R", in, kGround, 1e3);
+  const auto tr = transient_adaptive(nl, 1e-6);
+  for (double bp : {3e-7, 3.1e-7, 5.1e-7, 5.2e-7}) {
+    bool found = false;
+    for (double t : tr.time)
+      if (std::fabs(t - bp) < 1e-15) found = true;
+    EXPECT_TRUE(found) << "missing breakpoint " << bp;
+  }
+}
+
+TEST(Adaptive, StepsShrinkAroundEdges) {
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("V", in, kGround, Waveform::pulse(0, 1, 4e-7, 2e-8, 2e-7, 2e-8));
+  nl.add_resistor("R", in, out, 1e4);
+  nl.add_capacitor("C", out, kGround, 5e-12);
+  AdaptiveOptions opts;
+  opts.lte_target = 1e-4;
+  const auto tr = transient_adaptive(nl, 1.2e-6, opts);
+  // Mean step in the quiet first 0.3 us vs inside the edge 0.4-0.5 us.
+  auto mean_step = [&](double t0, double t1) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = 1; k < tr.samples(); ++k)
+      if (tr.time[k] > t0 && tr.time[k] <= t1) {
+        sum += tr.time[k] - tr.time[k - 1];
+        ++n;
+      }
+    return n ? sum / static_cast<double>(n) : 0.0;
+  };
+  const double quiet = mean_step(0.05e-6, 0.35e-6);
+  const double busy = mean_step(0.4e-6, 0.55e-6);
+  EXPECT_GT(quiet, 1.2 * busy);
+}
+
+TEST(Adaptive, InverterDelayMatchesFixedStep) {
+  const auto tech = compact::cnt_tech();
+  auto build = [&]() {
+    Netlist nl;
+    const NodeId vdd = nl.node("vdd"), in = nl.node("in"), out = nl.node("out");
+    nl.add_vsource("VDD", vdd, kGround, Waveform::dc(tech.vdd));
+    nl.add_vsource("VIN", in, kGround, Waveform::ramp(0.0, tech.vdd, 3e-7, 2e-8));
+    nl.add_tft("MP", out, in, vdd, compact::make_pfet(tech, 16e-6, 2e-6));
+    nl.add_tft("MN", out, in, kGround, compact::make_nfet(tech, 8e-6, 2e-6));
+    nl.add_capacitor("CL", out, kGround, 50e-15);
+    return nl;
+  };
+  const auto fixed = transient(build(), 1.5e-6, 2e-9);
+  AdaptiveOptions opts;
+  opts.lte_target = 1e-4;  // tight enough to resolve the output edge
+  const auto adaptive = transient_adaptive(build(), 1.5e-6, opts);
+  const NodeId out = 3;
+  const auto t_fixed = cross_time(fixed, out, 0.5 * tech.vdd, EdgeDir::kFalling);
+  const auto t_adapt = cross_time(adaptive, out, 0.5 * tech.vdd, EdgeDir::kFalling);
+  ASSERT_TRUE(t_fixed && t_adapt);
+  EXPECT_NEAR(*t_adapt, *t_fixed, 5e-9);
+}
+
+}  // namespace
+}  // namespace stco::spice

@@ -1,0 +1,85 @@
+#include "src/spice/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace stco::spice {
+namespace {
+
+TranResult rc_result(NodeId* out_node, std::size_t* src_idx) {
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("V1", in, kGround, Waveform::pwl({{0, 0}, {1e-9, 1.0}}));
+  nl.add_resistor("R", in, out, 1e3);
+  nl.add_capacitor("C", out, kGround, 1e-9);
+  *out_node = out;
+  *src_idx = 0;
+  return transient(nl, 2e-6, 1e-7);
+}
+
+TEST(WaveformCsv, HeaderAndRowCount) {
+  NodeId out;
+  std::size_t src;
+  const auto tr = rc_result(&out, &src);
+  CsvColumns cols;
+  cols.nodes = {{"out", out}};
+  cols.sources = {{"V1", src}};
+  const std::string csv = waveforms_csv(tr, cols);
+  std::istringstream ss(csv);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "time,v(out),i(V1)");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, tr.samples());
+}
+
+TEST(WaveformCsv, ValuesMatchResult) {
+  NodeId out;
+  std::size_t src;
+  const auto tr = rc_result(&out, &src);
+  CsvColumns cols;
+  cols.nodes = {{"out", out}};
+  const std::string csv = waveforms_csv(tr, cols);
+  std::istringstream ss(csv);
+  std::string line;
+  std::getline(ss, line);  // header
+  std::getline(ss, line);  // first row (t = 0)
+  double t, v;
+  char comma;
+  std::istringstream row(line);
+  row >> t >> comma >> v;
+  EXPECT_DOUBLE_EQ(t, 0.0);
+  EXPECT_NEAR(v, tr.v[0][out], 1e-9);
+}
+
+TEST(WaveformCsv, BadColumnsRejected) {
+  NodeId out;
+  std::size_t src;
+  const auto tr = rc_result(&out, &src);
+  CsvColumns bad;
+  bad.nodes = {{"x", 99}};
+  EXPECT_THROW(waveforms_csv(tr, bad), std::out_of_range);
+  CsvColumns bad2;
+  bad2.sources = {{"y", 7}};
+  EXPECT_THROW(waveforms_csv(tr, bad2), std::out_of_range);
+}
+
+TEST(WaveformCsv, FileWrite) {
+  NodeId out;
+  std::size_t src;
+  const auto tr = rc_result(&out, &src);
+  CsvColumns cols;
+  cols.nodes = {{"out", out}};
+  write_waveforms_csv_file("/tmp/stco_wave.csv", tr, cols);
+  std::ifstream f("/tmp/stco_wave.csv");
+  ASSERT_TRUE(f.good());
+  EXPECT_THROW(write_waveforms_csv_file("/no/dir/w.csv", tr, cols),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stco::spice

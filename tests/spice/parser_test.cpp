@@ -1,0 +1,115 @@
+#include "src/spice/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/spice/engine.hpp"
+#include "src/spice/measure.hpp"
+
+namespace stco::spice {
+namespace {
+
+TEST(SpiceValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_spice_value("4.7k"), 4700.0);
+  EXPECT_DOUBLE_EQ(parse_spice_value("100f"), 100e-15);
+  EXPECT_DOUBLE_EQ(parse_spice_value("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("1u"), 1e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_value("3.3"), 3.3);
+  EXPECT_DOUBLE_EQ(parse_spice_value("10pF"), 10e-12);  // unit letters tolerated
+  EXPECT_DOUBLE_EQ(parse_spice_value("-2.5m"), -2.5e-3);
+  EXPECT_THROW(parse_spice_value("abc"), std::invalid_argument);
+}
+
+TEST(Parser, ResistorDividerDeck) {
+  const char* deck = R"(
+* a comment
+V1 in 0 DC 10
+R1 in mid 1k
+R2 mid 0 3k
+.end
+)";
+  auto nl = parse_spice(deck);
+  const auto dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.node_voltage[nl.node("mid")], 7.5, 1e-6);
+}
+
+TEST(Parser, ContinuationAndPwl) {
+  const char* deck = R"(
+V1 in 0 PWL(0 0
++ 1u 5)
+R1 in 0 10k
+)";
+  auto nl = parse_spice(deck);
+  ASSERT_EQ(nl.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].wave.at(0.5e-6), 2.5);
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].wave.at(9.0), 5.0);
+}
+
+TEST(Parser, PulseAndCurrentSource) {
+  const char* deck = R"(
+I1 0 n DC 1m
+V2 p 0 PULSE(0 3 1u 10n 2u 10n)
+R1 n 0 1k
+R2 p 0 1k
+)";
+  auto nl = parse_spice(deck);
+  EXPECT_EQ(nl.isources().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.vsources()[0].wave.at(2e-6), 3.0);
+  const auto dc = dc_operating_point(nl);
+  EXPECT_NEAR(dc.node_voltage[nl.node("n")], 1.0, 1e-6);
+}
+
+TEST(Parser, TftModelAndInstance) {
+  const char* deck = R"(
+.model myn NTFT (mu0=2.5m vth=0.8 gamma=0.25 cox=120u ss=1.8 lambda=0.01)
+.model myp PTFT (mu0=1.1m vth=-0.8 gamma=0.25 cox=120u)
+VDD vdd 0 DC 3
+VIN in 0 DC 0
+M1 out in vdd myp W=16u L=2u
+M2 out in 0 myn W=8u L=2u
+)";
+  auto nl = parse_spice(deck);
+  ASSERT_EQ(nl.tfts().size(), 2u);
+  EXPECT_EQ(nl.tfts()[0].params.type, compact::TftType::kPType);
+  EXPECT_DOUBLE_EQ(nl.tfts()[1].params.width, 8e-6);
+  EXPECT_DOUBLE_EQ(nl.tfts()[1].params.mu0, 2.5e-3);
+  // Inverter with input low: output high.
+  const auto dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_GT(dc.node_voltage[nl.node("out")], 2.7);
+}
+
+TEST(Parser, ParsedDeckRunsTransient) {
+  const char* deck = R"(
+V1 in 0 PWL(0 0 1n 1)
+R1 in out 1k
+C1 out 0 1n
+)";
+  auto nl = parse_spice(deck);
+  const auto tr = transient(nl, 5e-6, 10e-9);
+  ASSERT_TRUE(tr.converged);
+  EXPECT_NEAR(final_voltage(tr, nl.node("out")), 1.0, 0.02);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_spice("R1 a 0 1k\nQ1 a b c\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_spice("M1 d g s nomodel\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spice("V1 a 0 PWL(0)\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spice(".model x NTFT (bogus=1)\n"), std::invalid_argument);
+  EXPECT_THROW(parse_spice("+ dangling\n"), std::invalid_argument);
+}
+
+TEST(Parser, GroundAliases) {
+  auto nl = parse_spice("R1 a gnd 1k\nR2 a 0 1k\nV1 a 0 DC 1\n");
+  const auto dc = dc_operating_point(nl);
+  // Two parallel 1k to ground: source sees 500 ohm.
+  EXPECT_NEAR(dc.source_current[0], -2e-3, 1e-8);
+}
+
+}  // namespace
+}  // namespace stco::spice

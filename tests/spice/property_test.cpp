@@ -1,0 +1,112 @@
+// Parameterized convergence/property sweeps for the circuit simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/spice/engine.hpp"
+#include "src/spice/measure.hpp"
+#include "src/compact/technology.hpp"
+
+namespace stco::spice {
+namespace {
+
+// --- RC accuracy versus time step ------------------------------------------
+
+class RcAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(RcAccuracy, TrapezoidalErrorShrinksWithStep) {
+  const double dt_frac = GetParam();  // step as a fraction of tau
+  const double tau = 1e-6;
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("V", in, kGround, Waveform::pwl({{0, 0}, {1e-12, 1.0}}));
+  nl.add_resistor("R", in, out, 1e3);
+  nl.add_capacitor("C", out, kGround, 1e-9);
+  const auto tr = transient(nl, 6 * tau, dt_frac * tau);
+  double max_err = 0.0;
+  for (std::size_t k = 0; k < tr.samples(); ++k) {
+    const double expected = 1.0 - std::exp(-std::max(0.0, tr.time[k] - 1e-12) / tau);
+    max_err = std::max(max_err, std::fabs(tr.v[k][out] - expected));
+  }
+  // Loose per-step bound: error well below dt/tau.
+  EXPECT_LT(max_err, 0.6 * dt_frac);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepSweep, RcAccuracy,
+                         ::testing::Values(0.2, 0.1, 0.05, 0.02, 0.005));
+
+// --- resistor-network correctness over element values ------------------------
+
+class DividerSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DividerSweep, MatchesAnalyticRatio) {
+  const auto [r1, r2] = GetParam();
+  Netlist nl;
+  const NodeId in = nl.node("in"), mid = nl.node("mid");
+  nl.add_vsource("V", in, kGround, Waveform::dc(1.0));
+  nl.add_resistor("R1", in, mid, r1);
+  nl.add_resistor("R2", mid, kGround, r2);
+  const auto dc = dc_operating_point(nl);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.node_voltage[mid], r2 / (r1 + r2), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueSweep, DividerSweep,
+    ::testing::Values(std::pair{1e2, 1e2}, std::pair{1e3, 1e6}, std::pair{1e6, 1e3},
+                      std::pair{10.0, 1e7}, std::pair{2.2e4, 4.7e4}));
+
+// --- charge conservation across cap/step combinations ------------------------
+
+class ChargeSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};  // (C, dt)
+
+TEST_P(ChargeSweep, SourceDeliversCDeltaV) {
+  const auto [c, dt] = GetParam();
+  Netlist nl;
+  const NodeId in = nl.node("in"), out = nl.node("out");
+  nl.add_vsource("V", in, kGround, Waveform::ramp(0.0, 3.0, 1e-8, 5e-8));
+  nl.add_resistor("R", in, out, 1e4);
+  nl.add_capacitor("C", out, kGround, c);
+  const double t_stop = std::max(2e-6, 100.0 * 1e4 * c);
+  const auto tr = transient(nl, t_stop, dt);
+  const double q = -integrate_source_charge(tr, 0, 0.0, t_stop);
+  EXPECT_NEAR(q / (c * 3.0), 1.0, 0.03) << "C=" << c << " dt=" << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(CapSweep, ChargeSweep,
+                         ::testing::Values(std::pair{1e-12, 2e-9},
+                                           std::pair{10e-12, 5e-9},
+                                           std::pair{100e-15, 1e-9},
+                                           std::pair{1e-12, 1e-8}));
+
+// --- Newton robustness: inverter DC over supply sweep -----------------------
+
+class InverterVddSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverterVddSweep, ConvergesAndRailsCorrect) {
+  const double vdd = GetParam();
+  auto tech = compact::cnt_tech();
+  tech.vdd = vdd;
+  for (bool high_in : {false, true}) {
+    Netlist nl;
+    const NodeId vddn = nl.node("vdd"), in = nl.node("in"), out = nl.node("out");
+    nl.add_vsource("VDD", vddn, kGround, Waveform::dc(vdd));
+    nl.add_vsource("VIN", in, kGround, Waveform::dc(high_in ? vdd : 0.0));
+    nl.add_tft("MP", out, in, vddn, compact::make_pfet(tech, 16e-6, 2e-6));
+    nl.add_tft("MN", out, in, kGround, compact::make_nfet(tech, 8e-6, 2e-6));
+    const auto dc = dc_operating_point(nl);
+    ASSERT_TRUE(dc.converged) << "vdd=" << vdd;
+    if (high_in)
+      EXPECT_LT(dc.node_voltage[out], 0.1 * vdd);
+    else
+      EXPECT_GT(dc.node_voltage[out], 0.9 * vdd);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(VddSweep, InverterVddSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0, 6.0, 8.0));
+
+}  // namespace
+}  // namespace stco::spice

@@ -1,0 +1,71 @@
+#include "src/stco/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco {
+namespace {
+
+PpaPoint pt(double d, double p, double a) {
+  PpaPoint x;
+  x.delay = d;
+  x.power = p;
+  x.area = a;
+  return x;
+}
+
+TEST(Pareto, DominationRules) {
+  EXPECT_TRUE(pt(1, 1, 1).dominates(pt(2, 2, 2)));
+  EXPECT_TRUE(pt(1, 1, 1).dominates(pt(1, 1, 2)));
+  EXPECT_FALSE(pt(1, 1, 1).dominates(pt(1, 1, 1)));  // equal: no strict gain
+  EXPECT_FALSE(pt(1, 3, 1).dominates(pt(2, 2, 2)));  // trade-off
+}
+
+TEST(Pareto, ExtractsNonDominatedSet) {
+  const std::vector<PpaPoint> pts = {
+      pt(1, 3, 1), pt(2, 2, 1), pt(3, 1, 1),  // a front in delay/power
+      pt(3, 3, 1),                             // dominated by pt(2,2,1)
+      pt(0.5, 5, 1),                           // fastest: on the front
+  };
+  const auto front = pareto_front(pts);
+  ASSERT_EQ(front.size(), 4u);
+  // Sorted by delay.
+  for (std::size_t i = 1; i < front.size(); ++i)
+    EXPECT_LE(front[i - 1].delay, front[i].delay);
+  for (const auto& f : front) EXPECT_FALSE(f.delay == 3.0 && f.power == 3.0);
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront) {
+  const auto front = pareto_front({pt(1, 1, 1)});
+  ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, DuplicateObjectivesCollapse) {
+  const auto front = pareto_front({pt(1, 2, 3), pt(1, 2, 3), pt(1, 2, 3)});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, SweepOverSyntheticEvaluator) {
+  charlib::CornerRanges r;
+  const TechGrid grid(r, 3);
+  // Synthetic PPA: delay falls with vdd, power rises with vdd — a classic
+  // trade-off, so the front should span multiple vdd values.
+  auto eval = [](const compact::TechnologyPoint& t) {
+    flow::StaReport rep;
+    rep.min_period = 1.0 / t.vdd;
+    rep.total_power = t.vdd * t.vdd;
+    rep.area = 1.0;
+    return rep;
+  };
+  const auto sweep = sweep_pareto(grid, eval);
+  EXPECT_EQ(sweep.all.size(), grid.num_states());
+  EXPECT_EQ(sweep.front.size(), 3u);  // one per distinct vdd
+  // Sorted by delay ascending; along the front, slower points must be the
+  // cheaper ones (that's what makes them non-dominated).
+  for (std::size_t i = 1; i < sweep.front.size(); ++i) {
+    EXPECT_GT(sweep.front[i].delay, sweep.front[i - 1].delay);
+    EXPECT_LT(sweep.front[i].power, sweep.front[i - 1].power);
+  }
+}
+
+}  // namespace
+}  // namespace stco

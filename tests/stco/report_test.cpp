@@ -1,0 +1,75 @@
+#include "src/stco/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace stco {
+namespace {
+
+RunReportInputs sample_inputs() {
+  RunReportInputs in;
+  in.benchmark = "s298";
+  in.fast_path = true;
+  in.search.best_point = {tcad::SemiconductorKind::kCnt, 3.0, 0.8, 1.2e-4};
+  in.search.best_cost = 2.31;
+  in.search.unique_evaluations = 14;
+  in.search.best_cost_history = {3.0, 2.8, 2.5, 2.31, 2.31};
+  in.best_ppa.min_period = 1.2e-6;
+  in.best_ppa.fmax = 1.0 / 1.2e-6;
+  in.best_ppa.dynamic_power = 8e-6;
+  in.best_ppa.leakage_power = 5e-7;
+  in.best_ppa.area = 1.3e-7;
+  in.best_ppa.num_gates = 119;
+  in.best_ppa.num_ffs = 14;
+  in.timing.library_seconds = 0.2;
+  in.timing.sta_seconds = 0.01;
+  PpaPoint p;
+  p.tech = in.search.best_point;
+  p.delay = 1.2e-6;
+  p.power = 8.5e-6;
+  p.area = 1.3e-7;
+  in.pareto.front = {p};
+  return in;
+}
+
+TEST(RunReport, ContainsAllSections) {
+  const std::string md = run_report_markdown(sample_inputs());
+  EXPECT_NE(md.find("# STCO exploration report — s298"), std::string::npos);
+  EXPECT_NE(md.find("GNN fast path"), std::string::npos);
+  EXPECT_NE(md.find("## Selected technology point"), std::string::npos);
+  EXPECT_NE(md.find("## PPA at the selected point"), std::string::npos);
+  EXPECT_NE(md.find("## Search"), std::string::npos);
+  EXPECT_NE(md.find("## Pareto front"), std::string::npos);
+  EXPECT_NE(md.find("## Runtime accounting"), std::string::npos);
+  EXPECT_NE(md.find("13.6"), std::string::npos);  // s298's calibrated speedup
+}
+
+TEST(RunReport, OmitsEmptyParetoSection) {
+  auto in = sample_inputs();
+  in.pareto.front.clear();
+  const std::string md = run_report_markdown(in);
+  EXPECT_EQ(md.find("## Pareto front"), std::string::npos);
+}
+
+TEST(RunReport, UnknownBenchmarkSkipsRuntimeSection) {
+  auto in = sample_inputs();
+  in.benchmark = "custom_chip";
+  const std::string md = run_report_markdown(in);
+  EXPECT_EQ(md.find("## Runtime accounting"), std::string::npos);
+  EXPECT_NE(md.find("custom_chip"), std::string::npos);
+}
+
+TEST(RunReport, WritesFile) {
+  write_run_report_file("/tmp/stco_report.md", sample_inputs());
+  std::ifstream f("/tmp/stco_report.md");
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_NE(first.find("# STCO exploration report"), std::string::npos);
+  EXPECT_THROW(write_run_report_file("/no/dir/x.md", sample_inputs()),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace stco

@@ -1,0 +1,103 @@
+#include "src/stco/rl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco {
+namespace {
+
+charlib::CornerRanges ranges() { return {}; }
+
+TEST(TechGrid, IndexRoundTrip) {
+  const TechGrid g(ranges(), 4);
+  EXPECT_EQ(g.num_states(), 64u);
+  for (std::size_t s = 0; s < g.num_states(); ++s) {
+    std::size_t iv, it, ic;
+    g.indices_of(s, iv, it, ic);
+    EXPECT_EQ(g.state_of(iv, it, ic), s);
+  }
+  EXPECT_THROW(TechGrid(ranges(), 1), std::invalid_argument);
+}
+
+TEST(TechGrid, CornersSpanRanges) {
+  const charlib::CornerRanges r = ranges();
+  const TechGrid g(r, 3);
+  const auto p0 = g.point(0);
+  const auto pl = g.point(g.num_states() - 1);
+  EXPECT_DOUBLE_EQ(p0.vdd, r.vdd_min);
+  EXPECT_DOUBLE_EQ(p0.vth, r.vth_min);
+  EXPECT_DOUBLE_EQ(p0.cox, r.cox_min);
+  EXPECT_DOUBLE_EQ(pl.vdd, r.vdd_max);
+  EXPECT_DOUBLE_EQ(pl.vth, r.vth_max);
+  EXPECT_DOUBLE_EQ(pl.cox, r.cox_max);
+}
+
+/// Smooth synthetic cost with a unique minimum at a known grid point.
+double bowl_cost(const compact::TechnologyPoint& p) {
+  const double dv = (p.vdd - 3.0) / 1.2;
+  const double dt = (p.vth - 0.73) / 0.4;
+  const double dc = (p.cox - 1.4e-4) / 0.7e-4;
+  return dv * dv + dt * dt + dc * dc;
+}
+
+TEST(QLearning, FindsNearOptimalPointOnBowl) {
+  const TechGrid g(ranges(), 5);
+  RlConfig cfg;
+  cfg.episodes = 20;
+  cfg.steps_per_episode = 30;
+  const auto res = q_learning_search(g, bowl_cost, cfg);
+  // Exhaustive minimum for reference.
+  double best = 1e300;
+  for (std::size_t s = 0; s < g.num_states(); ++s)
+    best = std::min(best, bowl_cost(g.point(s)));
+  EXPECT_LT(res.best_cost, best + 0.35);  // within a grid cell or two
+  EXPECT_GT(res.unique_evaluations, 10u);
+  EXPECT_LE(res.unique_evaluations, g.num_states());
+}
+
+TEST(QLearning, BestCostHistoryIsNonIncreasing) {
+  const TechGrid g(ranges(), 4);
+  const auto res = q_learning_search(g, bowl_cost);
+  for (std::size_t i = 1; i < res.best_cost_history.size(); ++i)
+    EXPECT_LE(res.best_cost_history[i], res.best_cost_history[i - 1] + 1e-12);
+}
+
+TEST(QLearning, DeterministicForSeed) {
+  const TechGrid g(ranges(), 4);
+  RlConfig cfg;
+  cfg.seed = 77;
+  const auto a = q_learning_search(g, bowl_cost, cfg);
+  const auto b = q_learning_search(g, bowl_cost, cfg);
+  EXPECT_EQ(a.best_state, b.best_state);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(RandomSearch, RespectsBudgetAndFindsDecentPoint) {
+  const TechGrid g(ranges(), 5);
+  const auto res = random_search(g, bowl_cost, 40);
+  EXPECT_LE(res.unique_evaluations, 40u);
+  EXPECT_LT(res.best_cost, 1.5);
+  EXPECT_EQ(res.best_cost_history.size(), 40u);
+}
+
+TEST(QLearning, BeatsRandomSearchOnAverage) {
+  // With an equal *unique evaluation* budget the guided walk should match
+  // or beat random sampling in aggregate across seeds.
+  const TechGrid g(ranges(), 6);
+  double rl_total = 0.0, rnd_total = 0.0;
+  for (std::size_t t = 0; t < 8; ++t) {
+    RlConfig cfg;
+    cfg.seed = 100 + t;
+    cfg.episodes = 10;
+    cfg.steps_per_episode = 16;
+    const auto rl = q_learning_search(g, bowl_cost, cfg);
+    const auto rnd = random_search(g, bowl_cost, rl.unique_evaluations, 200 + t);
+    rl_total += rl.best_cost;
+    rnd_total += rnd.best_cost;
+  }
+  EXPECT_LE(rl_total, rnd_total + 0.25);
+}
+
+}  // namespace
+}  // namespace stco

@@ -1,0 +1,146 @@
+#include "src/surrogate/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/surrogate/dataset.hpp"
+#include "src/surrogate/surrogate.hpp"
+
+#include "src/tcad/poisson.hpp"
+
+namespace stco::surrogate {
+namespace {
+
+struct Solved {
+  tcad::TftDevice dev;
+  tcad::Bias bias;
+  mesh::DeviceMesh mesh;
+  tcad::PoissonSolution sol;
+};
+
+Solved solve_small() {
+  tcad::TftDevice dev;
+  dev.semi = tcad::igzo_params();
+  tcad::Bias bias{2.0, 1.0, 0.0};
+  auto mesh = tcad::build_mesh(dev, bias, 10, 4, 3);
+  auto sol = tcad::solve_poisson(dev, bias, mesh);
+  return {dev, bias, std::move(mesh), std::move(sol)};
+}
+
+TEST(Encoding, DimensionsMatchConstants) {
+  const auto s = solve_small();
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator);
+  EXPECT_EQ(g.num_nodes, s.mesh.num_nodes());
+  EXPECT_EQ(g.node_dim, kNodeDim);
+  EXPECT_EQ(g.edge_dim, kEdgeDim);
+  EXPECT_EQ(g.num_edges(), s.mesh.edges().size());
+}
+
+TEST(Encoding, MaterialOneHotIsExclusive) {
+  const auto s = solve_small();
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator);
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < kMaterialOneHot; ++k)
+      sum += g.node_features[i * kNodeDim + k];
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(Encoding, RegionOneHotIsExclusive) {
+  const auto s = solve_small();
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator);
+  const std::size_t off = kMaterialOneHot + kMaterialParams;
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < kRegionOneHot; ++k)
+      sum += g.node_features[i * kNodeDim + off + k];
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(Encoding, PoissonTaskHidesPotentialIvTaskShowsIt) {
+  const auto s = solve_small();
+  const auto gp = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                                EncodingTask::kPoissonEmulator);
+  const auto gi = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                                EncodingTask::kIvPredictor);
+  const std::size_t pot_slot = kNodeDim - 1;
+  bool iv_has_potential = false;
+  for (std::size_t i = 0; i < gp.num_nodes; ++i) {
+    EXPECT_DOUBLE_EQ(gp.node_features[i * kNodeDim + pot_slot], 0.0);
+    if (gi.node_features[i * kNodeDim + pot_slot] != 0.0) iv_has_potential = true;
+  }
+  EXPECT_TRUE(iv_has_potential);
+}
+
+TEST(Encoding, PoissonTargetsAreResidualPotential) {
+  const auto s = solve_small();
+  const EncodingScales scales;
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator, scales);
+  ASSERT_EQ(g.node_targets.size(), g.num_nodes);
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    const auto& nd = s.mesh.node(i);
+    const double baseline = nd.dirichlet ? nd.dirichlet_value : s.sol.quasi_fermi[i];
+    EXPECT_NEAR(baseline + g.node_targets[i] * scales.potential_residual,
+                s.sol.potential[i], 1e-12);
+  }
+  // Dirichlet node residuals are exactly zero.
+  for (std::size_t i = 0; i < g.num_nodes; ++i)
+    if (s.mesh.node(i).dirichlet) EXPECT_NEAR(g.node_targets[i], 0.0, 1e-12);
+}
+
+TEST(Encoding, PredictPotentialVoltsReconstructsBaseline) {
+  // With an untrained model the residual prediction is small but arbitrary;
+  // the reconstruction must still anchor on the encoded baseline.
+  const auto s = solve_small();
+  const EncodingScales scales;
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator, scales);
+  SurrogateConfig cfg;
+  cfg.poisson_hidden = 8;
+  TcadSurrogate sur(cfg);
+  const auto volts = sur.predict_potential_volts(g, scales);
+  const auto residual = sur.predict_potential(g);
+  ASSERT_EQ(volts.size(), g.num_nodes);
+  for (std::size_t i = 0; i < g.num_nodes; ++i) {
+    const auto& nd = s.mesh.node(i);
+    const double baseline = nd.dirichlet ? nd.dirichlet_value : s.sol.quasi_fermi[i];
+    EXPECT_NEAR(volts[i], baseline + residual[i] * scales.potential_residual, 1e-9);
+  }
+}
+
+TEST(Encoding, EdgeFeaturesAreRelativePositions) {
+  const auto s = solve_small();
+  const auto g = encode_device(s.dev, s.bias, s.mesh, s.sol,
+                               EncodingTask::kPoissonEmulator);
+  const auto& edges = s.mesh.edges();
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    EXPECT_NEAR(g.edge_features[e * kEdgeDim + 0], edges[e].dx / s.mesh.lx(), 1e-12);
+    EXPECT_NEAR(g.edge_features[e * kEdgeDim + 1], edges[e].dy / s.mesh.ly(), 1e-12);
+    EXPECT_GT(g.edge_features[e * kEdgeDim + 2], 0.0);
+  }
+}
+
+TEST(Encoding, MismatchedSolutionThrows) {
+  const auto s = solve_small();
+  tcad::PoissonSolution bad = s.sol;
+  bad.potential.pop_back();
+  EXPECT_THROW(encode_device(s.dev, s.bias, s.mesh, bad,
+                             EncodingTask::kPoissonEmulator),
+               std::invalid_argument);
+}
+
+TEST(Dataset, NormalizeCurrentRoundTrip) {
+  for (double id : {1e-12, 1e-9, 1e-6, 1e-3}) {
+    EXPECT_NEAR(denormalize_current(normalize_current(id)) / id, 1.0, 1e-2);
+  }
+  // Monotone in |id|.
+  EXPECT_LT(normalize_current(1e-12), normalize_current(1e-6));
+}
+
+}  // namespace
+}  // namespace stco::surrogate

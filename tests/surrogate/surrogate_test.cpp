@@ -1,0 +1,124 @@
+#include "src/surrogate/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco::surrogate {
+namespace {
+
+/// Shared tiny population: generating TCAD data is the slow part, so build
+/// it once for the whole suite.
+const std::vector<DeviceSample>& population() {
+  static const std::vector<DeviceSample> pop = [] {
+    numeric::Rng rng(101);
+    PopulationOptions opts;
+    opts.mesh_nx = 10;
+    opts.mesh_nch = 3;
+    opts.mesh_nox = 3;
+    return generate_population(24, rng, opts);
+  }();
+  return pop;
+}
+
+TEST(Population, SamplesAreWellFormed) {
+  const auto& pop = population();
+  ASSERT_EQ(pop.size(), 24u);
+  for (const auto& s : pop) {
+    EXPECT_NO_THROW(s.poisson_graph.check());
+    EXPECT_NO_THROW(s.iv_graph.check());
+    EXPECT_GT(s.drain_current, 0.0);
+    ASSERT_EQ(s.iv_graph.graph_targets.size(), 1u);
+    EXPECT_NEAR(s.iv_graph.graph_targets[0], normalize_current(s.drain_current), 1e-12);
+    EXPECT_EQ(s.poisson_graph.node_targets.size(), s.poisson_graph.num_nodes);
+  }
+}
+
+TEST(Population, CoversMultipleTechnologies) {
+  const auto& pop = population();
+  bool cnt = false, igzo = false, ltps = false;
+  for (const auto& s : pop) {
+    switch (s.device.semi.kind) {
+      case tcad::SemiconductorKind::kCnt: cnt = true; break;
+      case tcad::SemiconductorKind::kIgzo: igzo = true; break;
+      case tcad::SemiconductorKind::kLtps: ltps = true; break;
+      default: break;
+    }
+  }
+  EXPECT_TRUE(cnt);
+  EXPECT_TRUE(igzo);
+  EXPECT_TRUE(ltps);
+}
+
+TEST(Surrogate, TrainingReducesPoissonMse) {
+  SurrogateConfig cfg;
+  cfg.poisson_hidden = 8;
+  cfg.poisson_train.epochs = 8;
+  // Shrink the deep model for test runtime.
+  TcadSurrogate sur(cfg);
+  const auto& pop = population();
+  std::span<const DeviceSample> train(pop.data(), 16);
+  const double before = sur.poisson_mse(train);
+  sur.train_poisson(train);
+  const double after = sur.poisson_mse(train);
+  EXPECT_LT(after, before);
+}
+
+TEST(Surrogate, TrainingReducesIvMse) {
+  SurrogateConfig cfg;
+  cfg.iv_hidden = 8;
+  cfg.iv_train.epochs = 15;
+  TcadSurrogate sur(cfg);
+  const auto& pop = population();
+  std::span<const DeviceSample> train(pop.data(), 16);
+  const double before = sur.iv_mse(train);
+  sur.train_iv(train);
+  const double after = sur.iv_mse(train);
+  EXPECT_LT(after, before);
+}
+
+TEST(Surrogate, EvaluateFillsAllFields) {
+  SurrogateConfig cfg;
+  cfg.poisson_hidden = 8;
+  cfg.iv_hidden = 8;
+  cfg.poisson_train.epochs = 2;
+  cfg.iv_train.epochs = 2;
+  TcadSurrogate sur(cfg);
+  const auto& pop = population();
+  std::span<const DeviceSample> a(pop.data(), 8);
+  std::span<const DeviceSample> b(pop.data() + 8, 8);
+  std::span<const DeviceSample> c(pop.data() + 16, 8);
+  sur.train_iv(a);
+  const auto row = sur.evaluate_iv(a, b, c);
+  EXPECT_GT(row.validation_mse, 0.0);
+  EXPECT_GT(row.testing_mse, 0.0);
+  EXPECT_GT(row.unseen_mse, 0.0);
+  EXPECT_LE(row.unseen_r2, 1.0);
+}
+
+TEST(Surrogate, PredictCurrentReturnsPositiveAmps) {
+  SurrogateConfig cfg;
+  cfg.iv_hidden = 8;
+  TcadSurrogate sur(cfg);
+  const auto& pop = population();
+  const double id = sur.predict_current(pop[0].iv_graph);
+  EXPECT_GT(id, 0.0);
+  EXPECT_TRUE(std::isfinite(id));
+}
+
+
+TEST(Surrogate, SaveLoadWeightsRoundTrip) {
+  SurrogateConfig cfg;
+  cfg.poisson_hidden = 8;
+  cfg.iv_hidden = 8;
+  TcadSurrogate a(cfg);
+  const auto& pop = population();
+  const double ref = a.predict_current(pop[0].iv_graph);
+  a.save_weights("/tmp/stco_surrogate.bin");
+  cfg.init_seed = 999;  // different random init
+  TcadSurrogate b(cfg);
+  EXPECT_NE(b.predict_current(pop[0].iv_graph), ref);
+  b.load_weights("/tmp/stco_surrogate.bin");
+  EXPECT_DOUBLE_EQ(b.predict_current(pop[0].iv_graph), ref);
+}
+
+}  // namespace
+}  // namespace stco::surrogate

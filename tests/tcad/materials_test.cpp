@@ -1,0 +1,57 @@
+#include "src/tcad/materials.hpp"
+
+#include <gtest/gtest.h>
+
+namespace stco::tcad {
+namespace {
+
+TEST(Materials, PresetsHavePhysicalValues) {
+  for (auto kind : {SemiconductorKind::kCnt, SemiconductorKind::kIgzo,
+                    SemiconductorKind::kLtps, SemiconductorKind::kSilicon}) {
+    const auto p = params_for(kind);
+    EXPECT_EQ(p.kind, kind);
+    EXPECT_GT(p.eps_r, 1.0);
+    EXPECT_GT(p.ni, 0.0);
+    EXPECT_GT(p.mu0, 0.0);
+    EXPECT_GE(p.gamma, 0.0);
+    EXPECT_GT(p.tau_srh_n, 0.0);
+    EXPECT_GT(p.vth0, 0.0);
+  }
+}
+
+TEST(Materials, CntIsPTypeOthersNType) {
+  EXPECT_EQ(cnt_params().carrier, CarrierType::kPType);
+  EXPECT_EQ(igzo_params().carrier, CarrierType::kNType);
+  EXPECT_EQ(ltps_params().carrier, CarrierType::kNType);
+}
+
+TEST(Materials, LtpsHasHighestMobility) {
+  // LTPS is the high-mobility technology of the three.
+  EXPECT_GT(ltps_params().mu0, cnt_params().mu0);
+  EXPECT_GT(ltps_params().mu0, igzo_params().mu0);
+}
+
+TEST(Materials, ThermalVoltageAt300K) {
+  EXPECT_NEAR(thermal_voltage(300.0), 0.02585, 1e-4);
+  EXPECT_NEAR(thermal_voltage(600.0) / thermal_voltage(300.0), 2.0, 1e-12);
+}
+
+TEST(Materials, SrhRateSigns) {
+  const auto p = ltps_params();
+  // Equilibrium (n p = ni^2): zero net recombination.
+  EXPECT_NEAR(srh_rate(p, p.ni, p.ni), 0.0, 1e-6);
+  // Excess carriers: recombination (positive).
+  EXPECT_GT(srh_rate(p, 100 * p.ni, 100 * p.ni), 0.0);
+  // Depletion: generation (negative).
+  EXPECT_LT(srh_rate(p, 0.01 * p.ni, 0.01 * p.ni), 0.0);
+}
+
+TEST(Materials, ToStringRoundTrips) {
+  EXPECT_EQ(to_string(SemiconductorKind::kCnt), "CNT");
+  EXPECT_EQ(to_string(SemiconductorKind::kIgzo), "IGZO");
+  EXPECT_EQ(to_string(SemiconductorKind::kLtps), "LTPS");
+  EXPECT_EQ(to_string(CarrierType::kNType), "N");
+}
+
+}  // namespace
+}  // namespace stco::tcad

@@ -1,0 +1,103 @@
+#include "src/tcad/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace stco::tcad {
+namespace {
+
+TftDevice ntype_device() {
+  TftDevice dev;
+  dev.semi = igzo_params();
+  dev.length = 2e-6;
+  dev.width = 10e-6;
+  dev.t_ox = 100e-9;
+  dev.t_ch = 40e-9;
+  dev.contact_len = 0.4e-6;
+  return dev;
+}
+
+TEST(Transport, OxideCapacitance) {
+  TftDevice dev;
+  dev.t_ox = 100e-9;
+  dev.oxide.eps_r = 3.9;
+  EXPECT_NEAR(oxide_capacitance(dev), 3.9 * 8.854e-12 / 100e-9, 1e-7);
+}
+
+TEST(Transport, SheetChargeIncreasesWithGateBias) {
+  const auto dev = ntype_device();
+  const double q1 = sheet_charge(dev, 1.0, 0.0);
+  const double q3 = sheet_charge(dev, 3.0, 0.0);
+  const double q5 = sheet_charge(dev, 5.0, 0.0);
+  EXPECT_GT(q3, q1);
+  EXPECT_GT(q5, q3);
+}
+
+TEST(Transport, SheetChargeApproachesCoxLaw) {
+  // Deep in accumulation, dQ/dVg ~ Cox.
+  const auto dev = ntype_device();
+  const double cox = oxide_capacitance(dev);
+  const double q4 = sheet_charge(dev, 4.0, 0.0);
+  const double q5 = sheet_charge(dev, 5.0, 0.0);
+  EXPECT_NEAR((q5 - q4) / cox, 1.0, 0.25);
+}
+
+TEST(Transport, SheetChargeDecreasesWithChannelPotential) {
+  const auto dev = ntype_device();
+  EXPECT_GT(sheet_charge(dev, 3.0, 0.0), sheet_charge(dev, 3.0, 1.0));
+  EXPECT_GT(sheet_charge(dev, 3.0, 1.0), sheet_charge(dev, 3.0, 2.5));
+}
+
+TEST(Transport, TransferCurveMonotonicAndSpansDecades) {
+  const auto dev = ntype_device();
+  const auto curve = transfer_curve(dev, 2.0, {-2, -1, 0, 1, 2, 3, 4, 5});
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].id, curve[i - 1].id * 0.999);
+  EXPECT_GT(curve.back().id / std::max(curve.front().id, 1e-30), 1e3);
+}
+
+TEST(Transport, OutputCurveSaturates) {
+  const auto dev = ntype_device();
+  const auto curve = output_curve(dev, 4.0, {0.5, 1, 2, 4, 6, 8});
+  // Monotone nondecreasing.
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i].id, curve[i - 1].id * 0.999);
+  // Saturation: growth from 6 V -> 8 V much smaller than from 0.5 V -> 2 V.
+  const double early_slope = (curve[2].id - curve[0].id) / 1.5;
+  const double late_slope = (curve[5].id - curve[4].id) / 2.0;
+  EXPECT_LT(late_slope, 0.25 * early_slope);
+}
+
+TEST(Transport, OffCurrentFloorsAtSrhLeakage) {
+  const auto dev = ntype_device();
+  const double vd = 2.0;
+  const double ioff = drain_current(dev, Bias{-5.0, vd, 0.0});
+  EXPECT_GE(ioff, srh_leakage(dev, vd));
+  EXPECT_LT(ioff, 100.0 * (srh_leakage(dev, vd) + 1e-12 * vd));
+}
+
+TEST(Transport, CurrentScalesWithWidthOverLength) {
+  auto dev = ntype_device();
+  const Bias on{4.0, 2.0, 0.0};
+  const double i1 = drain_current(dev, on);
+  dev.width *= 2.0;
+  const double i2 = drain_current(dev, on);
+  EXPECT_NEAR(i2 / i1, 2.0, 0.05);
+}
+
+TEST(Transport, ZeroVdsGivesZeroCurrent) {
+  const auto dev = ntype_device();
+  EXPECT_DOUBLE_EQ(drain_current(dev, Bias{3.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(Transport, PTypeConductsUnderNegativeBias) {
+  TftDevice dev = ntype_device();
+  dev.semi = cnt_params();
+  const double on = drain_current(dev, Bias{-5.0, -2.0, 0.0});
+  const double off = drain_current(dev, Bias{2.0, -2.0, 0.0});
+  EXPECT_GT(on, 100.0 * off);
+}
+
+}  // namespace
+}  // namespace stco::tcad

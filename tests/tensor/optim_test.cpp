@@ -1,0 +1,83 @@
+#include "src/tensor/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/tensor/ops.hpp"
+
+namespace stco::tensor {
+namespace {
+
+/// Minimize f(w) = (w - 3)^2 and check convergence.
+double run_scalar_descent(Optimizer& opt, Tensor& w, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    opt.zero_grad();
+    const Tensor loss = mse_loss(w, Tensor::scalar(3.0));
+    loss.backward();
+    opt.step();
+  }
+  return w.item();
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  Tensor w = Tensor::scalar(0.0, true);
+  Sgd opt({w}, 0.1);
+  EXPECT_NEAR(run_scalar_descent(opt, w, 200), 3.0, 1e-6);
+}
+
+TEST(Sgd, MomentumConvergesFaster) {
+  Tensor w1 = Tensor::scalar(0.0, true);
+  Sgd plain({w1}, 0.02);
+  run_scalar_descent(plain, w1, 50);
+  Tensor w2 = Tensor::scalar(0.0, true);
+  Sgd mom({w2}, 0.02, 0.9);
+  run_scalar_descent(mom, w2, 50);
+  EXPECT_LT(std::fabs(w2.item() - 3.0), std::fabs(w1.item() - 3.0));
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Tensor w = Tensor::scalar(-5.0, true);
+  Adam opt({w}, 0.2);
+  EXPECT_NEAR(run_scalar_descent(opt, w, 300), 3.0, 1e-4);
+}
+
+TEST(Adam, WeightDecayShrinksSolution) {
+  Tensor w = Tensor::scalar(0.0, true);
+  Adam opt({w}, 0.1, 0.9, 0.999, 1e-8, /*weight_decay=*/1.0);
+  run_scalar_descent(opt, w, 500);
+  EXPECT_LT(w.item(), 3.0);  // pulled below the unregularized optimum
+  EXPECT_GT(w.item(), 0.5);
+}
+
+TEST(Optimizer, ClipGradNorm) {
+  Tensor w = Tensor::from_data({3.0, 4.0}, 1, 2, true);
+  Sgd opt({w}, 0.0);
+  opt.zero_grad();
+  // Loss = sum(w * w): grad = 2w = (6, 8), norm 10.
+  sum_all(mul(w, w)).backward();
+  const double pre = opt.clip_grad_norm(5.0);
+  EXPECT_NEAR(pre, 10.0, 1e-9);
+  EXPECT_NEAR(w.grad()[0], 3.0, 1e-9);
+  EXPECT_NEAR(w.grad()[1], 4.0, 1e-9);
+}
+
+TEST(Adam, MultiParameterRegression) {
+  // Fit y = 2x + 1 with a linear model trained by Adam.
+  Tensor w = Tensor::scalar(0.0, true);
+  Tensor b = Tensor::scalar(0.0, true);
+  const Tensor x = Tensor::from_data({0, 1, 2, 3}, 4, 1);
+  const Tensor y = Tensor::from_data({1, 3, 5, 7}, 4, 1);
+  Adam opt({w, b}, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    opt.zero_grad();
+    const Tensor pred = add(matmul(x, w), b);
+    mse_loss(pred, y).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(w.item(), 2.0, 1e-3);
+  EXPECT_NEAR(b.item(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace stco::tensor
