@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gnn.dir/bench_ablation_gnn.cpp.o"
+  "CMakeFiles/bench_ablation_gnn.dir/bench_ablation_gnn.cpp.o.d"
+  "bench_ablation_gnn"
+  "bench_ablation_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

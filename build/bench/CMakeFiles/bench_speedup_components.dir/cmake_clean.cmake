@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_components.dir/bench_speedup_components.cpp.o"
+  "CMakeFiles/bench_speedup_components.dir/bench_speedup_components.cpp.o.d"
+  "bench_speedup_components"
+  "bench_speedup_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

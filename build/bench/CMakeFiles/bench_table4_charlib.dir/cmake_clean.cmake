@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_charlib.dir/bench_table4_charlib.cpp.o"
+  "CMakeFiles/bench_table4_charlib.dir/bench_table4_charlib.cpp.o.d"
+  "bench_table4_charlib"
+  "bench_table4_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_library_characterization.dir/cell_library_characterization.cpp.o"
+  "CMakeFiles/cell_library_characterization.dir/cell_library_characterization.cpp.o.d"
+  "cell_library_characterization"
+  "cell_library_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_library_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/device_surrogate.cpp" "examples/CMakeFiles/device_surrogate.dir/device_surrogate.cpp.o" "gcc" "examples/CMakeFiles/device_surrogate.dir/device_surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stco/CMakeFiles/stco_stco.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/stco_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/stco_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/stco_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/stco_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/stco_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/stco_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/stco_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_surrogate.dir/device_surrogate.cpp.o"
+  "CMakeFiles/device_surrogate.dir/device_surrogate.cpp.o.d"
+  "device_surrogate"
+  "device_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

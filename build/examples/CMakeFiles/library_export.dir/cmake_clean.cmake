@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_export.dir/library_export.cpp.o"
+  "CMakeFiles/library_export.dir/library_export.cpp.o.d"
+  "library_export"
+  "library_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_exploration.dir/stco_exploration.cpp.o"
+  "CMakeFiles/stco_exploration.dir/stco_exploration.cpp.o.d"
+  "stco_exploration"
+  "stco_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

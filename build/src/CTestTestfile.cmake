@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("numeric")
+subdirs("tensor")
+subdirs("mesh")
+subdirs("tcad")
+subdirs("gnn")
+subdirs("surrogate")
+subdirs("compact")
+subdirs("spice")
+subdirs("cells")
+subdirs("charlib")
+subdirs("flow")
+subdirs("stco")

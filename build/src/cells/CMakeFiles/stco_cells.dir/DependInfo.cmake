@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cells/builder.cpp" "src/cells/CMakeFiles/stco_cells.dir/builder.cpp.o" "gcc" "src/cells/CMakeFiles/stco_cells.dir/builder.cpp.o.d"
+  "/root/repo/src/cells/celldef.cpp" "src/cells/CMakeFiles/stco_cells.dir/celldef.cpp.o" "gcc" "src/cells/CMakeFiles/stco_cells.dir/celldef.cpp.o.d"
+  "/root/repo/src/cells/characterize.cpp" "src/cells/CMakeFiles/stco_cells.dir/characterize.cpp.o" "gcc" "src/cells/CMakeFiles/stco_cells.dir/characterize.cpp.o.d"
+  "/root/repo/src/cells/library.cpp" "src/cells/CMakeFiles/stco_cells.dir/library.cpp.o" "gcc" "src/cells/CMakeFiles/stco_cells.dir/library.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/stco_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/stco_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_cells.dir/builder.cpp.o"
+  "CMakeFiles/stco_cells.dir/builder.cpp.o.d"
+  "CMakeFiles/stco_cells.dir/celldef.cpp.o"
+  "CMakeFiles/stco_cells.dir/celldef.cpp.o.d"
+  "CMakeFiles/stco_cells.dir/characterize.cpp.o"
+  "CMakeFiles/stco_cells.dir/characterize.cpp.o.d"
+  "CMakeFiles/stco_cells.dir/library.cpp.o"
+  "CMakeFiles/stco_cells.dir/library.cpp.o.d"
+  "libstco_cells.a"
+  "libstco_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_charlib.dir/dataset.cpp.o"
+  "CMakeFiles/stco_charlib.dir/dataset.cpp.o.d"
+  "CMakeFiles/stco_charlib.dir/encoder.cpp.o"
+  "CMakeFiles/stco_charlib.dir/encoder.cpp.o.d"
+  "CMakeFiles/stco_charlib.dir/model.cpp.o"
+  "CMakeFiles/stco_charlib.dir/model.cpp.o.d"
+  "libstco_charlib.a"
+  "libstco_charlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

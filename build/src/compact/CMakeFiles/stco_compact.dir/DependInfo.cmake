@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compact/extraction.cpp" "src/compact/CMakeFiles/stco_compact.dir/extraction.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/extraction.cpp.o.d"
+  "/root/repo/src/compact/metrics.cpp" "src/compact/CMakeFiles/stco_compact.dir/metrics.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/metrics.cpp.o.d"
+  "/root/repo/src/compact/reference_model.cpp" "src/compact/CMakeFiles/stco_compact.dir/reference_model.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/reference_model.cpp.o.d"
+  "/root/repo/src/compact/technology.cpp" "src/compact/CMakeFiles/stco_compact.dir/technology.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/technology.cpp.o.d"
+  "/root/repo/src/compact/tft_model.cpp" "src/compact/CMakeFiles/stco_compact.dir/tft_model.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/tft_model.cpp.o.d"
+  "/root/repo/src/compact/variation.cpp" "src/compact/CMakeFiles/stco_compact.dir/variation.cpp.o" "gcc" "src/compact/CMakeFiles/stco_compact.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

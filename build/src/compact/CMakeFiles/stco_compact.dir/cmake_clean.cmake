@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_compact.dir/extraction.cpp.o"
+  "CMakeFiles/stco_compact.dir/extraction.cpp.o.d"
+  "CMakeFiles/stco_compact.dir/metrics.cpp.o"
+  "CMakeFiles/stco_compact.dir/metrics.cpp.o.d"
+  "CMakeFiles/stco_compact.dir/reference_model.cpp.o"
+  "CMakeFiles/stco_compact.dir/reference_model.cpp.o.d"
+  "CMakeFiles/stco_compact.dir/technology.cpp.o"
+  "CMakeFiles/stco_compact.dir/technology.cpp.o.d"
+  "CMakeFiles/stco_compact.dir/tft_model.cpp.o"
+  "CMakeFiles/stco_compact.dir/tft_model.cpp.o.d"
+  "CMakeFiles/stco_compact.dir/variation.cpp.o"
+  "CMakeFiles/stco_compact.dir/variation.cpp.o.d"
+  "libstco_compact.a"
+  "libstco_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

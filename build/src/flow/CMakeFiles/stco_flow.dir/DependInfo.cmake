@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/bench_format.cpp" "src/flow/CMakeFiles/stco_flow.dir/bench_format.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/bench_format.cpp.o.d"
+  "/root/repo/src/flow/benchmarks.cpp" "src/flow/CMakeFiles/stco_flow.dir/benchmarks.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/flow/liberty.cpp" "src/flow/CMakeFiles/stco_flow.dir/liberty.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/liberty.cpp.o.d"
+  "/root/repo/src/flow/liberty_reader.cpp" "src/flow/CMakeFiles/stco_flow.dir/liberty_reader.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/liberty_reader.cpp.o.d"
+  "/root/repo/src/flow/liberty_writer.cpp" "src/flow/CMakeFiles/stco_flow.dir/liberty_writer.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/flow/logic_sim.cpp" "src/flow/CMakeFiles/stco_flow.dir/logic_sim.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/flow/netlist.cpp" "src/flow/CMakeFiles/stco_flow.dir/netlist.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/netlist.cpp.o.d"
+  "/root/repo/src/flow/netlist_io.cpp" "src/flow/CMakeFiles/stco_flow.dir/netlist_io.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/netlist_io.cpp.o.d"
+  "/root/repo/src/flow/optimize.cpp" "src/flow/CMakeFiles/stco_flow.dir/optimize.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/optimize.cpp.o.d"
+  "/root/repo/src/flow/sta.cpp" "src/flow/CMakeFiles/stco_flow.dir/sta.cpp.o" "gcc" "src/flow/CMakeFiles/stco_flow.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cells/CMakeFiles/stco_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/stco_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/stco_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/stco_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/stco_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

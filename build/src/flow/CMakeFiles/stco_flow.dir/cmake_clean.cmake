@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_flow.dir/bench_format.cpp.o"
+  "CMakeFiles/stco_flow.dir/bench_format.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/benchmarks.cpp.o"
+  "CMakeFiles/stco_flow.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/liberty.cpp.o"
+  "CMakeFiles/stco_flow.dir/liberty.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/liberty_reader.cpp.o"
+  "CMakeFiles/stco_flow.dir/liberty_reader.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/liberty_writer.cpp.o"
+  "CMakeFiles/stco_flow.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/logic_sim.cpp.o"
+  "CMakeFiles/stco_flow.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/netlist.cpp.o"
+  "CMakeFiles/stco_flow.dir/netlist.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/netlist_io.cpp.o"
+  "CMakeFiles/stco_flow.dir/netlist_io.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/optimize.cpp.o"
+  "CMakeFiles/stco_flow.dir/optimize.cpp.o.d"
+  "CMakeFiles/stco_flow.dir/sta.cpp.o"
+  "CMakeFiles/stco_flow.dir/sta.cpp.o.d"
+  "libstco_flow.a"
+  "libstco_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/batch.cpp" "src/gnn/CMakeFiles/stco_gnn.dir/batch.cpp.o" "gcc" "src/gnn/CMakeFiles/stco_gnn.dir/batch.cpp.o.d"
+  "/root/repo/src/gnn/layers.cpp" "src/gnn/CMakeFiles/stco_gnn.dir/layers.cpp.o" "gcc" "src/gnn/CMakeFiles/stco_gnn.dir/layers.cpp.o.d"
+  "/root/repo/src/gnn/models.cpp" "src/gnn/CMakeFiles/stco_gnn.dir/models.cpp.o" "gcc" "src/gnn/CMakeFiles/stco_gnn.dir/models.cpp.o.d"
+  "/root/repo/src/gnn/trainer.cpp" "src/gnn/CMakeFiles/stco_gnn.dir/trainer.cpp.o" "gcc" "src/gnn/CMakeFiles/stco_gnn.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/stco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

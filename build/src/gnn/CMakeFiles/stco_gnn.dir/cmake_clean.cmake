@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_gnn.dir/batch.cpp.o"
+  "CMakeFiles/stco_gnn.dir/batch.cpp.o.d"
+  "CMakeFiles/stco_gnn.dir/layers.cpp.o"
+  "CMakeFiles/stco_gnn.dir/layers.cpp.o.d"
+  "CMakeFiles/stco_gnn.dir/models.cpp.o"
+  "CMakeFiles/stco_gnn.dir/models.cpp.o.d"
+  "CMakeFiles/stco_gnn.dir/trainer.cpp.o"
+  "CMakeFiles/stco_gnn.dir/trainer.cpp.o.d"
+  "libstco_gnn.a"
+  "libstco_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstco_gnn.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/stco_mesh.dir/mesh.cpp.o.d"
+  "libstco_mesh.a"
+  "libstco_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

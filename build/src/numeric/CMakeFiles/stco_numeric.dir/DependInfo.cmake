@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/lm.cpp" "src/numeric/CMakeFiles/stco_numeric.dir/lm.cpp.o" "gcc" "src/numeric/CMakeFiles/stco_numeric.dir/lm.cpp.o.d"
+  "/root/repo/src/numeric/matrix.cpp" "src/numeric/CMakeFiles/stco_numeric.dir/matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/stco_numeric.dir/matrix.cpp.o.d"
+  "/root/repo/src/numeric/solve.cpp" "src/numeric/CMakeFiles/stco_numeric.dir/solve.cpp.o" "gcc" "src/numeric/CMakeFiles/stco_numeric.dir/solve.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/numeric/CMakeFiles/stco_numeric.dir/sparse.cpp.o" "gcc" "src/numeric/CMakeFiles/stco_numeric.dir/sparse.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/stco_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/stco_numeric.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

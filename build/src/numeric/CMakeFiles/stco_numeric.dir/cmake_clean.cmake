@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_numeric.dir/lm.cpp.o"
+  "CMakeFiles/stco_numeric.dir/lm.cpp.o.d"
+  "CMakeFiles/stco_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/stco_numeric.dir/matrix.cpp.o.d"
+  "CMakeFiles/stco_numeric.dir/solve.cpp.o"
+  "CMakeFiles/stco_numeric.dir/solve.cpp.o.d"
+  "CMakeFiles/stco_numeric.dir/sparse.cpp.o"
+  "CMakeFiles/stco_numeric.dir/sparse.cpp.o.d"
+  "CMakeFiles/stco_numeric.dir/stats.cpp.o"
+  "CMakeFiles/stco_numeric.dir/stats.cpp.o.d"
+  "libstco_numeric.a"
+  "libstco_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

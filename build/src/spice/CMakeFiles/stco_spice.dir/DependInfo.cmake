@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/ac.cpp" "src/spice/CMakeFiles/stco_spice.dir/ac.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/ac.cpp.o.d"
+  "/root/repo/src/spice/engine.cpp" "src/spice/CMakeFiles/stco_spice.dir/engine.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/engine.cpp.o.d"
+  "/root/repo/src/spice/export.cpp" "src/spice/CMakeFiles/stco_spice.dir/export.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/export.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/spice/CMakeFiles/stco_spice.dir/measure.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/measure.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/stco_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/netlist.cpp.o.d"
+  "/root/repo/src/spice/parser.cpp" "src/spice/CMakeFiles/stco_spice.dir/parser.cpp.o" "gcc" "src/spice/CMakeFiles/stco_spice.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/stco_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

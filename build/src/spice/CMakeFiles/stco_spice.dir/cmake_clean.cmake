@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_spice.dir/ac.cpp.o"
+  "CMakeFiles/stco_spice.dir/ac.cpp.o.d"
+  "CMakeFiles/stco_spice.dir/engine.cpp.o"
+  "CMakeFiles/stco_spice.dir/engine.cpp.o.d"
+  "CMakeFiles/stco_spice.dir/export.cpp.o"
+  "CMakeFiles/stco_spice.dir/export.cpp.o.d"
+  "CMakeFiles/stco_spice.dir/measure.cpp.o"
+  "CMakeFiles/stco_spice.dir/measure.cpp.o.d"
+  "CMakeFiles/stco_spice.dir/netlist.cpp.o"
+  "CMakeFiles/stco_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/stco_spice.dir/parser.cpp.o"
+  "CMakeFiles/stco_spice.dir/parser.cpp.o.d"
+  "libstco_spice.a"
+  "libstco_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

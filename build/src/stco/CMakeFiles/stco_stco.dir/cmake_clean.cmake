@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_stco.dir/loop.cpp.o"
+  "CMakeFiles/stco_stco.dir/loop.cpp.o.d"
+  "CMakeFiles/stco_stco.dir/pareto.cpp.o"
+  "CMakeFiles/stco_stco.dir/pareto.cpp.o.d"
+  "CMakeFiles/stco_stco.dir/report.cpp.o"
+  "CMakeFiles/stco_stco.dir/report.cpp.o.d"
+  "CMakeFiles/stco_stco.dir/rl.cpp.o"
+  "CMakeFiles/stco_stco.dir/rl.cpp.o.d"
+  "CMakeFiles/stco_stco.dir/runtime_model.cpp.o"
+  "CMakeFiles/stco_stco.dir/runtime_model.cpp.o.d"
+  "libstco_stco.a"
+  "libstco_stco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_stco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

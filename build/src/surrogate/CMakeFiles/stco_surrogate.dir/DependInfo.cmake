@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surrogate/dataset.cpp" "src/surrogate/CMakeFiles/stco_surrogate.dir/dataset.cpp.o" "gcc" "src/surrogate/CMakeFiles/stco_surrogate.dir/dataset.cpp.o.d"
+  "/root/repo/src/surrogate/encoding.cpp" "src/surrogate/CMakeFiles/stco_surrogate.dir/encoding.cpp.o" "gcc" "src/surrogate/CMakeFiles/stco_surrogate.dir/encoding.cpp.o.d"
+  "/root/repo/src/surrogate/surrogate.cpp" "src/surrogate/CMakeFiles/stco_surrogate.dir/surrogate.cpp.o" "gcc" "src/surrogate/CMakeFiles/stco_surrogate.dir/surrogate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/stco_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_surrogate.dir/dataset.cpp.o"
+  "CMakeFiles/stco_surrogate.dir/dataset.cpp.o.d"
+  "CMakeFiles/stco_surrogate.dir/encoding.cpp.o"
+  "CMakeFiles/stco_surrogate.dir/encoding.cpp.o.d"
+  "CMakeFiles/stco_surrogate.dir/surrogate.cpp.o"
+  "CMakeFiles/stco_surrogate.dir/surrogate.cpp.o.d"
+  "libstco_surrogate.a"
+  "libstco_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

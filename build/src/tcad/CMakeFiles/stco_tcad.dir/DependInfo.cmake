@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcad/device.cpp" "src/tcad/CMakeFiles/stco_tcad.dir/device.cpp.o" "gcc" "src/tcad/CMakeFiles/stco_tcad.dir/device.cpp.o.d"
+  "/root/repo/src/tcad/drift_diffusion.cpp" "src/tcad/CMakeFiles/stco_tcad.dir/drift_diffusion.cpp.o" "gcc" "src/tcad/CMakeFiles/stco_tcad.dir/drift_diffusion.cpp.o.d"
+  "/root/repo/src/tcad/materials.cpp" "src/tcad/CMakeFiles/stco_tcad.dir/materials.cpp.o" "gcc" "src/tcad/CMakeFiles/stco_tcad.dir/materials.cpp.o.d"
+  "/root/repo/src/tcad/poisson.cpp" "src/tcad/CMakeFiles/stco_tcad.dir/poisson.cpp.o" "gcc" "src/tcad/CMakeFiles/stco_tcad.dir/poisson.cpp.o.d"
+  "/root/repo/src/tcad/transport.cpp" "src/tcad/CMakeFiles/stco_tcad.dir/transport.cpp.o" "gcc" "src/tcad/CMakeFiles/stco_tcad.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_tcad.dir/device.cpp.o"
+  "CMakeFiles/stco_tcad.dir/device.cpp.o.d"
+  "CMakeFiles/stco_tcad.dir/drift_diffusion.cpp.o"
+  "CMakeFiles/stco_tcad.dir/drift_diffusion.cpp.o.d"
+  "CMakeFiles/stco_tcad.dir/materials.cpp.o"
+  "CMakeFiles/stco_tcad.dir/materials.cpp.o.d"
+  "CMakeFiles/stco_tcad.dir/poisson.cpp.o"
+  "CMakeFiles/stco_tcad.dir/poisson.cpp.o.d"
+  "CMakeFiles/stco_tcad.dir/transport.cpp.o"
+  "CMakeFiles/stco_tcad.dir/transport.cpp.o.d"
+  "libstco_tcad.a"
+  "libstco_tcad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_tcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

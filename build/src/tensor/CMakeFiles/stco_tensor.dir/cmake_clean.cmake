@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stco_tensor.dir/ops.cpp.o"
+  "CMakeFiles/stco_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/stco_tensor.dir/optim.cpp.o"
+  "CMakeFiles/stco_tensor.dir/optim.cpp.o.d"
+  "CMakeFiles/stco_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/stco_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/stco_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/stco_tensor.dir/tensor.cpp.o.d"
+  "libstco_tensor.a"
+  "libstco_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stco_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_charlib.dir/charlib/encoder_test.cpp.o"
+  "CMakeFiles/test_charlib.dir/charlib/encoder_test.cpp.o.d"
+  "CMakeFiles/test_charlib.dir/charlib/model_test.cpp.o"
+  "CMakeFiles/test_charlib.dir/charlib/model_test.cpp.o.d"
+  "test_charlib"
+  "test_charlib.pdb"
+  "test_charlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_charlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

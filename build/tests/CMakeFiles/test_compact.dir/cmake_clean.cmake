@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact.dir/compact/extraction_test.cpp.o"
+  "CMakeFiles/test_compact.dir/compact/extraction_test.cpp.o.d"
+  "CMakeFiles/test_compact.dir/compact/metrics_test.cpp.o"
+  "CMakeFiles/test_compact.dir/compact/metrics_test.cpp.o.d"
+  "CMakeFiles/test_compact.dir/compact/property_test.cpp.o"
+  "CMakeFiles/test_compact.dir/compact/property_test.cpp.o.d"
+  "CMakeFiles/test_compact.dir/compact/tft_model_test.cpp.o"
+  "CMakeFiles/test_compact.dir/compact/tft_model_test.cpp.o.d"
+  "CMakeFiles/test_compact.dir/compact/variation_test.cpp.o"
+  "CMakeFiles/test_compact.dir/compact/variation_test.cpp.o.d"
+  "test_compact"
+  "test_compact.pdb"
+  "test_compact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

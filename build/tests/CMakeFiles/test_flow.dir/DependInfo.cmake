@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/bench_format_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/bench_format_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/bench_format_test.cpp.o.d"
+  "/root/repo/tests/flow/io_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/io_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/io_test.cpp.o.d"
+  "/root/repo/tests/flow/liberty_reader_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/liberty_reader_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/liberty_reader_test.cpp.o.d"
+  "/root/repo/tests/flow/logic_sim_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/logic_sim_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/logic_sim_test.cpp.o.d"
+  "/root/repo/tests/flow/netlist_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/netlist_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/netlist_test.cpp.o.d"
+  "/root/repo/tests/flow/optimize_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/optimize_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/optimize_test.cpp.o.d"
+  "/root/repo/tests/flow/path_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/path_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/path_test.cpp.o.d"
+  "/root/repo/tests/flow/sta_test.cpp" "tests/CMakeFiles/test_flow.dir/flow/sta_test.cpp.o" "gcc" "tests/CMakeFiles/test_flow.dir/flow/sta_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/stco_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/stco_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/stco_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/stco_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/stco_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/surrogate/CMakeFiles/stco_surrogate.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/stco_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/stco_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/cells/CMakeFiles/stco_cells.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlib/CMakeFiles/stco_charlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/stco_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/stco/CMakeFiles/stco_stco.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

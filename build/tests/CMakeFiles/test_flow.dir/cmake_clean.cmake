@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flow.dir/flow/bench_format_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/bench_format_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/io_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/io_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/liberty_reader_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/liberty_reader_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/logic_sim_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/logic_sim_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/netlist_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/netlist_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/optimize_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/optimize_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/path_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/path_test.cpp.o.d"
+  "CMakeFiles/test_flow.dir/flow/sta_test.cpp.o"
+  "CMakeFiles/test_flow.dir/flow/sta_test.cpp.o.d"
+  "test_flow"
+  "test_flow.pdb"
+  "test_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice.dir/spice/ac_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/ac_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/adaptive_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/engine_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/engine_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/export_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/export_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/parser_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/parser_test.cpp.o.d"
+  "CMakeFiles/test_spice.dir/spice/property_test.cpp.o"
+  "CMakeFiles/test_spice.dir/spice/property_test.cpp.o.d"
+  "test_spice"
+  "test_spice.pdb"
+  "test_spice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

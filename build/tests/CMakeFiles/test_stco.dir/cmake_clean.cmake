@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stco.dir/stco/loop_test.cpp.o"
+  "CMakeFiles/test_stco.dir/stco/loop_test.cpp.o.d"
+  "CMakeFiles/test_stco.dir/stco/pareto_test.cpp.o"
+  "CMakeFiles/test_stco.dir/stco/pareto_test.cpp.o.d"
+  "CMakeFiles/test_stco.dir/stco/report_test.cpp.o"
+  "CMakeFiles/test_stco.dir/stco/report_test.cpp.o.d"
+  "CMakeFiles/test_stco.dir/stco/rl_test.cpp.o"
+  "CMakeFiles/test_stco.dir/stco/rl_test.cpp.o.d"
+  "test_stco"
+  "test_stco.pdb"
+  "test_stco[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

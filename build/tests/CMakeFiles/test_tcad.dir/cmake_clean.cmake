@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcad.dir/tcad/drift_diffusion_test.cpp.o"
+  "CMakeFiles/test_tcad.dir/tcad/drift_diffusion_test.cpp.o.d"
+  "CMakeFiles/test_tcad.dir/tcad/materials_test.cpp.o"
+  "CMakeFiles/test_tcad.dir/tcad/materials_test.cpp.o.d"
+  "CMakeFiles/test_tcad.dir/tcad/poisson_test.cpp.o"
+  "CMakeFiles/test_tcad.dir/tcad/poisson_test.cpp.o.d"
+  "CMakeFiles/test_tcad.dir/tcad/property_test.cpp.o"
+  "CMakeFiles/test_tcad.dir/tcad/property_test.cpp.o.d"
+  "CMakeFiles/test_tcad.dir/tcad/transport_test.cpp.o"
+  "CMakeFiles/test_tcad.dir/tcad/transport_test.cpp.o.d"
+  "test_tcad"
+  "test_tcad.pdb"
+  "test_tcad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
