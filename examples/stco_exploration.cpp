@@ -65,6 +65,8 @@ int main() {
   rpt.best_ppa = best_rep;
   rpt.timing = engine.timing();
   rpt.fast_path = engine.fast_path();
+  rpt.robustness = engine.robustness();
+  rpt.infeasible_evaluations = engine.infeasible_evaluations();
   write_run_report_file("/tmp/stco_run_report.md", rpt);
   printf("\nrun report written to /tmp/stco_run_report.md\n");
   return 0;

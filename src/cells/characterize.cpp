@@ -48,27 +48,44 @@ Fixture make_fixture(const CellDef& def, const CharConfig& cfg,
 
 double level(bool v, const CharConfig& cfg) { return v ? cfg.tech.vdd : 0.0; }
 
+/// Fold one sim's recovery counters into the cell record; false means the
+/// sim is unusable and whatever it was measuring must be skipped or zeroed.
+bool track(CellCharacterization& out, const TranResult& tr) {
+  out.stats.merge(tr.stats);
+  if (!tr.converged) ++out.failed_sims;
+  return tr.converged;
+}
+
 /// Edge waveform: holds `from` until t_start, ramps to `to` over the slew.
 Waveform edge_wave(bool from, bool to, double t_start, const CharConfig& cfg) {
   return Waveform::ramp(level(from, cfg), level(to, cfg), t_start, cfg.input_slew);
 }
 
-/// Leakage power of the cell in one static state.
+/// Leakage power of the cell in one static state. A DC failure counts as a
+/// failed sim and contributes zero (degraded, never NaN).
 double static_power(const CellDef& def, const CharConfig& cfg,
-                    const std::map<std::string, bool>& state) {
+                    const std::map<std::string, bool>& state,
+                    CellCharacterization& out) {
   std::map<std::string, Waveform> waves;
   for (const auto& pin : def.inputs) waves.emplace(pin, Waveform::dc(level(state.at(pin), cfg)));
   Fixture f = make_fixture(def, cfg, waves);
   const auto dc = spice::dc_operating_point(f.nl);
+  out.stats.merge(dc.stats);
+  if (!dc.converged) {
+    ++out.failed_sims;
+    return 0.0;
+  }
   // Delivering supply has negative branch current in MNA convention.
   return cfg.tech.vdd * std::max(0.0, -dc.source_current[f.vdd_src]);
 }
 
-/// Supply energy above the leakage baseline over [t0, t1].
+/// Supply energy above the leakage baseline over [t0, t1]; zero when the
+/// transient is unusable.
 double dynamic_energy(const TranResult& tr, std::size_t vdd_src, double vdd,
                       double leak_power, double t0, double t1) {
-  const double total = spice::supply_energy(tr, vdd_src, vdd, t0, t1);
-  return std::max(0.0, total - leak_power * (t1 - t0));
+  const auto total = spice::supply_energy(tr, vdd_src, vdd, t0, t1);
+  if (!total) return 0.0;
+  return std::max(0.0, *total - leak_power * (t1 - t0));
 }
 
 /// Enumerate all 2^k assignments of the given pins.
@@ -110,7 +127,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
   {
     double sum = 0.0;
     const auto states = all_states(def.inputs);
-    for (const auto& s : states) sum += static_power(def, cfg, s);
+    for (const auto& s : states) sum += static_power(def, cfg, s, out);
     out.leakage_power = sum / static_cast<double>(states.size());
   }
 
@@ -142,6 +159,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, edge_wave(!rising, rising, t_edge, cfg));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
+        if (!track(out, tr)) continue;
         const double q = spice::integrate_source_charge_smoothed(
             tr, f.input_src.at(pin), t_edge - 0.5 * u, t_end);
         cmax = std::max(cmax, std::fabs(q) / vdd);
@@ -164,6 +182,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, pulse_wave(rising));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
+        if (!track(out, tr)) continue;  // arc invalid: sim failed post-retry
 
         ArcResult arc;
         arc.input_pin = pin;
@@ -180,8 +199,8 @@ CellCharacterization characterize_combinational(const CellDef& def,
         if (!out50 || !slew || *out50 > t_back) continue;  // arc incomplete
         arc.delay = *out50 - in50;
         arc.output_slew = *slew;
-        const double leak =
-            0.5 * (static_power(def, cfg, state0) + static_power(def, cfg, state1));
+        const double leak = 0.5 * (static_power(def, cfg, state0, out) +
+                                   static_power(def, cfg, state1, out));
         arc.flip_energy =
             0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, t_edge - 0.5 * u, t_end);
         out.arcs.push_back(std::move(arc));
@@ -201,12 +220,13 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, pulse_wave(rising));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
+        if (!track(out, tr)) continue;
         NonFlipResult nf;
         nf.input_pin = pin;
         nf.input_rising = rising;
         nf.side_inputs = *insensitive;
-        const double leak =
-            0.5 * (static_power(def, cfg, state0) + static_power(def, cfg, state1));
+        const double leak = 0.5 * (static_power(def, cfg, state0, out) +
+                                   static_power(def, cfg, state1, out));
         nf.energy =
             0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, t_edge - 0.5 * u, t_end);
         out.nonflip.push_back(std::move(nf));
@@ -291,15 +311,18 @@ SeqTrial seq_trial(const CellDef& def, const CharConfig& cfg, bool v, double t_d
   return tr;
 }
 
-/// Run one trial and report whether Q captured `v`.
+/// Run one trial and report whether Q captured `v`. A failed sim reads as a
+/// capture failure (conservative: constraints bisect toward the safe side).
 bool capture_ok(const CellDef& def, const CharConfig& cfg, bool v, double t_d,
-                double pulse_width, TranResult* tr_out = nullptr,
-                Fixture* fx_out = nullptr) {
+                double pulse_width, CellCharacterization& out,
+                TranResult* tr_out = nullptr, Fixture* fx_out = nullptr) {
   const SeqTrial trial = seq_trial(def, cfg, v, t_d, pulse_width);
   Fixture f = make_fixture(def, cfg, trial.waves);
   const auto tr = spice::transient(f.nl, trial.t_end, cfg.dt);
+  const bool usable = track(out, tr);
   const double target = level(v, cfg);
-  const bool ok = std::fabs(spice::final_voltage(tr, f.out) - target) < 0.2 * cfg.tech.vdd;
+  const auto fv = spice::final_voltage(tr, f.out);
+  const bool ok = usable && fv && std::fabs(*fv - target) < 0.2 * cfg.tech.vdd;
   if (tr_out) *tr_out = tr;
   if (fx_out) *fx_out = std::move(f);
   return ok;
@@ -344,8 +367,11 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
       if (pin != def.clock_pin) waves.emplace(pin, Waveform::dc(0.0));
     Fixture f = make_fixture(def, cfg, waves);
     const auto tr = spice::transient(f.nl, 8 * u, cfg.dt);
-    const double q = spice::integrate_source_charge_smoothed(tr, f.vdd_src, 5 * u, 8 * u);
-    out.leakage_power = vdd * std::max(0.0, -q / (3 * u));
+    if (track(out, tr)) {
+      const double q =
+          spice::integrate_source_charge_smoothed(tr, f.vdd_src, 5 * u, 8 * u);
+      out.leakage_power = vdd * std::max(0.0, -q / (3 * u));
+    }
   }
 
   // Clock-to-Q arcs (for latches: D-to-Q while transparent) for both
@@ -357,7 +383,7 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
     // the arc is D -> Q; for a flip-flop D settles early and the arc is
     // clock -> Q.
     const double t_d_arc = pol.is_latch ? 4 * u : 3 * u;
-    if (!capture_ok(def, cfg, v, t_d_arc, -1.0, &tr, &f)) continue;
+    if (!capture_ok(def, cfg, v, t_d_arc, -1.0, out, &tr, &f)) continue;
     ArcResult arc;
     arc.input_pin = pol.is_latch ? "D" : def.clock_pin;
     arc.output_rising = v;
@@ -389,12 +415,14 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
       if (!waves.count(pin)) waves.emplace(pin, Waveform::dc(0.0));
     Fixture f = make_fixture(def, cfg, waves);
     const auto tr = spice::transient(f.nl, 6 * u, cfg.dt);
-    NonFlipResult nf;
-    nf.input_pin = "D";
-    nf.input_rising = true;
-    const double leak = vdd * std::max(0.0, -tr.i_src.back()[f.vdd_src]);
-    nf.energy = 0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, 1.5 * u, 6 * u);
-    out.nonflip.push_back(std::move(nf));
+    if (track(out, tr)) {
+      NonFlipResult nf;
+      nf.input_pin = "D";
+      nf.input_rising = true;
+      const double leak = vdd * std::max(0.0, -tr.i_src.back()[f.vdd_src]);
+      nf.energy = 0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, 1.5 * u, 6 * u);
+      out.nonflip.push_back(std::move(nf));
+    }
   }
 
   // Input capacitance per pin (toggle that pin, others held at idle/low).
@@ -413,6 +441,7 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
       }
       Fixture f = make_fixture(def, cfg, waves);
       const auto tr = spice::transient(f.nl, 5 * u, cfg.dt);
+      if (!track(out, tr)) continue;
       const double q =
           spice::integrate_source_charge_smoothed(tr, f.input_src.at(pin), 1.5 * u, 5 * u);
       cmax = std::max(cmax, std::fabs(q) / vdd);
@@ -425,7 +454,7 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
   for (bool v : {true, false}) {
     // Setup: D moves to v at t_edge - x; smaller x is harder.
     setup = std::max(setup, bisect_constraint(
-        [&](double x) { return capture_ok(def, cfg, v, 5 * u - x, -1.0); },
+        [&](double x) { return capture_ok(def, cfg, v, 5 * u - x, -1.0, out); },
         cfg.dt, 2.5 * u));
     // Hold: D moves *away* from v at t_edge + x. Equivalent trial: capture
     // !v ... instead run with D starting at v and leaving at t_edge + x.
@@ -445,13 +474,14 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
           }();
           Fixture f = make_fixture(def, cfg, trial.waves);
           const auto tr = spice::transient(f.nl, trial.t_end, cfg.dt);
-          return std::fabs(spice::final_voltage(tr, f.out) - level(v, cfg)) <
-                 0.2 * vdd;
+          if (!track(out, tr)) return false;
+          const auto fv = spice::final_voltage(tr, f.out);
+          return fv && std::fabs(*fv - level(v, cfg)) < 0.2 * vdd;
         },
         cfg.dt, 2.5 * u));
     // Minimum clock pulse width (D settles well before the window).
     width = std::max(width, bisect_constraint(
-        [&](double w) { return capture_ok(def, cfg, v, 2.5 * u, w); },
+        [&](double w) { return capture_ok(def, cfg, v, 2.5 * u, w, out); },
         2 * cfg.dt, 1.5 * u));
   }
   out.min_setup = setup;

@@ -14,6 +14,7 @@
 
 #include "src/cells/builder.hpp"
 #include "src/cells/library.hpp"
+#include "src/numeric/status.hpp"
 
 namespace stco::cells {
 
@@ -70,6 +71,13 @@ struct CellCharacterization {
   double min_setup = 0.0;
   double min_hold = 0.0;
   double min_pulse_width = 0.0;
+
+  /// Solver recovery counters aggregated over every sim run for this cell.
+  numeric::RobustnessStats stats;
+  /// Simulations that failed even after the recovery ladder. Each one
+  /// degrades the result (a skipped arc, a zeroed measurement) rather than
+  /// contaminating it with unconverged waveforms.
+  std::size_t failed_sims = 0;
 
   /// Worst (max) delay over all arcs; 0 if none.
   double worst_delay() const;

@@ -168,6 +168,12 @@ std::vector<CharSample> build_charlib_dataset(
         cfg.time_unit = opts.char_time_unit;
         for (const auto* def : defs) {
           const auto ch = cells::characterize_cell(*def, cfg);
+          if (opts.stats) {
+            ++opts.stats->characterizations;
+            if (ch.failed_sims > 0) ++opts.stats->degraded_characterizations;
+            opts.stats->failed_sims += ch.failed_sims;
+            opts.stats->solver.merge(ch.stats);
+          }
           auto samples = samples_from_characterization(*def, ch, corners[ci], cfg,
                                                        opts.scales, first_combo);
           out.insert(out.end(), std::make_move_iterator(samples.begin()),

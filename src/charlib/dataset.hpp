@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/charlib/model.hpp"
+#include "src/numeric/status.hpp"
 
 namespace stco::charlib {
 
@@ -31,6 +32,15 @@ std::vector<compact::TechnologyPoint> corner_grid(const CornerRanges& ranges,
 std::vector<compact::TechnologyPoint> corner_grid_offset(const CornerRanges& ranges,
                                                          std::size_t n_per_axis);
 
+/// Robustness accounting for one dataset build: failed sims degrade into
+/// dropped samples (never NaN targets), and this records how much was lost.
+struct DatasetStats {
+  std::size_t characterizations = 0;  ///< cell x corner x (slew, load) runs
+  std::size_t degraded_characterizations = 0;  ///< runs with >= 1 failed sim
+  std::size_t failed_sims = 0;        ///< sims dead even after the retry ladder
+  numeric::RobustnessStats solver;    ///< aggregated solver counters
+};
+
 struct DatasetOptions {
   std::vector<std::string> cell_names;  ///< empty = whole 35-cell library
   std::vector<double> input_slews = {10e-9, 30e-9};
@@ -41,6 +51,8 @@ struct DatasetOptions {
   CellScales scales{};
   /// Progress callback: (corners done, corners total).
   std::function<void(std::size_t, std::size_t)> on_progress;
+  /// When non-null, filled with drop counts and solver counters.
+  DatasetStats* stats = nullptr;
 };
 
 /// Run SPICE characterization over all corners and extract one CharSample

@@ -1,5 +1,6 @@
 #include "src/flow/liberty.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "src/charlib/encoder.hpp"
@@ -50,6 +51,16 @@ std::size_t transistor_count(const std::string& name) {
   return cells::find_cell(name).num_transistors();
 }
 
+// A single non-finite table entry poisons interpolation (and hence every
+// downstream STA query), so it marks the whole library incomplete.
+double checked(TimingLibrary& lib, double v) {
+  if (!std::isfinite(v)) {
+    lib.complete = false;
+    return 0.0;
+  }
+  return v;
+}
+
 }  // namespace
 
 TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
@@ -75,13 +86,19 @@ TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
         cfg.dt = opts.char_dt;
         cfg.time_unit = opts.char_time_unit;
         const auto ch = cells::characterize_cell(def, cfg);
+        lib.robustness.merge(ch.stats);
+        lib.dropped_arcs += ch.failed_sims;
+        // A characterization that lost every timing arc to simulation
+        // failures leaves the (slew, load) entry with no measurement at
+        // all — the library cannot honestly serve this cell.
+        if (ch.arcs.empty()) lib.complete = false;
         double wd = 0.0, ws = 0.0;
         for (const auto& arc : ch.arcs) {
           wd = std::max(wd, arc.delay);
           ws = std::max(ws, arc.output_slew);
         }
-        ct.delay(si, li) = wd;
-        ct.out_slew(si, li) = ws;
+        ct.delay(si, li) = checked(lib, wd);
+        ct.out_slew(si, li) = checked(lib, ws);
         if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
           ct.leakage = ch.leakage_power;
           ct.flip_energy = ch.mean_flip_energy();
@@ -139,8 +156,9 @@ TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
         const auto g = charlib::encode_cell(
             def, tech, opts.sizing, ctx_for(opts.slew_axis[si], opts.load_axis[li]),
             opts.scales);
-        ct.delay(si, li) = model.predict(g, cells::Metric::kDelay);
-        ct.out_slew(si, li) = model.predict(g, cells::Metric::kOutputSlew);
+        ct.delay(si, li) = checked(lib, model.predict(g, cells::Metric::kDelay));
+        ct.out_slew(si, li) =
+            checked(lib, model.predict(g, cells::Metric::kOutputSlew));
         if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
           ct.leakage = model.predict(g, cells::Metric::kLeakagePower);
           ct.flip_energy = model.predict(g, cells::Metric::kFlipPower);

@@ -19,6 +19,7 @@
 #include "src/cells/characterize.hpp"
 #include "src/charlib/model.hpp"
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/status.hpp"
 
 namespace stco::flow {
 
@@ -47,6 +48,14 @@ struct TimingLibrary {
   double dff_cap = 0.0;
   double dff_leakage = 0.0;
   double dff_flip_energy = 0.0;
+
+  // Robustness accounting from the build. `complete` goes false when some
+  // cell lost every timing arc to simulation failures or a table entry is
+  // non-finite — consumers (the STCO loop) treat such libraries as
+  // infeasible rather than trusting partially-characterized numbers.
+  numeric::RobustnessStats robustness;
+  std::size_t dropped_arcs = 0;  ///< sims dead even after the retry ladder
+  bool complete = true;
 
   const CellTiming& cell(const std::string& name) const;
   bool has_cell(const std::string& name) const { return cells.count(name) != 0; }

@@ -30,6 +30,11 @@ struct StaReport {
   double area = 0.0;           ///< [m^2]
   std::size_t num_gates = 0;
   std::size_t num_ffs = 0;
+  /// True when the backing library was degraded (missing arcs, non-finite
+  /// entries after failed characterization) so the PPA numbers cannot be
+  /// trusted. Set by the STCO loop, which maps such points to a finite
+  /// penalty cost instead of feeding garbage into the optimizer.
+  bool infeasible = false;
   /// Per-net arrival (debug / tests).
   numeric::Vec arrival;
 };

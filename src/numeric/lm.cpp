@@ -37,9 +37,20 @@ LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial, std::size_t n_re
   out.params = std::move(initial);
   clamp_params(out.params, lower, upper);
 
+  // Terminal bookkeeping: keep the structured status and the legacy bool in
+  // lockstep whatever path returns.
+  auto finish = [&](SolveReason reason) -> LmResult& {
+    out.status.reason = reason;
+    out.status.iterations = out.iterations;
+    out.status.residual = out.cost;
+    out.converged = out.status.ok();
+    return out;
+  };
+
   Vec r(n_residuals), r_trial(n_residuals);
   fn(out.params, r);
   out.cost = half_ssq(r);
+  if (!std::isfinite(out.cost)) return finish(SolveReason::kNanResidual);
 
   Matrix jac(n_residuals, np);
   double lambda = opts.initial_lambda;
@@ -70,12 +81,12 @@ LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial, std::size_t n_re
     for (std::size_t a = 0; a < np; ++a)
       for (std::size_t b = 0; b < a; ++b) jtj(a, b) = jtj(b, a);
 
-    if (norm_inf(jtr) < opts.gradient_tol) {
-      out.converged = true;
-      return out;
-    }
+    const double grad_norm = norm_inf(jtr);
+    if (!std::isfinite(grad_norm)) return finish(SolveReason::kNanResidual);
+    if (grad_norm < opts.gradient_tol) return finish(SolveReason::kOk);
 
     bool accepted = false;
+    bool singular = false;
     for (int tries = 0; tries < 12 && !accepted; ++tries) {
       Matrix lhs = jtj;
       for (std::size_t a = 0; a < np; ++a)
@@ -87,9 +98,11 @@ LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial, std::size_t n_re
       try {
         dp = solve_dense(lhs, rhs);
       } catch (const std::runtime_error&) {
+        singular = true;
         lambda *= opts.lambda_up;
         continue;
       }
+      singular = false;
 
       Vec p_trial = out.params;
       axpy(1.0, dp, p_trial);
@@ -104,20 +117,20 @@ LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial, std::size_t n_re
         out.cost = cost_trial;
         lambda = std::max(lambda * opts.lambda_down, 1e-14);
         accepted = true;
-        if (step < opts.step_tol) {
-          out.converged = true;
-          return out;
-        }
+        if (step < opts.step_tol) return finish(SolveReason::kOk);
       } else {
         lambda *= opts.lambda_up;
       }
     }
     if (!accepted) {
-      out.converged = true;  // stuck in a local basin; report best found
-      return out;
+      // Every damped step was rejected. With a well-posed system that means
+      // a local basin floor: report the best point found as converged. If
+      // the normal equations were singular at every damping level, surface
+      // that instead.
+      return finish(singular ? SolveReason::kSingularJacobian : SolveReason::kOk);
     }
   }
-  return out;
+  return finish(SolveReason::kMaxIterations);
 }
 
 }  // namespace stco::numeric

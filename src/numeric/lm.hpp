@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/status.hpp"
 
 namespace stco::numeric {
 
@@ -24,7 +25,8 @@ struct LmResult {
   Vec params;
   double cost = 0.0;  ///< 0.5 * sum(r^2) at the solution
   std::size_t iterations = 0;
-  bool converged = false;
+  bool converged = false;  ///< shorthand for status.ok()
+  SolveStatus status;      ///< structured termination record
 };
 
 /// Residual function: fills `residuals` (fixed size) from `params`.

@@ -86,6 +86,25 @@ Vec solve_tridiagonal(const Vec& lower, const Vec& diag, const Vec& upper, const
 }
 
 namespace {
+
+/// Sync the structured status with the legacy fields and classify the
+/// terminal state of an iterative Krylov solve.
+void finish_iterative(IterativeResult& res, std::size_t max_iter, bool breakdown) {
+  res.status.iterations = res.iterations;
+  res.status.residual = res.residual;
+  if (res.converged) {
+    res.status.reason = SolveReason::kOk;
+  } else if (!std::isfinite(res.residual)) {
+    res.status.reason = SolveReason::kNanResidual;
+  } else if (breakdown) {
+    res.status.reason = SolveReason::kSingularJacobian;
+  } else if (res.iterations >= max_iter) {
+    res.status.reason = SolveReason::kMaxIterations;
+  } else {
+    res.status.reason = SolveReason::kSingularJacobian;
+  }
+}
+
 Vec jacobi_inverse_diag(const SparseMatrix& a) {
   Vec inv(a.rows(), 1.0);
   for (std::size_t r = 0; r < a.rows(); ++r) {
@@ -105,6 +124,7 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     res.converged = true;
+    finish_iterative(res, max_iter, false);
     return res;
   }
   const Vec minv = jacobi_inverse_diag(a);
@@ -115,10 +135,14 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
   Vec p = z;
   double rz = dot(r, z);
 
+  bool breakdown = false;
   for (std::size_t it = 0; it < max_iter; ++it) {
     const Vec ap = a.apply(p);
     const double pap = dot(p, ap);
-    if (std::fabs(pap) < 1e-300) break;
+    if (std::fabs(pap) < 1e-300) {
+      breakdown = true;
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, res.x);
     axpy(-alpha, ap, r);
@@ -126,14 +150,16 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
     res.residual = norm2(r) / bnorm;
     if (res.residual < tol) {
       res.converged = true;
-      return res;
+      break;
     }
+    if (!std::isfinite(res.residual)) break;
     for (std::size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
+  finish_iterative(res, max_iter, breakdown);
   return res;
 }
 
@@ -146,6 +172,7 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
   const double bnorm = norm2(b);
   if (bnorm == 0.0) {
     res.converged = true;
+    finish_iterative(res, max_iter, false);
     return res;
   }
   const Vec minv = jacobi_inverse_diag(a);
@@ -155,9 +182,13 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
   double rho = 1.0, alpha = 1.0, omega = 1.0;
   Vec v(n, 0.0), p(n, 0.0);
 
-  for (std::size_t it = 0; it < max_iter; ++it) {
+  bool breakdown = false;
+  for (std::size_t it = 0; it < max_iter && !breakdown; ++it) {
     const double rho_new = dot(r0, r);
-    if (std::fabs(rho_new) < 1e-300) break;
+    if (std::fabs(rho_new) < 1e-300) {
+      breakdown = true;
+      break;
+    }
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
@@ -165,7 +196,10 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
     for (std::size_t i = 0; i < n; ++i) phat[i] = minv[i] * p[i];
     v = a.apply(phat);
     const double r0v = dot(r0, v);
-    if (std::fabs(r0v) < 1e-300) break;
+    if (std::fabs(r0v) < 1e-300) {
+      breakdown = true;
+      break;
+    }
     alpha = rho / r0v;
     Vec s = r;
     axpy(-alpha, v, s);
@@ -174,13 +208,16 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
       axpy(alpha, phat, res.x);
       res.residual = norm2(s) / bnorm;
       res.converged = true;
-      return res;
+      break;
     }
     Vec shat(n);
     for (std::size_t i = 0; i < n; ++i) shat[i] = minv[i] * s[i];
     const Vec t = a.apply(shat);
     const double tt = dot(t, t);
-    if (tt < 1e-300) break;
+    if (tt < 1e-300) {
+      breakdown = true;
+      break;
+    }
     omega = dot(t, s) / tt;
     axpy(alpha, phat, res.x);
     axpy(omega, shat, res.x);
@@ -189,10 +226,12 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
     res.residual = norm2(r) / bnorm;
     if (res.residual < tol) {
       res.converged = true;
-      return res;
+      break;
     }
-    if (std::fabs(omega) < 1e-300) break;
+    if (!std::isfinite(res.residual)) break;
+    if (std::fabs(omega) < 1e-300) breakdown = true;
   }
+  finish_iterative(res, max_iter, breakdown);
   return res;
 }
 

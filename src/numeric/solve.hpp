@@ -8,15 +8,18 @@
 
 #include "src/numeric/matrix.hpp"
 #include "src/numeric/sparse.hpp"
+#include "src/numeric/status.hpp"
 
 namespace stco::numeric {
 
-/// Result of an iterative solve.
+/// Result of an iterative solve. `status` is authoritative; `converged` is
+/// kept in sync as a convenience for boolean call sites.
 struct IterativeResult {
   Vec x;
   std::size_t iterations = 0;
   double residual = 0.0;  ///< final ||Ax-b|| / ||b||
   bool converged = false;
+  SolveStatus status;
 };
 
 /// Dense LU factorization with partial pivoting.

@@ -1,0 +1,50 @@
+#include "src/numeric/status.hpp"
+
+#include <sstream>
+
+namespace stco::numeric {
+
+const char* to_string(SolveReason r) {
+  switch (r) {
+    case SolveReason::kOk: return "ok";
+    case SolveReason::kMaxIterations: return "max_iterations";
+    case SolveReason::kSingularJacobian: return "singular_jacobian";
+    case SolveReason::kNanResidual: return "nan_residual";
+    case SolveReason::kBudgetExceeded: return "budget_exceeded";
+  }
+  return "unknown";
+}
+
+std::string SolveStatus::describe() const {
+  std::ostringstream ss;
+  ss << to_string(reason) << " (" << iterations << " it";
+  if (retries > 0) ss << ", " << retries << " retries";
+  if (!ok()) ss << ", res " << residual;
+  ss << ")";
+  return ss.str();
+}
+
+void RobustnessStats::merge(const RobustnessStats& o) {
+  attempts += o.attempts;
+  direct_success += o.direct_success;
+  gmin_retries += o.gmin_retries;
+  source_retries += o.source_retries;
+  continuation_retries += o.continuation_retries;
+  damping_retries += o.damping_retries;
+  recovered += o.recovered;
+  failures += o.failures;
+  budget_exhausted += o.budget_exhausted;
+  fallbacks += o.fallbacks;
+}
+
+std::string RobustnessStats::summary() const {
+  std::ostringstream ss;
+  ss << attempts << " attempts, " << direct_success << " direct, " << recovered
+     << " recovered (gmin " << gmin_retries << ", source " << source_retries
+     << ", continuation " << continuation_retries << ", damping " << damping_retries
+     << "), " << failures << " failures, " << budget_exhausted << " budget-limited, "
+     << fallbacks << " fallbacks";
+  return ss.str();
+}
+
+}  // namespace stco::numeric

@@ -44,12 +44,19 @@ System make_system(const Netlist& nl) {
   return s;
 }
 
+/// Per-attempt solver knobs the recovery ladder varies between attempts.
+struct NewtonKnobs {
+  double gmin = 1e-12;        ///< node-to-ground floor conductance [S]
+  double update_limit = 1.0;  ///< per-iteration voltage update cap [V]
+  double source_scale = 1.0;  ///< independent-source homotopy factor [0, 1]
+};
+
 /// One Newton solve of the (possibly companion-augmented) nonlinear system.
 /// `use_caps` enables capacitor companion stamps with time step `dt`.
-/// `x` carries the initial guess in/out; returns convergence.
-bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
-                  double dt, bool trapezoidal, const EngineOptions& opts,
-                  std::size_t* iterations_out) {
+/// `x` carries the initial guess in/out.
+numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
+                                 bool use_caps, double dt, bool trapezoidal,
+                                 const EngineOptions& opts, const NewtonKnobs& knobs) {
   const Netlist& nl = *sys.nl;
   const std::size_t dim = sys.dim;
 
@@ -57,12 +64,15 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
     return n == kGround ? 0.0 : xx[sys.row_of_node(n)];
   };
 
-  double limit = opts.max_update;
+  numeric::SolveStatus st;
+  st.reason = numeric::SolveReason::kMaxIterations;
+
+  double limit = knobs.update_limit;
   double prev_max_dv = 1e300;
   int stall_count = 0;
 
   for (std::size_t it = 0; it < opts.max_newton; ++it) {
-    if (iterations_out) *iterations_out = it + 1;
+    st.iterations = it + 1;
     numeric::Matrix a(dim, dim);
     numeric::Vec rhs(dim, 0.0);
 
@@ -80,14 +90,15 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
       if (n2 != kGround) rhs[sys.row_of_node(n2)] += amps;
     };
 
-    // gmin to ground on every non-ground node.
+    // gmin to ground on every non-ground node (ladder may elevate it).
     for (NodeId n = 1; n < sys.nn; ++n)
-      a(sys.row_of_node(n), sys.row_of_node(n)) += opts.gmin;
+      a(sys.row_of_node(n), sys.row_of_node(n)) += knobs.gmin;
 
     for (const auto& r : nl.resistors()) stamp_g(r.n1, r.n2, 1.0 / r.r);
 
     // Independent current sources: i(t) flows from -> to (injects at `to`).
-    for (const auto& is : nl.isources()) stamp_i(is.from, is.to, is.wave.at(t));
+    for (const auto& is : nl.isources())
+      stamp_i(is.from, is.to, knobs.source_scale * is.wave.at(t));
 
     if (use_caps) {
       for (const auto& c : sys.caps) {
@@ -112,7 +123,7 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
         a(sys.row_of_node(src.neg), rs) -= 1.0;
         a(rs, sys.row_of_node(src.neg)) -= 1.0;
       }
-      rhs[rs] = src.wave.at(t);
+      rhs[rs] = knobs.source_scale * src.wave.at(t);
     }
 
     // TFTs: Newton linearization around the present x.
@@ -144,7 +155,8 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
     try {
       x_new = numeric::solve_dense(a, rhs);
     } catch (const std::runtime_error&) {
-      return false;
+      st.reason = numeric::SolveReason::kSingularJacobian;
+      return st;
     }
 
     // Per-node voltage limiting (SPICE-style): each node moves at most
@@ -158,8 +170,16 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
       max_dv = std::max(max_dv, std::fabs(dv));
     }
     for (std::size_t k = sys.nn - 1; k < dim; ++k) x[k] = x_new[k];
+    st.residual = max_dv;
 
-    if (max_dv < opts.abstol_v) return true;
+    if (!std::isfinite(max_dv)) {
+      st.reason = numeric::SolveReason::kNanResidual;
+      return st;
+    }
+    if (max_dv < opts.abstol_v) {
+      st.reason = numeric::SolveReason::kOk;
+      return st;
+    }
     // Limit-cycle backoff: if the update norm stops shrinking *and* the
     // steps are not simply clamp-limited steady progress, tighten the
     // per-node limit to break the oscillation.
@@ -174,7 +194,111 @@ bool newton_solve(const System& sys, double t, numeric::Vec& x, bool use_caps,
     }
     prev_max_dv = max_dv;
   }
-  return false;
+  return st;
+}
+
+/// The recovery ladder: direct attempt, then gmin stepping (ramp an
+/// elevated gmin back down to the configured floor, warm-starting each
+/// stage from the previous one), then source stepping (ramp the independent
+/// sources from 0 with the solution carried forward). Each failed stage is
+/// re-attempted with a tightened update limit before the ladder advances.
+/// All work is charged against `budget`.
+numeric::SolveStatus newton_robust(const System& sys, double t, numeric::Vec& x,
+                                   bool use_caps, double dt, bool trapezoidal,
+                                   const EngineOptions& opts,
+                                   numeric::SolveBudget& budget,
+                                   numeric::RobustnessStats& stats) {
+  ++stats.attempts;
+  const RetryPolicy& rp = opts.retry;
+
+  numeric::SolveStatus total;
+  numeric::SolveStatus last;
+  auto run = [&](const NewtonKnobs& knobs) {
+    last = newton_once(sys, t, x, use_caps, dt, trapezoidal, opts, knobs);
+    budget.charge(last.iterations);
+    total.iterations += last.iterations;
+    total.residual = last.residual;
+    return last.ok();
+  };
+  auto fail = [&](numeric::SolveReason reason) {
+    ++stats.failures;
+    total.reason = reason;
+    return total;
+  };
+  auto out_of_budget = [&] {
+    if (!budget.exhausted()) return false;
+    ++stats.budget_exhausted;
+    return true;
+  };
+
+  if (out_of_budget()) return fail(numeric::SolveReason::kBudgetExceeded);
+
+  // Direct attempt with the configured knobs.
+  const numeric::Vec x0 = x;
+  if (run({opts.gmin, opts.max_update, 1.0})) {
+    ++stats.direct_success;
+    total.reason = numeric::SolveReason::kOk;
+    return total;
+  }
+  if (!rp.enabled) return fail(last.reason);
+
+  // One stage of either ramp: solve at the given knobs, re-attempting with
+  // escalating damping while the budget allows.
+  auto stage = [&](NewtonKnobs knobs, std::size_t& retry_counter) {
+    for (std::size_t attempt = 0; attempt <= rp.damping_attempts; ++attempt) {
+      if (out_of_budget()) return false;
+      ++(attempt == 0 ? retry_counter : stats.damping_retries);
+      ++total.retries;
+      if (run(knobs)) return true;
+      knobs.update_limit =
+          std::max(knobs.update_limit * rp.damping_shrink, rp.min_update_limit);
+    }
+    return false;
+  };
+
+  // gmin stepping: log-ramp from gmin_start down to the floor. The final
+  // stage runs at the floor, so a success leaves no artificial conductance
+  // beyond it.
+  const double gmin_floor = std::max(opts.gmin, 1e-12);
+  if (rp.gmin_stages > 0 && rp.gmin_start > gmin_floor) {
+    x = x0;
+    bool ok = true;
+    for (std::size_t s = 0; s <= rp.gmin_stages && ok; ++s) {
+      const double f =
+          static_cast<double>(s) / static_cast<double>(rp.gmin_stages);
+      const double g = rp.gmin_start * std::pow(gmin_floor / rp.gmin_start, f);
+      ok = stage({g, opts.max_update, 1.0}, stats.gmin_retries);
+    }
+    if (ok) {
+      ++stats.recovered;
+      total.reason = numeric::SolveReason::kOk;
+      return total;
+    }
+    if (budget.exhausted()) return fail(numeric::SolveReason::kBudgetExceeded);
+  }
+
+  // Source stepping: homotopy from the trivial all-off circuit.
+  if (rp.source_steps > 0) {
+    x.assign(x.size(), 0.0);
+    bool ok = true;
+    for (std::size_t s = 1; s <= rp.source_steps && ok; ++s) {
+      const double scale =
+          static_cast<double>(s) / static_cast<double>(rp.source_steps);
+      ok = stage({gmin_floor, opts.max_update, scale}, stats.source_retries);
+    }
+    if (ok) {
+      ++stats.recovered;
+      total.reason = numeric::SolveReason::kOk;
+      return total;
+    }
+    if (budget.exhausted()) return fail(numeric::SolveReason::kBudgetExceeded);
+  }
+
+  return fail(last.reason);
+}
+
+numeric::SolveBudget budget_of(const RetryPolicy& rp) {
+  return numeric::SolveBudget(rp.iteration_budget, rp.wall_clock_budget);
 }
 
 void unpack(const System& sys, const numeric::Vec& x, numeric::Vec& node_v,
@@ -224,8 +348,11 @@ DcResult dc_operating_point(const Netlist& nl, double t, const EngineOptions& op
   const System sys = make_system(nl);
   numeric::Vec x(sys.dim, 0.0);
   DcResult res;
-  res.converged = newton_solve(sys, t, x, /*use_caps=*/false, 0.0, false, opts,
-                               &res.newton_iterations);
+  numeric::SolveBudget budget = budget_of(opts.retry);
+  res.status = newton_robust(sys, t, x, /*use_caps=*/false, 0.0, false, opts,
+                             budget, res.stats);
+  res.newton_iterations = res.status.iterations;
+  res.converged = res.status.ok();
   unpack(sys, x, res.node_voltage, res.source_current);
   return res;
 }
@@ -267,11 +394,26 @@ TranResult transient(const Netlist& nl, double t_stop, double dt,
 
   TranResult out;
   out.converged = true;
+  numeric::SolveBudget budget = budget_of(opts.retry);
 
   // DC at t = 0 (or all-zero initial conditions when opts.uic).
   numeric::Vec x(sys.dim, 0.0);
-  if (!opts.uic && !newton_solve(sys, 0.0, x, false, 0.0, false, opts, nullptr))
-    out.converged = false;
+  if (!opts.uic) {
+    out.status = newton_robust(sys, 0.0, x, false, 0.0, false, opts, budget,
+                               out.stats);
+    if (!out.status.ok()) {
+      // No valid starting state: record the single (zero-initialized) t = 0
+      // sample and abort before integrating anything.
+      out.converged = false;
+      out.failure_time = 0.0;
+      numeric::Vec nv, si;
+      unpack(sys, x, nv, si);
+      out.time.push_back(0.0);
+      out.v.push_back(nv);
+      out.i_src.push_back(si);
+      return out;
+    }
+  }
 
   auto v_across = [&](const numeric::Vec& xx, NodeId n1, NodeId n2) {
     const double v1 = n1 == kGround ? 0.0 : xx[n1 - 1];
@@ -297,7 +439,17 @@ TranResult transient(const Netlist& nl, double t_stop, double dt,
     // Backward Euler on the first step (no valid i_prev yet) and on the
     // step leaving any source breakpoint; trapezoidal elsewhere.
     const bool trap = opts.trapezoidal && !first_step && !at_breakpoint(grid[k - 1]);
-    if (!newton_solve(sys, t, x, true, h, trap, opts, nullptr)) out.converged = false;
+    const numeric::SolveStatus st =
+        newton_robust(sys, t, x, true, h, trap, opts, budget, out.stats);
+    if (!st.ok()) {
+      // Unrecoverable failure: abort the run instead of committing garbage
+      // companion-model state and integrating the rest of the grid from it.
+      // Samples up to the previous accepted step remain valid.
+      out.converged = false;
+      out.status = st;
+      out.failure_time = t;
+      return out;
+    }
     first_step = false;
 
     // Commit companion history (with ringing suppression; see update_caps).
@@ -340,10 +492,23 @@ TranResult transient_adaptive(const Netlist& nl, double t_stop,
 
   TranResult out;
   out.converged = true;
+  numeric::SolveBudget budget = budget_of(opts.retry);
 
   numeric::Vec x(sys.dim, 0.0);
-  if (!opts.uic && !newton_solve(sys, 0.0, x, false, 0.0, false, opts, nullptr))
-    out.converged = false;
+  if (!opts.uic) {
+    out.status = newton_robust(sys, 0.0, x, false, 0.0, false, opts, budget,
+                               out.stats);
+    if (!out.status.ok()) {
+      out.converged = false;
+      out.failure_time = 0.0;
+      numeric::Vec nv, si;
+      unpack(sys, x, nv, si);
+      out.time.push_back(0.0);
+      out.v.push_back(nv);
+      out.i_src.push_back(si);
+      return out;
+    }
+  }
   {
     auto v_across = [&](NodeId n1, NodeId n2) {
       const double v1 = n1 == kGround ? 0.0 : x[n1 - 1];
@@ -378,20 +543,42 @@ TranResult transient_adaptive(const Netlist& nl, double t_stop,
 
     const bool trap = opts.trapezoidal && !after_discontinuity;
     numeric::Vec x_main = x;
-    if (!newton_solve(sys, t_next, x_main, true, h, trap, opts, nullptr))
+    const numeric::SolveStatus st =
+        newton_robust(sys, t_next, x_main, true, h, trap, opts, budget,
+                      out.stats);
+    if (!st.ok()) {
+      // Try shrinking the step before declaring the run dead: a shorter
+      // step tightens the companion conductances and often restores
+      // convergence where the whole recovery ladder could not.
+      if (h > aopts.dt_min * 1.01 &&
+          st.reason != numeric::SolveReason::kBudgetExceeded) {
+        dt = std::max(h * aopts.shrink_on_reject, aopts.dt_min);
+        continue;
+      }
       out.converged = false;
+      out.status = st;
+      out.failure_time = t_next;
+      return out;
+    }
 
     double lte = 0.0;
     if (trap) {
-      // BE predictor as the error reference.
+      // BE predictor as the error reference. A predictor failure is not
+      // fatal — it only serves the LTE estimate — so fall back to
+      // accepting the trapezoidal solution without step control.
       numeric::Vec x_be = x;
-      if (!newton_solve(sys, t_next, x_be, true, h, false, opts, nullptr))
-        out.converged = false;
-      for (std::size_t k = 0; k < sys.nn - 1; ++k)
-        lte = std::max(lte, std::fabs(x_main[k] - x_be[k]));
-      if (lte > 4.0 * aopts.lte_target && h > aopts.dt_min * 1.01) {
-        dt = std::max(h * aopts.shrink_on_reject, aopts.dt_min);
-        continue;  // reject the step
+      const numeric::SolveStatus st_be =
+          newton_robust(sys, t_next, x_be, true, h, false, opts, budget,
+                        out.stats);
+      if (st_be.ok()) {
+        for (std::size_t k = 0; k < sys.nn - 1; ++k)
+          lte = std::max(lte, std::fabs(x_main[k] - x_be[k]));
+        if (lte > 4.0 * aopts.lte_target && h > aopts.dt_min * 1.01) {
+          dt = std::max(h * aopts.shrink_on_reject, aopts.dt_min);
+          continue;  // reject the step
+        }
+      } else {
+        ++out.stats.fallbacks;
       }
     }
 

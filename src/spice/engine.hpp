@@ -13,9 +13,30 @@
 #include <vector>
 
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/status.hpp"
 #include "src/spice/netlist.hpp"
 
 namespace stco::spice {
+
+/// Convergence-recovery ladder configuration. When the plain damped Newton
+/// fails, the engine first ramps an elevated gmin (gmin_start) back down to
+/// the configured floor in `gmin_stages` log steps, then — for stubborn
+/// systems — ramps the independent sources from 0 to full value in
+/// `source_steps` homotopy stages. Each failed stage is re-attempted with a
+/// tightened per-iteration update limit before the ladder moves on. An
+/// overall iteration / wall-clock budget bounds the whole ladder (and, for
+/// transients, the whole run).
+struct RetryPolicy {
+  bool enabled = true;
+  double gmin_start = 1e-3;        ///< initial elevated gmin [S]
+  std::size_t gmin_stages = 4;     ///< log-ramp stages down to the gmin floor
+  std::size_t source_steps = 4;    ///< source homotopy stages (0 -> 1)
+  double damping_shrink = 0.5;     ///< update-limit multiplier per re-attempt
+  std::size_t damping_attempts = 2;///< tightened re-attempts per stage
+  double min_update_limit = 0.02;  ///< update-limit floor [V]
+  std::size_t iteration_budget = 200000;  ///< total Newton iterations; 0 = unlimited
+  double wall_clock_budget = 0.0;         ///< seconds; 0 = unlimited
+};
 
 struct EngineOptions {
   std::size_t max_newton = 120;
@@ -27,15 +48,19 @@ struct EngineOptions {
   /// node voltages instead of the DC operating point. Needed when the DC
   /// point is ill-defined (e.g. a current source into a capacitor).
   bool uic = false;
+  RetryPolicy retry{};
 };
 
-/// DC operating point.
+/// DC operating point. `status` is the structured outcome of the (possibly
+/// retried) Newton solve; `converged` mirrors `status.ok()`.
 struct DcResult {
   numeric::Vec node_voltage;   ///< indexed by NodeId (entry 0 is ground = 0)
   numeric::Vec source_current; ///< branch current per vsource, + flowing
                                ///< from the + terminal through the source
   std::size_t newton_iterations = 0;
   bool converged = false;
+  numeric::SolveStatus status;
+  numeric::RobustnessStats stats;  ///< recovery-ladder counters for this solve
 };
 
 /// Transient waveform record.
@@ -46,6 +71,12 @@ struct TranResult {
   /// i[k][j] is vsource j's branch current at time[k].
   std::vector<numeric::Vec> i_src;
   bool converged = false;
+  numeric::SolveStatus status;     ///< first unrecoverable failure, or ok
+  numeric::RobustnessStats stats;  ///< recovery counters over the whole run
+  /// Time of the unrecoverable Newton failure that aborted the run
+  /// (negative when the run completed). Samples at and before this time are
+  /// valid; the grid beyond it was never integrated.
+  double failure_time = -1.0;
 
   std::size_t samples() const { return time.size(); }
   /// Voltage waveform of one node.

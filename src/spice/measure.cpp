@@ -7,6 +7,7 @@ namespace stco::spice {
 
 std::optional<double> cross_time(const TranResult& tr, NodeId node, double level,
                                  EdgeDir dir, double t_after) {
+  if (!tr.converged) return std::nullopt;
   for (std::size_t k = 1; k < tr.samples(); ++k) {
     if (tr.time[k] < t_after) continue;
     const double v0 = tr.v[k - 1][node], v1 = tr.v[k][node];
@@ -80,13 +81,14 @@ double integrate_source_charge_smoothed(const TranResult& tr, std::size_t src,
   return integrate_source_charge(sm, 0, t0, t1);
 }
 
-double supply_energy(const TranResult& tr, std::size_t src, double vdd, double t0,
-                     double t1) {
+std::optional<double> supply_energy(const TranResult& tr, std::size_t src,
+                                    double vdd, double t0, double t1) {
+  if (!tr.converged) return std::nullopt;
   return -vdd * integrate_source_charge_smoothed(tr, src, t0, t1);
 }
 
-double final_voltage(const TranResult& tr, NodeId node) {
-  if (tr.samples() == 0) throw std::invalid_argument("final_voltage: empty result");
+std::optional<double> final_voltage(const TranResult& tr, NodeId node) {
+  if (!tr.converged || tr.samples() == 0) return std::nullopt;
   return tr.v.back()[node];
 }
 

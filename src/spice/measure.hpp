@@ -11,7 +11,9 @@ namespace stco::spice {
 enum class EdgeDir { kRising, kFalling };
 
 /// First time after `t_after` where the node waveform crosses `level` in
-/// the given direction (linear interpolation between samples).
+/// the given direction (linear interpolation between samples). Returns
+/// nullopt for a non-converged (aborted) transient — its tail samples do
+/// not exist and any crossing found in the truncated record is suspect.
 std::optional<double> cross_time(const TranResult& tr, NodeId node, double level,
                                  EdgeDir dir, double t_after = 0.0);
 
@@ -38,12 +40,14 @@ double integrate_source_charge_smoothed(const TranResult& tr, std::size_t src,
 /// Energy delivered by a DC supply at voltage `vdd` over [t0, t1].
 /// MNA convention: the stored branch current flows from + through the
 /// source, so a delivering supply has negative current; this returns the
-/// positive delivered energy.
-double supply_energy(const TranResult& tr, std::size_t src, double vdd, double t0,
-                     double t1);
+/// positive delivered energy, or nullopt when the transient did not
+/// converge (a truncated record under-integrates silently otherwise).
+std::optional<double> supply_energy(const TranResult& tr, std::size_t src,
+                                    double vdd, double t0, double t1);
 
-/// Last-sample voltage of a node.
-double final_voltage(const TranResult& tr, NodeId node);
+/// Last-sample voltage of a node, or nullopt when the transient did not
+/// converge (the "final" sample would be wherever the run aborted).
+std::optional<double> final_voltage(const TranResult& tr, NodeId node);
 
 /// True if the node stays within `tol` of `level` over [t0, t1].
 bool stays_near(const TranResult& tr, NodeId node, double level, double tol, double t0,

@@ -1,5 +1,7 @@
 #include "src/stco/loop.hpp"
 
+#include <cmath>
+
 namespace stco {
 
 namespace {
@@ -13,15 +15,25 @@ StcoEngine::StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* mode
 
 flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
   const auto t0 = std::chrono::steady_clock::now();
-  const flow::TimingLibrary lib =
+  flow::TimingLibrary lib =
       model_ ? flow::build_library_gnn(*model_, tech, cfg_.lib_opts)
              : flow::build_library_spice(tech, cfg_.lib_opts);
+  if (cfg_.library_hook) cfg_.library_hook(lib);
   timing_.library_seconds += seconds_since(t0);
+  stats_.merge(lib.robustness);
 
   const auto t1 = std::chrono::steady_clock::now();
-  const auto rep = flow::analyze(netlist_, lib, cfg_.sta_opts);
+  auto rep = flow::analyze(netlist_, lib, cfg_.sta_opts);
   timing_.sta_seconds += seconds_since(t1);
   ++timing_.evaluations;
+  // Degradation gate: an incomplete library or non-finite PPA marks the
+  // point infeasible so cost() can substitute a finite penalty instead of
+  // letting NaN leak into the RL reward.
+  if (!lib.complete || !std::isfinite(rep.min_period) ||
+      !std::isfinite(rep.total_power) || !std::isfinite(rep.area)) {
+    rep.infeasible = true;
+    ++infeasible_evaluations_;
+  }
   return rep;
 }
 
@@ -37,7 +49,10 @@ const PpaWeights& StcoEngine::weights() {
 
 double StcoEngine::cost(const compact::TechnologyPoint& tech) {
   const auto& w = weights();
-  return w.cost(evaluate(tech));
+  const auto rep = evaluate(tech);
+  if (rep.infeasible) return cfg_.infeasible_penalty;
+  const double c = w.cost(rep);
+  return std::isfinite(c) ? c : cfg_.infeasible_penalty;
 }
 
 SearchResult StcoEngine::optimize() {

@@ -4,6 +4,7 @@
 // evaluation (STA + power + area) -> PPA cost -> RL exploration.
 
 #include <chrono>
+#include <functional>
 
 #include "src/flow/benchmarks.hpp"
 #include "src/flow/sta.hpp"
@@ -20,6 +21,14 @@ struct StcoConfig {
   flow::LibraryBuildOptions lib_opts{};
   flow::StaOptions sta_opts{};
   double w_delay = 1.0, w_power = 1.0, w_area = 0.5;
+  /// Finite cost charged for technology points whose library build failed
+  /// (incomplete cells, non-finite PPA). Chosen well above any real cost so
+  /// the optimizer steers away, but never NaN/Inf — RL rewards stay finite.
+  double infeasible_penalty = 100.0;
+  /// Test seam: invoked on each freshly built library before analysis, so
+  /// fault-injection tests can corrupt specific technology points and check
+  /// the degradation path without touching the real builders.
+  std::function<void(flow::TimingLibrary&)> library_hook;
   StcoConfig() {
     // Small NLDM axes keep per-iteration library builds cheap.
     lib_opts.slew_axis = {10e-9, 40e-9};
@@ -57,6 +66,12 @@ class StcoEngine {
   const PpaWeights& weights();
   bool fast_path() const { return model_ != nullptr; }
 
+  /// Solver robustness counters aggregated over every library built by this
+  /// engine (empty on the GNN path, which runs no solver).
+  const numeric::RobustnessStats& robustness() const { return stats_; }
+  /// Technology points that degraded to the infeasible penalty.
+  std::size_t infeasible_evaluations() const { return infeasible_evaluations_; }
+
  private:
   StcoConfig cfg_;
   const charlib::CellCharModel* model_;
@@ -64,6 +79,8 @@ class StcoEngine {
   StcoTiming timing_;
   PpaWeights weights_{};
   bool weights_ready_ = false;
+  numeric::RobustnessStats stats_;
+  std::size_t infeasible_evaluations_ = 0;
 };
 
 }  // namespace stco

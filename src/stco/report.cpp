@@ -42,6 +42,18 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
   }
   os << "\n";
 
+  // Always emitted: an all-zero block is itself evidence the run was clean.
+  os << "## Solver robustness\n\n";
+  os << "- " << in.robustness.summary() << "\n";
+  os << "- retries: gmin " << in.robustness.gmin_retries << ", source "
+     << in.robustness.source_retries << ", continuation "
+     << in.robustness.continuation_retries << ", damping "
+     << in.robustness.damping_retries << "\n";
+  os << "- budget exhaustions: " << in.robustness.budget_exhausted
+     << ", degraded fallbacks: " << in.robustness.fallbacks << "\n";
+  os << "- infeasible technology evaluations: " << in.infeasible_evaluations
+     << "\n\n";
+
   if (!in.pareto.front.empty()) {
     os << "## Pareto front (delay / power / area)\n\n";
     os << "| VDD [V] | Vth [V] | Cox [nF/cm^2] | period [us] | power [uW] | area "

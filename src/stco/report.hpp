@@ -20,6 +20,10 @@ struct RunReportInputs {
   bool fast_path = false;
   /// Optional Pareto sweep (empty front = omitted from the report).
   ParetoSweep pareto{};
+  /// Solver robustness counters aggregated over the run (engine.robustness()).
+  numeric::RobustnessStats robustness{};
+  /// Technology points that degraded to the infeasible penalty.
+  std::size_t infeasible_evaluations = 0;
 };
 
 /// Render the report as Markdown.

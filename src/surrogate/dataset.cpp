@@ -14,7 +14,10 @@ std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& r
                                               const PopulationOptions& opts) {
   std::vector<DeviceSample> out;
   out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  const std::size_t max_attempts = count * 4;
+  for (std::size_t attempt = 0; out.size() < count && attempt < max_attempts;
+       ++attempt) {
+    if (opts.stats) ++opts.stats->attempts;
     DeviceSample s;
     auto& dev = s.device;
     const auto kind = opts.kinds[rng.uniform_index(opts.kinds.size())];
@@ -41,7 +44,18 @@ std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& r
     const auto mesh = tcad::build_mesh(dev, s.bias, opts.mesh_nx, opts.mesh_nch,
                                        opts.mesh_nox);
     const auto sol = tcad::solve_poisson(dev, s.bias, mesh);
-    s.drain_current = tcad::drain_current(dev, s.bias);
+    const auto iv = tcad::drain_current_ex(dev, s.bias);
+    s.drain_current = iv.id;
+    if (opts.stats) {
+      opts.stats->solver.merge(sol.stats);
+      opts.stats->solver.merge(iv.stats);
+    }
+    // Drop (and re-draw) devices whose solves failed after the recovery
+    // ladders: unconverged fields / currents must not become ground truth.
+    if (!sol.converged || !iv.valid || !std::isfinite(iv.id)) {
+      if (opts.stats) ++opts.stats->dropped;
+      continue;
+    }
 
     s.poisson_graph = encode_device(dev, s.bias, mesh, sol,
                                     EncodingTask::kPoissonEmulator, opts.scales);

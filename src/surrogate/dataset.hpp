@@ -23,6 +23,15 @@ struct DeviceSample {
   gnn::Graph iv_graph;          ///< graph-regression sample (target set later)
 };
 
+/// Robustness accounting for one population build: devices whose TCAD
+/// solves fail even after the recovery ladders are dropped and re-drawn,
+/// so the dataset never carries unconverged ground truth.
+struct PopulationStats {
+  std::size_t attempts = 0;  ///< devices drawn (successes + drops)
+  std::size_t dropped = 0;   ///< devices discarded after solver failure
+  numeric::RobustnessStats solver;  ///< aggregated solver counters
+};
+
 struct PopulationOptions {
   std::size_t mesh_nx = 14;
   std::size_t mesh_nch = 4;
@@ -38,11 +47,16 @@ struct PopulationOptions {
   double vd_mag_min = 0.1, vd_mag_max = 5.0;
   double doping_mag_max = 3e22;  ///< |N_D - N_A| upper bound [1/m^3]
   EncodingScales scales;
+  /// When non-null, filled with drop counts and solver counters.
+  PopulationStats* stats = nullptr;
 };
 
 /// Generate `count` independent random devices, solve each with the TCAD
 /// substrate, and attach both graph encodings (including the normalized
-/// log-current target on iv_graph).
+/// log-current target on iv_graph). Devices whose solves fail after the
+/// recovery ladders are dropped and replaced by fresh draws (bounded at 4x
+/// `count` attempts), so the returned set can fall short of `count` only
+/// for a pathologically infeasible option set.
 std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
                                               const PopulationOptions& opts = {});
 

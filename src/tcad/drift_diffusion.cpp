@@ -49,11 +49,41 @@ void contact_densities(double ni, double doping, double& n_eq, double& p_eq) {
   p_eq = ni * ni / n_eq;
 }
 
-}  // namespace
+/// Copy of `m` with the contact Dirichlet potentials re-pinned for bias
+/// `b` (geometry is bias-independent; see build_mesh).
+mesh::DeviceMesh rebias_mesh(const mesh::DeviceMesh& m, const TftDevice& dev,
+                             const Bias& b) {
+  mesh::DeviceMesh out = m;
+  for (std::size_t i = 0; i < out.num_nodes(); ++i) {
+    auto& nd = out.node(i);
+    if (!nd.dirichlet) continue;
+    switch (nd.region) {
+      case mesh::Region::kGate: nd.dirichlet_value = b.vg - dev.semi.flatband; break;
+      case mesh::Region::kSource: nd.dirichlet_value = b.vs + dev.contact_phi; break;
+      case mesh::Region::kDrain: nd.dirichlet_value = b.vd + dev.contact_phi; break;
+      default: break;
+    }
+  }
+  return out;
+}
 
-DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
-                                             const mesh::DeviceMesh& m,
-                                             const DriftDiffusionOptions& opts) {
+/// Bias scaled a fraction `f` of the way from the all-at-vs point to `b`.
+Bias bias_fraction(const Bias& b, double f) {
+  Bias out;
+  out.vg = b.vs + f * (b.vg - b.vs);
+  out.vd = b.vs + f * (b.vd - b.vs);
+  out.vs = b.vs;
+  return out;
+}
+
+/// One Gummel solve at a fixed bias. `warm` (when non-null) seeds the
+/// potential and carrier densities — a continuation stage hands the
+/// previous converged state forward. Gummel cycles are charged to `budget`.
+DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
+                                     const mesh::DeviceMesh& m,
+                                     const DriftDiffusionOptions& opts,
+                                     const DriftDiffusionSolution* warm,
+                                     numeric::SolveBudget& budget) {
   const std::size_t n_nodes = m.num_nodes();
   const std::size_t nx = m.nx(), ny = m.ny();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -69,15 +99,25 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
     }
   const std::size_t ns = semi_nodes.size();
 
-  // Initial state from the decoupled Poisson solve.
-  PoissonOptions popts;
-  popts.temperature_k = opts.temperature_k;
-  const auto init = solve_poisson(dev, bias, m, popts);
-
   DriftDiffusionSolution sol;
-  sol.potential = init.potential;
-  sol.electron_density = init.electron_density;
-  sol.hole_density = init.hole_density;
+  sol.status.reason = numeric::SolveReason::kMaxIterations;
+  if (warm && warm->potential.size() == n_nodes) {
+    sol.potential = warm->potential;
+    sol.electron_density = warm->electron_density;
+    sol.hole_density = warm->hole_density;
+  } else {
+    // Initial state from the decoupled Poisson solve.
+    PoissonOptions popts;
+    popts.temperature_k = opts.temperature_k;
+    // The Gummel loop has its own continuation ladder above this function;
+    // give the initializer a direct shot only so failures surface here.
+    popts.continuation.enabled = false;
+    const auto init = solve_poisson(dev, bias, m, popts);
+    sol.stats.merge(init.stats);
+    sol.potential = init.potential;
+    sol.electron_density = init.electron_density;
+    sol.hole_density = init.hole_density;
+  }
 
   // Contact carrier boundary conditions: heavily doped ohmic reservoirs
   // with the film's majority carrier.
@@ -132,8 +172,15 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
 
   // --- Gummel outer loop ----------------------------------------------------
   double id_prev = 0.0;
-  for (std::size_t outer = 0; outer < opts.max_gummel; ++outer) {
+  bool dead = false;
+  for (std::size_t outer = 0; outer < opts.max_gummel && !dead; ++outer) {
+    if (budget.exhausted()) {
+      sol.status.reason = numeric::SolveReason::kBudgetExceeded;
+      break;
+    }
+    budget.charge(1);
     sol.gummel_iterations = outer + 1;
+    sol.status.iterations = outer + 1;
     const numeric::Vec phi_outer = phi;
 
     // (1) Poisson with carriers exponentially tied to phi around the
@@ -148,8 +195,10 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
             const std::size_t i = m.index(ix, iy);
             const auto& nd = m.node(i);
             if (nd.dirichlet) {
+              // Residual F_i = phi_i - bc so that rhs = -F yields
+              // dphi_i = bc - phi_i (moves toward the contact value).
               jac.add(i, i, 1.0);
-              f[i] = nd.dirichlet_value - phi[i];
+              f[i] = phi[i] - nd.dirichlet_value;
               continue;
             }
             auto stamp = [&](std::size_t jx, std::size_t jy) {
@@ -189,12 +238,26 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
         numeric::Vec rhs(n_nodes);
         for (std::size_t i = 0; i < n_nodes; ++i) rhs[i] = -f[i];
         auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
-        if (!res.converged) res.x = numeric::solve_dense(a.to_dense(), rhs);
+        if (!res.converged) {
+          try {
+            res.x = numeric::solve_dense(a.to_dense(), rhs);
+          } catch (const std::runtime_error&) {
+            sol.status.reason = numeric::SolveReason::kSingularJacobian;
+            dead = true;
+            break;
+          }
+        }
         const double step = numeric::norm_inf(res.x);
+        if (!std::isfinite(step)) {
+          sol.status.reason = numeric::SolveReason::kNanResidual;
+          dead = true;
+          break;
+        }
         const double damp = std::min(1.0, opts.max_step / std::max(step, 1e-300));
         for (std::size_t i = 0; i < n_nodes; ++i) phi[i] += damp * res.x[i];
         if (step * damp < 1e-9) break;
       }
+      if (dead) break;
       // Consistent carrier update for the exponential tie.
       for (std::size_t i : semi_nodes) {
         sol.electron_density[i] *=
@@ -212,7 +275,7 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
     // (2)/(3) Carrier continuity with Scharfetter-Gummel fluxes. Electrons
     // first, then holes, each linear given phi and the lagged SRH
     // denominator.
-    for (int carrier = 0; carrier < 2; ++carrier) {
+    for (int carrier = 0; carrier < 2 && !dead; ++carrier) {
       const bool electrons = carrier == 0;
       const double mu = electrons ? dev.semi.mu0 : dev.semi.mu0 * 0.5;
       numeric::TripletBuilder a(ns, ns);
@@ -256,17 +319,31 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
       }
       const auto mat = numeric::SparseMatrix::from_triplets(a);
       auto res = numeric::solve_bicgstab(mat, rhs, 1e-12);
-      if (!res.converged) res.x = numeric::solve_dense(mat.to_dense(), rhs);
+      if (!res.converged) {
+        try {
+          res.x = numeric::solve_dense(mat.to_dense(), rhs);
+        } catch (const std::runtime_error&) {
+          sol.status.reason = numeric::SolveReason::kSingularJacobian;
+          dead = true;
+          break;
+        }
+      }
       for (std::size_t k = 0; k < ns; ++k) {
         const double v = std::max(res.x[k], 1e-10 * dev.semi.ni);
         (electrons ? sol.electron_density : sol.hole_density)[semi_nodes[k]] = v;
       }
     }
+    if (dead) break;
 
     double dphi = 0.0;
     for (std::size_t i = 0; i < n_nodes; ++i)
       dphi = std::max(dphi, std::fabs(phi[i] - phi_outer[i]));
     const double id_now = contact_current(mesh::Region::kDrain);
+    if (!std::isfinite(dphi) || !std::isfinite(id_now)) {
+      sol.status.reason = numeric::SolveReason::kNanResidual;
+      break;
+    }
+    sol.status.residual = dphi;
     const bool phi_ok = dphi < opts.tol_phi;
     const bool current_ok =
         outer > 2 && dphi < std::sqrt(opts.tol_phi) &&
@@ -275,6 +352,7 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
     id_prev = id_now;
     if ((phi_ok || current_ok) && outer > 0) {
       sol.converged = true;
+      sol.status.reason = numeric::SolveReason::kOk;
       break;
     }
   }
@@ -283,6 +361,81 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
   sol.source_current = contact_current(mesh::Region::kSource);
   sol.drain_current = contact_current(mesh::Region::kDrain);
   return sol;
+}
+
+}  // namespace
+
+DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
+                                             const mesh::DeviceMesh& m,
+                                             const DriftDiffusionOptions& opts) {
+  const ContinuationPolicy& cp = opts.continuation;
+  numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
+
+  DriftDiffusionSolution sol = solve_dd_once(dev, bias, m, opts, nullptr, budget);
+  ++sol.stats.attempts;
+  if (sol.converged) {
+    ++sol.stats.direct_success;
+    return sol;
+  }
+  if (!cp.enabled || cp.max_subdivisions == 0) {
+    ++sol.stats.failures;
+    return sol;
+  }
+
+  // Bias continuation: walk from zero bias toward the target, handing each
+  // converged state (potential + carriers) to the next stage as its warm
+  // start, halving the bias step on divergence.
+  numeric::RobustnessStats stats = sol.stats;
+  numeric::SolveStatus total = sol.status;
+  const double min_step = 1.0 / static_cast<double>(std::size_t{1} << cp.max_subdivisions);
+  double f = 0.0, step = 0.5;
+  DriftDiffusionSolution last = std::move(sol);
+  bool have_warm = false;
+  while (f < 1.0) {
+    if (budget.exhausted()) {
+      ++stats.budget_exhausted;
+      ++stats.failures;
+      last.converged = false;
+      last.status = total;
+      last.status.reason = numeric::SolveReason::kBudgetExceeded;
+      last.stats = stats;
+      return last;
+    }
+    const double f_try = std::min(1.0, f + step);
+    const Bias b = bias_fraction(bias, f_try);
+    const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
+    DriftDiffusionSolution sub =
+        solve_dd_once(dev, b, mb, opts, have_warm ? &last : nullptr, budget);
+    ++stats.continuation_retries;
+    ++total.retries;
+    total.iterations += sub.status.iterations;
+    total.residual = sub.status.residual;
+    stats.merge(sub.stats);
+    if (sub.converged) {
+      f = f_try;
+      last = std::move(sub);
+      have_warm = true;
+      step = std::min(2.0 * step, 0.5);
+    } else {
+      step *= 0.5;
+      if (step < min_step) {
+        ++stats.failures;
+        last = std::move(sub);
+        last.converged = false;
+        total.reason = last.status.reason;
+        last.status = total;
+        last.stats = stats;
+        return last;
+      }
+    }
+  }
+
+  ++stats.recovered;
+  total.reason = numeric::SolveReason::kOk;
+  last.status = total;
+  last.stats = stats;
+  last.converged = true;
+  return last;
 }
 
 DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,

@@ -33,6 +33,7 @@ struct DriftDiffusionOptions {
   /// reservoir density [1/m^3]. Without it an intrinsic film cannot be
   /// supplied with carriers and the transistor never turns on.
   double contact_doping = 1e24;
+  ContinuationPolicy continuation{};  ///< bias-continuation recovery
 };
 
 struct DriftDiffusionSolution {
@@ -42,7 +43,9 @@ struct DriftDiffusionSolution {
   double source_current = 0.0;   ///< terminal currents per device width [A]
   double drain_current = 0.0;    ///< (positive = conventional current in)
   std::size_t gummel_iterations = 0;
-  bool converged = false;
+  bool converged = false;          ///< mirrors status.ok()
+  numeric::SolveStatus status;     ///< structured termination record
+  numeric::RobustnessStats stats;  ///< recovery-ladder counters
 };
 
 /// Solve the coupled Poisson + electron/hole continuity system.

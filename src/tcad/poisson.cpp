@@ -25,10 +25,41 @@ double node_eps(const mesh::MeshNode& n, const TftDevice& dev) {
   return 1.0;
 }
 
-}  // namespace
+/// Copy of `m` with the contact Dirichlet potentials re-pinned for bias
+/// `b`. Mesh geometry is bias-independent (see build_mesh), so this is all
+/// a continuation stage needs to evaluate an intermediate bias.
+mesh::DeviceMesh rebias_mesh(const mesh::DeviceMesh& m, const TftDevice& dev,
+                             const Bias& b) {
+  mesh::DeviceMesh out = m;
+  for (std::size_t i = 0; i < out.num_nodes(); ++i) {
+    auto& nd = out.node(i);
+    if (!nd.dirichlet) continue;
+    switch (nd.region) {
+      case mesh::Region::kGate: nd.dirichlet_value = b.vg - dev.semi.flatband; break;
+      case mesh::Region::kSource: nd.dirichlet_value = b.vs + dev.contact_phi; break;
+      case mesh::Region::kDrain: nd.dirichlet_value = b.vd + dev.contact_phi; break;
+      default: break;
+    }
+  }
+  return out;
+}
 
-PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+/// Bias scaled a fraction `f` of the way from the all-at-vs point to `b`.
+Bias bias_fraction(const Bias& b, double f) {
+  Bias out;
+  out.vg = b.vs + f * (b.vg - b.vs);
+  out.vd = b.vs + f * (b.vd - b.vs);
+  out.vs = b.vs;
+  return out;
+}
+
+/// One damped-Newton solve at a fixed bias. `warm_start` (when non-null)
+/// seeds the potential; all Newton iterations are charged to `budget`.
+PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
+                                   const mesh::DeviceMesh& m,
+                                   const PoissonOptions& opts,
+                                   const numeric::Vec* warm_start,
+                                   numeric::SolveBudget& budget) {
   const std::size_t n = m.num_nodes();
   const std::size_t nx = m.nx();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -40,6 +71,7 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
   sol.hole_density.assign(n, 0.0);
   sol.charge_density.assign(n, 0.0);
   sol.quasi_fermi.assign(n, 0.0);
+  sol.status.reason = numeric::SolveReason::kMaxIterations;
 
   // Quasi-Fermi ramp along the channel between the contact edges.
   const double x_src_edge = dev.contact_len;
@@ -52,10 +84,15 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
     sol.quasi_fermi[i] = bias.vs + f * (bias.vd - bias.vs);
   }
 
-  // Initial guess: Dirichlet values where pinned, quasi-Fermi elsewhere.
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& nd = m.node(i);
-    sol.potential[i] = nd.dirichlet ? nd.dirichlet_value : sol.quasi_fermi[i];
+  // Initial guess: warm start if given, else Dirichlet values where pinned
+  // and the quasi-Fermi ramp elsewhere.
+  if (warm_start && warm_start->size() == n) {
+    sol.potential = *warm_start;
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& nd = m.node(i);
+      sol.potential[i] = nd.dirichlet ? nd.dirichlet_value : sol.quasi_fermi[i];
+    }
   }
 
   // Per-node control-volume area (per unit depth) with half cells at edges.
@@ -84,7 +121,13 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
   const double carrier_scale = kQ;  // residual in Coulombs per unit depth
 
   for (std::size_t it = 0; it < opts.max_newton; ++it) {
+    if (budget.exhausted()) {
+      sol.status.reason = numeric::SolveReason::kBudgetExceeded;
+      break;
+    }
+    budget.charge(1);
     sol.newton_iterations = it + 1;
+    sol.status.iterations = it + 1;
 
     // Carrier densities and residual.
     std::fill(f_res.begin(), f_res.end(), 0.0);
@@ -111,9 +154,12 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
         const std::size_t i = m.index(ix, iy);
         const auto& nd = m.node(i);
         if (nd.dirichlet) {
-          // Identity row: dphi_i = (bc - phi_i); keep phi pinned exactly.
+          // Identity row with residual F_i = phi_i - bc: under the
+          // J dphi = -F convention this gives dphi_i = bc - phi_i, snapping
+          // the node onto the boundary value in one step (critical for
+          // warm starts, where phi_i != bc on entry).
           jac.add(i, i, 1.0);
-          f_res[i] = nd.dirichlet_value - phi[i];
+          f_res[i] = phi[i] - nd.dirichlet_value;
           continue;
         }
         auto stamp_neighbor = [&](std::size_t j, bool horizontal,
@@ -150,15 +196,35 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
     auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
     if (!res.converged) {
       // Fall back to a dense solve for robustness on tiny meshes.
-      res.x = numeric::solve_dense(a.to_dense(), rhs);
+      try {
+        res.x = numeric::solve_dense(a.to_dense(), rhs);
+      } catch (const std::runtime_error&) {
+        sol.status.reason = numeric::SolveReason::kSingularJacobian;
+        break;
+      }
     }
 
     double step_inf = numeric::norm_inf(res.x);
-    const double damp = std::min(1.0, opts.max_step / std::max(step_inf, 1e-300));
-    for (std::size_t i = 0; i < n; ++i) phi[i] += damp * res.x[i];
+    if (!std::isfinite(step_inf)) {
+      sol.status.reason = numeric::SolveReason::kNanResidual;
+      sol.status.residual = step_inf;
+      break;
+    }
+    // Per-node step clamping (not a global scaling): a large correction on
+    // one node — e.g. a Dirichlet row absorbing a continuation bias jump —
+    // must not throttle the Boltzmann-stabilizing updates everywhere else,
+    // or warm-started solves limit-cycle at exactly max_step.
+    double applied_inf = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = std::clamp(res.x[i], -opts.max_step, opts.max_step);
+      phi[i] += d;
+      applied_inf = std::max(applied_inf, std::fabs(d));
+    }
+    sol.status.residual = applied_inf;
 
-    if (step_inf * damp < opts.tol_update) {
+    if (applied_inf < opts.tol_update) {
       sol.converged = true;
+      sol.status.reason = numeric::SolveReason::kOk;
       break;
     }
   }
@@ -176,6 +242,82 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
     }
   }
   return sol;
+}
+
+}  // namespace
+
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+  const ContinuationPolicy& cp = opts.continuation;
+  numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
+
+  // Direct attempt at the target bias.
+  PoissonSolution sol = solve_poisson_once(dev, bias, m, opts, nullptr, budget);
+  ++sol.stats.attempts;
+  if (sol.converged) {
+    ++sol.stats.direct_success;
+    return sol;
+  }
+  if (!cp.enabled || cp.max_subdivisions == 0) {
+    ++sol.stats.failures;
+    return sol;
+  }
+
+  // Bias continuation: walk from zero bias toward the target, warm-starting
+  // each stage from the previous converged potential, halving the step on
+  // divergence.
+  numeric::RobustnessStats stats = sol.stats;
+  numeric::SolveStatus total = sol.status;
+  const double min_step = 1.0 / static_cast<double>(std::size_t{1} << cp.max_subdivisions);
+  double f = 0.0, step = 0.5;
+  numeric::Vec warm;
+  PoissonSolution last = std::move(sol);
+  while (f < 1.0) {
+    if (budget.exhausted()) {
+      ++stats.budget_exhausted;
+      ++stats.failures;
+      last.converged = false;
+      last.status = total;
+      last.status.reason = numeric::SolveReason::kBudgetExceeded;
+      last.stats = stats;
+      return last;
+    }
+    const double f_try = std::min(1.0, f + step);
+    const Bias b = bias_fraction(bias, f_try);
+    const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
+    PoissonSolution sub = solve_poisson_once(dev, b, mb, opts,
+                                             warm.empty() ? nullptr : &warm, budget);
+    ++stats.continuation_retries;
+    ++total.retries;
+    total.iterations += sub.status.iterations;
+    total.residual = sub.status.residual;
+    if (sub.converged) {
+      f = f_try;
+      warm = sub.potential;
+      last = std::move(sub);
+      step = std::min(2.0 * step, 0.5);
+    } else {
+      step *= 0.5;
+      if (step < min_step) {
+        ++stats.failures;
+        last = std::move(sub);
+        last.converged = false;
+        total.reason = last.status.reason;
+        last.status = total;
+        last.stats = stats;
+        return last;
+      }
+    }
+  }
+
+  // The final stage solved at f = 1, i.e. the target bias on the original
+  // boundary conditions.
+  ++stats.recovered;
+  total.reason = numeric::SolveReason::kOk;
+  last.status = total;
+  last.stats = stats;
+  last.converged = true;
+  return last;
 }
 
 PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias, std::size_t nx,

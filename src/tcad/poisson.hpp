@@ -8,7 +8,9 @@
 
 #include "src/mesh/mesh.hpp"
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/status.hpp"
 #include "src/tcad/device.hpp"
+#include "src/tcad/recovery.hpp"
 
 namespace stco::tcad {
 
@@ -20,7 +22,9 @@ struct PoissonSolution {
   numeric::Vec charge_density;   ///< net space charge q(p - n + N) [C/m^3]
   numeric::Vec quasi_fermi;      ///< quasi-Fermi potential used per node [V]
   std::size_t newton_iterations = 0;
-  bool converged = false;
+  bool converged = false;          ///< mirrors status.ok()
+  numeric::SolveStatus status;     ///< structured termination record
+  numeric::RobustnessStats stats;  ///< recovery-ladder counters
 };
 
 struct PoissonOptions {
@@ -29,6 +33,7 @@ struct PoissonOptions {
   double max_step = 1.0;        ///< per-iteration |dphi| cap [V]
   double exp_clamp = 34.0;      ///< Boltzmann exponent clamp
   double temperature_k = kT300;
+  ContinuationPolicy continuation{};  ///< bias-continuation recovery
 };
 
 /// Solve the nonlinear Poisson equation on the mesh built for `dev`/`bias`.

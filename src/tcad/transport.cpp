@@ -14,13 +14,23 @@ double oxide_capacitance(const TftDevice& dev) {
 
 namespace {
 
+struct SliceResult {
+  double qs = 0.0;
+  numeric::SolveStatus status;
+};
+
 /// 1-D vertical Poisson slice through film + oxide.
 ///
 /// Grid: index 0 at the film top surface (Neumann), increasing into the
 /// stack; last node is the gate electrode (Dirichlet vg - flatband).
-/// Returns the mobile sheet charge integrated over the film.
-double solve_slice(const TftDevice& dev, double vg, double v_channel,
-                   const TransportOptions& opts) {
+/// Returns the mobile sheet charge integrated over the film. `step_cap`
+/// bounds the per-iteration potential update (the recovery ladder tightens
+/// it); `phi_io` (when non-null) carries a warm-start potential in and the
+/// final potential out. Newton iterations are charged to `budget`.
+SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
+                             const TransportOptions& opts, double step_cap,
+                             std::vector<double>* phi_io,
+                             numeric::SolveBudget& budget) {
   const double vt = thermal_voltage(opts.temperature_k);
   const std::size_t n_total = std::max<std::size_t>(opts.slice_points, 8);
   // Split rows between film and oxide proportionally, at least 3 each.
@@ -38,7 +48,11 @@ double solve_slice(const TftDevice& dev, double vg, double v_channel,
   const double ni = dev.semi.ni;
   const double clamp = 34.0;
 
+  SliceResult out;
+  out.status.reason = numeric::SolveReason::kMaxIterations;
+
   std::vector<double> phi(n, v_channel);
+  if (phi_io && phi_io->size() == n) phi = *phi_io;
   phi[n - 1] = vgate;
 
   auto spacing_below = [&](std::size_t i) {  // distance to node i+1
@@ -58,6 +72,12 @@ double solve_slice(const TftDevice& dev, double vg, double v_channel,
   auto cexp = [&](double x) { return std::exp(std::clamp(x, -clamp, clamp)); };
 
   for (std::size_t it = 0; it < opts.max_newton; ++it) {
+    if (budget.exhausted()) {
+      out.status.reason = numeric::SolveReason::kBudgetExceeded;
+      break;
+    }
+    budget.charge(1);
+    out.status.iterations = it + 1;
     numeric::Vec lower(n - 1, 0.0), diag(n, 0.0), upper(n - 1, 0.0), rhs(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       if (i == n - 1) {  // gate Dirichlet
@@ -92,11 +112,26 @@ double solve_slice(const TftDevice& dev, double vg, double v_channel,
       rhs[i] = -f;
     }
 
-    numeric::Vec dphi = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+    numeric::Vec dphi;
+    try {
+      dphi = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+    } catch (const std::runtime_error&) {
+      out.status.reason = numeric::SolveReason::kSingularJacobian;
+      break;
+    }
     const double step = numeric::norm_inf(dphi);
-    const double damp = std::min(1.0, 1.0 / std::max(step, 1e-300));
+    if (!std::isfinite(step)) {
+      out.status.reason = numeric::SolveReason::kNanResidual;
+      out.status.residual = step;
+      break;
+    }
+    const double damp = std::min(1.0, step_cap / std::max(step, 1e-300));
     for (std::size_t i = 0; i < n; ++i) phi[i] += damp * dphi[i];
-    if (step * damp < opts.tol_update) break;
+    out.status.residual = step * damp;
+    if (step * damp < opts.tol_update) {
+      out.status.reason = numeric::SolveReason::kOk;
+      break;
+    }
   }
 
   // Mobile sheet charge: integrate the dominant carrier over the film.
@@ -108,14 +143,98 @@ double solve_slice(const TftDevice& dev, double vg, double v_channel,
     const double dy_i = (i == n_film) ? 0.5 * dyf : node_dy(i);
     qs += kQ * (ntype ? nn : pp) * dy_i;
   }
-  return qs;
+  out.qs = qs;
+  if (!std::isfinite(qs) && out.status.ok())
+    out.status.reason = numeric::SolveReason::kNanResidual;
+  if (phi_io) *phi_io = phi;
+  return out;
+}
+
+/// Slice solve with the recovery ladder: direct attempt, tightened damping,
+/// then gate-bias continuation from the flat (vg = v_channel) slice with a
+/// warm-started potential.
+SliceResult solve_slice_robust(const TftDevice& dev, double vg, double v_channel,
+                               const TransportOptions& opts,
+                               numeric::SolveBudget& budget,
+                               numeric::RobustnessStats& stats) {
+  ++stats.attempts;
+  SliceResult direct = solve_slice_once(dev, vg, v_channel, opts, 1.0, nullptr, budget);
+  if (direct.status.ok()) {
+    ++stats.direct_success;
+    return direct;
+  }
+  numeric::SolveStatus total = direct.status;
+  auto fail = [&](SliceResult r, numeric::SolveReason reason) {
+    ++stats.failures;
+    total.reason = reason;
+    r.status = total;
+    return r;
+  };
+  if (!opts.continuation.enabled)
+    return fail(std::move(direct), direct.status.reason);
+
+  // Damping escalation.
+  for (double cap : {0.25, 0.0625}) {
+    if (budget.exhausted()) {
+      ++stats.budget_exhausted;
+      return fail(std::move(direct), numeric::SolveReason::kBudgetExceeded);
+    }
+    ++stats.damping_retries;
+    ++total.retries;
+    SliceResult r = solve_slice_once(dev, vg, v_channel, opts, cap, nullptr, budget);
+    total.iterations += r.status.iterations;
+    total.residual = r.status.residual;
+    if (r.status.ok()) {
+      ++stats.recovered;
+      total.reason = numeric::SolveReason::kOk;
+      r.status = total;
+      return r;
+    }
+    direct = std::move(r);
+  }
+
+  // Gate-bias continuation: ramp vg from the flat condition toward the
+  // target, warm-starting each stage from the last converged potential.
+  const double min_step =
+      1.0 / static_cast<double>(std::size_t{1} << opts.continuation.max_subdivisions);
+  double f = 0.0, step = 0.5;
+  std::vector<double> phi;
+  SliceResult best = std::move(direct);
+  while (f < 1.0) {
+    if (budget.exhausted()) {
+      ++stats.budget_exhausted;
+      return fail(std::move(best), numeric::SolveReason::kBudgetExceeded);
+    }
+    const double f_try = std::min(1.0, f + step);
+    const double vg_f = v_channel + f_try * (vg - v_channel);
+    ++stats.continuation_retries;
+    ++total.retries;
+    SliceResult r = solve_slice_once(dev, vg_f, v_channel, opts, 0.25, &phi, budget);
+    total.iterations += r.status.iterations;
+    total.residual = r.status.residual;
+    if (r.status.ok()) {
+      f = f_try;
+      best = std::move(r);
+      step = std::min(2.0 * step, 0.5);
+    } else {
+      step *= 0.5;
+      if (step < min_step) return fail(std::move(best), r.status.reason);
+    }
+  }
+  ++stats.recovered;
+  total.reason = numeric::SolveReason::kOk;
+  best.status = total;
+  return best;
 }
 
 }  // namespace
 
 double sheet_charge(const TftDevice& dev, double vg, double v_channel,
                     const TransportOptions& opts) {
-  return solve_slice(dev, vg, v_channel, opts);
+  numeric::SolveBudget budget(opts.continuation.iteration_budget,
+                              opts.continuation.wall_clock_budget);
+  numeric::RobustnessStats stats;
+  return solve_slice_robust(dev, vg, v_channel, opts, budget, stats).qs;
 }
 
 double srh_leakage(const TftDevice& dev, double vd) {
@@ -126,19 +245,24 @@ double srh_leakage(const TftDevice& dev, double vd) {
   return gen * dev.width * dev.length * dev.t_ch * std::tanh(std::fabs(vd) / 0.1);
 }
 
-double drain_current(const TftDevice& dev, const Bias& bias,
-                     const TransportOptions& opts) {
+TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
+                                 const TransportOptions& opts) {
+  TransportResult out;
+  out.status.reason = numeric::SolveReason::kOk;
   const bool ntype = dev.semi.carrier == CarrierType::kNType;
   // For a P-type device with negative vg/vd, work in mirrored coordinates:
   // the slice solver handles sign through the Boltzmann factors directly.
   const double vd_mag = std::fabs(bias.vd - bias.vs);
-  if (vd_mag == 0.0) return 0.0;
+  if (vd_mag == 0.0) return out;
   const double sgn_vd = (bias.vd - bias.vs) >= 0 ? 1.0 : -1.0;
 
   const double cox = oxide_capacitance(dev);
   const double q_ref = cox * 1.0;  // sheet charge at 1 V overdrive
   const double mu0 = dev.semi.mu0;
   const double gamma = dev.semi.gamma;
+
+  numeric::SolveBudget budget(opts.continuation.iteration_budget,
+                              opts.continuation.wall_clock_budget);
 
   // Gradual channel integration. The local channel quasi-Fermi potential
   // runs from vs to vd; for N-type forward operation that de-biases the
@@ -150,7 +274,27 @@ double drain_current(const TftDevice& dev, const Bias& bias,
   double q_prev = -1.0, mu_prev = 0.0;
   for (std::size_t k = 0; k <= steps; ++k) {
     const double v_local = bias.vs + sgn_vd * static_cast<double>(k) * dv;
-    const double qs = solve_slice(dev, bias.vg, v_local, opts);
+    const SliceResult sr =
+        solve_slice_robust(dev, bias.vg, v_local, opts, budget, out.stats);
+    out.status.iterations += sr.status.iterations;
+    out.status.retries += sr.status.retries;
+    if (!sr.status.ok()) {
+      if (sr.status.reason == numeric::SolveReason::kMaxIterations &&
+          std::isfinite(sr.qs)) {
+        // Finite but unconverged: accept the approximation, count the
+        // degradation, keep integrating.
+        ++out.stats.fallbacks;
+      } else {
+        // Hard failure (singular / NaN / budget): the curve cannot be
+        // trusted. Report a structured failure instead of partial garbage.
+        out.valid = false;
+        out.id = 0.0;
+        out.status.reason = sr.status.reason;
+        out.status.residual = sr.status.residual;
+        return out;
+      }
+    }
+    const double qs = sr.qs;
     const double mu = mu0 * std::pow(std::max(qs, 1e-12) / q_ref, gamma);
     if (q_prev >= 0.0) {
       // Trapezoid on mu(Qs)*Qs.
@@ -161,7 +305,13 @@ double drain_current(const TftDevice& dev, const Bias& bias,
   }
   (void)ntype;
   const double ion = (dev.width / dev.length) * integral;
-  return ion + srh_leakage(dev, vd_mag) + opts.gmin * vd_mag;
+  out.id = ion + srh_leakage(dev, vd_mag) + opts.gmin * vd_mag;
+  return out;
+}
+
+double drain_current(const TftDevice& dev, const Bias& bias,
+                     const TransportOptions& opts) {
+  return drain_current_ex(dev, bias, opts).id;
 }
 
 std::vector<IvPoint> transfer_curve(const TftDevice& dev, double vd,
@@ -171,7 +321,8 @@ std::vector<IvPoint> transfer_curve(const TftDevice& dev, double vd,
   out.reserve(vg_values.size());
   for (double vg : vg_values) {
     Bias b{vg, vd, 0.0};
-    out.push_back({vg, vd, drain_current(dev, b, opts)});
+    const auto r = drain_current_ex(dev, b, opts);
+    out.push_back({vg, vd, r.id, r.valid});
   }
   return out;
 }
@@ -183,7 +334,8 @@ std::vector<IvPoint> output_curve(const TftDevice& dev, double vg,
   out.reserve(vd_values.size());
   for (double vd : vd_values) {
     Bias b{vg, vd, 0.0};
-    out.push_back({vg, vd, drain_current(dev, b, opts)});
+    const auto r = drain_current_ex(dev, b, opts);
+    out.push_back({vg, vd, r.id, r.valid});
   }
   return out;
 }

@@ -14,7 +14,9 @@
 
 #include <vector>
 
+#include "src/numeric/status.hpp"
 #include "src/tcad/device.hpp"
+#include "src/tcad/recovery.hpp"
 
 namespace stco::tcad {
 
@@ -25,6 +27,9 @@ struct TransportOptions {
   double tol_update = 1e-10;        ///< Newton stop [V]
   double temperature_k = kT300;
   double gmin = 1e-12;              ///< numerical floor conductance [S]
+  /// Recovery for diverging vertical slices: damping escalation first, then
+  /// gate-bias continuation (ramp vg from the local channel potential).
+  ContinuationPolicy continuation{};
 };
 
 /// Mobile sheet charge [C/m^2] in the film for gate bias `vg` and local
@@ -42,11 +47,27 @@ double oxide_capacitance(const TftDevice& dev);
 double drain_current(const TftDevice& dev, const Bias& bias,
                      const TransportOptions& opts = {});
 
+/// Diagnosed drain-current evaluation. `valid` is false when a vertical
+/// slice failed hard (singular system, NaN, budget) even after the recovery
+/// ladder — `id` is then 0 rather than garbage. A slice that merely ran out
+/// of Newton iterations with a finite residual is accepted as an
+/// approximation and counted in `stats.fallbacks`.
+struct TransportResult {
+  double id = 0.0;
+  bool valid = true;
+  numeric::SolveStatus status;
+  numeric::RobustnessStats stats;
+};
+
+TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
+                                 const TransportOptions& opts = {});
+
 /// One simulated I-V sample.
 struct IvPoint {
   double vg = 0.0;
   double vd = 0.0;
   double id = 0.0;
+  bool valid = true;  ///< false: solver failed after retries; id is 0
 };
 
 /// Transfer characteristic: sweep vg at fixed vd.

@@ -88,7 +88,7 @@ C1 out 0 1n
   auto nl = parse_spice(deck);
   const auto tr = transient(nl, 5e-6, 10e-9);
   ASSERT_TRUE(tr.converged);
-  EXPECT_NEAR(final_voltage(tr, nl.node("out")), 1.0, 0.02);
+  EXPECT_NEAR(final_voltage(tr, nl.node("out")).value(), 1.0, 0.02);
 }
 
 TEST(Parser, ErrorsCarryLineNumbers) {

@@ -95,6 +95,48 @@ TEST(StcoEngine, RlSearchImprovesOverWorstCorner) {
 }
 
 
+TEST(StcoEngine, InjectedLibraryFailureDegradesToFinitePenalty) {
+  StcoConfig cfg;
+  cfg.benchmark = "s298";
+  cfg.grid_n = 3;
+  cfg.rl.episodes = 2;
+  cfg.rl.steps_per_episode = 4;
+  // Fault injection through the library hook: every vdd_min technology
+  // point "loses" its characterization, as if the sims died after retries.
+  const double bad_vdd = cfg.ranges.vdd_min;
+  cfg.library_hook = [bad_vdd](flow::TimingLibrary& lib) {
+    if (lib.tech.vdd <= bad_vdd + 1e-12) lib.complete = false;
+  };
+  StcoEngine engine(cfg, nullptr);
+
+  compact::TechnologyPoint bad{tcad::SemiconductorKind::kCnt, bad_vdd, 0.8, 1.2e-4};
+  const auto rep = engine.evaluate(bad);
+  EXPECT_TRUE(rep.infeasible);
+  EXPECT_GE(engine.infeasible_evaluations(), 1u);
+
+  // The infeasible point maps to the finite penalty — never NaN into the
+  // RL reward.
+  const double c = engine.cost(bad);
+  EXPECT_TRUE(std::isfinite(c));
+  EXPECT_EQ(c, cfg.infeasible_penalty);
+
+  // Feasible points are unaffected and stay below the penalty.
+  compact::TechnologyPoint good = bad;
+  good.vdd = cfg.ranges.vdd_max;
+  const auto rep_good = engine.evaluate(good);
+  EXPECT_FALSE(rep_good.infeasible);
+  EXPECT_LT(engine.cost(good), cfg.infeasible_penalty);
+
+  // The optimizer terminates normally over the partially-infeasible grid
+  // and settles on a finite cost (i.e. a feasible region).
+  const auto res = engine.optimize();
+  EXPECT_TRUE(std::isfinite(res.best_cost));
+  EXPECT_LT(res.best_cost, cfg.infeasible_penalty);
+
+  // The SPICE path actually ran solvers, so the aggregated counters moved.
+  EXPECT_GT(engine.robustness().attempts, 0u);
+}
+
 TEST(StcoEngine, GnnFastPathIsFasterThanSpicePath) {
   // Minimal trained charlib model (normalization only: inference cost is
   // what the fast path measures, and predictions stay finite/positive).

@@ -60,6 +60,26 @@ TEST(RunReport, UnknownBenchmarkSkipsRuntimeSection) {
   EXPECT_NE(md.find("custom_chip"), std::string::npos);
 }
 
+TEST(RunReport, RobustnessSectionAlwaysPresent) {
+  // Zero counters (clean run): the section still renders as evidence.
+  const std::string clean = run_report_markdown(sample_inputs());
+  EXPECT_NE(clean.find("## Solver robustness"), std::string::npos);
+  EXPECT_NE(clean.find("infeasible technology evaluations: 0"), std::string::npos);
+
+  auto in = sample_inputs();
+  in.robustness.attempts = 12;
+  in.robustness.direct_success = 9;
+  in.robustness.recovered = 2;
+  in.robustness.failures = 1;
+  in.robustness.gmin_retries = 3;
+  in.infeasible_evaluations = 2;
+  const std::string md = run_report_markdown(in);
+  EXPECT_NE(md.find("## Solver robustness"), std::string::npos);
+  EXPECT_NE(md.find("12 attempts"), std::string::npos);
+  EXPECT_NE(md.find("gmin 3"), std::string::npos);
+  EXPECT_NE(md.find("infeasible technology evaluations: 2"), std::string::npos);
+}
+
 TEST(RunReport, WritesFile) {
   write_run_report_file("/tmp/stco_report.md", sample_inputs());
   std::ifstream f("/tmp/stco_report.md");
