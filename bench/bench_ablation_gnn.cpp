@@ -57,9 +57,8 @@ int main() {
   printf("Dataset: %zu train / %zu val devices, %zu epochs per config\n\n", n_train,
          n_val, epochs);
 
-  numeric::Rng rng(99);
   PopulationOptions opts;
-  const auto pool = generate_population(n_train + n_val, rng, opts);
+  const auto pool = generate_population(n_train + n_val, /*seed=*/99, opts);
   std::span<const DeviceSample> train(pool.data(), n_train);
   std::span<const DeviceSample> val(pool.data() + n_train, n_val);
 

@@ -29,12 +29,12 @@ int main() {
          "characterization + STA on s298 (%zu gates).\n\n",
          grid_n, flow::make_benchmark("s298").num_gates());
 
-  StcoEngine rl_engine(cfg, nullptr);
+  StcoEngine rl_engine(cfg, SpiceBackend{});
   bench::Timer rl_t;
   const auto rl = rl_engine.optimize();
   const double rl_seconds = rl_t.seconds();
 
-  StcoEngine rnd_engine(cfg, nullptr);
+  StcoEngine rnd_engine(cfg, SpiceBackend{});
   bench::Timer rnd_t;
   const auto rnd = rnd_engine.optimize_random(rl.unique_evaluations);
   const double rnd_seconds = rnd_t.seconds();
@@ -68,7 +68,7 @@ int main() {
   // Multi-objective view: the scalarized search finds one point; the Pareto
   // front over the full (cached-by-reuse) grid shows the trade-off surface.
   printf("\nPareto front over the full %zu^3 grid (delay / power / area):\n", grid_n);
-  StcoEngine pareto_engine(cfg, nullptr);
+  StcoEngine pareto_engine(cfg, SpiceBackend{});
   const TechGrid grid(cfg.ranges, cfg.grid_n);
   const auto sweep = sweep_pareto(grid, [&](const compact::TechnologyPoint& t) {
     return pareto_engine.evaluate(t);

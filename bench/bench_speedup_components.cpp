@@ -36,9 +36,8 @@ struct Fixtures {
     device.semi = tcad::igzo_params();
     surrogate::SurrogateConfig cfg;
     sur = std::make_unique<surrogate::TcadSurrogate>(cfg);
-    numeric::Rng rng(5);
     surrogate::PopulationOptions popt;
-    sample = surrogate::generate_population(1, rng, popt)[0];
+    sample = surrogate::generate_population(1, /*seed=*/5, popt)[0];
 
     charlib::CellCharModelConfig ccfg;
     cmodel = std::make_unique<charlib::CellCharModel>(ccfg);

@@ -11,9 +11,11 @@
 // calibrated commercial numbers.
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench/bench_util.hpp"
 #include "src/charlib/dataset.hpp"
+#include "src/exec/context.hpp"
 #include "src/flow/benchmarks.hpp"
 #include "src/flow/sta.hpp"
 #include "src/stco/runtime_model.hpp"
@@ -48,9 +50,8 @@ int main() {
   // paper's 1.38 s covers its much larger GPU models + batch).
   bench::Timer tcad_t;
   {
-    numeric::Rng rng(1);
     surrogate::PopulationOptions popt;
-    const auto samples = surrogate::generate_population(1, rng, popt);
+    const auto samples = surrogate::generate_population(1, /*seed=*/1, popt);
     tcad_t.reset();  // population generation is the *traditional* cost
     (void)sur.predict_potential(samples[0].poisson_graph);
     (void)sur.predict_current(samples[0].iv_graph);
@@ -104,5 +105,37 @@ int main() {
   bench::rule('-', 100);
   printf("Shape check: speedup decays from ~14x (s386, tech loop dominates) to ~2x\n"
          "(Darkriscv, system evaluation dominates) exactly as in the paper.\n");
+
+  // --- parallel scaling of the traditional technology loop ----------------
+  // The same SPICE library build on exec contexts of growing width. The
+  // result is bit-identical across rows (determinism contract); only the
+  // wall clock changes. Useful speedup needs real cores — on a 1-CPU
+  // machine the wider rows just measure scheduling overhead.
+  printf("\nParallel scaling — SPICE library characterization (exec::Context):\n");
+  printf("%-9s | %-12s | %-9s | %s\n", "threads", "seconds", "speedup", "scheduler");
+  bench::rule('-', 86);
+  std::ofstream json("BENCH_parallel.json");
+  json << "{\n  \"bench\": \"build_library_spice\",\n  \"rows\": [\n";
+  double serial_s = 0.0;
+  const std::size_t thread_counts[] = {1, 2, 8};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t nt = thread_counts[i];
+    exec::Context ctx(nt);
+    bench::Timer t;
+    const auto lib = flow::build_library_spice(compact::cnt_tech(), slopts, ctx);
+    const double secs = t.seconds();
+    (void)lib;
+    if (i == 0) serial_s = secs;
+    const auto st = ctx.stats();
+    printf("%-9zu | %-12.2f | %-9.2f | %s\n", nt, secs,
+           serial_s / std::max(1e-9, secs), st.summary().c_str());
+    json << "    {\"threads\": " << nt << ", \"seconds\": " << secs
+         << ", \"speedup\": " << serial_s / std::max(1e-9, secs)
+         << ", \"tasks\": " << st.tasks_run << ", \"steals\": " << st.steals
+         << "}" << (i + 1 < 3 ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  bench::rule('-', 86);
+  printf("(rows written to BENCH_parallel.json)\n");
   return 0;
 }

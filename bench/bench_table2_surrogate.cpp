@@ -31,12 +31,10 @@ int main() {
          n_train, n_val, n_test, n_unseen);
 
   bench::Timer gen_t;
-  numeric::Rng rng(2024);
   PopulationOptions opts;
-  const auto pool = generate_population(n_train + n_val + n_test, rng, opts);
+  const auto pool = generate_population(n_train + n_val + n_test, /*seed=*/2024, opts);
   // Unseen split: fresh seed — devices the training distribution never saw.
-  numeric::Rng rng2(777);
-  const auto unseen = generate_population(n_unseen, rng2, opts);
+  const auto unseen = generate_population(n_unseen, /*seed=*/777, opts);
   printf("TCAD dataset generated in %.1f s (%.1f ms/device: 2-D Poisson + IV solve)\n",
          gen_t.seconds(),
          1e3 * gen_t.seconds() / static_cast<double>(pool.size() + unseen.size()));

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "src/exec/context.hpp"
 #include "src/stco/loop.hpp"
 #include "src/stco/report.hpp"
 #include "src/stco/runtime_model.hpp"
@@ -25,9 +26,14 @@ int main() {
          flow::make_benchmark(cfg.benchmark).num_flipflops());
 
   // Traditional path: every technology evaluation pays for SPICE
-  // characterization of the library.
-  StcoEngine engine(cfg, nullptr);
-  printf("\nrunning RL exploration over a %zu^3 technology grid...\n", cfg.grid_n);
+  // characterization of the library. The exec::Context spreads arc
+  // characterizations and speculative candidate evaluations over worker
+  // threads; pass exec::Context::serial() (the default) to run inline.
+  exec::Context ctx(2);
+  StcoEngine engine(cfg, SpiceBackend{}, ctx);
+  printf("\nrunning RL exploration over a %zu^3 technology grid (%zu worker "
+         "threads)...\n",
+         cfg.grid_n, ctx.threads());
   const auto result = engine.optimize();
 
   printf("\nbest technology point found:\n");
@@ -42,10 +48,12 @@ int main() {
          result.unique_evaluations);
   printf("wall time split: library characterization %.1f s (%.0f%%), system "
          "evaluation %.1f s\n",
-         engine.timing().library_seconds,
-         100.0 * engine.timing().library_seconds /
-             (engine.timing().library_seconds + engine.timing().sta_seconds),
-         engine.timing().sta_seconds);
+         engine.timing().library_seconds.load(),
+         100.0 * engine.timing().library_seconds.load() /
+             (engine.timing().library_seconds.load() +
+              engine.timing().sta_seconds.load()),
+         engine.timing().sta_seconds.load());
+  printf("scheduler: %s\n", ctx.stats().summary().c_str());
 
   // Per-iteration runtime accounting as in Table I.
   const auto row = table1_row(cfg.benchmark);
@@ -67,6 +75,7 @@ int main() {
   rpt.fast_path = engine.fast_path();
   rpt.robustness = engine.robustness();
   rpt.infeasible_evaluations = engine.infeasible_evaluations();
+  rpt.exec_stats = engine.context().stats();
   write_run_report_file("/tmp/stco_run_report.md", rpt);
   printf("\nrun report written to /tmp/stco_run_report.md\n");
   return 0;

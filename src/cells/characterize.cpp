@@ -1,7 +1,9 @@
 #include "src/cells/characterize.hpp"
 
 #include <cmath>
+#include <functional>
 #include <stdexcept>
+#include <vector>
 
 #include "src/spice/engine.hpp"
 #include "src/spice/measure.hpp"
@@ -56,6 +58,14 @@ bool track(CellCharacterization& out, const TranResult& tr) {
   return tr.converged;
 }
 
+/// Fold a task-local scratch record's solver counters into the cell record.
+/// The counters are commutative sums, so folding scratches in index order
+/// reproduces the serial interleaved accumulation exactly.
+void merge_counters(CellCharacterization& out, const CellCharacterization& scratch) {
+  out.stats.merge(scratch.stats);
+  out.failed_sims += scratch.failed_sims;
+}
+
 /// Edge waveform: holds `from` until t_start, ramps to `to` over the slew.
 Waveform edge_wave(bool from, bool to, double t_start, const CharConfig& cfg) {
   return Waveform::ramp(level(from, cfg), level(to, cfg), t_start, cfg.input_slew);
@@ -103,7 +113,8 @@ std::vector<std::map<std::string, bool>> all_states(const std::vector<std::strin
 // --- combinational ----------------------------------------------------------
 
 CellCharacterization characterize_combinational(const CellDef& def,
-                                                const CharConfig& cfg) {
+                                                const CharConfig& cfg,
+                                                const exec::Context& ctx) {
   CellCharacterization out;
   out.cell = def.name;
   const double u = cfg.time_unit;
@@ -123,15 +134,38 @@ CellCharacterization characterize_combinational(const CellDef& def,
                           {t_back + cfg.input_slew, level(!rising, cfg)}});
   };
 
-  // Leakage: mean over all static states.
+  // Leakage: mean over all static states (one task per state; powers are
+  // summed in state order so the serial reduction is reproduced exactly).
   {
-    double sum = 0.0;
     const auto states = all_states(def.inputs);
-    for (const auto& s : states) sum += static_power(def, cfg, s, out);
+    struct LeakJob {
+      CellCharacterization scratch;
+      double power = 0.0;
+    };
+    auto jobs = ctx.map(states.size(), [&](std::size_t i) {
+      LeakJob j;
+      j.power = static_power(def, cfg, states[i], j.scratch);
+      return j;
+    });
+    double sum = 0.0;
+    for (const auto& j : jobs) {
+      sum += j.power;
+      merge_counters(out, j.scratch);
+    }
     out.leakage_power = sum / static_cast<double>(states.size());
   }
 
-  for (const auto& pin : def.inputs) {
+  // One task per input pin: its capacitance toggles, sensitized arcs, and
+  // non-flip toggles. Each task records into its own scratch; scratches are
+  // merged in pin order below.
+  struct PinJob {
+    CellCharacterization scratch;
+    double cap = 0.0;
+  };
+  auto pin_jobs = ctx.map(def.inputs.size(), [&](std::size_t pi) {
+    PinJob job;
+    CellCharacterization& scr = job.scratch;
+    const std::string& pin = def.inputs[pi];
     // Side-input assignments over the other pins.
     std::vector<std::string> others;
     for (const auto& p : def.inputs)
@@ -159,12 +193,12 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, edge_wave(!rising, rising, t_edge, cfg));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
-        if (!track(out, tr)) continue;
+        if (!track(scr, tr)) continue;
         const double q = spice::integrate_source_charge_smoothed(
             tr, f.input_src.at(pin), t_edge - 0.5 * u, t_end);
         cmax = std::max(cmax, std::fabs(q) / vdd);
       }
-      out.input_capacitance[pin] = cmax;
+      job.cap = cmax;
     }
 
     // Delay / slew / flip power on the sensitized arc, both directions.
@@ -182,7 +216,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, pulse_wave(rising));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
-        if (!track(out, tr)) continue;  // arc invalid: sim failed post-retry
+        if (!track(scr, tr)) continue;  // arc invalid: sim failed post-retry
 
         ArcResult arc;
         arc.input_pin = pin;
@@ -199,11 +233,11 @@ CellCharacterization characterize_combinational(const CellDef& def,
         if (!out50 || !slew || *out50 > t_back) continue;  // arc incomplete
         arc.delay = *out50 - in50;
         arc.output_slew = *slew;
-        const double leak = 0.5 * (static_power(def, cfg, state0, out) +
-                                   static_power(def, cfg, state1, out));
+        const double leak = 0.5 * (static_power(def, cfg, state0, scr) +
+                                   static_power(def, cfg, state1, scr));
         arc.flip_energy =
             0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, t_edge - 0.5 * u, t_end);
-        out.arcs.push_back(std::move(arc));
+        scr.arcs.push_back(std::move(arc));
       }
     }
 
@@ -220,18 +254,28 @@ CellCharacterization characterize_combinational(const CellDef& def,
         waves.emplace(pin, pulse_wave(rising));
         Fixture f = make_fixture(def, cfg, waves);
         const auto tr = spice::transient(f.nl, t_end, cfg.dt);
-        if (!track(out, tr)) continue;
+        if (!track(scr, tr)) continue;
         NonFlipResult nf;
         nf.input_pin = pin;
         nf.input_rising = rising;
         nf.side_inputs = *insensitive;
-        const double leak = 0.5 * (static_power(def, cfg, state0, out) +
-                                   static_power(def, cfg, state1, out));
+        const double leak = 0.5 * (static_power(def, cfg, state0, scr) +
+                                   static_power(def, cfg, state1, scr));
         nf.energy =
             0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, t_edge - 0.5 * u, t_end);
-        out.nonflip.push_back(std::move(nf));
+        scr.nonflip.push_back(std::move(nf));
       }
     }
+    return job;
+  });
+
+  // Deterministic merge: pin order, preserving the serial arc/non-flip order.
+  for (std::size_t pi = 0; pi < def.inputs.size(); ++pi) {
+    PinJob& job = pin_jobs[pi];
+    out.input_capacitance[def.inputs[pi]] = job.cap;
+    for (auto& a : job.scratch.arcs) out.arcs.push_back(std::move(a));
+    for (auto& n : job.scratch.nonflip) out.nonflip.push_back(std::move(n));
+    merge_counters(out, job.scratch);
   }
   return out;
 }
@@ -341,7 +385,8 @@ double bisect_constraint(const std::function<bool(double)>& pass, double lo, dou
   return hi;
 }
 
-CellCharacterization characterize_sequential(const CellDef& def, const CharConfig& cfg) {
+CellCharacterization characterize_sequential(const CellDef& def, const CharConfig& cfg,
+                                             const exec::Context& ctx) {
   CellCharacterization out;
   out.cell = def.name;
   const double u = cfg.time_unit;
@@ -374,39 +419,56 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
     }
   }
 
+  const double leakage = out.leakage_power;
+
+  // Everything after the leakage run is independent: the two clock-to-Q
+  // arcs, the non-flip run, the per-pin capacitances, and the six constraint
+  // bisections. Each becomes one task writing into its own slot; slots are
+  // merged in a fixed order below, reproducing the serial result exactly.
+  struct SeqJob {
+    CellCharacterization scratch;
+    std::optional<ArcResult> arc;
+    std::optional<NonFlipResult> nf;
+    double value = 0.0;  ///< capacitance or constraint time
+  };
+  std::vector<std::function<void(SeqJob&)>> tasks;
+
   // Clock-to-Q arcs (for latches: D-to-Q while transparent) for both
   // captured values.
   for (bool v : {true, false}) {
-    TranResult tr;
-    Fixture f;
-    // For a latch, move D inside the transparent window (opens at 3.5U) so
-    // the arc is D -> Q; for a flip-flop D settles early and the arc is
-    // clock -> Q.
-    const double t_d_arc = pol.is_latch ? 4 * u : 3 * u;
-    if (!capture_ok(def, cfg, v, t_d_arc, -1.0, out, &tr, &f)) continue;
-    ArcResult arc;
-    arc.input_pin = pol.is_latch ? "D" : def.clock_pin;
-    arc.output_rising = v;
-    const double ref50 = pol.is_latch ? (t_d_arc + 0.5 * cfg.input_slew)
-                                      : (5 * u + 0.5 * cfg.input_slew);
-    arc.input_rising = pol.is_latch ? v : !pol.clock_idle;
-    const auto q50 = spice::cross_time(tr, f.out, 0.5 * vdd,
-                                       v ? EdgeDir::kRising : EdgeDir::kFalling,
-                                       ref50 - 0.5 * cfg.input_slew);
-    const auto slew = spice::transition_time(tr, f.out, 0.0, vdd,
-                                             v ? EdgeDir::kRising : EdgeDir::kFalling,
-                                             0.1, 0.9, ref50 - 0.5 * cfg.input_slew);
-    if (!q50 || !slew) continue;
-    arc.delay = *q50 - ref50;
-    arc.output_slew = *slew;
-    arc.flip_energy =
-        dynamic_energy(tr, f.vdd_src, vdd, out.leakage_power, 2.5 * u, 8 * u);
-    out.arcs.push_back(std::move(arc));
+    tasks.push_back([&, v](SeqJob& job) {
+      CellCharacterization& scr = job.scratch;
+      TranResult tr;
+      Fixture f;
+      // For a latch, move D inside the transparent window (opens at 3.5U) so
+      // the arc is D -> Q; for a flip-flop D settles early and the arc is
+      // clock -> Q.
+      const double t_d_arc = pol.is_latch ? 4 * u : 3 * u;
+      if (!capture_ok(def, cfg, v, t_d_arc, -1.0, scr, &tr, &f)) return;
+      ArcResult arc;
+      arc.input_pin = pol.is_latch ? "D" : def.clock_pin;
+      arc.output_rising = v;
+      const double ref50 = pol.is_latch ? (t_d_arc + 0.5 * cfg.input_slew)
+                                        : (5 * u + 0.5 * cfg.input_slew);
+      arc.input_rising = pol.is_latch ? v : !pol.clock_idle;
+      const auto q50 = spice::cross_time(tr, f.out, 0.5 * vdd,
+                                         v ? EdgeDir::kRising : EdgeDir::kFalling,
+                                         ref50 - 0.5 * cfg.input_slew);
+      const auto slew = spice::transition_time(tr, f.out, 0.0, vdd,
+                                               v ? EdgeDir::kRising : EdgeDir::kFalling,
+                                               0.1, 0.9, ref50 - 0.5 * cfg.input_slew);
+      if (!q50 || !slew) return;
+      arc.delay = *q50 - ref50;
+      arc.output_slew = *slew;
+      arc.flip_energy =
+          dynamic_energy(tr, f.vdd_src, vdd, leakage, 2.5 * u, 8 * u);
+      job.arc = std::move(arc);
+    });
   }
 
   // Non-flip power: pulse D (full cycle) while the clock holds Q opaque;
   // the master churns internally but the output never moves.
-  {
+  tasks.push_back([&](SeqJob& job) {
     std::map<std::string, Waveform> waves;
     waves.emplace(def.clock_pin, Waveform::dc(level(pol.clock_idle, cfg)));
     waves.emplace("D", Waveform::pulse(0.0, vdd, 2 * u, cfg.input_slew, 1.5 * u,
@@ -415,74 +477,112 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
       if (!waves.count(pin)) waves.emplace(pin, Waveform::dc(0.0));
     Fixture f = make_fixture(def, cfg, waves);
     const auto tr = spice::transient(f.nl, 6 * u, cfg.dt);
-    if (track(out, tr)) {
+    if (track(job.scratch, tr)) {
       NonFlipResult nf;
       nf.input_pin = "D";
       nf.input_rising = true;
       const double leak = vdd * std::max(0.0, -tr.i_src.back()[f.vdd_src]);
       nf.energy = 0.5 * dynamic_energy(tr, f.vdd_src, vdd, leak, 1.5 * u, 6 * u);
-      out.nonflip.push_back(std::move(nf));
+      job.nf = std::move(nf);
     }
-  }
+  });
 
   // Input capacitance per pin (toggle that pin, others held at idle/low).
-  for (const auto& pin : def.inputs) {
-    double cmax = 0.0;
-    for (bool rising : {true, false}) {
-      std::map<std::string, Waveform> waves;
-      for (const auto& p : def.inputs) {
-        if (p == pin) {
-          waves.emplace(p, edge_wave(!rising, rising, 2 * u, cfg));
-        } else if (p == def.clock_pin) {
-          waves.emplace(p, Waveform::dc(level(pol.clock_idle, cfg)));
-        } else {
-          waves.emplace(p, Waveform::dc(0.0));
+  for (const auto& pin_name : def.inputs) {
+    tasks.push_back([&, pin = pin_name](SeqJob& job) {
+      double cmax = 0.0;
+      for (bool rising : {true, false}) {
+        std::map<std::string, Waveform> waves;
+        for (const auto& p : def.inputs) {
+          if (p == pin) {
+            waves.emplace(p, edge_wave(!rising, rising, 2 * u, cfg));
+          } else if (p == def.clock_pin) {
+            waves.emplace(p, Waveform::dc(level(pol.clock_idle, cfg)));
+          } else {
+            waves.emplace(p, Waveform::dc(0.0));
+          }
         }
+        Fixture f = make_fixture(def, cfg, waves);
+        const auto tr = spice::transient(f.nl, 5 * u, cfg.dt);
+        if (!track(job.scratch, tr)) continue;
+        const double q =
+            spice::integrate_source_charge_smoothed(tr, f.input_src.at(pin), 1.5 * u, 5 * u);
+        cmax = std::max(cmax, std::fabs(q) / vdd);
       }
-      Fixture f = make_fixture(def, cfg, waves);
-      const auto tr = spice::transient(f.nl, 5 * u, cfg.dt);
-      if (!track(out, tr)) continue;
-      const double q =
-          spice::integrate_source_charge_smoothed(tr, f.input_src.at(pin), 1.5 * u, 5 * u);
-      cmax = std::max(cmax, std::fabs(q) / vdd);
-    }
-    out.input_capacitance[pin] = cmax;
+      job.value = cmax;
+    });
   }
 
-  // Constraints (worst case over both captured values).
-  double setup = 0.0, hold = 0.0, width = 0.0;
+  // Constraints (worst case over both captured values; max is commutative,
+  // so per-task bisections merge deterministically).
   for (bool v : {true, false}) {
     // Setup: D moves to v at t_edge - x; smaller x is harder.
-    setup = std::max(setup, bisect_constraint(
-        [&](double x) { return capture_ok(def, cfg, v, 5 * u - x, -1.0, out); },
-        cfg.dt, 2.5 * u));
+    tasks.push_back([&, v](SeqJob& job) {
+      job.value = bisect_constraint(
+          [&](double x) { return capture_ok(def, cfg, v, 5 * u - x, -1.0, job.scratch); },
+          cfg.dt, 2.5 * u);
+    });
     // Hold: D moves *away* from v at t_edge + x. Equivalent trial: capture
     // !v ... instead run with D starting at v and leaving at t_edge + x.
-    hold = std::max(hold, bisect_constraint(
-        [&](double x) {
-          // D at v early, departs at 5U + x; Q must still hold v.
-          const SeqTrial trial = [&] {
-            SeqTrial t = seq_trial(def, cfg, v, 2.8 * u, -1.0);
-            t.waves.erase("D");
-            t.waves.emplace("D", Waveform::pwl(
-                {{0.0, level(!v, cfg)},
-                 {2.8 * u, level(!v, cfg)},
-                 {2.8 * u + cfg.input_slew, level(v, cfg)},
-                 {5 * u + x, level(v, cfg)},
-                 {5 * u + x + cfg.input_slew, level(!v, cfg)}}));
-            return t;
-          }();
-          Fixture f = make_fixture(def, cfg, trial.waves);
-          const auto tr = spice::transient(f.nl, trial.t_end, cfg.dt);
-          if (!track(out, tr)) return false;
-          const auto fv = spice::final_voltage(tr, f.out);
-          return fv && std::fabs(*fv - level(v, cfg)) < 0.2 * vdd;
-        },
-        cfg.dt, 2.5 * u));
+    tasks.push_back([&, v](SeqJob& job) {
+      job.value = bisect_constraint(
+          [&](double x) {
+            // D at v early, departs at 5U + x; Q must still hold v.
+            const SeqTrial trial = [&] {
+              SeqTrial t = seq_trial(def, cfg, v, 2.8 * u, -1.0);
+              t.waves.erase("D");
+              t.waves.emplace("D", Waveform::pwl(
+                  {{0.0, level(!v, cfg)},
+                   {2.8 * u, level(!v, cfg)},
+                   {2.8 * u + cfg.input_slew, level(v, cfg)},
+                   {5 * u + x, level(v, cfg)},
+                   {5 * u + x + cfg.input_slew, level(!v, cfg)}}));
+              return t;
+            }();
+            Fixture f = make_fixture(def, cfg, trial.waves);
+            const auto tr = spice::transient(f.nl, trial.t_end, cfg.dt);
+            if (!track(job.scratch, tr)) return false;
+            const auto fv = spice::final_voltage(tr, f.out);
+            return fv && std::fabs(*fv - level(v, cfg)) < 0.2 * vdd;
+          },
+          cfg.dt, 2.5 * u);
+    });
     // Minimum clock pulse width (D settles well before the window).
-    width = std::max(width, bisect_constraint(
-        [&](double w) { return capture_ok(def, cfg, v, 2.5 * u, w, out); },
-        2 * cfg.dt, 1.5 * u));
+    tasks.push_back([&, v](SeqJob& job) {
+      job.value = bisect_constraint(
+          [&](double w) { return capture_ok(def, cfg, v, 2.5 * u, w, job.scratch); },
+          2 * cfg.dt, 1.5 * u);
+    });
+  }
+
+  std::vector<SeqJob> slots(tasks.size());
+  ctx.parallel_for(tasks.size(), [&](std::size_t i) { tasks[i](slots[i]); });
+
+  // Deterministic merge in task-list order.
+  std::size_t idx = 0;
+  for (int k = 0; k < 2; ++k, ++idx) {
+    if (slots[idx].arc) out.arcs.push_back(std::move(*slots[idx].arc));
+    merge_counters(out, slots[idx].scratch);
+  }
+  if (slots[idx].nf) out.nonflip.push_back(std::move(*slots[idx].nf));
+  merge_counters(out, slots[idx].scratch);
+  ++idx;
+  for (const auto& pin : def.inputs) {
+    out.input_capacitance[pin] = slots[idx].value;
+    merge_counters(out, slots[idx].scratch);
+    ++idx;
+  }
+  double setup = 0.0, hold = 0.0, width = 0.0;
+  for (int k = 0; k < 2; ++k) {
+    setup = std::max(setup, slots[idx].value);
+    merge_counters(out, slots[idx].scratch);
+    ++idx;
+    hold = std::max(hold, slots[idx].value);
+    merge_counters(out, slots[idx].scratch);
+    ++idx;
+    width = std::max(width, slots[idx].value);
+    merge_counters(out, slots[idx].scratch);
+    ++idx;
   }
   out.min_setup = setup;
   out.min_hold = hold;
@@ -507,9 +607,10 @@ double CellCharacterization::mean_flip_energy() const {
   return e / static_cast<double>(arcs.size());
 }
 
-CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cfg) {
-  return cell.sequential ? characterize_sequential(cell, cfg)
-                         : characterize_combinational(cell, cfg);
+CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cfg,
+                                       const exec::Context& ctx) {
+  return cell.sequential ? characterize_sequential(cell, cfg, ctx)
+                         : characterize_combinational(cell, cfg, ctx);
 }
 
 }  // namespace stco::cells

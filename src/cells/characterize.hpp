@@ -14,6 +14,7 @@
 
 #include "src/cells/builder.hpp"
 #include "src/cells/library.hpp"
+#include "src/exec/context.hpp"
 #include "src/numeric/status.hpp"
 
 namespace stco::cells {
@@ -85,7 +86,13 @@ struct CellCharacterization {
   double mean_flip_energy() const;
 };
 
-/// Characterize one cell (dispatches on cell.sequential).
-CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cfg);
+/// Characterize one cell (dispatches on cell.sequential). Independent
+/// measurements — static leakage states, per-pin cap/arc/non-flip batches,
+/// and the six sequential constraint bisections — run as tasks on `ctx`;
+/// results are merged in a fixed index order, so the output is bit-identical
+/// for any thread count (the default serial context included).
+CellCharacterization characterize_cell(
+    const CellDef& cell, const CharConfig& cfg,
+    const exec::Context& ctx = exec::Context::serial());
 
 }  // namespace stco::cells

@@ -1,5 +1,6 @@
 #include "src/charlib/dataset.hpp"
 
+#include <mutex>
 #include <stdexcept>
 
 namespace stco::charlib {
@@ -146,7 +147,8 @@ std::vector<CharSample> samples_from_characterization(
 }
 
 std::vector<CharSample> build_charlib_dataset(
-    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts) {
+    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts,
+    const exec::Context& ctx) {
   std::vector<const cells::CellDef*> defs;
   if (opts.cell_names.empty()) {
     for (const auto& c : cells::standard_library()) defs.push_back(&c);
@@ -154,35 +156,63 @@ std::vector<CharSample> build_charlib_dataset(
     for (const auto& n : opts.cell_names) defs.push_back(&cells::find_cell(n));
   }
 
-  std::vector<CharSample> out;
-  for (std::size_t ci = 0; ci < corners.size(); ++ci) {
-    bool first_combo = true;
-    for (double slew : opts.input_slews) {
-      for (double load : opts.output_loads) {
-        cells::CharConfig cfg;
-        cfg.tech = corners[ci];
-        cfg.sizing = opts.sizing;
-        cfg.input_slew = slew;
-        cfg.load_cap = load;
-        cfg.dt = opts.char_dt;
-        cfg.time_unit = opts.char_time_unit;
-        for (const auto* def : defs) {
-          const auto ch = cells::characterize_cell(*def, cfg);
-          if (opts.stats) {
-            ++opts.stats->characterizations;
-            if (ch.failed_sims > 0) ++opts.stats->degraded_characterizations;
-            opts.stats->failed_sims += ch.failed_sims;
-            opts.stats->solver.merge(ch.stats);
-          }
-          auto samples = samples_from_characterization(*def, ch, corners[ci], cfg,
-                                                       opts.scales, first_combo);
-          out.insert(out.end(), std::make_move_iterator(samples.begin()),
-                     std::make_move_iterator(samples.end()));
-        }
-        first_combo = false;
-      }
+  // Flattened (corner, slew x load combo, cell) task grid; the merge below
+  // walks it in exactly the serial loop-nest order.
+  const std::size_t nload = opts.output_loads.size();
+  const std::size_t ncombo = opts.input_slews.size() * nload;
+  const std::size_t per_corner = ncombo * defs.size();
+
+  struct CharJob {
+    std::vector<CharSample> samples;
+    numeric::RobustnessStats solver;
+    std::size_t failed_sims = 0;
+  };
+
+  // Progress fires when a corner's last characterization completes; the
+  // guard serializes callbacks and keeps the reported counts 1..N.
+  std::mutex progress_m;
+  std::vector<std::size_t> corner_tasks_done(corners.size(), 0);
+  std::size_t corners_done = 0;
+
+  auto jobs = ctx.map(corners.size() * per_corner, [&](std::size_t j) {
+    const std::size_t ci = j / per_corner;
+    const std::size_t combo = (j % per_corner) / defs.size();
+    const std::size_t cell_i = j % defs.size();
+    cells::CharConfig cfg;
+    cfg.tech = corners[ci];
+    cfg.sizing = opts.sizing;
+    cfg.input_slew = opts.input_slews[combo / nload];
+    cfg.load_cap = opts.output_loads[combo % nload];
+    cfg.dt = opts.char_dt;
+    cfg.time_unit = opts.char_time_unit;
+    CharJob job;
+    const auto ch = cells::characterize_cell(*defs[cell_i], cfg, ctx);
+    job.solver = ch.stats;
+    job.failed_sims = ch.failed_sims;
+    job.samples = samples_from_characterization(*defs[cell_i], ch, corners[ci], cfg,
+                                                opts.scales, combo == 0);
+    if (opts.on_progress) {
+      std::lock_guard<std::mutex> lk(progress_m);
+      if (++corner_tasks_done[ci] == per_corner)
+        opts.on_progress(++corners_done, corners.size());
     }
-    if (opts.on_progress) opts.on_progress(ci + 1, corners.size());
+    return job;
+  });
+  if (per_corner == 0 && opts.on_progress) {
+    for (std::size_t ci = 0; ci < corners.size(); ++ci)
+      opts.on_progress(ci + 1, corners.size());
+  }
+
+  std::vector<CharSample> out;
+  for (auto& job : jobs) {
+    if (opts.stats) {
+      ++opts.stats->characterizations;
+      if (job.failed_sims > 0) ++opts.stats->degraded_characterizations;
+      opts.stats->failed_sims += job.failed_sims;
+      opts.stats->solver.merge(job.solver);
+    }
+    out.insert(out.end(), std::make_move_iterator(job.samples.begin()),
+               std::make_move_iterator(job.samples.end()));
   }
   return out;
 }

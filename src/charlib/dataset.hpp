@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/charlib/model.hpp"
+#include "src/exec/context.hpp"
 #include "src/numeric/status.hpp"
 
 namespace stco::charlib {
@@ -58,8 +59,13 @@ struct DatasetOptions {
 /// Run SPICE characterization over all corners and extract one CharSample
 /// per (arc/pin/constraint, metric). Slew/load-independent metrics
 /// (capacitance, leakage, constraints) are extracted once per corner.
+/// Characterizations — one task per (corner, slew x load, cell) — run on
+/// `ctx` and merge in grid order: samples, drop counts, and solver counters
+/// are bit-identical for any thread count. on_progress fires once per
+/// completed corner (serialized; count order matches the serial build).
 std::vector<CharSample> build_charlib_dataset(
-    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts);
+    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts,
+    const exec::Context& ctx = exec::Context::serial());
 
 /// Convert one characterization result into samples (exposed for tests).
 std::vector<CharSample> samples_from_characterization(

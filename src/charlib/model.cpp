@@ -65,7 +65,8 @@ std::size_t CellCharModel::num_parameters() const {
   return n;
 }
 
-gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split) {
+gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split,
+                                     const exec::Context& ctx) {
   if (!normalized_) fit_normalization(train_split);
   // Multi-task balance: delay/slew/power samples outnumber capacitance,
   // leakage, and constraint samples by an order of magnitude; inverse-
@@ -89,7 +90,7 @@ gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split) {
     const tensor::Tensor pred = head_forward(trunk_forward(s.graph), s.metric);
     return tensor::scale(tensor::mse_loss(pred, tensor::Tensor::scalar(y)), weight[m]);
   };
-  return gnn::train(parameters(), loss, train_split.size(), cfg_.train);
+  return gnn::train(parameters(), loss, train_split.size(), cfg_.train, ctx);
 }
 
 double CellCharModel::predict(const gnn::Graph& g, cells::Metric metric) const {

@@ -50,7 +50,9 @@ class CellCharModel {
   void fit_normalization(std::span<const CharSample> train);
 
   /// Train all heads jointly (each sample supervises its own head).
-  gnn::TrainStats train(std::span<const CharSample> train_split);
+  /// Mini-batch forwards run as tasks on `ctx` (see gnn::train).
+  gnn::TrainStats train(std::span<const CharSample> train_split,
+                        const exec::Context& ctx = exec::Context::serial());
 
   /// Predicted raw value for a sample's graph/metric.
   double predict(const gnn::Graph& g, cells::Metric metric) const;

@@ -1,0 +1,358 @@
+#include "src/exec/context.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace stco::exec {
+
+// Completion state of one submission region (a parallel_for call or a
+// TaskGroup). Tasks are tagged with their region so a waiting thread can
+// restrict the tasks it helps with to its own region — helping arbitrary
+// tasks would let unrelated regions nest on the waiter's stack without
+// bound.
+struct TaskGroup::State {
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t outstanding = 0;       ///< submitted and not yet finished
+  std::exception_ptr error;          ///< first task exception
+  std::atomic<bool> abort{false};    ///< set with `error`; skips later bodies
+  std::atomic<std::size_t> executed{0};
+};
+
+namespace {
+
+using GroupState = TaskGroup::State;
+
+struct Task {
+  std::shared_ptr<GroupState> group;
+  std::function<void()> fn;
+};
+
+struct Queue {
+  std::mutex m;
+  std::deque<Task> q;
+};
+
+void atomic_max(std::atomic<std::size_t>& target, std::size_t v) {
+  std::size_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+struct Context::Impl {
+  std::vector<std::unique_ptr<Queue>> queues;  ///< one deque per worker
+  std::vector<std::thread> workers;
+  std::mutex wake_m;
+  std::condition_variable wake_cv;
+  std::atomic<bool> shutdown{false};
+  std::atomic<std::size_t> pending{0};  ///< tasks sitting in queues
+  std::atomic<std::size_t> rr{0};       ///< round-robin cursor for pushes
+
+  // Stats (mutable through const Context&: counters only).
+  std::atomic<std::size_t> tasks_run{0};
+  std::atomic<std::size_t> steals{0};
+  std::atomic<std::size_t> max_depth{0};
+  std::atomic<std::size_t> regions{0};
+
+  // Cooperative cancellation.
+  std::atomic<bool> cancel{false};
+  std::atomic<const numeric::SolveBudget*> budget{nullptr};
+
+  bool should_stop() const {
+    if (cancel.load(std::memory_order_relaxed)) return true;
+    const auto* b = budget.load(std::memory_order_relaxed);
+    return b != nullptr && b->exhausted();
+  }
+
+  void push(std::size_t qi, Task t) {
+    {
+      std::lock_guard<std::mutex> lk(queues[qi]->m);
+      queues[qi]->q.push_back(std::move(t));
+      atomic_max(max_depth, queues[qi]->q.size());
+    }
+    pending.fetch_add(1, std::memory_order_release);
+    {
+      // Pairing the notify with the wake mutex closes the race against a
+      // worker that just saw pending == 0 and is about to sleep.
+      std::lock_guard<std::mutex> lk(wake_m);
+    }
+    wake_cv.notify_one();
+  }
+
+  bool pop_own(std::size_t qi, Task& out) {
+    std::lock_guard<std::mutex> lk(queues[qi]->m);
+    if (queues[qi]->q.empty()) return false;
+    out = std::move(queues[qi]->q.back());
+    queues[qi]->q.pop_back();
+    pending.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool steal_from(std::size_t qi, Task& out) {
+    std::lock_guard<std::mutex> lk(queues[qi]->m);
+    if (queues[qi]->q.empty()) return false;
+    out = std::move(queues[qi]->q.front());
+    queues[qi]->q.pop_front();
+    pending.fetch_sub(1, std::memory_order_relaxed);
+    steals.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Worker i: own deque LIFO first, then steal FIFO from the others.
+  bool take_any(std::size_t self, Task& out) {
+    if (pop_own(self, out)) return true;
+    for (std::size_t k = 1; k < queues.size(); ++k) {
+      if (steal_from((self + k) % queues.size(), out)) return true;
+    }
+    return false;
+  }
+
+  /// Take one queued task belonging to `g` (used by waiting threads, which
+  /// only help their own region).
+  bool take_group(const GroupState* g, Task& out) {
+    for (auto& qp : queues) {
+      std::lock_guard<std::mutex> lk(qp->m);
+      for (auto it = qp->q.begin(); it != qp->q.end(); ++it) {
+        if (it->group.get() == g) {
+          out = std::move(*it);
+          qp->q.erase(it);
+          pending.fetch_sub(1, std::memory_order_relaxed);
+          steals.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void run_task(Task& t) {
+    GroupState& g = *t.group;
+    if (!g.abort.load(std::memory_order_relaxed) && !should_stop()) {
+      try {
+        t.fn();
+        tasks_run.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(g.m);
+        if (!g.error) g.error = std::current_exception();
+        g.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    std::lock_guard<std::mutex> lk(g.m);
+    if (--g.outstanding == 0) g.cv.notify_all();
+  }
+
+  void worker_main(std::size_t index) {
+    Task t;
+    while (true) {
+      if (take_any(index, t)) {
+        run_task(t);
+        t = Task{};  // release the group before idling
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(wake_m);
+      wake_cv.wait(lk, [&] {
+        return shutdown.load(std::memory_order_relaxed) ||
+               pending.load(std::memory_order_acquire) > 0;
+      });
+      if (shutdown.load(std::memory_order_relaxed) &&
+          pending.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+    }
+  }
+
+  void submit(std::shared_ptr<GroupState> g, std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lk(g->m);
+      ++g->outstanding;
+    }
+    const std::size_t qi = rr.fetch_add(1, std::memory_order_relaxed) % queues.size();
+    push(qi, Task{std::move(g), std::move(fn)});
+  }
+
+  /// Block until group `g` drains, executing its queued tasks meanwhile.
+  void wait_group(const std::shared_ptr<GroupState>& g) {
+    Task t;
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lk(g->m);
+        if (g->outstanding == 0) break;
+      }
+      if (take_group(g.get(), t)) {
+        run_task(t);
+        t = Task{};
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(g->m);
+      g->cv.wait(lk, [&] { return g->outstanding == 0; });
+      break;
+    }
+  }
+};
+
+const Context& Context::serial() {
+  static const Context ctx(0);
+  return ctx;
+}
+
+Context::Context(std::size_t threads) : impl_(std::make_unique<Impl>()) {
+  impl_->queues.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    impl_->queues.push_back(std::make_unique<Queue>());
+  impl_->workers.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    impl_->workers.emplace_back([this, i] { impl_->worker_main(i); });
+}
+
+Context::~Context() {
+  impl_->shutdown.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(impl_->wake_m);
+  }
+  impl_->wake_cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t Context::threads() const { return impl_->workers.size(); }
+
+std::size_t Context::concurrency() const {
+  return impl_->workers.empty() ? 1 : impl_->workers.size();
+}
+
+std::size_t Context::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) const {
+  if (n == 0) return 0;
+  Impl& im = *impl_;
+  im.regions.fetch_add(1, std::memory_order_relaxed);
+
+  if (im.queues.empty()) {
+    // Inline serial path: index order, immediate exception propagation.
+    std::size_t executed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (im.should_stop()) break;
+      body(i);
+      ++executed;
+      im.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    }
+    return executed;
+  }
+
+  // Index ranges are carved into chunks sized for ~4 chunks per lane so the
+  // stealing has slack to balance uneven task costs. Chunking depends only
+  // on (n, thread count) — never on timing — so the slot a result lands in
+  // is deterministic.
+  const std::size_t lanes = im.queues.size() + 1;
+  const std::size_t chunk = std::max<std::size_t>(1, n / (lanes * 4));
+  auto g = std::make_shared<GroupState>();
+  for (std::size_t lo = 0; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    im.submit(g, [&im, &body, g_raw = g.get(), lo, hi] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (g_raw->abort.load(std::memory_order_relaxed) || im.should_stop())
+          return;
+        body(i);
+        g_raw->executed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  im.wait_group(g);
+  if (g->error) std::rethrow_exception(g->error);
+  return g->executed.load(std::memory_order_relaxed);
+}
+
+void Context::request_cancel() const {
+  impl_->cancel.store(true, std::memory_order_relaxed);
+}
+
+void Context::reset_cancel() const {
+  impl_->cancel.store(false, std::memory_order_relaxed);
+}
+
+bool Context::cancel_requested() const { return impl_->should_stop(); }
+
+void Context::attach_budget(const numeric::SolveBudget* budget) const {
+  impl_->budget.store(budget, std::memory_order_relaxed);
+}
+
+ContextStats Context::stats() const {
+  ContextStats s;
+  s.threads = impl_->workers.size();
+  s.tasks_run = impl_->tasks_run.load(std::memory_order_relaxed);
+  s.steals = impl_->steals.load(std::memory_order_relaxed);
+  s.max_queue_depth = impl_->max_depth.load(std::memory_order_relaxed);
+  s.parallel_regions = impl_->regions.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Context::reset_stats() const {
+  impl_->tasks_run.store(0, std::memory_order_relaxed);
+  impl_->steals.store(0, std::memory_order_relaxed);
+  impl_->max_depth.store(0, std::memory_order_relaxed);
+  impl_->regions.store(0, std::memory_order_relaxed);
+}
+
+std::string ContextStats::summary() const {
+  std::ostringstream ss;
+  if (threads == 0) {
+    ss << "serial inline, " << tasks_run << " tasks over " << parallel_regions
+       << " regions";
+  } else {
+    ss << threads << " worker threads, " << tasks_run << " tasks over "
+       << parallel_regions << " regions, " << steals << " steals, max queue depth "
+       << max_queue_depth;
+  }
+  return ss.str();
+}
+
+TaskGroup::TaskGroup(const Context& ctx)
+    : ctx_(ctx), state_(std::make_shared<State>()) {
+  ctx.impl_->regions.fetch_add(1, std::memory_order_relaxed);
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor swallows; call wait() for the exception.
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  Context::Impl& im = *ctx_.impl_;
+  if (im.queues.empty()) {
+    // Inline: run now unless the group already failed / context cancelled.
+    if (state_->abort.load(std::memory_order_relaxed) || im.should_stop()) return;
+    try {
+      fn();
+      state_->executed.fetch_add(1, std::memory_order_relaxed);
+      im.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      if (!state_->error) state_->error = std::current_exception();
+      state_->abort.store(true, std::memory_order_relaxed);
+    }
+    return;
+  }
+  im.submit(state_, [st = state_.get(), &im, fn = std::move(fn)] {
+    fn();
+    st->executed.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void TaskGroup::wait() {
+  ctx_.impl_->wait_group(state_);
+  if (state_->error) {
+    // One rethrow per wait(); leave abort set so later run() calls no-op.
+    std::exception_ptr e = state_->error;
+    state_->error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace stco::exec

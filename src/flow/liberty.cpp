@@ -64,28 +64,43 @@ double checked(TimingLibrary& lib, double v) {
 }  // namespace
 
 TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
-                                  const LibraryBuildOptions& opts) {
+                                  const LibraryBuildOptions& opts,
+                                  const exec::Context& ctx) {
   TimingLibrary lib;
   lib.tech = tech;
-  for (const auto& name : effective_cells(opts)) {
+  const auto names = effective_cells(opts);
+  const std::size_t ns = opts.slew_axis.size();
+  const std::size_t nl = opts.load_axis.size();
+  const std::size_t per_cell = ns * nl;
+
+  // One task per (cell, slew, load) grid point. Each characterization fans
+  // its own arc measurements out on the same context (nested regions).
+  auto chars = ctx.map(names.size() * per_cell, [&](std::size_t j) {
+    const auto& def = cells::find_cell(names[j / per_cell]);
+    cells::CharConfig cfg;
+    cfg.tech = tech;
+    cfg.sizing = opts.sizing;
+    cfg.input_slew = opts.slew_axis[(j % per_cell) / nl];
+    cfg.load_cap = opts.load_axis[j % nl];
+    cfg.dt = opts.char_dt;
+    cfg.time_unit = opts.char_time_unit;
+    return cells::characterize_cell(def, cfg, ctx);
+  });
+
+  // Grid-ordered merge: identical accumulation order to the serial loops.
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    const auto& name = names[c];
     const auto& def = cells::find_cell(name);
     CellTiming ct;
     ct.slew_axis = opts.slew_axis;
     ct.load_axis = opts.load_axis;
-    ct.delay.resize(opts.slew_axis.size(), opts.load_axis.size());
-    ct.out_slew.resize(opts.slew_axis.size(), opts.load_axis.size());
+    ct.delay.resize(ns, nl);
+    ct.out_slew.resize(ns, nl);
     ct.transistors = def.num_transistors();
 
-    for (std::size_t si = 0; si < opts.slew_axis.size(); ++si) {
-      for (std::size_t li = 0; li < opts.load_axis.size(); ++li) {
-        cells::CharConfig cfg;
-        cfg.tech = tech;
-        cfg.sizing = opts.sizing;
-        cfg.input_slew = opts.slew_axis[si];
-        cfg.load_cap = opts.load_axis[li];
-        cfg.dt = opts.char_dt;
-        cfg.time_unit = opts.char_time_unit;
-        const auto ch = cells::characterize_cell(def, cfg);
+    for (std::size_t si = 0; si < ns; ++si) {
+      for (std::size_t li = 0; li < nl; ++li) {
+        const auto& ch = chars[c * per_cell + si * nl + li];
         lib.robustness.merge(ch.stats);
         lib.dropped_arcs += ch.failed_sims;
         // A characterization that lost every timing arc to simulation
@@ -99,7 +114,7 @@ TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
         }
         ct.delay(si, li) = checked(lib, wd);
         ct.out_slew(si, li) = checked(lib, ws);
-        if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
+        if (si == ns / 2 && li == nl / 2) {
           ct.leakage = ch.leakage_power;
           ct.flip_energy = ch.mean_flip_energy();
           if (!ch.nonflip.empty()) {
@@ -121,12 +136,23 @@ TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
 
 TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
                                 const compact::TechnologyPoint& tech,
-                                const LibraryBuildOptions& opts) {
+                                const LibraryBuildOptions& opts,
+                                const exec::Context& ctx) {
   TimingLibrary lib;
   lib.tech = tech;
-  for (const auto& name : effective_cells(opts)) {
-    const auto& def = cells::find_cell(name);
+  const auto names = effective_cells(opts);
+
+  // One task per cell; raw predictions go through checked() at the
+  // grid-ordered merge so `lib.complete` accounting matches the serial path.
+  struct GnnJob {
     CellTiming ct;
+    double dff_setup = 0.0;
+  };
+  auto jobs = ctx.map(names.size(), [&](std::size_t c) {
+    GnnJob job;
+    const auto& name = names[c];
+    const auto& def = cells::find_cell(name);
+    CellTiming& ct = job.ct;
     ct.slew_axis = opts.slew_axis;
     ct.load_axis = opts.load_axis;
     ct.delay.resize(opts.slew_axis.size(), opts.load_axis.size());
@@ -156,21 +182,31 @@ TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
         const auto g = charlib::encode_cell(
             def, tech, opts.sizing, ctx_for(opts.slew_axis[si], opts.load_axis[li]),
             opts.scales);
-        ct.delay(si, li) = checked(lib, model.predict(g, cells::Metric::kDelay));
-        ct.out_slew(si, li) =
-            checked(lib, model.predict(g, cells::Metric::kOutputSlew));
+        ct.delay(si, li) = model.predict(g, cells::Metric::kDelay);
+        ct.out_slew(si, li) = model.predict(g, cells::Metric::kOutputSlew);
         if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
           ct.leakage = model.predict(g, cells::Metric::kLeakagePower);
           ct.flip_energy = model.predict(g, cells::Metric::kFlipPower);
           ct.nonflip_energy = model.predict(g, cells::Metric::kNonFlipPower);
           ct.input_cap = model.predict(g, cells::Metric::kCapacitance);
           if (def.sequential)
-            lib.dff_setup =
-                std::max(lib.dff_setup, model.predict(g, cells::Metric::kMinSetup));
+            job.dff_setup = model.predict(g, cells::Metric::kMinSetup);
         }
       }
     }
-    lib.cells.emplace(name, std::move(ct));
+    return job;
+  });
+
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    CellTiming& ct = jobs[c].ct;
+    for (std::size_t si = 0; si < ct.slew_axis.size(); ++si) {
+      for (std::size_t li = 0; li < ct.load_axis.size(); ++li) {
+        ct.delay(si, li) = checked(lib, ct.delay(si, li));
+        ct.out_slew(si, li) = checked(lib, ct.out_slew(si, li));
+      }
+    }
+    lib.dff_setup = std::max(lib.dff_setup, jobs[c].dff_setup);
+    lib.cells.emplace(names[c], std::move(ct));
   }
   finalize_sequential(lib);
   return lib;

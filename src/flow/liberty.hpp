@@ -18,6 +18,7 @@
 
 #include "src/cells/characterize.hpp"
 #include "src/charlib/model.hpp"
+#include "src/exec/context.hpp"
 #include "src/numeric/matrix.hpp"
 #include "src/numeric/status.hpp"
 
@@ -71,15 +72,20 @@ struct LibraryBuildOptions {
   charlib::CellScales scales{};
 };
 
-/// Characterize through SPICE (slow, reference).
+/// Characterize through SPICE (slow, reference). Grid points — one task per
+/// (cell, slew, load) — run on `ctx`, and each characterization fans its arc
+/// measurements out on the same context; results merge in grid order, so the
+/// library is bit-identical for any thread count.
 TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
-                                  const LibraryBuildOptions& opts = {});
+                                  const LibraryBuildOptions& opts = {},
+                                  const exec::Context& ctx = exec::Context::serial());
 
 /// Predict through the trained GNN (fast). The model must have been trained
-/// on a compatible corner range.
+/// on a compatible corner range. Cells are predicted as tasks on `ctx`.
 TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
                                 const compact::TechnologyPoint& tech,
-                                const LibraryBuildOptions& opts = {});
+                                const LibraryBuildOptions& opts = {},
+                                const exec::Context& ctx = exec::Context::serial());
 
 /// Cells the benchmark generators emit (the subset a library must cover).
 const std::vector<std::string>& mapped_cell_set();

@@ -9,7 +9,8 @@
 namespace stco::gnn {
 
 TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_loss,
-                 std::size_t n_samples, const TrainConfig& cfg) {
+                 std::size_t n_samples, const TrainConfig& cfg,
+                 const exec::Context& ctx) {
   if (n_samples == 0) throw std::invalid_argument("train: empty dataset");
   tensor::Adam opt(std::move(params), cfg.lr);
   numeric::Rng rng(cfg.shuffle_seed);
@@ -27,17 +28,25 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
     std::size_t batches = 0;
     for (std::size_t start = 0; start < n_samples; start += cfg.batch_size) {
       const std::size_t end = std::min(start + cfg.batch_size, n_samples);
+      const double inv = 1.0 / static_cast<double>(end - start);
       opt.zero_grad();
-      tensor::Tensor batch_loss;
-      for (std::size_t k = start; k < end; ++k) {
-        tensor::Tensor l = sample_loss(order[k]);
-        batch_loss = batch_loss.defined() ? tensor::add(batch_loss, l) : l;
+      // Forward passes build independent autograd graphs (they share only
+      // the read-only parameter leaves), so they run as parallel tasks.
+      auto losses = ctx.map(
+          end - start, [&](std::size_t k) { return sample_loss(order[start + k]); });
+      // Backward runs serially in batch-index order: each sample's gradient
+      // lands on the shared parameters in the same sequence regardless of
+      // thread count, keeping the training trajectory deterministic.
+      double batch_sum = 0.0;
+      for (auto& l : losses) {
+        if (!l.defined()) continue;  // iteration skipped by cancellation
+        tensor::Tensor scaled = tensor::scale(l, inv);
+        scaled.backward();
+        batch_sum += l.item();
       }
-      batch_loss = tensor::scale(batch_loss, 1.0 / static_cast<double>(end - start));
-      batch_loss.backward();
       if (cfg.grad_clip > 0) opt.clip_grad_norm(cfg.grad_clip);
       opt.step();
-      epoch_loss += batch_loss.item();
+      epoch_loss += batch_sum * inv;
       ++batches;
     }
     epoch_loss /= static_cast<double>(batches);

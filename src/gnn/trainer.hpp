@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/exec/context.hpp"
 #include "src/numeric/rng.hpp"
 #include "src/tensor/optim.hpp"
 
@@ -34,7 +35,13 @@ using SampleLossFn = std::function<tensor::Tensor(std::size_t)>;
 
 /// Train `params` with Adam over `n_samples` samples. Each optimizer step
 /// averages the losses of one shuffled mini-batch.
+///
+/// Mini-batch forward passes (independent autograd graph builds) run as
+/// tasks on `ctx`; the per-sample backward passes then run serially in
+/// batch-index order, so gradient accumulation — and hence the entire
+/// training trajectory — is bit-identical for any thread count.
 TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_loss,
-                 std::size_t n_samples, const TrainConfig& cfg);
+                 std::size_t n_samples, const TrainConfig& cfg,
+                 const exec::Context& ctx = exec::Context::serial());
 
 }  // namespace stco::gnn

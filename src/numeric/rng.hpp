@@ -9,6 +9,25 @@
 
 namespace stco::numeric {
 
+/// SplitMix64 finalizer: avalanche a 64-bit value. Used both to expand
+/// seeds into generator state and to derive independent stream seeds.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash a (master seed, stream index) pair into one well-mixed seed. Every
+/// parallel task / dataset sample derives its generator as
+/// `Rng(mix_seed(seed, i))`, which makes sample i's randomness a pure
+/// function of (seed, i): independent of how many samples preceded it, of
+/// retries, and of the thread that computes it.
+inline std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) ^ splitmix64(stream * 0xD1342543DE82EF95ULL + 1));
+}
+
 /// xoshiro256** generator. Deterministic across platforms, cheap to copy,
 /// and good enough statistically for Monte-Carlo style dataset synthesis.
 class Rng {
@@ -72,5 +91,10 @@ class Rng {
   }
   std::uint64_t state_[4]{};
 };
+
+/// Generator for stream `stream` of master seed `seed` (see mix_seed).
+inline Rng stream_rng(std::uint64_t seed, std::uint64_t stream) {
+  return Rng(mix_seed(seed, stream));
+}
 
 }  // namespace stco::numeric

@@ -1,5 +1,6 @@
 #include "src/stco/loop.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace stco {
@@ -8,63 +9,130 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
+
+LibraryBackend backend_for(const charlib::CellCharModel* model) {
+  if (model) return GnnBackend{*model};
+  return SpiceBackend{};
+}
 }  // namespace
 
+StcoEngine::StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
+                       const exec::Context& ctx)
+    : cfg_(cfg),
+      backend_(std::move(backend)),
+      ctx_(&ctx),
+      netlist_(flow::make_benchmark(cfg.benchmark)) {}
+
 StcoEngine::StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model)
-    : cfg_(cfg), model_(model), netlist_(flow::make_benchmark(cfg.benchmark)) {}
+    : StcoEngine(cfg, backend_for(model)) {}
+
+StcoEngine::TechKey StcoEngine::key_of(const compact::TechnologyPoint& tech) {
+  return TechKey{static_cast<int>(tech.kind), tech.vdd, tech.vth, tech.cox};
+}
 
 flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
   const auto t0 = std::chrono::steady_clock::now();
-  flow::TimingLibrary lib =
-      model_ ? flow::build_library_gnn(*model_, tech, cfg_.lib_opts)
-             : flow::build_library_spice(tech, cfg_.lib_opts);
+  flow::TimingLibrary lib = std::visit(
+      [&](const auto& b) -> flow::TimingLibrary {
+        if constexpr (std::is_same_v<std::decay_t<decltype(b)>, GnnBackend>)
+          return flow::build_library_gnn(b.model, tech, cfg_.lib_opts, *ctx_);
+        else
+          return flow::build_library_spice(tech, cfg_.lib_opts, *ctx_);
+      },
+      backend_);
   if (cfg_.library_hook) cfg_.library_hook(lib);
-  timing_.library_seconds += seconds_since(t0);
-  stats_.merge(lib.robustness);
+  timing_.library_seconds.fetch_add(seconds_since(t0));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.merge(lib.robustness);
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
   auto rep = flow::analyze(netlist_, lib, cfg_.sta_opts);
-  timing_.sta_seconds += seconds_since(t1);
-  ++timing_.evaluations;
+  timing_.sta_seconds.fetch_add(seconds_since(t1));
+  timing_.evaluations.fetch_add(1);
   // Degradation gate: an incomplete library or non-finite PPA marks the
   // point infeasible so cost() can substitute a finite penalty instead of
   // letting NaN leak into the RL reward.
   if (!lib.complete || !std::isfinite(rep.min_period) ||
       !std::isfinite(rep.total_power) || !std::isfinite(rep.area)) {
     rep.infeasible = true;
+    std::lock_guard<std::mutex> lk(mu_);
     ++infeasible_evaluations_;
   }
   return rep;
 }
 
 const PpaWeights& StcoEngine::weights() {
-  if (!weights_ready_) {
+  std::call_once(weights_once_, [&] {
     const TechGrid grid(cfg_.ranges, cfg_.grid_n);
     const auto nominal = evaluate(grid.point(grid.num_states() / 2));
     weights_ = calibrated_weights(nominal, cfg_.w_delay, cfg_.w_power, cfg_.w_area);
-    weights_ready_ = true;
-  }
+  });
   return weights_;
 }
 
 double StcoEngine::cost(const compact::TechnologyPoint& tech) {
   const auto& w = weights();
+  const TechKey key = key_of(tech);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = cost_cache_.find(key);
+    if (it != cost_cache_.end()) return it->second;
+  }
+  // Evaluate outside the lock: this is the expensive part, and concurrent
+  // prefetch tasks must not serialize on it. Two tasks racing on the same
+  // uncached point both compute the same deterministic value; emplace keeps
+  // the first and the duplicate work is bounded by one evaluation.
   const auto rep = evaluate(tech);
-  if (rep.infeasible) return cfg_.infeasible_penalty;
-  const double c = w.cost(rep);
-  return std::isfinite(c) ? c : cfg_.infeasible_penalty;
+  double c = rep.infeasible ? cfg_.infeasible_penalty : w.cost(rep);
+  if (!std::isfinite(c)) c = cfg_.infeasible_penalty;
+  std::lock_guard<std::mutex> lk(mu_);
+  return cost_cache_.emplace(key, c).first->second;
+}
+
+void StcoEngine::prefetch_costs(const TechGrid& grid,
+                                const std::vector<std::size_t>& states) {
+  if (ctx_->threads() == 0) return;  // speculation never pays off inline
+  std::vector<std::size_t> todo(states);
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    todo.erase(std::remove_if(todo.begin(), todo.end(),
+                              [&](std::size_t s) {
+                                return cost_cache_.count(key_of(grid.point(s))) > 0;
+                              }),
+               todo.end());
+  }
+  if (todo.empty()) return;
+  weights();  // calibrate once up front so tasks don't pile up on call_once
+  ctx_->parallel_for(todo.size(),
+                     [&](std::size_t i) { (void)cost(grid.point(todo[i])); });
 }
 
 SearchResult StcoEngine::optimize() {
   const TechGrid grid(cfg_.ranges, cfg_.grid_n);
+  SearchHooks hooks;
+  if (ctx_->threads() > 0)
+    hooks.prefetch = [this, &grid](const std::vector<std::size_t>& states) {
+      prefetch_costs(grid, states);
+    };
   return q_learning_search(
-      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, cfg_.rl);
+      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, cfg_.rl,
+      hooks);
 }
 
 SearchResult StcoEngine::optimize_random(std::size_t budget) {
   const TechGrid grid(cfg_.ranges, cfg_.grid_n);
+  SearchHooks hooks;
+  if (ctx_->threads() > 0)
+    hooks.prefetch = [this, &grid](const std::vector<std::size_t>& states) {
+      prefetch_costs(grid, states);
+    };
   return random_search(
-      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, budget);
+      grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, budget, 11,
+      hooks);
 }
 
 }  // namespace stco

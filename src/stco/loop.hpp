@@ -3,9 +3,15 @@
 // -> cell library (GNN fast path or SPICE traditional path) -> system
 // evaluation (STA + power + area) -> PPA cost -> RL exploration.
 
+#include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <variant>
 
+#include "src/exec/context.hpp"
 #include "src/flow/benchmarks.hpp"
 #include "src/flow/sta.hpp"
 #include "src/stco/ppa.hpp"
@@ -36,35 +42,76 @@ struct StcoConfig {
   }
 };
 
-/// Wall-clock accounting for one engine's lifetime.
+/// Wall-clock accounting for one engine's lifetime. Evaluations may run
+/// concurrently (candidate prefetch), so the counters are atomic; field
+/// reads implicitly load, and printf-style consumers must call .load().
 struct StcoTiming {
-  double library_seconds = 0.0;  ///< technology loop (TCAD-side excluded)
-  double sta_seconds = 0.0;      ///< system evaluation
-  std::size_t evaluations = 0;
+  std::atomic<double> library_seconds{0.0};  ///< technology loop (TCAD excluded)
+  std::atomic<double> sta_seconds{0.0};      ///< system evaluation
+  std::atomic<std::size_t> evaluations{0};
+
+  StcoTiming() = default;
+  StcoTiming(const StcoTiming& o)
+      : library_seconds(o.library_seconds.load()),
+        sta_seconds(o.sta_seconds.load()),
+        evaluations(o.evaluations.load()) {}
+  StcoTiming& operator=(const StcoTiming& o) {
+    library_seconds.store(o.library_seconds.load());
+    sta_seconds.store(o.sta_seconds.load());
+    evaluations.store(o.evaluations.load());
+    return *this;
+  }
 };
+
+/// Library-build backend selection, replacing the old nullable-pointer mode
+/// switch: SpiceBackend runs transistor-level characterization (the paper's
+/// traditional path), GnnBackend infers through a trained model (the fast
+/// path). The referenced model must outlive the engine.
+struct SpiceBackend {};
+struct GnnBackend {
+  const charlib::CellCharModel& model;
+};
+using LibraryBackend = std::variant<SpiceBackend, GnnBackend>;
 
 class StcoEngine {
  public:
-  /// `model` non-null selects the GNN fast path for library building;
-  /// null falls back to transistor-level SPICE characterization.
+  /// `backend` selects how per-point libraries are built; `ctx` is where
+  /// this engine runs its parallel work (library builds fan out arc
+  /// characterizations; the searches prefetch candidate evaluations). The
+  /// context must outlive the engine. The default serial context reproduces
+  /// single-threaded behavior exactly.
+  StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
+             const exec::Context& ctx = exec::Context::serial());
+
+  /// Old nullable-pointer mode switch: non-null model = GNN fast path.
+  [[deprecated("pass a LibraryBackend (SpiceBackend{} / GnnBackend{model})")]]
   StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model);
 
-  /// Library + STA at one technology point (uncached; the searches cache).
+  /// Library + STA at one technology point (uncached; cost() memoizes).
+  /// Thread-safe: may be called from concurrent prefetch tasks.
   flow::StaReport evaluate(const compact::TechnologyPoint& tech);
 
   /// Scalar PPA cost (weights calibrated on the mid-grid nominal point at
-  /// first use).
+  /// first use). Memoized per technology point under a mutex, so concurrent
+  /// candidate prefetch and the serial search replay see identical values.
   double cost(const compact::TechnologyPoint& tech);
 
-  /// RL exploration over the technology grid.
+  /// RL exploration over the technology grid. On a threaded context the
+  /// candidate next-states of each step are prefetched concurrently; the
+  /// search trajectory is unchanged because costs are deterministic and
+  /// memoized.
   SearchResult optimize();
-  /// Random-search baseline with a comparable budget.
+  /// Random-search baseline with a comparable budget (prefetches the whole
+  /// drawn sequence on a threaded context).
   SearchResult optimize_random(std::size_t budget);
 
   const StcoTiming& timing() const { return timing_; }
   const flow::GateNetlist& netlist() const { return netlist_; }
   const PpaWeights& weights();
-  bool fast_path() const { return model_ != nullptr; }
+  bool fast_path() const { return std::holds_alternative<GnnBackend>(backend_); }
+
+  /// Execution context this engine schedules its parallel work on.
+  const exec::Context& context() const { return *ctx_; }
 
   /// Solver robustness counters aggregated over every library built by this
   /// engine (empty on the GNN path, which runs no solver).
@@ -73,14 +120,24 @@ class StcoEngine {
   std::size_t infeasible_evaluations() const { return infeasible_evaluations_; }
 
  private:
+  using TechKey = std::tuple<int, double, double, double>;
+  static TechKey key_of(const compact::TechnologyPoint& tech);
+
+  /// Warm the cost cache for `states` concurrently. No-op on a serial
+  /// context (speculative evaluation only pays off with extra lanes).
+  void prefetch_costs(const TechGrid& grid, const std::vector<std::size_t>& states);
+
   StcoConfig cfg_;
-  const charlib::CellCharModel* model_;
+  LibraryBackend backend_;
+  const exec::Context* ctx_;
   flow::GateNetlist netlist_;
   StcoTiming timing_;
   PpaWeights weights_{};
-  bool weights_ready_ = false;
+  std::once_flag weights_once_;
   numeric::RobustnessStats stats_;
   std::size_t infeasible_evaluations_ = 0;
+  std::mutex mu_;  ///< guards stats_, infeasible_evaluations_, cost_cache_
+  std::map<TechKey, double> cost_cache_;
 };
 
 }  // namespace stco

@@ -31,8 +31,8 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
 
   os << "## Search\n\n";
   os << "- unique technology evaluations: " << in.search.unique_evaluations << "\n";
-  os << "- wall time: library characterization " << in.timing.library_seconds
-     << " s, system evaluation " << in.timing.sta_seconds << " s\n";
+  os << "- wall time: library characterization " << in.timing.library_seconds.load()
+     << " s, system evaluation " << in.timing.sta_seconds.load() << " s\n";
   if (!in.search.best_cost_history.empty()) {
     os << "- best-cost trajectory:";
     const auto& h = in.search.best_cost_history;
@@ -52,7 +52,8 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
   os << "- budget exhaustions: " << in.robustness.budget_exhausted
      << ", degraded fallbacks: " << in.robustness.fallbacks << "\n";
   os << "- infeasible technology evaluations: " << in.infeasible_evaluations
-     << "\n\n";
+     << "\n";
+  os << "- execution: " << in.exec_stats.summary() << "\n\n";
 
   if (!in.pareto.front.empty()) {
     os << "## Pareto front (delay / power / area)\n\n";

@@ -24,6 +24,9 @@ struct RunReportInputs {
   numeric::RobustnessStats robustness{};
   /// Technology points that degraded to the infeasible penalty.
   std::size_t infeasible_evaluations = 0;
+  /// Scheduler counters from the engine's execution context
+  /// (engine.context().stats()).
+  exec::ContextStats exec_stats{};
 };
 
 /// Render the report as Markdown.

@@ -54,12 +54,27 @@ struct SearchResult {
   std::vector<double> best_cost_history;  ///< best-so-far per step
 };
 
-/// Tabular Q-learning over the grid (7 actions: +-1 per axis, stay).
-SearchResult q_learning_search(const TechGrid& grid, const CostFn& cost,
-                               const RlConfig& cfg = {});
+/// Optional side channels into a search. `prefetch` is called with grid
+/// states the search may evaluate soon; a parallel engine can warm its cost
+/// cache concurrently. Purely a latency hint — the search trajectory must
+/// not depend on whether (or how much of) a prefetch completes, which holds
+/// as long as the cost function is deterministic and memoized.
+struct SearchHooks {
+  std::function<void(const std::vector<std::size_t>&)> prefetch;
+};
 
-/// Random search with the same step budget (ablation baseline).
+/// Tabular Q-learning over the grid (7 actions: +-1 per axis, stay). Before
+/// each step the candidate successors of the current state are announced via
+/// `hooks.prefetch`.
+SearchResult q_learning_search(const TechGrid& grid, const CostFn& cost,
+                               const RlConfig& cfg = {},
+                               const SearchHooks& hooks = {});
+
+/// Random search with the same step budget (ablation baseline). The state
+/// sequence depends only on `seed`, so it is drawn up front and announced as
+/// one `hooks.prefetch` batch before the serial replay.
 SearchResult random_search(const TechGrid& grid, const CostFn& cost,
-                           std::size_t budget, std::uint64_t seed = 11);
+                           std::size_t budget, std::uint64_t seed = 11,
+                           const SearchHooks& hooks = {});
 
 }  // namespace stco

@@ -10,61 +10,98 @@ double normalize_current(double id_amps) {
 
 double denormalize_current(double y) { return std::pow(10.0, 6.0 * y - 9.0); }
 
-std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
-                                              const PopulationOptions& opts) {
+namespace {
+
+/// One fully-evaluated attempt: a pure function of (seed, attempt index).
+struct AttemptResult {
+  DeviceSample sample;
+  numeric::RobustnessStats solver;
+  bool ok = false;
+};
+
+AttemptResult evaluate_attempt(std::uint64_t seed, std::size_t attempt,
+                               const PopulationOptions& opts) {
+  AttemptResult r;
+  numeric::Rng rng = numeric::stream_rng(seed, attempt);
+  DeviceSample& s = r.sample;
+  auto& dev = s.device;
+  const auto kind = opts.kinds[rng.uniform_index(opts.kinds.size())];
+  dev.semi = tcad::params_for(kind);
+  // Jitter material parameters so each device is "independent" the way a
+  // process-variation study would be.
+  dev.semi.mu0 *= rng.log_uniform(0.6, 1.6);
+  dev.semi.gamma *= rng.uniform(0.8, 1.25);
+  dev.semi.ni *= rng.log_uniform(0.5, 2.0);
+  dev.semi.vth0 *= rng.uniform(0.8, 1.25);
+
+  dev.length = rng.uniform(opts.length_min, opts.length_max);
+  dev.width = dev.length * rng.uniform(2.0, 10.0);
+  dev.t_ox = rng.uniform(opts.tox_min, opts.tox_max);
+  dev.t_ch = rng.uniform(opts.tch_min, opts.tch_max);
+  dev.contact_len = dev.length * rng.uniform(0.15, 0.3);
+  dev.doping = rng.uniform(-opts.doping_mag_max, opts.doping_mag_max);
+
+  const double sign = dev.semi.carrier == tcad::CarrierType::kNType ? 1.0 : -1.0;
+  s.bias.vg = sign * rng.uniform(opts.vg_mag_min, opts.vg_mag_max);
+  s.bias.vd = sign * rng.uniform(opts.vd_mag_min, opts.vd_mag_max);
+  s.bias.vs = 0.0;
+
+  const auto mesh = tcad::build_mesh(dev, s.bias, opts.mesh_nx, opts.mesh_nch,
+                                     opts.mesh_nox);
+  const auto sol = tcad::solve_poisson(dev, s.bias, mesh, opts.poisson);
+  const auto iv = tcad::drain_current_ex(dev, s.bias, opts.transport);
+  s.drain_current = iv.id;
+  r.solver.merge(sol.stats);
+  r.solver.merge(iv.stats);
+  // Drop (and re-draw) devices whose solves failed after the recovery
+  // ladders: unconverged fields / currents must not become ground truth.
+  if (!sol.converged || !iv.valid || !std::isfinite(iv.id)) return r;
+
+  s.poisson_graph = encode_device(dev, s.bias, mesh, sol,
+                                  EncodingTask::kPoissonEmulator, opts.scales);
+  s.iv_graph = encode_device(dev, s.bias, mesh, sol, EncodingTask::kIvPredictor,
+                             opts.scales);
+  s.iv_graph.graph_targets = {normalize_current(s.drain_current)};
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+
+std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t seed,
+                                              const PopulationOptions& opts,
+                                              const exec::Context& ctx) {
   std::vector<DeviceSample> out;
   out.reserve(count);
   const std::size_t max_attempts = count * 4;
-  for (std::size_t attempt = 0; out.size() < count && attempt < max_attempts;
-       ++attempt) {
-    if (opts.stats) ++opts.stats->attempts;
-    DeviceSample s;
-    auto& dev = s.device;
-    const auto kind = opts.kinds[rng.uniform_index(opts.kinds.size())];
-    dev.semi = tcad::params_for(kind);
-    // Jitter material parameters so each device is "independent" the way a
-    // process-variation study would be.
-    dev.semi.mu0 *= rng.log_uniform(0.6, 1.6);
-    dev.semi.gamma *= rng.uniform(0.8, 1.25);
-    dev.semi.ni *= rng.log_uniform(0.5, 2.0);
-    dev.semi.vth0 *= rng.uniform(0.8, 1.25);
+  std::size_t next_attempt = 0;
 
-    dev.length = rng.uniform(opts.length_min, opts.length_max);
-    dev.width = dev.length * rng.uniform(2.0, 10.0);
-    dev.t_ox = rng.uniform(opts.tox_min, opts.tox_max);
-    dev.t_ch = rng.uniform(opts.tch_min, opts.tch_max);
-    dev.contact_len = dev.length * rng.uniform(0.15, 0.3);
-    dev.doping = rng.uniform(-opts.doping_mag_max, opts.doping_mag_max);
-
-    const double sign = dev.semi.carrier == tcad::CarrierType::kNType ? 1.0 : -1.0;
-    s.bias.vg = sign * rng.uniform(opts.vg_mag_min, opts.vg_mag_max);
-    s.bias.vd = sign * rng.uniform(opts.vd_mag_min, opts.vd_mag_max);
-    s.bias.vs = 0.0;
-
-    const auto mesh = tcad::build_mesh(dev, s.bias, opts.mesh_nx, opts.mesh_nch,
-                                       opts.mesh_nox);
-    const auto sol = tcad::solve_poisson(dev, s.bias, mesh);
-    const auto iv = tcad::drain_current_ex(dev, s.bias);
-    s.drain_current = iv.id;
-    if (opts.stats) {
-      opts.stats->solver.merge(sol.stats);
-      opts.stats->solver.merge(iv.stats);
+  // Deficit-sized waves over the attempt-index stream. Each wave evaluates
+  // exactly (count - kept) fresh attempts concurrently and merges them in
+  // attempt order, so the loop consumes the same attempt prefix — and keeps
+  // the same devices — as a serial drop-and-redraw walk of the stream.
+  while (out.size() < count && next_attempt < max_attempts) {
+    const std::size_t wave =
+        std::min(count - out.size(), max_attempts - next_attempt);
+    const std::size_t base = next_attempt;
+    next_attempt += wave;
+    auto results = ctx.map(
+        wave, [&](std::size_t k) { return evaluate_attempt(seed, base + k, opts); });
+    for (auto& r : results) {
+      if (opts.stats) {
+        ++opts.stats->attempts;
+        opts.stats->solver.merge(r.solver);
+        if (!r.ok) ++opts.stats->dropped;
+      }
+      if (r.ok) out.push_back(std::move(r.sample));
     }
-    // Drop (and re-draw) devices whose solves failed after the recovery
-    // ladders: unconverged fields / currents must not become ground truth.
-    if (!sol.converged || !iv.valid || !std::isfinite(iv.id)) {
-      if (opts.stats) ++opts.stats->dropped;
-      continue;
-    }
-
-    s.poisson_graph = encode_device(dev, s.bias, mesh, sol,
-                                    EncodingTask::kPoissonEmulator, opts.scales);
-    s.iv_graph = encode_device(dev, s.bias, mesh, sol, EncodingTask::kIvPredictor,
-                               opts.scales);
-    s.iv_graph.graph_targets = {normalize_current(s.drain_current)};
-    out.push_back(std::move(s));
   }
   return out;
+}
+
+std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
+                                              const PopulationOptions& opts) {
+  return generate_population(count, rng.next_u64(), opts);
 }
 
 }  // namespace stco::surrogate

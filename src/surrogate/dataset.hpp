@@ -3,8 +3,10 @@
 // 50,000-device TCAD dataset (and the 576-device calibrated study of planar
 // CNT devices). Sizes are parameters; the distributional role is identical.
 
+#include <cstdint>
 #include <vector>
 
+#include "src/exec/context.hpp"
 #include "src/gnn/graph.hpp"
 #include "src/numeric/rng.hpp"
 #include "src/surrogate/encoding.hpp"
@@ -47,6 +49,10 @@ struct PopulationOptions {
   double vd_mag_min = 0.1, vd_mag_max = 5.0;
   double doping_mag_max = 3e22;  ///< |N_D - N_A| upper bound [1/m^3]
   EncodingScales scales;
+  /// Solver knobs, exposed so tests can starve the iteration budgets and
+  /// exercise the drop-and-redraw path deterministically.
+  tcad::PoissonOptions poisson{};
+  tcad::TransportOptions transport{};
   /// When non-null, filled with drop counts and solver counters.
   PopulationStats* stats = nullptr;
 };
@@ -57,6 +63,22 @@ struct PopulationOptions {
 /// recovery ladders are dropped and replaced by fresh draws (bounded at 4x
 /// `count` attempts), so the returned set can fall short of `count` only
 /// for a pathologically infeasible option set.
+///
+/// Attempt i draws its randomness from numeric::stream_rng(seed, i), so a
+/// device is a pure function of (seed, attempt index) — independent of how
+/// many samples preceded it, of drops, and of the thread that computes it.
+/// Attempts run as tasks on `ctx` in deficit-sized waves; the kept set,
+/// drop counts, and solver counters are bit-identical for any thread count.
+std::vector<DeviceSample> generate_population(
+    std::size_t count, std::uint64_t seed, const PopulationOptions& opts = {},
+    const exec::Context& ctx = exec::Context::serial());
+
+/// Deprecated shared-generator entry point: draws a seed from `rng` and
+/// forwards to the stream-seeded overload above. Kept for one release so
+/// call sites migrate incrementally; note the sample values differ from the
+/// pre-stream versions (the old sequential draws coupled sample i to every
+/// preceding sample, which is the order-coupling bug the streams fix).
+[[deprecated("use generate_population(count, seed, opts, ctx)")]]
 std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
                                               const PopulationOptions& opts = {});
 

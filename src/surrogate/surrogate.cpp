@@ -14,20 +14,22 @@ TcadSurrogate::TcadSurrogate(const SurrogateConfig& cfg) : cfg_(cfg) {
       gnn::iv_predictor_config(kNodeDim, kEdgeDim, cfg.iv_hidden), rng);
 }
 
-gnn::TrainStats TcadSurrogate::train_poisson(std::span<const DeviceSample> train) {
+gnn::TrainStats TcadSurrogate::train_poisson(std::span<const DeviceSample> train,
+                                             const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].poisson_graph;
     return tensor::mse_loss(poisson_->forward(g), g.node_target_tensor(1));
   };
-  return gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train);
+  return gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train, ctx);
 }
 
-gnn::TrainStats TcadSurrogate::train_iv(std::span<const DeviceSample> train) {
+gnn::TrainStats TcadSurrogate::train_iv(std::span<const DeviceSample> train,
+                                        const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].iv_graph;
     return tensor::mse_loss(iv_->forward(g), g.graph_target_tensor());
   };
-  return gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train);
+  return gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train, ctx);
 }
 
 std::vector<double> TcadSurrogate::predict_potential(const gnn::Graph& g) const {

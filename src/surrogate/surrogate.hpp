@@ -43,8 +43,10 @@ class TcadSurrogate {
 
   /// Train both models. `train` drives gradient steps; `val` is used for
   /// the on_epoch callbacks' reporting only (no early stopping by default).
-  gnn::TrainStats train_poisson(std::span<const DeviceSample> train);
-  gnn::TrainStats train_iv(std::span<const DeviceSample> train);
+  gnn::TrainStats train_poisson(std::span<const DeviceSample> train,
+                                const exec::Context& ctx = exec::Context::serial());
+  gnn::TrainStats train_iv(std::span<const DeviceSample> train,
+                           const exec::Context& ctx = exec::Context::serial());
 
   /// Predicted node potentials in the model's normalized residual units
   /// (deviation from the quasi-Fermi / boundary baseline; see

@@ -43,19 +43,19 @@ TEST(RuntimeModel, MeasuredOverridesApply) {
 TEST(StcoEngine, SpicePathEvaluatesBenchmark) {
   StcoConfig cfg;
   cfg.benchmark = "s298";
-  StcoEngine engine(cfg, nullptr);
+  StcoEngine engine(cfg, SpiceBackend{});
   const TechGrid grid(cfg.ranges, cfg.grid_n);
   const auto rep = engine.evaluate(grid.point(0));
   EXPECT_GT(rep.critical_path, 0.0);
   EXPECT_GT(rep.total_power, 0.0);
-  EXPECT_EQ(engine.timing().evaluations, 1u);
-  EXPECT_GT(engine.timing().library_seconds, 0.0);
+  EXPECT_EQ(engine.timing().evaluations.load(), 1u);
+  EXPECT_GT(engine.timing().library_seconds.load(), 0.0);
 }
 
 TEST(StcoEngine, CostIsFiniteAndCalibrated) {
   StcoConfig cfg;
   cfg.benchmark = "s298";
-  StcoEngine engine(cfg, nullptr);
+  StcoEngine engine(cfg, SpiceBackend{});
   const TechGrid grid(cfg.ranges, cfg.grid_n);
   const double c = engine.cost(grid.point(grid.num_states() / 2));
   // At the calibration point each normalized term is ~1.
@@ -66,7 +66,7 @@ TEST(StcoEngine, CostIsFiniteAndCalibrated) {
 TEST(StcoEngine, VddKnobTradesSpeedForPower) {
   StcoConfig cfg;
   cfg.benchmark = "s386";
-  StcoEngine engine(cfg, nullptr);
+  StcoEngine engine(cfg, SpiceBackend{});
   compact::TechnologyPoint lo{tcad::SemiconductorKind::kCnt, cfg.ranges.vdd_min,
                               0.8, 1.2e-4};
   compact::TechnologyPoint hi = lo;
@@ -83,7 +83,7 @@ TEST(StcoEngine, RlSearchImprovesOverWorstCorner) {
   cfg.grid_n = 3;
   cfg.rl.episodes = 3;
   cfg.rl.steps_per_episode = 6;
-  StcoEngine engine(cfg, nullptr);
+  StcoEngine engine(cfg, SpiceBackend{});
   const auto res = engine.optimize();
   // The found best must not be worse than every corner.
   const TechGrid grid(cfg.ranges, cfg.grid_n);
@@ -107,7 +107,7 @@ TEST(StcoEngine, InjectedLibraryFailureDegradesToFinitePenalty) {
   cfg.library_hook = [bad_vdd](flow::TimingLibrary& lib) {
     if (lib.tech.vdd <= bad_vdd + 1e-12) lib.complete = false;
   };
-  StcoEngine engine(cfg, nullptr);
+  StcoEngine engine(cfg, SpiceBackend{});
 
   compact::TechnologyPoint bad{tcad::SemiconductorKind::kCnt, bad_vdd, 0.8, 1.2e-4};
   const auto rep = engine.evaluate(bad);
@@ -137,38 +137,74 @@ TEST(StcoEngine, InjectedLibraryFailureDegradesToFinitePenalty) {
   EXPECT_GT(engine.robustness().attempts, 0u);
 }
 
-TEST(StcoEngine, GnnFastPathIsFasterThanSpicePath) {
-  // Minimal trained charlib model (normalization only: inference cost is
-  // what the fast path measures, and predictions stay finite/positive).
-  charlib::CellCharModelConfig mcfg;
-  mcfg.train.epochs = 3;
-  static charlib::CellCharModel model(mcfg);
-  static bool ready = false;
-  if (!ready) {
+/// Minimal trained charlib model, built once for the suite (normalization +
+/// a few epochs: inference cost is what the fast path measures, and
+/// predictions stay finite/positive).
+charlib::CellCharModel& tiny_model() {
+  static charlib::CellCharModel model = [] {
+    charlib::CellCharModelConfig mcfg;
+    mcfg.train.epochs = 3;
+    charlib::CellCharModel m(mcfg);
     charlib::DatasetOptions dopts;
     dopts.cell_names = {"INV", "NAND2"};
     dopts.input_slews = {15e-9};
     dopts.output_loads = {40e-15};
     charlib::CornerRanges r;
     const auto tiny = charlib::build_charlib_dataset(charlib::corner_grid(r, 1), dopts);
-    model.fit_normalization(tiny);
-    model.train(tiny);
-    ready = true;
-  }
+    m.fit_normalization(tiny);
+    m.train(tiny);
+    return m;
+  }();
+  return model;
+}
+
+TEST(StcoEngine, GnnFastPathIsFasterThanSpicePath) {
+  charlib::CellCharModel& model = tiny_model();
 
   StcoConfig cfg;
   cfg.benchmark = "s298";
   const TechGrid grid(cfg.ranges, cfg.grid_n);
 
-  StcoEngine fast(cfg, &model);
+  StcoEngine fast(cfg, GnnBackend{model});
   EXPECT_TRUE(fast.fast_path());
   const auto rep = fast.evaluate(grid.point(0));
   EXPECT_GT(rep.critical_path, 0.0);
   EXPECT_TRUE(std::isfinite(rep.total_power));
 
-  StcoEngine slow(cfg, nullptr);
+  StcoEngine slow(cfg, SpiceBackend{});
   (void)slow.evaluate(grid.point(0));
-  EXPECT_LT(fast.timing().library_seconds, 0.2 * slow.timing().library_seconds);
+  EXPECT_LT(fast.timing().library_seconds.load(),
+            0.2 * slow.timing().library_seconds.load());
+}
+
+TEST(StcoEngine, ParallelSearchMatchesSerial) {
+  charlib::CellCharModel& model = tiny_model();
+  StcoConfig cfg;
+  cfg.benchmark = "s298";
+  cfg.grid_n = 3;
+  cfg.rl.episodes = 2;
+  cfg.rl.steps_per_episode = 4;
+
+  // Costs are deterministic and memoized, so concurrent candidate prefetch
+  // must leave the search trajectory — not just the final point — unchanged.
+  StcoEngine serial(cfg, GnnBackend{model});
+  const auto a = serial.optimize();
+  exec::Context ctx(4);
+  StcoEngine par(cfg, GnnBackend{model}, ctx);
+  const auto b = par.optimize();
+  EXPECT_EQ(a.best_state, b.best_state);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.unique_evaluations, b.unique_evaluations);
+  EXPECT_EQ(a.best_cost_history, b.best_cost_history);
+
+  const auto ra = serial.optimize_random(6);
+  const auto rb = par.optimize_random(6);
+  EXPECT_EQ(ra.best_state, rb.best_state);
+  EXPECT_DOUBLE_EQ(ra.best_cost, rb.best_cost);
+  EXPECT_EQ(ra.best_cost_history, rb.best_cost_history);
+
+  // The scheduler actually ran tasks for the parallel engine.
+  EXPECT_GT(ctx.stats().tasks_run, 0u);
 }
 
 }  // namespace

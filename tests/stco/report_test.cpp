@@ -80,6 +80,23 @@ TEST(RunReport, RobustnessSectionAlwaysPresent) {
   EXPECT_NE(md.find("infeasible technology evaluations: 2"), std::string::npos);
 }
 
+TEST(RunReport, ExecutionStatsLine) {
+  // Default inputs carry a serial-inline context.
+  const std::string serial = run_report_markdown(sample_inputs());
+  EXPECT_NE(serial.find("- execution: serial inline"), std::string::npos);
+
+  auto in = sample_inputs();
+  in.exec_stats.threads = 8;
+  in.exec_stats.tasks_run = 420;
+  in.exec_stats.steals = 17;
+  in.exec_stats.max_queue_depth = 9;
+  in.exec_stats.parallel_regions = 12;
+  const std::string md = run_report_markdown(in);
+  EXPECT_NE(md.find("8 worker threads"), std::string::npos);
+  EXPECT_NE(md.find("420 tasks"), std::string::npos);
+  EXPECT_NE(md.find("17 steals"), std::string::npos);
+}
+
 TEST(RunReport, WritesFile) {
   write_run_report_file("/tmp/stco_report.md", sample_inputs());
   std::ifstream f("/tmp/stco_report.md");

@@ -9,12 +9,11 @@ namespace {
 /// it once for the whole suite.
 const std::vector<DeviceSample>& population() {
   static const std::vector<DeviceSample> pop = [] {
-    numeric::Rng rng(101);
     PopulationOptions opts;
     opts.mesh_nx = 10;
     opts.mesh_nch = 3;
     opts.mesh_nox = 3;
-    return generate_population(24, rng, opts);
+    return generate_population(24, /*seed=*/101, opts);
   }();
   return pop;
 }
