@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "bench/bench_util.hpp"
 #include "src/charlib/dataset.hpp"
@@ -114,8 +115,8 @@ int main() {
   printf("\nParallel scaling — SPICE library characterization (exec::Context):\n");
   printf("%-9s | %-12s | %-9s | %s\n", "threads", "seconds", "speedup", "scheduler");
   bench::rule('-', 86);
-  std::ofstream json("BENCH_parallel.json");
-  json << "{\n  \"bench\": \"build_library_spice\",\n  \"rows\": [\n";
+  std::ostringstream rows;
+  rows << "  \"rows\": [\n";
   double serial_s = 0.0;
   const std::size_t thread_counts[] = {1, 2, 8};
   for (std::size_t i = 0; i < 3; ++i) {
@@ -129,13 +130,31 @@ int main() {
     const auto st = ctx.stats();
     printf("%-9zu | %-12.2f | %-9.2f | %s\n", nt, secs,
            serial_s / std::max(1e-9, secs), st.summary().c_str());
-    json << "    {\"threads\": " << nt << ", \"seconds\": " << secs
+    rows << "    {\"threads\": " << nt << ", \"seconds\": " << secs
          << ", \"speedup\": " << serial_s / std::max(1e-9, secs)
          << ", \"tasks\": " << st.tasks_run << ", \"steals\": " << st.steals
          << "}" << (i + 1 < 3 ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  rows << "  ]";
+  bench::write_bench_json("BENCH_parallel.json", "build_library_spice", rows.str());
   bench::rule('-', 86);
   printf("(rows written to BENCH_parallel.json)\n");
+
+  // Self-check: the emitted file must be valid JSON and carry the obs
+  // metrics snapshot (schema-tagged) alongside the bench rows.
+  {
+    std::ifstream f("BENCH_parallel.json");
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    const std::string body = ss.str();
+    if (!obs::json_valid(body) ||
+        body.find("\"obs_schema_version\"") == std::string::npos) {
+      std::fprintf(stderr,
+                   "BENCH_parallel.json failed validation: %s\n",
+                   !obs::json_valid(body) ? "not valid JSON"
+                                          : "missing obs_schema_version");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -9,7 +9,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+
+#include "src/obs/obs.hpp"
 
 namespace stco::bench {
 
@@ -31,6 +35,21 @@ inline std::size_t env_size(const char* name, std::size_t small_default,
   if (const char* s = std::getenv("STCO_BENCH_SCALE"))
     if (std::string(s) == "large") return large_default;
   return small_default;
+}
+
+/// Write a bench result file: `{"bench": <name>, <payload>, "obs": {...}}`.
+/// `payload` is a pre-rendered JSON fragment of one or more `"key": value`
+/// members (no surrounding braces). Every bench JSON carries the full
+/// metrics snapshot of the process under "obs" — counters, gauges, and
+/// histograms accumulated by the instrumented layers during the run —
+/// including the "obs_schema_version" tag, so downstream tooling can join
+/// bench numbers with solver/exec telemetry.
+inline void write_bench_json(const std::string& path, const std::string& bench,
+                             const std::string& payload) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_bench_json: cannot open " + path);
+  f << "{\n  \"bench\": \"" << bench << "\",\n" << payload
+    << ",\n  \"obs\": " << obs::snapshot().to_json() << "\n}\n";
 }
 
 inline void rule(char c = '-', int width = 86) {

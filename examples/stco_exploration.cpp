@@ -6,12 +6,17 @@
 #include <cstdio>
 
 #include "src/exec/context.hpp"
+#include "src/obs/obs.hpp"
 #include "src/stco/loop.hpp"
 #include "src/stco/report.hpp"
 #include "src/stco/runtime_model.hpp"
 
 int main() {
   using namespace stco;
+
+  // Root span for the whole exploration; with STCO_TRACE=<path> set, the
+  // run emits a chrome://tracing / Perfetto-loadable JSON trace on exit.
+  obs::Span run_span("stco_exploration");
 
   StcoConfig cfg;
   cfg.benchmark = "s386";
@@ -71,11 +76,8 @@ int main() {
   rpt.benchmark = cfg.benchmark;
   rpt.search = result;
   rpt.best_ppa = best_rep;
-  rpt.timing = engine.timing();
   rpt.fast_path = engine.fast_path();
-  rpt.robustness = engine.robustness();
-  rpt.infeasible_evaluations = engine.infeasible_evaluations();
-  rpt.exec_stats = engine.context().stats();
+  rpt.obs = engine.obs_snapshot();
   write_run_report_file("/tmp/stco_run_report.md", rpt);
   printf("\nrun report written to /tmp/stco_run_report.md\n");
   return 0;

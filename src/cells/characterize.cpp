@@ -1,10 +1,12 @@
 #include "src/cells/characterize.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <stdexcept>
 #include <vector>
 
+#include "src/obs/obs.hpp"
 #include "src/spice/engine.hpp"
 #include "src/spice/measure.hpp"
 
@@ -609,8 +611,21 @@ double CellCharacterization::mean_flip_energy() const {
 
 CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cfg,
                                        const exec::Context& ctx) {
-  return cell.sequential ? characterize_sequential(cell, cfg, ctx)
-                         : characterize_combinational(cell, cfg, ctx);
+  obs::Span span("cells.characterize_cell");
+  span.set_arg(cell.name.c_str());
+  static obs::Counter& c_cells = obs::counter("cells.characterized");
+  static obs::Counter& c_arcs = obs::counter("cells.arcs");
+  static obs::Histogram& h_latency = obs::histogram(
+      "cells.characterize_seconds", {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0});
+  const auto t0 = std::chrono::steady_clock::now();
+  CellCharacterization out = cell.sequential
+                                 ? characterize_sequential(cell, cfg, ctx)
+                                 : characterize_combinational(cell, cfg, ctx);
+  c_cells.add(1);
+  c_arcs.add(out.arcs.size());
+  h_latency.observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
+  return out;
 }
 
 }  // namespace stco::cells

@@ -3,6 +3,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "src/obs/obs.hpp"
+
 namespace stco::charlib {
 
 namespace {
@@ -149,6 +151,8 @@ std::vector<CharSample> samples_from_characterization(
 std::vector<CharSample> build_charlib_dataset(
     const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts,
     const exec::Context& ctx) {
+  obs::Span span("charlib.build_dataset");
+  static obs::Counter& c_samples = obs::counter("charlib.dataset.samples");
   std::vector<const cells::CellDef*> defs;
   if (opts.cell_names.empty()) {
     for (const auto& c : cells::standard_library()) defs.push_back(&c);
@@ -214,6 +218,7 @@ std::vector<CharSample> build_charlib_dataset(
     out.insert(out.end(), std::make_move_iterator(job.samples.begin()),
                std::make_move_iterator(job.samples.end()));
   }
+  c_samples.add(out.size());
   return out;
 }
 

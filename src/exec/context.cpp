@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include "src/obs/obs.hpp"
+
 namespace stco::exec {
 
 // Completion state of one submission region (a parallel_for call or a
@@ -30,7 +32,19 @@ using GroupState = TaskGroup::State;
 struct Task {
   std::shared_ptr<GroupState> group;
   std::function<void()> fn;
+  obs::SpanContext span;         ///< submitter's span, restored in the worker
+  std::uint64_t submit_ns = 0;   ///< for the queue-latency histogram (0 = off)
 };
+
+// Queue latency is only sampled while tracing is on (now_ns() costs two
+// clock reads per task otherwise); the histogram itself is always
+// registered so snapshots have a stable shape.
+obs::Histogram& queue_latency_hist() {
+  static obs::Histogram& h = obs::histogram(
+      "exec.queue_latency_seconds",
+      {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0});
+  return h;
+}
 
 struct Queue {
   std::mutex m;
@@ -134,6 +148,13 @@ struct Context::Impl {
 
   void run_task(Task& t) {
     GroupState& g = *t.group;
+    // Restore the submitter's span as this thread's current span so spans
+    // opened inside the task body parent correctly across the pool hop.
+    obs::TaskScope span_scope(t.span);
+    if (t.submit_ns != 0) {
+      queue_latency_hist().observe(
+          static_cast<double>(obs::now_ns() - t.submit_ns) * 1e-9);
+    }
     if (!g.abort.load(std::memory_order_relaxed) && !should_stop()) {
       try {
         t.fn();
@@ -173,8 +194,13 @@ struct Context::Impl {
       std::lock_guard<std::mutex> lk(g->m);
       ++g->outstanding;
     }
+    Task t{std::move(g), std::move(fn), {}, 0};
+    if (obs::tracing_enabled()) {
+      t.span = obs::current_context();  // reparent across the pool hop
+      t.submit_ns = obs::now_ns();
+    }
     const std::size_t qi = rr.fetch_add(1, std::memory_order_relaxed) % queues.size();
-    push(qi, Task{std::move(g), std::move(fn)});
+    push(qi, std::move(t));
   }
 
   /// Block until group `g` drains, executing its queued tasks meanwhile.
@@ -231,6 +257,8 @@ std::size_t Context::parallel_for(
   if (n == 0) return 0;
   Impl& im = *impl_;
   im.regions.fetch_add(1, std::memory_order_relaxed);
+  // Region span; submitted tasks capture it as their parent (see submit()).
+  obs::Span region_span("exec.parallel_for");
 
   if (im.queues.empty()) {
     // Inline serial path: index order, immediate exception propagation.

@@ -99,7 +99,25 @@ class Context {
   /// as cancellation (nullptr detaches). Prefer the scoped BudgetScope.
   void attach_budget(const numeric::SolveBudget* budget) const;
 
+  /// Snapshot of the scheduler counters.
+  ///
+  /// Memory-ordering contract (audited): every counter is a relaxed
+  /// std::atomic — individual loads never tear (atomicity is unconditional;
+  /// relaxed only weakens ordering *between* objects). The snapshot is a
+  /// *consistent cut* only when the context is quiescent, i.e. every
+  /// parallel_for / TaskGroup::wait has returned on the calling thread:
+  /// each task's counter increments are sequenced before that task releases
+  /// its group mutex, and the waiter acquires the same mutex before
+  /// wait_group() returns, so quiescence gives a full happens-before edge
+  /// from every increment to the stats() loads — no fences or stronger
+  /// orderings are needed. Called concurrently with running regions,
+  /// stats() still returns valid (untorn) values per counter, but the set
+  /// may be mid-update (e.g. tasks_run observed before a steal that
+  /// preceded it).
   ContextStats stats() const;
+  /// Zero the counters. Same contract as stats(): call at quiescence;
+  /// concurrent with running regions it races benignly (increments landing
+  /// around the reset may or may not be kept, but nothing tears).
   void reset_stats() const;
 
  private:

@@ -5,6 +5,7 @@
 
 #include "src/charlib/encoder.hpp"
 #include "src/numeric/stats.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::flow {
 
@@ -66,6 +67,7 @@ double checked(TimingLibrary& lib, double v) {
 TimingLibrary build_library_spice(const compact::TechnologyPoint& tech,
                                   const LibraryBuildOptions& opts,
                                   const exec::Context& ctx) {
+  obs::Span span("flow.build_library_spice");
   TimingLibrary lib;
   lib.tech = tech;
   const auto names = effective_cells(opts);
@@ -138,6 +140,7 @@ TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
                                 const compact::TechnologyPoint& tech,
                                 const LibraryBuildOptions& opts,
                                 const exec::Context& ctx) {
+  obs::Span span("flow.build_library_gnn");
   TimingLibrary lib;
   lib.tech = tech;
   const auto names = effective_cells(opts);

@@ -1,9 +1,11 @@
 #include "src/gnn/trainer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 
+#include "src/obs/obs.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace stco::gnn {
@@ -12,6 +14,11 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
                  std::size_t n_samples, const TrainConfig& cfg,
                  const exec::Context& ctx) {
   if (n_samples == 0) throw std::invalid_argument("train: empty dataset");
+  obs::Span train_span("gnn.train");
+  static obs::Counter& c_epochs = obs::counter("gnn.epochs");
+  static obs::Gauge& g_loss = obs::gauge("gnn.epoch_loss");
+  static obs::Histogram& h_epoch_s = obs::histogram(
+      "gnn.epoch_seconds", {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0});
   tensor::Adam opt(std::move(params), cfg.lr);
   numeric::Rng rng(cfg.shuffle_seed);
 
@@ -20,6 +27,8 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
 
   TrainStats stats;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    obs::Span epoch_span("gnn.epoch");
+    const auto epoch_t0 = std::chrono::steady_clock::now();
     // Fisher-Yates shuffle with our deterministic RNG.
     for (std::size_t i = n_samples; i > 1; --i)
       std::swap(order[i - 1], order[rng.uniform_index(i)]);
@@ -53,6 +62,11 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
     stats.epoch_loss.push_back(epoch_loss);
     stats.final_loss = epoch_loss;
     stats.epochs_run = epoch + 1;
+    c_epochs.add(1);
+    g_loss.set(epoch_loss);
+    h_epoch_s.observe(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - epoch_t0)
+                          .count());
     opt.lr() *= cfg.lr_decay;
     if (cfg.on_epoch && !cfg.on_epoch(epoch, epoch_loss)) break;
   }

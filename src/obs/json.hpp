@@ -1,0 +1,152 @@
+#pragma once
+// Minimal recursive-descent JSON validator (RFC 8259 grammar, no parse
+// tree). Used by the trace round-trip test and by bench binaries to assert
+// that emitted BENCH_*.json / chrome-trace files actually parse — without
+// pulling a JSON library into the tree.
+
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+
+namespace stco::obs {
+
+namespace json_detail {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+  int depth = 0;
+
+  bool eof() const { return i >= s.size(); }
+  char peek() const { return s[i]; }
+  void skip_ws() {
+    while (!eof() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+      ++i;
+  }
+  bool consume(char c) {
+    if (eof() || s[i] != c) return false;
+    ++i;
+    return true;
+  }
+  bool consume_lit(std::string_view lit) {
+    if (s.substr(i, lit.size()) != lit) return false;
+    i += lit.size();
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.consume('"')) return false;
+  while (!c.eof()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control
+    if (ch == '\\') {
+      if (c.eof()) return false;
+      const char esc = c.s[c.i++];
+      switch (esc) {
+        case '"': case '\\': case '/': case 'b': case 'f':
+        case 'n': case 'r': case 't':
+          break;
+        case 'u': {
+          for (int k = 0; k < 4; ++k) {
+            if (c.eof() || !std::isxdigit(static_cast<unsigned char>(c.s[c.i])))
+              return false;
+            ++c.i;
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+  }
+  return false;  // unterminated
+}
+
+inline bool parse_number(Cursor& c) {
+  const std::size_t start = c.i;
+  c.consume('-');
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+  if (c.peek() == '0') {
+    ++c.i;
+  } else {
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  if (!c.eof() && c.peek() == '.') {
+    ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.i;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.i;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.i;
+  }
+  return c.i > start;
+}
+
+inline bool parse_object(Cursor& c) {
+  if (!c.consume('{')) return false;
+  c.skip_ws();
+  if (c.consume('}')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.consume(':')) return false;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(',')) continue;
+    return c.consume('}');
+  }
+}
+
+inline bool parse_array(Cursor& c) {
+  if (!c.consume('[')) return false;
+  c.skip_ws();
+  if (c.consume(']')) return true;
+  while (true) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.consume(',')) {
+      c.skip_ws();
+      continue;
+    }
+    return c.consume(']');
+  }
+}
+
+inline bool parse_value(Cursor& c) {
+  if (++c.depth > 256) return false;  // recursion bound
+  c.skip_ws();
+  if (c.eof()) return false;
+  bool ok;
+  switch (c.peek()) {
+    case '{': ok = parse_object(c); break;
+    case '[': ok = parse_array(c); break;
+    case '"': ok = parse_string(c); break;
+    case 't': ok = c.consume_lit("true"); break;
+    case 'f': ok = c.consume_lit("false"); break;
+    case 'n': ok = c.consume_lit("null"); break;
+    default:  ok = parse_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace json_detail
+
+/// True iff `text` is exactly one syntactically valid JSON value
+/// (surrounding whitespace allowed).
+inline bool json_valid(std::string_view text) {
+  json_detail::Cursor c{text};
+  if (!json_detail::parse_value(c)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace stco::obs

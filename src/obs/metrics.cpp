@@ -1,0 +1,234 @@
+#include "src/obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+
+namespace stco::obs {
+
+namespace {
+
+double bits_to_double(std::uint64_t b) { return std::bit_cast<double>(b); }
+std::uint64_t double_to_bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+// atomic<double>::fetch_add exists in C++20 but not all standard libraries
+// ship it for non-integral types; CAS-loop keeps us portable.
+void atomic_add_double(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min_bits(std::atomic<std::uint64_t>& a, double v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v < bits_to_double(cur) &&
+         !a.compare_exchange_weak(cur, double_to_bits(v),
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max_bits(std::atomic<std::uint64_t>& a, double v) {
+  std::uint64_t cur = a.load(std::memory_order_relaxed);
+  while (v > bits_to_double(cur) &&
+         !a.compare_exchange_weak(cur, double_to_bits(v),
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+// Node-based maps give stable instrument addresses; the registry is leaked
+// so references stay valid through static destruction.
+struct MetricRegistry {
+  std::mutex m;
+  std::map<std::string, Counter> counters;
+  std::map<std::string, Gauge> gauges;
+  std::map<std::string, Histogram> histograms;
+};
+
+MetricRegistry& metric_registry() {
+  static MetricRegistry* r = new MetricRegistry;  // intentionally leaked
+  return *r;
+}
+
+void append_json_number(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_bits_(double_to_bits(std::numeric_limits<double>::infinity())),
+      max_bits_(double_to_bits(-std::numeric_limits<double>::infinity())) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::observe_impl(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+  atomic_min_bits(min_bits_, v);
+  atomic_max_bits(max_bits_, v);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::min() const {
+  if (count() == 0) return 0.0;
+  return bits_to_double(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::max() const {
+  if (count() == 0) return 0.0;
+  return bits_to_double(max_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_bits_.store(double_to_bits(std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+  max_bits_.store(double_to_bits(-std::numeric_limits<double>::infinity()),
+                  std::memory_order_relaxed);
+}
+
+Counter& counter(const std::string& name) {
+  auto& reg = metric_registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  return reg.counters[name];
+}
+
+Gauge& gauge(const std::string& name) {
+  auto& reg = metric_registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  return reg.gauges[name];
+}
+
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  auto& reg = metric_registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  // try_emplace constructs the Histogram in place (it holds atomics, so it
+  // is neither copyable nor movable).
+  return reg.histograms.try_emplace(name, std::move(bounds)).first->second;
+}
+
+std::uint64_t Snapshot::counter_or(const std::string& name,
+                                   std::uint64_t fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double Snapshot::gauge_or(const std::string& name, double fallback) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+const HistogramSnapshot* Snapshot::histogram_or_null(
+    const std::string& name) const {
+  const auto it = histograms.find(name);
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [k, v] : other.counters) counters[k] += v;
+  for (const auto& [k, v] : other.gauges) gauges[k] = v;
+  for (const auto& [k, v] : other.histograms) histograms[k] = v;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out;
+  out += "{\"obs_schema_version\":";
+  out += std::to_string(kSchemaVersion);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;  // metric names are code-controlled identifiers, no escaping
+    out += "\":";
+    out += std::to_string(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":";
+    append_json_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, h] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"sum\":";
+    append_json_number(out, h.sum);
+    out += ",\"min\":";
+    append_json_number(out, h.min);
+    out += ",\"max\":";
+    append_json_number(out, h.max);
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+Snapshot snapshot() {
+  Snapshot snap;
+  if constexpr (!kEnabled) return snap;
+  auto& reg = metric_registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  for (const auto& [name, c] : reg.counters) snap.counters[name] = c.value();
+  for (const auto& [name, g] : reg.gauges) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : reg.histograms) {
+    HistogramSnapshot hs;
+    hs.bounds = h.bounds();
+    hs.buckets = h.bucket_counts();
+    hs.count = h.count();
+    hs.sum = h.sum();
+    hs.min = h.min();
+    hs.max = h.max();
+    snap.histograms[name] = hs;
+  }
+  return snap;
+}
+
+void reset_metrics() {
+  if constexpr (!kEnabled) return;
+  auto& reg = metric_registry();
+  std::lock_guard<std::mutex> lock(reg.m);
+  for (auto& [name, c] : reg.counters) c.reset();
+  for (auto& [name, g] : reg.gauges) g.reset();
+  for (auto& [name, h] : reg.histograms) h.reset();
+}
+
+}  // namespace stco::obs

@@ -1,0 +1,160 @@
+#pragma once
+// Metrics registry: the "how often / how big" half of src/obs.
+//
+// Three instrument kinds, all registered by name in a process-wide
+// registry and read back through an immutable Snapshot:
+//
+//   Counter    monotonically increasing uint64 (events, cache hits)
+//   Gauge      last-written double (current epoch loss, queue depth)
+//   Histogram  fixed upper-bound buckets + count/sum (iterations, latency)
+//
+// Hot-path cost: a Counter::add / Gauge::set / Histogram::observe is a
+// handful of relaxed atomic RMWs — no locks, no allocation. Lookup by
+// name (obs::counter("...") etc.) takes a registry mutex, so call sites
+// cache the reference:
+//
+//   static obs::Counter& hits = obs::counter("stco.cache.hits");
+//   hits.add(1);
+//
+// References returned by the registry are stable for the process lifetime
+// (node-based storage, leaked registry). With STCO_OBS=OFF every
+// instrument method compiles to an empty inline body and snapshots are
+// empty — but Snapshot itself stays a fully functional value type, so
+// reporting code (stco::report) works unchanged in both modes.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/span.hpp"  // kEnabled
+
+namespace stco::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if constexpr (kEnabled) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
+    return 0;
+  }
+  void reset() {
+    if constexpr (kEnabled) value_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge.
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
+    return 0.0;
+  }
+  void reset() {
+    if constexpr (kEnabled) value_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+/// one implicit overflow bucket. Bounds are set at registration and never
+/// change. count/sum/min/max ride along for mean and range reporting.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    if constexpr (kEnabled) observe_impl(v);
+  }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Bucket counts, one per bound plus the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  double min() const;
+  double max() const;
+  double mean() const {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+  void reset();
+
+ private:
+  void observe_impl(double v);
+
+  std::vector<double> bounds_;                    // sorted upper bounds
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // min/max stored as raw bits for lock-free CAS update.
+  std::atomic<std::uint64_t> min_bits_;
+  std::atomic<std::uint64_t> max_bits_;
+};
+
+/// Registry lookup: returns the instrument registered under `name`,
+/// creating it on first use. References stay valid for the process
+/// lifetime. For histograms the bounds apply only on first registration.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+/// Point-in-time copy of a histogram, used inside Snapshot.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Immutable copy of every registered metric. Plain value type — fully
+/// functional even with STCO_OBS=OFF (snapshots are then just empty until
+/// populated by hand with set_counter/set_gauge, which is how
+/// stco::make_run_snapshot keeps reports working in the no-op build).
+struct Snapshot {
+  /// Schema version stamped into to_json() output; bump when the JSON
+  /// layout changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
+  double gauge_or(const std::string& name, double fallback = 0.0) const;
+  const HistogramSnapshot* histogram_or_null(const std::string& name) const;
+  void set_counter(const std::string& name, std::uint64_t v) { counters[name] = v; }
+  void set_gauge(const std::string& name, double v) { gauges[name] = v; }
+  /// Merge `other` into this: counters add, gauges overwrite, histograms
+  /// overwrite (bucket-wise merge is not needed by current callers).
+  void merge(const Snapshot& other);
+
+  /// Single-object JSON: {"obs_schema_version":1,"counters":{...},
+  /// "gauges":{...},"histograms":{...}}. Keys sorted (std::map), so output
+  /// is deterministic for a given snapshot.
+  std::string to_json() const;
+};
+
+/// Copy out every registered metric. Empty with STCO_OBS=OFF.
+Snapshot snapshot();
+/// Zero every registered counter/gauge/histogram (registrations remain).
+void reset_metrics();
+
+}  // namespace stco::obs

@@ -1,0 +1,11 @@
+#pragma once
+// Umbrella header for the observability subsystem: scoped spans +
+// chrome-trace export (span.hpp), counters/gauges/histograms + Snapshot
+// (metrics.hpp), and the standalone JSON validator (json.hpp).
+//
+// See DESIGN.md "Observability" for the span model, the metric naming
+// scheme, and the overhead budget.
+
+#include "src/obs/json.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"

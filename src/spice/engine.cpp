@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/numeric/solve.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::spice {
 
@@ -344,7 +345,32 @@ numeric::Vec TranResult::source_waveform(std::size_t src) const {
   return w;
 }
 
+namespace {
+
+// Records one transient run's telemetry when the enclosing scope exits —
+// per run, never per Newton solve or per timestep, so the obs-ON overhead
+// stays unmeasurable on the integration hot path.
+struct TranRunObs {
+  const TranResult& out;
+  ~TranRunObs() {
+    static obs::Counter& c_runs = obs::counter("spice.transient.runs");
+    static obs::Counter& c_aborts = obs::counter("spice.transient.aborts");
+    static obs::Histogram& h_retries = obs::histogram(
+        "spice.transient.retries", {0.5, 1.5, 3.5, 7.5, 15.5, 31.5, 63.5});
+    c_runs.add(1);
+    if (!out.converged) c_aborts.add(1);
+    h_retries.observe(static_cast<double>(out.stats.total_retries()));
+  }
+};
+
+}  // namespace
+
 DcResult dc_operating_point(const Netlist& nl, double t, const EngineOptions& opts) {
+  obs::Span span("spice.dc_operating_point");
+  static obs::Counter& c_solves = obs::counter("spice.dc.solves");
+  static obs::Counter& c_failures = obs::counter("spice.dc.failures");
+  static obs::Histogram& h_iters = obs::histogram(
+      "spice.dc.iterations", {5, 10, 20, 40, 80, 160, 320});
   const System sys = make_system(nl);
   numeric::Vec x(sys.dim, 0.0);
   DcResult res;
@@ -354,6 +380,9 @@ DcResult dc_operating_point(const Netlist& nl, double t, const EngineOptions& op
   res.newton_iterations = res.status.iterations;
   res.converged = res.status.ok();
   unpack(sys, x, res.node_voltage, res.source_current);
+  c_solves.add(1);
+  if (!res.converged) c_failures.add(1);
+  h_iters.observe(static_cast<double>(res.status.iterations));
   return res;
 }
 
@@ -361,6 +390,7 @@ TranResult transient(const Netlist& nl, double t_stop, double dt,
                      const EngineOptions& opts) {
   if (t_stop <= 0.0 || dt <= 0.0)
     throw std::invalid_argument("transient: nonpositive t_stop or dt");
+  obs::Span span("spice.transient");
   System sys = make_system(nl);
 
   // Time grid: uniform plus source breakpoints.
@@ -393,6 +423,7 @@ TranResult transient(const Netlist& nl, double t_stop, double dt,
   };
 
   TranResult out;
+  TranRunObs run_obs{out};
   out.converged = true;
   numeric::SolveBudget budget = budget_of(opts.retry);
 
@@ -470,6 +501,7 @@ namespace stco::spice {
 TranResult transient_adaptive(const Netlist& nl, double t_stop,
                               const AdaptiveOptions& aopts) {
   if (t_stop <= 0.0) throw std::invalid_argument("transient_adaptive: t_stop");
+  obs::Span span("spice.transient_adaptive");
   const EngineOptions& opts = aopts.engine;
   System sys = make_system(nl);
 
@@ -491,6 +523,7 @@ TranResult transient_adaptive(const Netlist& nl, double t_stop,
                     breakpoints.end());
 
   TranResult out;
+  TranRunObs run_obs{out};
   out.converged = true;
   numeric::SolveBudget budget = budget_of(opts.retry);
 

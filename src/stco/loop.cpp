@@ -9,11 +9,6 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
-
-LibraryBackend backend_for(const charlib::CellCharModel* model) {
-  if (model) return GnnBackend{*model};
-  return SpiceBackend{};
-}
 }  // namespace
 
 StcoEngine::StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
@@ -23,14 +18,16 @@ StcoEngine::StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
       ctx_(&ctx),
       netlist_(flow::make_benchmark(cfg.benchmark)) {}
 
-StcoEngine::StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model)
-    : StcoEngine(cfg, backend_for(model)) {}
-
 StcoEngine::TechKey StcoEngine::key_of(const compact::TechnologyPoint& tech) {
   return TechKey{static_cast<int>(tech.kind), tech.vdd, tech.vth, tech.cox};
 }
 
 flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
+  obs::Span span("stco.evaluate");
+  span.set_arg(fast_path() ? "gnn" : "spice");
+  static obs::Counter& c_evals = obs::counter("stco.evaluations");
+  static obs::Counter& c_infeasible = obs::counter("stco.infeasible_evaluations");
+
   const auto t0 = std::chrono::steady_clock::now();
   flow::TimingLibrary lib = std::visit(
       [&](const auto& b) -> flow::TimingLibrary {
@@ -48,15 +45,20 @@ flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
   }
 
   const auto t1 = std::chrono::steady_clock::now();
-  auto rep = flow::analyze(netlist_, lib, cfg_.sta_opts);
+  auto rep = [&] {
+    obs::Span sta_span("stco.sta");
+    return flow::analyze(netlist_, lib, cfg_.sta_opts);
+  }();
   timing_.sta_seconds.fetch_add(seconds_since(t1));
   timing_.evaluations.fetch_add(1);
+  c_evals.add(1);
   // Degradation gate: an incomplete library or non-finite PPA marks the
   // point infeasible so cost() can substitute a finite penalty instead of
   // letting NaN leak into the RL reward.
   if (!lib.complete || !std::isfinite(rep.min_period) ||
       !std::isfinite(rep.total_power) || !std::isfinite(rep.area)) {
     rep.infeasible = true;
+    c_infeasible.add(1);
     std::lock_guard<std::mutex> lk(mu_);
     ++infeasible_evaluations_;
   }
@@ -73,13 +75,19 @@ const PpaWeights& StcoEngine::weights() {
 }
 
 double StcoEngine::cost(const compact::TechnologyPoint& tech) {
+  static obs::Counter& c_hits = obs::counter("stco.cost_cache.hits");
+  static obs::Counter& c_misses = obs::counter("stco.cost_cache.misses");
   const auto& w = weights();
   const TechKey key = key_of(tech);
   {
     std::lock_guard<std::mutex> lk(mu_);
     const auto it = cost_cache_.find(key);
-    if (it != cost_cache_.end()) return it->second;
+    if (it != cost_cache_.end()) {
+      c_hits.add(1);
+      return it->second;
+    }
   }
+  c_misses.add(1);
   // Evaluate outside the lock: this is the expensive part, and concurrent
   // prefetch tasks must not serialize on it. Two tasks racing on the same
   // uncached point both compute the same deterministic value; emplace keeps
@@ -112,6 +120,7 @@ void StcoEngine::prefetch_costs(const TechGrid& grid,
 }
 
 SearchResult StcoEngine::optimize() {
+  obs::Span span("stco.optimize");
   const TechGrid grid(cfg_.ranges, cfg_.grid_n);
   SearchHooks hooks;
   if (ctx_->threads() > 0)
@@ -124,6 +133,7 @@ SearchResult StcoEngine::optimize() {
 }
 
 SearchResult StcoEngine::optimize_random(std::size_t budget) {
+  obs::Span span("stco.optimize_random");
   const TechGrid grid(cfg_.ranges, cfg_.grid_n);
   SearchHooks hooks;
   if (ctx_->threads() > 0)
@@ -133,6 +143,48 @@ SearchResult StcoEngine::optimize_random(std::size_t budget) {
   return random_search(
       grid, [this](const compact::TechnologyPoint& t) { return cost(t); }, budget, 11,
       hooks);
+}
+
+obs::Snapshot make_run_snapshot(const StcoTiming& timing,
+                                const numeric::RobustnessStats& robustness,
+                                const exec::ContextStats& exec_stats,
+                                std::size_t infeasible_evaluations,
+                                obs::Snapshot base) {
+  obs::Snapshot snap = std::move(base);
+  snap.set_gauge("stco.library_seconds", timing.library_seconds.load());
+  snap.set_gauge("stco.sta_seconds", timing.sta_seconds.load());
+  snap.set_counter("stco.evaluations", timing.evaluations.load());
+  snap.set_counter("stco.infeasible_evaluations", infeasible_evaluations);
+
+  snap.set_counter("solver.attempts", robustness.attempts);
+  snap.set_counter("solver.direct_success", robustness.direct_success);
+  snap.set_counter("solver.gmin_retries", robustness.gmin_retries);
+  snap.set_counter("solver.source_retries", robustness.source_retries);
+  snap.set_counter("solver.continuation_retries", robustness.continuation_retries);
+  snap.set_counter("solver.damping_retries", robustness.damping_retries);
+  snap.set_counter("solver.recovered", robustness.recovered);
+  snap.set_counter("solver.failures", robustness.failures);
+  snap.set_counter("solver.budget_exhausted", robustness.budget_exhausted);
+  snap.set_counter("solver.fallbacks", robustness.fallbacks);
+
+  snap.set_counter("exec.threads", exec_stats.threads);
+  snap.set_counter("exec.tasks_run", exec_stats.tasks_run);
+  snap.set_counter("exec.steals", exec_stats.steals);
+  snap.set_counter("exec.max_queue_depth", exec_stats.max_queue_depth);
+  snap.set_counter("exec.parallel_regions", exec_stats.parallel_regions);
+  return snap;
+}
+
+obs::Snapshot StcoEngine::obs_snapshot() const {
+  numeric::RobustnessStats robustness;
+  std::size_t infeasible = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    robustness = stats_;
+    infeasible = infeasible_evaluations_;
+  }
+  return make_run_snapshot(timing_, robustness, ctx_->stats(), infeasible,
+                           obs::snapshot());
 }
 
 }  // namespace stco

@@ -14,6 +14,7 @@
 #include "src/exec/context.hpp"
 #include "src/flow/benchmarks.hpp"
 #include "src/flow/sta.hpp"
+#include "src/obs/obs.hpp"
 #include "src/stco/ppa.hpp"
 #include "src/stco/rl.hpp"
 
@@ -83,10 +84,6 @@ class StcoEngine {
   StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
              const exec::Context& ctx = exec::Context::serial());
 
-  /// Old nullable-pointer mode switch: non-null model = GNN fast path.
-  [[deprecated("pass a LibraryBackend (SpiceBackend{} / GnnBackend{model})")]]
-  StcoEngine(const StcoConfig& cfg, const charlib::CellCharModel* model);
-
   /// Library + STA at one technology point (uncached; cost() memoizes).
   /// Thread-safe: may be called from concurrent prefetch tasks.
   flow::StaReport evaluate(const compact::TechnologyPoint& tech);
@@ -119,6 +116,13 @@ class StcoEngine {
   /// Technology points that degraded to the infeasible penalty.
   std::size_t infeasible_evaluations() const { return infeasible_evaluations_; }
 
+  /// One observability cut of this engine's run: the process-wide
+  /// obs::snapshot() overlaid with this engine's own timing, robustness,
+  /// exec, and infeasibility counters under the stco./exec./solver. keys
+  /// that stco::report renders. Works with STCO_OBS=OFF (the global part is
+  /// then empty, the per-engine overlay still populates).
+  obs::Snapshot obs_snapshot() const;
+
  private:
   using TechKey = std::tuple<int, double, double, double>;
   static TechKey key_of(const compact::TechnologyPoint& tech);
@@ -136,8 +140,19 @@ class StcoEngine {
   std::once_flag weights_once_;
   numeric::RobustnessStats stats_;
   std::size_t infeasible_evaluations_ = 0;
-  std::mutex mu_;  ///< guards stats_, infeasible_evaluations_, cost_cache_
+  mutable std::mutex mu_;  ///< guards stats_, infeasible_evaluations_, cost_cache_
   std::map<TechKey, double> cost_cache_;
 };
+
+/// Fold one run's counters into an obs::Snapshot under the canonical keys
+/// (stco.library_seconds, solver.attempts, exec.tasks_run, ...). This is
+/// the bridge the report renderer consumes; StcoEngine::obs_snapshot()
+/// calls it on top of the global metric snapshot, and tests / no-engine
+/// callers can invoke it directly on a default Snapshot.
+obs::Snapshot make_run_snapshot(const StcoTiming& timing,
+                                const numeric::RobustnessStats& robustness,
+                                const exec::ContextStats& exec_stats,
+                                std::size_t infeasible_evaluations,
+                                obs::Snapshot base = {});
 
 }  // namespace stco

@@ -7,6 +7,38 @@
 
 namespace stco {
 
+namespace {
+
+// The report renders robustness / exec lines through the existing summary()
+// formatters; reconstruct the structs from the snapshot's canonical keys
+// (see make_run_snapshot for the key schema).
+numeric::RobustnessStats robustness_from(const obs::Snapshot& s) {
+  numeric::RobustnessStats r;
+  r.attempts = s.counter_or("solver.attempts");
+  r.direct_success = s.counter_or("solver.direct_success");
+  r.gmin_retries = s.counter_or("solver.gmin_retries");
+  r.source_retries = s.counter_or("solver.source_retries");
+  r.continuation_retries = s.counter_or("solver.continuation_retries");
+  r.damping_retries = s.counter_or("solver.damping_retries");
+  r.recovered = s.counter_or("solver.recovered");
+  r.failures = s.counter_or("solver.failures");
+  r.budget_exhausted = s.counter_or("solver.budget_exhausted");
+  r.fallbacks = s.counter_or("solver.fallbacks");
+  return r;
+}
+
+exec::ContextStats exec_from(const obs::Snapshot& s) {
+  exec::ContextStats e;
+  e.threads = s.counter_or("exec.threads");
+  e.tasks_run = s.counter_or("exec.tasks_run");
+  e.steals = s.counter_or("exec.steals");
+  e.max_queue_depth = s.counter_or("exec.max_queue_depth");
+  e.parallel_regions = s.counter_or("exec.parallel_regions");
+  return e;
+}
+
+}  // namespace
+
 void write_run_report(std::ostream& os, const RunReportInputs& in) {
   os << "# STCO exploration report — " << in.benchmark << "\n\n";
   os << "Technology path: " << (in.fast_path ? "GNN fast path" : "SPICE traditional")
@@ -31,8 +63,9 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
 
   os << "## Search\n\n";
   os << "- unique technology evaluations: " << in.search.unique_evaluations << "\n";
-  os << "- wall time: library characterization " << in.timing.library_seconds.load()
-     << " s, system evaluation " << in.timing.sta_seconds.load() << " s\n";
+  os << "- wall time: library characterization "
+     << in.obs.gauge_or("stco.library_seconds") << " s, system evaluation "
+     << in.obs.gauge_or("stco.sta_seconds") << " s\n";
   if (!in.search.best_cost_history.empty()) {
     os << "- best-cost trajectory:";
     const auto& h = in.search.best_cost_history;
@@ -43,17 +76,24 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
   os << "\n";
 
   // Always emitted: an all-zero block is itself evidence the run was clean.
+  const numeric::RobustnessStats robustness = robustness_from(in.obs);
   os << "## Solver robustness\n\n";
-  os << "- " << in.robustness.summary() << "\n";
-  os << "- retries: gmin " << in.robustness.gmin_retries << ", source "
-     << in.robustness.source_retries << ", continuation "
-     << in.robustness.continuation_retries << ", damping "
-     << in.robustness.damping_retries << "\n";
-  os << "- budget exhaustions: " << in.robustness.budget_exhausted
-     << ", degraded fallbacks: " << in.robustness.fallbacks << "\n";
-  os << "- infeasible technology evaluations: " << in.infeasible_evaluations
-     << "\n";
-  os << "- execution: " << in.exec_stats.summary() << "\n\n";
+  os << "- " << robustness.summary() << "\n";
+  os << "- retries: gmin " << robustness.gmin_retries << ", source "
+     << robustness.source_retries << ", continuation "
+     << robustness.continuation_retries << ", damping "
+     << robustness.damping_retries << "\n";
+  os << "- budget exhaustions: " << robustness.budget_exhausted
+     << ", degraded fallbacks: " << robustness.fallbacks << "\n";
+  os << "- infeasible technology evaluations: "
+     << in.obs.counter_or("stco.infeasible_evaluations") << "\n";
+  os << "- execution: " << exec_from(in.obs).summary() << "\n";
+  if (const auto* h = in.obs.histogram_or_null("exec.queue_latency_seconds");
+      h != nullptr && h->count > 0) {
+    os << "- task queue latency: mean " << h->mean() * 1e6 << " us, max "
+       << h->max * 1e6 << " us over " << h->count << " tasks\n";
+  }
+  os << "\n";
 
   if (!in.pareto.front.empty()) {
     os << "## Pareto front (delay / power / area)\n\n";

@@ -16,17 +16,15 @@ struct RunReportInputs {
   std::string benchmark;
   SearchResult search;
   flow::StaReport best_ppa;
-  StcoTiming timing;
   bool fast_path = false;
   /// Optional Pareto sweep (empty front = omitted from the report).
   ParetoSweep pareto{};
-  /// Solver robustness counters aggregated over the run (engine.robustness()).
-  numeric::RobustnessStats robustness{};
-  /// Technology points that degraded to the infeasible penalty.
-  std::size_t infeasible_evaluations = 0;
-  /// Scheduler counters from the engine's execution context
-  /// (engine.context().stats()).
-  exec::ContextStats exec_stats{};
+  /// One observability cut of the run: timing gauges, robustness / exec /
+  /// infeasibility counters, and any instrument the layers recorded. Take
+  /// it from StcoEngine::obs_snapshot(), or build one by hand with
+  /// stco::make_run_snapshot(...). The timing, robustness, and execution
+  /// sections of the report all render from this snapshot.
+  obs::Snapshot obs{};
 };
 
 /// Render the report as Markdown.

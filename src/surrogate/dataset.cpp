@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/obs/obs.hpp"
+
 namespace stco::surrogate {
 
 double normalize_current(double id_amps) {
@@ -71,6 +73,10 @@ AttemptResult evaluate_attempt(std::uint64_t seed, std::size_t attempt,
 std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t seed,
                                               const PopulationOptions& opts,
                                               const exec::Context& ctx) {
+  obs::Span span("surrogate.generate_population");
+  static obs::Counter& c_attempts = obs::counter("surrogate.population.attempts");
+  static obs::Counter& c_dropped = obs::counter("surrogate.population.dropped");
+
   std::vector<DeviceSample> out;
   out.reserve(count);
   const std::size_t max_attempts = count * 4;
@@ -88,6 +94,8 @@ std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t s
     auto results = ctx.map(
         wave, [&](std::size_t k) { return evaluate_attempt(seed, base + k, opts); });
     for (auto& r : results) {
+      c_attempts.add(1);
+      if (!r.ok) c_dropped.add(1);
       if (opts.stats) {
         ++opts.stats->attempts;
         opts.stats->solver.merge(r.solver);
@@ -97,11 +105,6 @@ std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t s
     }
   }
   return out;
-}
-
-std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
-                                              const PopulationOptions& opts) {
-  return generate_population(count, rng.next_u64(), opts);
 }
 
 }  // namespace stco::surrogate

@@ -73,15 +73,6 @@ std::vector<DeviceSample> generate_population(
     std::size_t count, std::uint64_t seed, const PopulationOptions& opts = {},
     const exec::Context& ctx = exec::Context::serial());
 
-/// Deprecated shared-generator entry point: draws a seed from `rng` and
-/// forwards to the stream-seeded overload above. Kept for one release so
-/// call sites migrate incrementally; note the sample values differ from the
-/// pre-stream versions (the old sequential draws coupled sample i to every
-/// preceding sample, which is the order-coupling bug the streams fix).
-[[deprecated("use generate_population(count, seed, opts, ctx)")]]
-std::vector<DeviceSample> generate_population(std::size_t count, numeric::Rng& rng,
-                                              const PopulationOptions& opts = {});
-
 /// Normalized log-current target used by the IV predictor.
 /// y = (log10(|id| + 1e-15) + 9) / 6 maps pA..mA into roughly [-1, 1].
 double normalize_current(double id_amps);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/numeric/solve.hpp"
+#include "src/obs/obs.hpp"
 #include "src/numeric/sparse.hpp"
 
 namespace stco::tcad {
@@ -365,9 +366,10 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
 
 }  // namespace
 
-DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
-                                             const mesh::DeviceMesh& m,
-                                             const DriftDiffusionOptions& opts) {
+DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
+                                                    const Bias& bias,
+                                                    const mesh::DeviceMesh& m,
+                                                    const DriftDiffusionOptions& opts) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
 
@@ -436,6 +438,21 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
   last.stats = stats;
   last.converged = true;
   return last;
+}
+
+DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
+                                             const mesh::DeviceMesh& m,
+                                             const DriftDiffusionOptions& opts) {
+  obs::Span span("tcad.solve_drift_diffusion");
+  static obs::Counter& c_solves = obs::counter("tcad.drift_diffusion.solves");
+  static obs::Counter& c_failures = obs::counter("tcad.drift_diffusion.failures");
+  static obs::Histogram& h_iters = obs::histogram(
+      "tcad.drift_diffusion.iterations", {10, 20, 40, 80, 160, 320, 640});
+  DriftDiffusionSolution sol = solve_drift_diffusion_ladder(dev, bias, m, opts);
+  c_solves.add(1);
+  if (!sol.converged) c_failures.add(1);
+  h_iters.observe(static_cast<double>(sol.status.iterations));
+  return sol;
 }
 
 DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,

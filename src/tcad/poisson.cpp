@@ -6,6 +6,7 @@
 
 #include "src/numeric/solve.hpp"
 #include "src/numeric/sparse.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::tcad {
 
@@ -244,10 +245,11 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
   return sol;
 }
 
-}  // namespace
-
-PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+// Full ladder without instrumentation; the public solve_poisson wraps it in
+// an obs span and per-solve histograms.
+PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
+                                     const mesh::DeviceMesh& m,
+                                     const PoissonOptions& opts) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
 
@@ -318,6 +320,22 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
   last.stats = stats;
   last.converged = true;
   return last;
+}
+
+}  // namespace
+
+PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+  obs::Span span("tcad.solve_poisson");
+  static obs::Counter& c_solves = obs::counter("tcad.poisson.solves");
+  static obs::Counter& c_failures = obs::counter("tcad.poisson.failures");
+  static obs::Histogram& h_iters = obs::histogram(
+      "tcad.poisson.iterations", {5, 10, 20, 40, 80, 160, 320});
+  PoissonSolution sol = solve_poisson_ladder(dev, bias, m, opts);
+  c_solves.add(1);
+  if (!sol.converged) c_failures.add(1);
+  h_iters.observe(static_cast<double>(sol.status.iterations));
+  return sol;
 }
 
 PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias, std::size_t nx,

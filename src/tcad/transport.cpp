@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/numeric/solve.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::tcad {
 
@@ -245,8 +246,10 @@ double srh_leakage(const TftDevice& dev, double vd) {
   return gen * dev.width * dev.length * dev.t_ch * std::tanh(std::fabs(vd) / 0.1);
 }
 
-TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
-                                 const TransportOptions& opts) {
+namespace {
+
+TransportResult drain_current_ex_impl(const TftDevice& dev, const Bias& bias,
+                                      const TransportOptions& opts) {
   TransportResult out;
   out.status.reason = numeric::SolveReason::kOk;
   const bool ntype = dev.semi.carrier == CarrierType::kNType;
@@ -306,6 +309,22 @@ TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
   (void)ntype;
   const double ion = (dev.width / dev.length) * integral;
   out.id = ion + srh_leakage(dev, vd_mag) + opts.gmin * vd_mag;
+  return out;
+}
+
+}  // namespace
+
+TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
+                                 const TransportOptions& opts) {
+  obs::Span span("tcad.drain_current");
+  static obs::Counter& c_solves = obs::counter("tcad.transport.solves");
+  static obs::Counter& c_failures = obs::counter("tcad.transport.failures");
+  static obs::Histogram& h_iters = obs::histogram(
+      "tcad.transport.iterations", {20, 40, 80, 160, 320, 640, 1280});
+  TransportResult out = drain_current_ex_impl(dev, bias, opts);
+  c_solves.add(1);
+  if (!out.valid) c_failures.add(1);
+  h_iters.observe(static_cast<double>(out.status.iterations));
   return out;
 }
 

@@ -22,8 +22,8 @@ RunReportInputs sample_inputs() {
   in.best_ppa.area = 1.3e-7;
   in.best_ppa.num_gates = 119;
   in.best_ppa.num_ffs = 14;
-  in.timing.library_seconds = 0.2;
-  in.timing.sta_seconds = 0.01;
+  in.obs.set_gauge("stco.library_seconds", 0.2);
+  in.obs.set_gauge("stco.sta_seconds", 0.01);
   PpaPoint p;
   p.tech = in.search.best_point;
   p.delay = 1.2e-6;
@@ -66,13 +66,20 @@ TEST(RunReport, RobustnessSectionAlwaysPresent) {
   EXPECT_NE(clean.find("## Solver robustness"), std::string::npos);
   EXPECT_NE(clean.find("infeasible technology evaluations: 0"), std::string::npos);
 
+  // Populate through the StcoTiming/RobustnessStats -> Snapshot bridge, the
+  // same path StcoEngine::obs_snapshot() takes.
   auto in = sample_inputs();
-  in.robustness.attempts = 12;
-  in.robustness.direct_success = 9;
-  in.robustness.recovered = 2;
-  in.robustness.failures = 1;
-  in.robustness.gmin_retries = 3;
-  in.infeasible_evaluations = 2;
+  StcoTiming timing;
+  timing.library_seconds = 0.2;
+  timing.sta_seconds = 0.01;
+  numeric::RobustnessStats rb;
+  rb.attempts = 12;
+  rb.direct_success = 9;
+  rb.recovered = 2;
+  rb.failures = 1;
+  rb.gmin_retries = 3;
+  in.obs = make_run_snapshot(timing, rb, exec::ContextStats{},
+                             /*infeasible_evaluations=*/2);
   const std::string md = run_report_markdown(in);
   EXPECT_NE(md.find("## Solver robustness"), std::string::npos);
   EXPECT_NE(md.find("12 attempts"), std::string::npos);
@@ -86,11 +93,11 @@ TEST(RunReport, ExecutionStatsLine) {
   EXPECT_NE(serial.find("- execution: serial inline"), std::string::npos);
 
   auto in = sample_inputs();
-  in.exec_stats.threads = 8;
-  in.exec_stats.tasks_run = 420;
-  in.exec_stats.steals = 17;
-  in.exec_stats.max_queue_depth = 9;
-  in.exec_stats.parallel_regions = 12;
+  in.obs.set_counter("exec.threads", 8);
+  in.obs.set_counter("exec.tasks_run", 420);
+  in.obs.set_counter("exec.steals", 17);
+  in.obs.set_counter("exec.max_queue_depth", 9);
+  in.obs.set_counter("exec.parallel_regions", 12);
   const std::string md = run_report_markdown(in);
   EXPECT_NE(md.find("8 worker threads"), std::string::npos);
   EXPECT_NE(md.find("420 tasks"), std::string::npos);
