@@ -1,0 +1,151 @@
+// Sparse linear-algebra fast-path A/B bench (seeds the solver trajectory).
+//
+// Sweeps structured mesh sizes and times the TCAD nonlinear Poisson and
+// drift-diffusion solves twice per size: once with the legacy linear
+// path (Jacobi-preconditioned BiCGSTAB + dense LU fallback, fresh pattern
+// build per Newton iteration) and once with the workspace fast path
+// (ILU(0)-preconditioned Krylov, banded LU fallback, pattern + factor
+// reuse). Also runs a standard bias sweep on the fast path and reports the
+// `solver.linear.dense_fallback` delta, which must be 0.
+//
+// Emits BENCH_solver.json with the embedded obs snapshot.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/tcad/drift_diffusion.hpp"
+#include "src/tcad/poisson.hpp"
+
+namespace {
+
+using namespace stco;
+
+struct SizeResult {
+  std::size_t nx = 0, ny = 0;
+  double poisson_legacy_s = 0.0, poisson_fast_s = 0.0;
+  double dd_legacy_s = 0.0, dd_fast_s = 0.0;  ///< 0 when DD skipped at this size
+  bool physics_match = true;  ///< fast-vs-legacy drain current within 1%
+};
+
+/// ny = n_ch + n_ox + 1 (gate row); pick a film/oxide split with ny == nx.
+void square_mesh_rows(std::size_t nx, std::size_t& n_ch, std::size_t& n_ox) {
+  n_ch = (2 * nx) / 3;
+  n_ox = nx - n_ch - 1;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("bench_solver: legacy vs fast sparse linear path (TCAD)");
+
+  tcad::TftDevice dev;
+  dev.semi = tcad::igzo_params();
+  const tcad::Bias bias{3.0, 1.0, 0.0};
+
+  tcad::PoissonOptions p_legacy, p_fast;
+  p_legacy.linear_solver = tcad::LinearSolverPolicy::kLegacy;
+  p_fast.linear_solver = tcad::LinearSolverPolicy::kFast;
+  tcad::DriftDiffusionOptions d_legacy, d_fast;
+  d_legacy.linear_solver = tcad::LinearSolverPolicy::kLegacy;
+  d_fast.linear_solver = tcad::LinearSolverPolicy::kFast;
+
+  const std::size_t max_size = bench::env_size("STCO_BENCH_SOLVER_MAX", 64, 96);
+  const std::size_t dd_max_size = bench::env_size("STCO_BENCH_SOLVER_DD_MAX", 64, 64);
+  std::vector<std::size_t> sizes;
+  for (std::size_t nx : {std::size_t{16}, std::size_t{32}, std::size_t{48},
+                         std::size_t{64}, std::size_t{96}})
+    if (nx <= max_size) sizes.push_back(nx);
+
+  std::printf("%6s  %14s %12s %9s  %14s %12s %9s\n", "mesh", "poisson legacy",
+              "poisson fast", "speedup", "dd legacy", "dd fast", "speedup");
+  bench::rule();
+
+  std::vector<SizeResult> results;
+  for (std::size_t nx : sizes) {
+    std::size_t n_ch, n_ox;
+    square_mesh_rows(nx, n_ch, n_ox);
+    const auto mesh = tcad::build_mesh(dev, bias, nx, n_ch, n_ox);
+
+    SizeResult r;
+    r.nx = nx;
+    r.ny = mesh.ny();
+
+    bench::Timer t;
+    const auto ps_legacy = tcad::solve_poisson(dev, bias, mesh, p_legacy);
+    r.poisson_legacy_s = t.seconds();
+    t.reset();
+    const auto ps_fast = tcad::solve_poisson(dev, bias, mesh, p_fast);
+    r.poisson_fast_s = t.seconds();
+    double max_dphi = 0.0;
+    for (std::size_t i = 0; i < ps_fast.potential.size(); ++i)
+      max_dphi = std::max(max_dphi,
+                          std::fabs(ps_fast.potential[i] - ps_legacy.potential[i]));
+    if (!(ps_legacy.converged && ps_fast.converged) || max_dphi > 1e-6)
+      r.physics_match = false;
+
+    if (nx <= dd_max_size) {
+      t.reset();
+      const auto dd_legacy = tcad::solve_drift_diffusion(dev, bias, mesh, d_legacy);
+      r.dd_legacy_s = t.seconds();
+      t.reset();
+      const auto dd_fast = tcad::solve_drift_diffusion(dev, bias, mesh, d_fast);
+      r.dd_fast_s = t.seconds();
+      const double id_scale = std::max(std::fabs(dd_legacy.drain_current), 1e-18);
+      if (!(dd_legacy.converged && dd_fast.converged) ||
+          std::fabs(dd_fast.drain_current - dd_legacy.drain_current) > 0.01 * id_scale)
+        r.physics_match = false;
+    }
+
+    std::printf("%3zux%-3zu %13.3fs %11.3fs %8.2fx  %13.3fs %11.3fs %8.2fx%s\n",
+                r.nx, r.ny, r.poisson_legacy_s, r.poisson_fast_s,
+                r.poisson_fast_s > 0 ? r.poisson_legacy_s / r.poisson_fast_s : 0.0,
+                r.dd_legacy_s, r.dd_fast_s,
+                r.dd_fast_s > 0 ? r.dd_legacy_s / r.dd_fast_s : 0.0,
+                r.physics_match ? "" : "  [PHYSICS MISMATCH]");
+    results.push_back(r);
+  }
+
+  // Standard bias sweep on the fast path only: the dense-fallback counter
+  // must not move. (The legacy runs above use the dense path by design.)
+  const auto fallback_before =
+      obs::counter("solver.linear.dense_fallback").value();
+  {
+    std::size_t n_ch, n_ox;
+    square_mesh_rows(64, n_ch, n_ox);
+    const auto mesh = tcad::build_mesh(dev, bias, 64, n_ch, n_ox);
+    for (double vg : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+      const tcad::Bias b{vg, 1.0, 0.0};
+      const auto mesh_b = tcad::build_mesh(dev, b, 64, n_ch, n_ox);
+      (void)tcad::solve_poisson(dev, b, mesh_b, p_fast);
+    }
+    (void)mesh;
+  }
+  const auto fallback_sweep =
+      obs::counter("solver.linear.dense_fallback").value() - fallback_before;
+  bench::rule();
+  std::printf("dense fallbacks during fast-path bias sweep: %llu (target 0)\n",
+              static_cast<unsigned long long>(fallback_sweep));
+
+  std::string payload = "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"nx\": %zu, \"ny\": %zu, \"poisson_legacy_s\": %.6f, "
+                  "\"poisson_fast_s\": %.6f, \"dd_legacy_s\": %.6f, "
+                  "\"dd_fast_s\": %.6f, \"physics_match\": %s}%s\n",
+                  r.nx, r.ny, r.poisson_legacy_s, r.poisson_fast_s, r.dd_legacy_s,
+                  r.dd_fast_s, r.physics_match ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    payload += buf;
+  }
+  payload += "  ],\n  \"dense_fallback_bias_sweep\": " + std::to_string(fallback_sweep);
+  bench::write_bench_json("BENCH_solver.json", "solver", payload);
+  std::printf("wrote BENCH_solver.json\n");
+  return 0;
+}

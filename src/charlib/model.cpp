@@ -39,15 +39,17 @@ void CellCharModel::fit_normalization(std::span<const CharSample> train) {
   normalized_ = true;
 }
 
-tensor::Tensor CellCharModel::trunk_forward(const gnn::Graph& g) const {
-  tensor::Tensor h = input_proj_->forward(g.node_tensor());
-  for (const auto& layer : gcn_) h = layer.forward(h, g);
+tensor::Tensor CellCharModel::trunk_forward(const gnn::Graph& g,
+                                            const exec::Context& ctx) const {
+  tensor::Tensor h = input_proj_->forward(g.node_tensor(), ctx);
+  for (const auto& layer : gcn_) h = layer.forward(h, g, ctx);
   return tensor::mean_rows(h);
 }
 
 tensor::Tensor CellCharModel::head_forward(const tensor::Tensor& pooled,
-                                           cells::Metric metric) const {
-  return heads_[static_cast<std::size_t>(metric)].forward(pooled);
+                                           cells::Metric metric,
+                                           const exec::Context& ctx) const {
+  return heads_[static_cast<std::size_t>(metric)].forward(pooled, ctx);
 }
 
 std::vector<tensor::Tensor> CellCharModel::parameters() const {
@@ -87,7 +89,8 @@ gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split,
     const auto& s = train_split[i];
     const std::size_t m = static_cast<std::size_t>(s.metric);
     const double y = (log_target(s.target) - norm_mean_[m]) / norm_std_[m];
-    const tensor::Tensor pred = head_forward(trunk_forward(s.graph), s.metric);
+    const tensor::Tensor pred =
+        head_forward(trunk_forward(s.graph, ctx), s.metric, ctx);
     return tensor::scale(tensor::mse_loss(pred, tensor::Tensor::scalar(y)), weight[m]);
   };
   return gnn::train(parameters(), loss, train_split.size(), cfg_.train, ctx);

@@ -78,9 +78,12 @@ class CellCharModel {
   void load(const std::string& path);
 
  private:
-  tensor::Tensor trunk_forward(const gnn::Graph& g) const;
-  tensor::Tensor head_forward(const tensor::Tensor& pooled,
-                              cells::Metric metric) const;
+  tensor::Tensor trunk_forward(
+      const gnn::Graph& g,
+      const exec::Context& ctx = exec::Context::serial()) const;
+  tensor::Tensor head_forward(
+      const tensor::Tensor& pooled, cells::Metric metric,
+      const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
 
   CellCharModelConfig cfg_;

@@ -53,14 +53,15 @@ BatchedGraph merge_graphs(std::span<const Graph> graphs) {
   return out;
 }
 
-tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch) {
+tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch,
+                               const exec::Context& ctx) {
   if (!model.config().graph_regression)
     throw std::invalid_argument(
         "forward_batched: model is node-regression; call forward(merged)");
-  const tensor::Tensor h = model.trunk(batch.merged);
+  const tensor::Tensor h = model.trunk(batch.merged, ctx);
   const tensor::Tensor pooled =
       tensor::segment_mean(h, batch.graph_id, batch.num_graphs);
-  return model.head(pooled);
+  return model.head(pooled, ctx);
 }
 
 }  // namespace stco::gnn

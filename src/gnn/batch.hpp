@@ -28,6 +28,7 @@ BatchedGraph merge_graphs(std::span<const Graph> graphs);
 /// per-graph mean pooling and the MLP head. Returns (num_graphs x out_dim).
 /// Requires a graph_regression-configured model; per-node outputs of
 /// node-regression models can simply be read off forward(merged).
-tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch);
+tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& batch,
+                               const exec::Context& ctx = exec::Context::serial());
 
 }  // namespace stco::gnn

@@ -21,8 +21,8 @@ Tensor apply_activation(const Tensor& x, Activation act) {
 Linear::Linear(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng)
     : w_(tensor::xavier_uniform(in_dim, out_dim, rng)), b_(tensor::zero_bias(out_dim)) {}
 
-Tensor Linear::forward(const Tensor& x) const {
-  return tensor::add(tensor::matmul(x, w_), b_);
+Tensor Linear::forward(const Tensor& x, const exec::Context& ctx) const {
+  return tensor::add(tensor::matmul(x, w_, ctx), b_);
 }
 
 Mlp::Mlp(const std::vector<std::size_t>& dims, numeric::Rng& rng, Activation hidden_act)
@@ -32,10 +32,10 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, numeric::Rng& rng, Activation hid
     layers_.emplace_back(dims[i], dims[i + 1], rng);
 }
 
-Tensor Mlp::forward(const Tensor& x) const {
+Tensor Mlp::forward(const Tensor& x, const exec::Context& ctx) const {
   Tensor h = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(h);
+    h = layers_[i].forward(h, ctx);
     if (i + 1 < layers_.size()) h = apply_activation(h, act_);
   }
   return h;
@@ -59,7 +59,8 @@ GcnLayer::GcnLayer(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng,
                    Activation act)
     : lin_(in_dim, out_dim, rng), act_(act) {}
 
-Tensor GcnLayer::forward(const Tensor& x, const Graph& g) const {
+Tensor GcnLayer::forward(const Tensor& x, const Graph& g,
+                         const exec::Context& ctx) const {
   // Symmetric normalization with self-loops: deg counts incoming edges + 1.
   const std::size_t n = g.num_nodes;
   std::vector<double> deg(n, 1.0);
@@ -70,7 +71,7 @@ Tensor GcnLayer::forward(const Tensor& x, const Graph& g) const {
   std::vector<double> deg_out(n, 1.0);
   for (auto s : g.edge_src) deg_out[s] += 1.0;
 
-  const Tensor h = lin_.forward(x);
+  const Tensor h = lin_.forward(x, ctx);
 
   // Edge-weight column: 1 / sqrt(deg_out[src] * deg[dst]).
   std::vector<double> wdata(g.num_edges());
@@ -103,16 +104,17 @@ RelGatLayer::RelGatLayer(std::size_t in_dim, std::size_t edge_dim, std::size_t o
   bias_ = tensor::zero_bias(out_dim);
 }
 
-Tensor RelGatLayer::forward(const Tensor& x, const Graph& g) const {
+Tensor RelGatLayer::forward(const Tensor& x, const Graph& g,
+                            const exec::Context& ctx) const {
   const Tensor e = g.edge_tensor();
   std::vector<Tensor> head_outputs;
   head_outputs.reserve(heads_);
   for (std::size_t h = 0; h < heads_; ++h) {
-    const Tensor z = tensor::matmul(x, w_[h]);
-    const Tensor ze = tensor::matmul(e, we_[h]);
+    const Tensor z = tensor::matmul(x, w_[h], ctx);
+    const Tensor ze = tensor::matmul(e, we_[h], ctx);
     const Tensor msg = tensor::add(tensor::gather_rows(z, g.edge_src), ze);
     const Tensor cat = tensor::concat_cols({tensor::gather_rows(z, g.edge_dst), msg});
-    const Tensor logits = tensor::leaky_relu(tensor::matmul(cat, a_[h]));
+    const Tensor logits = tensor::leaky_relu(tensor::matmul(cat, a_[h], ctx));
     const Tensor alpha = tensor::segment_softmax(logits, g.edge_dst, g.num_nodes);
     head_outputs.push_back(
         tensor::scatter_add_rows(tensor::scale_rows(msg, alpha), g.edge_dst, g.num_nodes));

@@ -22,7 +22,8 @@ tensor::Tensor apply_activation(const tensor::Tensor& x, Activation act);
 class Linear {
  public:
   Linear(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng);
-  tensor::Tensor forward(const tensor::Tensor& x) const;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const { return {w_, b_}; }
   std::size_t in_dim() const { return w_.rows(); }
   std::size_t out_dim() const { return w_.cols(); }
@@ -37,7 +38,8 @@ class Mlp {
   /// dims = {in, h1, ..., out}; requires at least {in, out}.
   Mlp(const std::vector<std::size_t>& dims, numeric::Rng& rng,
       Activation hidden_act = Activation::kRelu);
-  tensor::Tensor forward(const tensor::Tensor& x) const;
+  tensor::Tensor forward(const tensor::Tensor& x,
+                         const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
   std::size_t num_layers() const { return layers_.size(); }
 
@@ -63,7 +65,8 @@ class GcnLayer {
  public:
   GcnLayer(std::size_t in_dim, std::size_t out_dim, numeric::Rng& rng,
            Activation act = Activation::kRelu);
-  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g) const;
+  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g,
+                         const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const { return lin_.parameters(); }
 
  private:
@@ -85,7 +88,8 @@ class RelGatLayer {
  public:
   RelGatLayer(std::size_t in_dim, std::size_t edge_dim, std::size_t out_dim,
               std::size_t heads, numeric::Rng& rng);
-  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g) const;
+  tensor::Tensor forward(const tensor::Tensor& x, const Graph& g,
+                         const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
   std::size_t heads() const { return heads_; }
   std::size_t out_dim() const { return heads_ * head_dim_; }

@@ -18,7 +18,7 @@ RelGatModel::RelGatModel(const RelGatConfig& cfg, numeric::Rng& rng)
   }
 }
 
-Tensor RelGatModel::trunk(const Graph& g) const {
+Tensor RelGatModel::trunk(const Graph& g, const exec::Context& ctx) const {
   Graph local;
   const Graph* gp = &g;
   if (!cfg_.use_edge_features) {
@@ -29,9 +29,9 @@ Tensor RelGatModel::trunk(const Graph& g) const {
     gp = &local;
   }
 
-  Tensor h = input_proj_.forward(g.node_tensor());
+  Tensor h = input_proj_.forward(g.node_tensor(), ctx);
   for (std::size_t i = 0; i < gat_layers_.size(); ++i) {
-    Tensor z = gat_layers_[i].forward(h, *gp);
+    Tensor z = gat_layers_[i].forward(h, *gp, ctx);
     if (cfg_.use_layer_norm) z = norms_[i].forward(z);
     z = tensor::elu(z);
     h = cfg_.use_residual ? tensor::add(z, h) : z;
@@ -39,12 +39,14 @@ Tensor RelGatModel::trunk(const Graph& g) const {
   return h;
 }
 
-Tensor RelGatModel::head(const Tensor& h) const { return head_.forward(h); }
+Tensor RelGatModel::head(const Tensor& h, const exec::Context& ctx) const {
+  return head_.forward(h, ctx);
+}
 
-Tensor RelGatModel::forward(const Graph& g) const {
-  Tensor h = trunk(g);
+Tensor RelGatModel::forward(const Graph& g, const exec::Context& ctx) const {
+  Tensor h = trunk(g, ctx);
   if (cfg_.graph_regression) h = tensor::mean_rows(h);
-  return head_.forward(h);
+  return head_.forward(h, ctx);
 }
 
 std::vector<Tensor> RelGatModel::parameters() const {

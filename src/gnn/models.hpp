@@ -38,13 +38,16 @@ class RelGatModel {
 
   /// Forward pass; returns (num_nodes x out_dim) for node regression or
   /// (1 x out_dim) for graph regression.
-  tensor::Tensor forward(const Graph& g) const;
+  tensor::Tensor forward(const Graph& g,
+                         const exec::Context& ctx = exec::Context::serial()) const;
 
   /// The message-passing trunk only: per-node hidden states
   /// (num_nodes x hidden). Exposed for batched pooling (gnn/batch.hpp).
-  tensor::Tensor trunk(const Graph& g) const;
+  tensor::Tensor trunk(const Graph& g,
+                       const exec::Context& ctx = exec::Context::serial()) const;
   /// The MLP head applied to (pooled) hidden states.
-  tensor::Tensor head(const tensor::Tensor& h) const;
+  tensor::Tensor head(const tensor::Tensor& h,
+                      const exec::Context& ctx = exec::Context::serial()) const;
 
   std::vector<tensor::Tensor> parameters() const;
   std::size_t num_parameters() const;

@@ -1,0 +1,92 @@
+#include "src/numeric/band.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::numeric {
+
+std::optional<BandLu> BandLu::factor(const SparseMatrix& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("BandLu::factor: square required");
+  const std::size_t n = a.rows();
+  if (n == 0) return std::nullopt;
+
+  // Detect the band from the pattern.
+  std::size_t kl = 0, ku = 0;
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const std::size_t j = col_idx[k];
+      if (j < i) kl = std::max(kl, i - j);
+      if (j > i) ku = std::max(ku, j - i);
+    }
+  }
+
+  BandLu f;
+  f.n_ = n;
+  f.kl_ = kl;
+  f.ku_ = ku;
+  f.width_ = 2 * kl + ku + 1;  // kl extra superdiagonals absorb pivot fill
+  f.ab_.assign(n * f.width_, 0.0);
+  f.ipiv_.resize(n);
+  const auto& values = a.values();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k)
+      f.at(i, col_idx[k]) = values[k];
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot over the kl rows below the diagonal.
+    const std::size_t ilast = std::min(n - 1, k + kl);
+    std::size_t piv = k;
+    double best = std::fabs(f.at(k, k));
+    for (std::size_t i = k + 1; i <= ilast; ++i) {
+      const double v = std::fabs(f.at(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best < 1e-300) return std::nullopt;
+    f.ipiv_[k] = piv;
+    // Swap only the U part (columns >= k); multipliers stay in their
+    // original rows and the solve interleaves the row swaps (gbtrf style).
+    const std::size_t jlast = std::min(n - 1, k + ku + kl);
+    if (piv != k)
+      for (std::size_t j = k; j <= jlast; ++j) std::swap(f.at(k, j), f.at(piv, j));
+    const double pivot = f.at(k, k);
+    for (std::size_t i = k + 1; i <= ilast; ++i) {
+      const double m = f.at(i, k) / pivot;
+      f.at(i, k) = m;
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j <= jlast; ++j) f.at(i, j) -= m * f.at(k, j);
+    }
+  }
+  return f;
+}
+
+void BandLu::solve(const Vec& b, Vec& x) const {
+  if (b.size() != n_) throw std::invalid_argument("BandLu::solve: size");
+  x = b;
+  // Forward elimination with interleaved row swaps.
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (ipiv_[k] != k) std::swap(x[k], x[ipiv_[k]]);
+    const std::size_t ilast = std::min(n_ - 1, k + kl_);
+    for (std::size_t i = k + 1; i <= ilast; ++i) x[i] -= at(i, k) * x[k];
+  }
+  // Back substitution; U's bandwidth is ku + kl after pivoting.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = x[ii];
+    const std::size_t jlast = std::min(n_ - 1, ii + ku_ + kl_);
+    for (std::size_t j = ii + 1; j <= jlast; ++j) s -= at(ii, j) * x[j];
+    x[ii] = s / at(ii, ii);
+  }
+}
+
+Vec BandLu::solve(const Vec& b) const {
+  Vec x;
+  solve(b, x);
+  return x;
+}
+
+}  // namespace stco::numeric

@@ -1,0 +1,46 @@
+#pragma once
+// Banded LU with partial pivoting.
+//
+// The structured TCAD meshes use natural (row-major) node ordering, so the
+// 5-point-stencil Jacobians have bandwidth nx: band LU factors them in
+// O(n·b²) and solves in O(n·b) — replacing the former O(n³) `to_dense()`
+// fallback when the Krylov solve stalls. Storage follows the LAPACK gbtrf
+// convention: each row keeps kl subdiagonals, ku superdiagonals, plus kl
+// extra superdiagonals for pivoting fill (width 2·kl + ku + 1).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/numeric/matrix.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::numeric {
+
+/// Banded LU factorization. Factor once, solve many right-hand sides.
+class BandLu {
+ public:
+  /// Factor `a`, detecting the band (kl, ku) from its sparsity pattern.
+  /// Returns nullopt if the matrix is singular to working precision.
+  static std::optional<BandLu> factor(const SparseMatrix& a);
+
+  /// Solve L U x = P b.
+  Vec solve(const Vec& b) const;
+  /// Same, writing into a caller-provided buffer (resized to dim()).
+  void solve(const Vec& b, Vec& x) const;
+
+  std::size_t dim() const { return n_; }
+  std::size_t lower_bandwidth() const { return kl_; }
+  std::size_t upper_bandwidth() const { return ku_; }
+
+ private:
+  BandLu() = default;
+  double& at(std::size_t i, std::size_t j) { return ab_[i * width_ + (j + kl_ - i)]; }
+  double at(std::size_t i, std::size_t j) const { return ab_[i * width_ + (j + kl_ - i)]; }
+
+  std::size_t n_ = 0, kl_ = 0, ku_ = 0, width_ = 0;
+  std::vector<double> ab_;             ///< row-major band storage, width 2kl+ku+1
+  std::vector<std::size_t> ipiv_;      ///< pivot row chosen at each step
+};
+
+}  // namespace stco::numeric

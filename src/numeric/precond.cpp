@@ -1,0 +1,96 @@
+#include "src/numeric/precond.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace stco::numeric {
+
+void JacobiPreconditioner::refresh(const SparseMatrix& a) {
+  const std::size_t n = a.rows();
+  inv_diag_.assign(n, 1.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double d = a.coeff(r, r);
+    if (std::fabs(d) > 1e-300) inv_diag_[r] = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(const Vec& r, Vec& z) const {
+  if (r.size() != inv_diag_.size())
+    throw std::invalid_argument("JacobiPreconditioner::apply: size");
+  z.resize(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = inv_diag_[i] * r[i];
+}
+
+bool Ilu0::factor(const SparseMatrix& a) {
+  valid_ = false;
+  if (a.rows() != a.cols()) throw std::invalid_argument("Ilu0::factor: square required");
+  n_ = a.rows();
+  row_ptr_ = a.row_ptr();
+  col_idx_ = a.col_idx();
+  lu_ = a.values();
+
+  // Locate the diagonal slot of every row up front; ILU(0) cannot proceed
+  // without a structurally present diagonal.
+  diag_ptr_.assign(n_, 0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+    const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+    const auto it = std::lower_bound(begin, end, i);
+    if (it == end || *it != i) return false;
+    diag_ptr_[i] = static_cast<std::size_t>(it - col_idx_.begin());
+  }
+
+  // IKJ elimination restricted to the pattern. `work_` scatters row i's
+  // column -> slot mapping so updates from row k land in O(1).
+  work_.assign(n_, -1);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      work_[col_idx_[k]] = static_cast<std::ptrdiff_t>(k);
+
+    bool ok = true;
+    for (std::size_t kk = row_ptr_[i]; kk < row_ptr_[i + 1] && col_idx_[kk] < i; ++kk) {
+      const std::size_t k = col_idx_[kk];
+      const double ukk = lu_[diag_ptr_[k]];
+      if (std::fabs(ukk) < 1e-300) {
+        ok = false;
+        break;
+      }
+      const double lik = lu_[kk] / ukk;
+      lu_[kk] = lik;
+      if (lik == 0.0) continue;
+      for (std::size_t jj = diag_ptr_[k] + 1; jj < row_ptr_[k + 1]; ++jj) {
+        const std::ptrdiff_t slot = work_[col_idx_[jj]];
+        if (slot >= 0) lu_[static_cast<std::size_t>(slot)] -= lik * lu_[jj];
+      }
+    }
+
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      work_[col_idx_[k]] = -1;
+    if (!ok || std::fabs(lu_[diag_ptr_[i]]) < 1e-300) return false;
+  }
+  valid_ = true;
+  return true;
+}
+
+void Ilu0::apply(const Vec& r, Vec& z) const {
+  if (!valid_) throw std::logic_error("Ilu0::apply: no valid factorization");
+  if (r.size() != n_) throw std::invalid_argument("Ilu0::apply: size");
+  z.resize(n_);
+  // Forward sweep: L z = r, L unit lower (slots left of the diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = r[i];
+    for (std::size_t k = row_ptr_[i]; k < diag_ptr_[i]; ++k)
+      s -= lu_[k] * z[col_idx_[k]];
+    z[i] = s;
+  }
+  // Backward sweep: U x = z (diagonal + slots right of it).
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = diag_ptr_[ii] + 1; k < row_ptr_[ii + 1]; ++k)
+      s -= lu_[k] * z[col_idx_[k]];
+    z[ii] = s / lu_[diag_ptr_[ii]];
+  }
+}
+
+}  // namespace stco::numeric

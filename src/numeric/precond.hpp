@@ -1,0 +1,71 @@
+#pragma once
+// Preconditioners for the sparse Krylov solvers.
+//
+// The iterative solvers accept any Preconditioner through a non-owning
+// pointer; passing nullptr falls back to the historical Jacobi (inverse
+// diagonal) scaling. Ilu0 is the workhorse for the TCAD mesh Jacobians: an
+// incomplete LU factorization restricted to the matrix's own sparsity
+// pattern, factored once per Newton solve (or less often — see
+// NewtonWorkspace's staleness policy) and applied as two triangular sweeps
+// per Krylov iteration.
+
+#include <cstddef>
+#include <vector>
+
+#include "src/numeric/matrix.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::numeric {
+
+/// Apply-only interface: z = M^{-1} r with M ~ A. Implementations must be
+/// safe to apply repeatedly and must not retain references to `r`/`z`.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  /// z = M^{-1} r. `z` is resized to r.size(); implementations must not
+  /// allocate beyond that (the solvers call this every iteration).
+  virtual void apply(const Vec& r, Vec& z) const = 0;
+};
+
+/// Inverse-diagonal (Jacobi) scaling; rows with a tiny/absent diagonal pass
+/// through unscaled. Matches the solvers' historical built-in behaviour.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  JacobiPreconditioner() = default;
+  explicit JacobiPreconditioner(const SparseMatrix& a) { refresh(a); }
+  /// Recompute the inverse diagonal from `a`'s current values.
+  void refresh(const SparseMatrix& a);
+  void apply(const Vec& r, Vec& z) const override;
+
+ private:
+  Vec inv_diag_;
+};
+
+/// ILU(0): incomplete LU on the fixed sparsity pattern of A (no fill-in).
+/// L is unit lower triangular; both factors live in one CSR value array
+/// sharing A's pattern. Requires a structurally present, numerically
+/// nonzero diagonal; factor() reports failure instead of throwing so the
+/// caller can fall back to a direct solve.
+class Ilu0 final : public Preconditioner {
+ public:
+  Ilu0() = default;
+
+  /// Factor on `a`'s pattern and values. Returns false (and marks the
+  /// factorization invalid) on a missing or numerically zero pivot.
+  bool factor(const SparseMatrix& a);
+  bool valid() const { return valid_; }
+  /// Drop the factorization (apply() must not be called until refactored).
+  void invalidate() { valid_ = false; }
+
+  /// z = (L U)^{-1} r via forward + backward triangular sweeps.
+  void apply(const Vec& r, Vec& z) const override;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_, col_idx_, diag_ptr_;
+  std::vector<double> lu_;
+  std::vector<std::ptrdiff_t> work_;  ///< col -> slot scatter map (factor scratch)
+  bool valid_ = false;
+};
+
+}  // namespace stco::numeric

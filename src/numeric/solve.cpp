@@ -105,18 +105,10 @@ void finish_iterative(IterativeResult& res, std::size_t max_iter, bool breakdown
   }
 }
 
-Vec jacobi_inverse_diag(const SparseMatrix& a) {
-  Vec inv(a.rows(), 1.0);
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    const double d = a.coeff(r, r);
-    inv[r] = (std::fabs(d) > 1e-300) ? 1.0 / d : 1.0;
-  }
-  return inv;
-}
 }  // namespace
 
 IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
-                         std::size_t max_iter) {
+                         std::size_t max_iter, const Preconditioner* precond) {
   const std::size_t n = b.size();
   if (max_iter == 0) max_iter = 4 * n + 100;
   IterativeResult res;
@@ -127,17 +119,21 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
     finish_iterative(res, max_iter, false);
     return res;
   }
-  const Vec minv = jacobi_inverse_diag(a);
+  JacobiPreconditioner jacobi;
+  if (!precond) {
+    jacobi.refresh(a);
+    precond = &jacobi;
+  }
 
   Vec r = b;  // x0 = 0
-  Vec z(n);
-  for (std::size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+  Vec z, ap;
+  precond->apply(r, z);
   Vec p = z;
   double rz = dot(r, z);
 
   bool breakdown = false;
   for (std::size_t it = 0; it < max_iter; ++it) {
-    const Vec ap = a.apply(p);
+    a.apply(p, ap);
     const double pap = dot(p, ap);
     if (std::fabs(pap) < 1e-300) {
       breakdown = true;
@@ -153,7 +149,7 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
       break;
     }
     if (!std::isfinite(res.residual)) break;
-    for (std::size_t i = 0; i < n; ++i) z[i] = minv[i] * r[i];
+    precond->apply(r, z);
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
@@ -164,7 +160,7 @@ IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol,
 }
 
 IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
-                               std::size_t max_iter) {
+                               std::size_t max_iter, const Preconditioner* precond) {
   const std::size_t n = b.size();
   if (max_iter == 0) max_iter = 8 * n + 200;
   IterativeResult res;
@@ -175,12 +171,17 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
     finish_iterative(res, max_iter, false);
     return res;
   }
-  const Vec minv = jacobi_inverse_diag(a);
+  JacobiPreconditioner jacobi;
+  if (!precond) {
+    jacobi.refresh(a);
+    precond = &jacobi;
+  }
 
   Vec r = b;
   Vec r0 = r;
   double rho = 1.0, alpha = 1.0, omega = 1.0;
   Vec v(n, 0.0), p(n, 0.0);
+  Vec phat, shat, s, t;  // hoisted: reused every iteration
 
   bool breakdown = false;
   for (std::size_t it = 0; it < max_iter && !breakdown; ++it) {
@@ -192,16 +193,15 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
     const double beta = (rho_new / rho) * (alpha / omega);
     rho = rho_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * (p[i] - omega * v[i]);
-    Vec phat(n);
-    for (std::size_t i = 0; i < n; ++i) phat[i] = minv[i] * p[i];
-    v = a.apply(phat);
+    precond->apply(p, phat);
+    a.apply(phat, v);
     const double r0v = dot(r0, v);
     if (std::fabs(r0v) < 1e-300) {
       breakdown = true;
       break;
     }
     alpha = rho / r0v;
-    Vec s = r;
+    s = r;
     axpy(-alpha, v, s);
     res.iterations = it + 1;
     if (norm2(s) / bnorm < tol) {
@@ -210,9 +210,8 @@ IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol,
       res.converged = true;
       break;
     }
-    Vec shat(n);
-    for (std::size_t i = 0; i < n; ++i) shat[i] = minv[i] * s[i];
-    const Vec t = a.apply(shat);
+    precond->apply(s, shat);
+    a.apply(shat, t);
     const double tt = dot(t, t);
     if (tt < 1e-300) {
       breakdown = true;

@@ -1,12 +1,14 @@
 #pragma once
 // Linear solvers: dense LU (partial pivoting) for small MNA systems,
-// Thomas algorithm for tridiagonal transport systems, and Jacobi-
-// preconditioned CG / BiCGSTAB for the sparse Poisson Jacobians.
+// Thomas algorithm for tridiagonal transport systems, and preconditioned
+// CG / BiCGSTAB for the sparse Poisson Jacobians (Jacobi by default, ILU(0)
+// via the precond hook — see precond.hpp / workspace.hpp).
 
 #include <cstddef>
 #include <optional>
 
 #include "src/numeric/matrix.hpp"
+#include "src/numeric/precond.hpp"
 #include "src/numeric/sparse.hpp"
 #include "src/numeric/status.hpp"
 
@@ -50,12 +52,15 @@ Vec solve_dense(const Matrix& a, const Vec& b);
 /// `lower`, `diag`, `upper` have sizes n-1, n, n-1.
 Vec solve_tridiagonal(const Vec& lower, const Vec& diag, const Vec& upper, const Vec& b);
 
-/// Jacobi-preconditioned conjugate gradient (A must be SPD).
+/// Preconditioned conjugate gradient (A must be SPD). `precond == nullptr`
+/// falls back to Jacobi scaling built from `a`'s diagonal.
 IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
-                         std::size_t max_iter = 0);
+                         std::size_t max_iter = 0, const Preconditioner* precond = nullptr);
 
-/// Jacobi-preconditioned BiCGSTAB for general nonsymmetric systems.
+/// Preconditioned BiCGSTAB for general nonsymmetric systems.
+/// `precond == nullptr` falls back to Jacobi scaling from `a`'s diagonal.
 IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
-                               std::size_t max_iter = 0);
+                               std::size_t max_iter = 0,
+                               const Preconditioner* precond = nullptr);
 
 }  // namespace stco::numeric

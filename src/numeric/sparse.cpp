@@ -39,15 +39,20 @@ SparseMatrix SparseMatrix::from_triplets(const TripletBuilder& b) {
 }
 
 Vec SparseMatrix::apply(const Vec& x) const {
+  Vec y;
+  apply(x, y);
+  return y;
+}
+
+void SparseMatrix::apply(const Vec& x, Vec& y) const {
   if (x.size() != cols_) throw std::invalid_argument("SparseMatrix::apply: shape");
-  Vec y(rows_, 0.0);
+  y.resize(rows_);
   for (std::size_t r = 0; r < rows_; ++r) {
     double acc = 0.0;
     for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
       acc += values_[k] * x[col_idx_[k]];
     y[r] = acc;
   }
-  return y;
 }
 
 Vec SparseMatrix::apply_transpose(const Vec& x) const {
@@ -76,9 +81,13 @@ void SparseMatrix::refill(const TripletBuilder& b) {
 
 double SparseMatrix::coeff(std::size_t r, std::size_t c) const {
   if (r >= rows_ || c >= cols_) throw std::out_of_range("SparseMatrix::coeff");
-  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
-    if (col_idx_[k] == c) return values_[k];
-  return 0.0;
+  // Column indices are strictly increasing within a row (CSR invariant), so
+  // binary-search the slot — same lookup refill() already uses.
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
 }
 
 Matrix SparseMatrix::to_dense() const {

@@ -51,6 +51,10 @@ class SparseMatrix {
 
   /// y = A x
   Vec apply(const Vec& x) const;
+  /// y = A x written into a caller-provided buffer (resized to rows()).
+  /// Allocation-free once `y` has capacity; the Krylov solvers call this
+  /// every iteration.
+  void apply(const Vec& x, Vec& y) const;
   /// y = A^T x
   Vec apply_transpose(const Vec& x) const;
 

@@ -1,0 +1,189 @@
+#include "src/numeric/workspace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/obs/metrics.hpp"
+
+namespace stco::numeric {
+
+namespace {
+
+struct LinearMetrics {
+  obs::Counter& solves = obs::counter("solver.linear.solves");
+  obs::Counter& pattern_builds = obs::counter("solver.linear.pattern_builds");
+  obs::Counter& refills = obs::counter("solver.linear.refills");
+  obs::Counter& ilu_refactors = obs::counter("solver.linear.ilu_refactors");
+  obs::Counter& band_solves = obs::counter("solver.linear.band_solves");
+  obs::Counter& dense_fallback = obs::counter("solver.linear.dense_fallback");
+  obs::Histogram& iterations =
+      obs::histogram("solver.linear.iterations", {2, 5, 10, 20, 40, 80, 160, 320});
+};
+
+LinearMetrics& metrics() {
+  static LinearMetrics m;
+  return m;
+}
+
+}  // namespace
+
+LinearSolverOptions fast_linear_options() { return LinearSolverOptions{}; }
+
+LinearSolverOptions legacy_linear_options() {
+  LinearSolverOptions o;
+  o.use_ilu = false;
+  o.use_band = false;
+  o.reuse_pattern = false;
+  o.allow_dense_fallback = true;
+  return o;
+}
+
+void NewtonWorkspace::assemble(const TripletBuilder& b) {
+  const bool same_shape = has_pattern_ && a_.rows() == b.rows() && a_.cols() == b.cols();
+  if (opts_.reuse_pattern && same_shape) {
+    try {
+      a_.refill(b);
+      ++stats_.refills;
+      metrics().refills.add(1);
+      return;
+    } catch (const std::invalid_argument&) {
+      // Pattern changed (new structural entry) — rebuild below.
+    }
+  }
+  a_ = SparseMatrix::from_triplets(b);
+  has_pattern_ = true;
+  ilu_.invalidate();
+  factored_values_.clear();
+  ++stats_.pattern_builds;
+  metrics().pattern_builds.add(1);
+}
+
+void NewtonWorkspace::reset() {
+  a_ = SparseMatrix{};
+  has_pattern_ = false;
+  ilu_.invalidate();
+  factored_values_.clear();
+}
+
+bool NewtonWorkspace::ilu_fresh_enough() const {
+  if (!ilu_.valid()) return false;
+  if (factored_values_.size() != a_.values().size()) return false;
+  if (opts_.refactor_threshold <= 0.0) return false;
+  // Worst per-entry relative drift. An aggregate norm would be dominated by
+  // the largest entries (e.g. O(1) Dirichlet rows next to O(1e-11) stencil
+  // couplings) and miss order-of-magnitude swings in the small ones — and a
+  // preconditioner that is stale in *any* entry's scale can stall Krylov.
+  double worst = 0.0;
+  const auto& v = a_.values();
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    const double scale = std::max(std::fabs(v[k]), std::fabs(factored_values_[k]));
+    if (scale < 1e-300) continue;
+    worst = std::max(worst, std::fabs(v[k] - factored_values_[k]) / scale);
+    if (worst > opts_.refactor_threshold) return false;
+  }
+  return worst <= opts_.refactor_threshold;
+}
+
+IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
+  if (!has_pattern_) throw std::logic_error("NewtonWorkspace::solve: assemble first");
+  metrics().solves.add(1);
+
+  const Preconditioner* precond = nullptr;
+  if (opts_.use_ilu) {
+    if (!ilu_fresh_enough()) {
+      if (ilu_.factor(a_)) {
+        factored_values_ = a_.values();
+        ++stats_.ilu_factors;
+        metrics().ilu_refactors.add(1);
+      } else {
+        factored_values_.clear();
+      }
+    }
+    if (ilu_.valid()) precond = &ilu_;
+  }
+
+  IterativeResult res = opts_.symmetric
+                            ? solve_cg(a_, rhs, opts_.tol, opts_.max_iter, precond)
+                            : solve_bicgstab(a_, rhs, opts_.tol, opts_.max_iter, precond);
+  metrics().iterations.observe(static_cast<double>(res.iterations));
+  if (res.converged) {
+    ++stats_.krylov_solves;
+    return res;
+  }
+
+  // Krylov stalled. Banded direct LU is exact up to roundoff; accept its
+  // answer when the true residual is small even if it misses the (very
+  // tight) Krylov tolerance.
+  const double bnorm = norm2(rhs);
+  if (opts_.use_band) {
+    if (auto band = BandLu::factor(a_)) {
+      Vec x = band->solve(rhs);
+      a_.apply(x, residual_scratch_);
+      axpy(-1.0, rhs, residual_scratch_);
+      const double rel = bnorm > 0.0 ? norm2(residual_scratch_) / bnorm : norm2(residual_scratch_);
+      if (std::isfinite(rel) && rel < 1e-6) {
+        res.x = std::move(x);
+        res.residual = rel;
+        res.converged = true;
+        res.status.reason = SolveReason::kOk;
+        res.status.residual = rel;
+        ++stats_.band_solves;
+        metrics().band_solves.add(1);
+        return res;
+      }
+    }
+  }
+
+  if (opts_.allow_dense_fallback) {
+    if (auto lu = DenseLu::factor(a_.to_dense())) {
+      Vec x = lu->solve(rhs);
+      a_.apply(x, residual_scratch_);
+      axpy(-1.0, rhs, residual_scratch_);
+      const double rel = bnorm > 0.0 ? norm2(residual_scratch_) / bnorm : norm2(residual_scratch_);
+      if (std::isfinite(rel) && rel < 1e-6) {
+        res.x = std::move(x);
+        res.residual = rel;
+        res.converged = true;
+        res.status.reason = SolveReason::kOk;
+        res.status.residual = rel;
+        ++stats_.dense_solves;
+        metrics().dense_fallback.add(1);
+        return res;
+      }
+    }
+  }
+  return res;  // genuinely failed; status carries the Krylov diagnosis
+}
+
+void TridiagWorkspace::resize(std::size_t n) {
+  diag.assign(n, 0.0);
+  rhs.assign(n, 0.0);
+  const std::size_t m = n > 0 ? n - 1 : 0;
+  lower.assign(m, 0.0);
+  upper.assign(m, 0.0);
+  c_.resize(n);
+  d_.resize(n);
+}
+
+void TridiagWorkspace::solve(Vec& x) {
+  const std::size_t n = diag.size();
+  if (lower.size() + 1 != n || upper.size() + 1 != n || rhs.size() != n)
+    throw std::invalid_argument("TridiagWorkspace::solve: sizes");
+  c_.resize(n);
+  d_.resize(n);
+  if (std::fabs(diag[0]) < 1e-300)
+    throw std::runtime_error("TridiagWorkspace::solve: singular");
+  c_[0] = upper.empty() ? 0.0 : upper[0] / diag[0];
+  d_[0] = rhs[0] / diag[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = diag[i] - lower[i - 1] * c_[i - 1];
+    if (std::fabs(m) < 1e-300) throw std::runtime_error("TridiagWorkspace::solve: singular");
+    c_[i] = (i + 1 < n) ? upper[i] / m : 0.0;
+    d_[i] = (rhs[i] - lower[i - 1] * d_[i - 1]) / m;
+  }
+  x.resize(n);
+  x[n - 1] = d_[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) x[ii] = d_[ii] - c_[ii] * x[ii + 1];
+}
+
+}  // namespace stco::numeric

@@ -19,12 +19,30 @@ struct WorkCap {
   double v_prev = 0.0;  ///< voltage across at previous accepted step
 };
 
+/// Cached dense LU of the MNA matrix. For a linear circuit (no TFTs) the
+/// matrix depends only on (gmin, use_caps, dt, integration method) — not on
+/// x, t, or the source values — so one factorization serves every Newton
+/// iteration and, in a fixed-step transient, every timestep.
+struct LuCache {
+  std::optional<numeric::DenseLu> lu;
+  double gmin = -1.0;
+  double dt = -1.0;
+  bool use_caps = false;
+  bool trap = false;
+
+  bool matches(double g, bool caps, double step, bool trapezoidal) const {
+    return lu.has_value() && gmin == g && use_caps == caps &&
+           (!caps || (dt == step && trap == trapezoidal));
+  }
+};
+
 struct System {
   const Netlist* nl = nullptr;
   std::size_t nn = 0;   ///< nodes including ground
   std::size_t nv = 0;   ///< voltage sources
   std::size_t dim = 0;  ///< (nn - 1) + nv
   std::vector<WorkCap> caps;
+  LuCache lu_cache;     ///< valid only for TFT-free (linear) netlists
 
   std::size_t row_of_node(NodeId n) const { return n - 1; }  // n > 0
   std::size_t row_of_src(std::size_t j) const { return nn - 1 + j; }
@@ -55,11 +73,17 @@ struct NewtonKnobs {
 /// One Newton solve of the (possibly companion-augmented) nonlinear system.
 /// `use_caps` enables capacitor companion stamps with time step `dt`.
 /// `x` carries the initial guess in/out.
-numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
+numeric::SolveStatus newton_once(System& sys, double t, numeric::Vec& x,
                                  bool use_caps, double dt, bool trapezoidal,
                                  const EngineOptions& opts, const NewtonKnobs& knobs) {
   const Netlist& nl = *sys.nl;
   const std::size_t dim = sys.dim;
+
+  // TFT-free circuits have an x-independent MNA matrix: sources, companion
+  // currents, and the homotopy scale only move the right-hand side.
+  const bool cacheable = nl.tfts().empty();
+  static obs::Counter& lu_factors = obs::counter("spice.lu.factors");
+  static obs::Counter& lu_reuses = obs::counter("spice.lu.reuses");
 
   auto v_of = [&](const numeric::Vec& xx, NodeId n) -> double {
     return n == kGround ? 0.0 : xx[sys.row_of_node(n)];
@@ -74,10 +98,13 @@ numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
 
   for (std::size_t it = 0; it < opts.max_newton; ++it) {
     st.iterations = it + 1;
-    numeric::Matrix a(dim, dim);
+    const bool reuse_lu =
+        cacheable && sys.lu_cache.matches(knobs.gmin, use_caps, dt, trapezoidal);
+    numeric::Matrix a(reuse_lu ? 0 : dim, reuse_lu ? 0 : dim);
     numeric::Vec rhs(dim, 0.0);
 
     auto stamp_g = [&](NodeId n1, NodeId n2, double g) {
+      if (reuse_lu) return;
       if (n1 != kGround) a(sys.row_of_node(n1), sys.row_of_node(n1)) += g;
       if (n2 != kGround) a(sys.row_of_node(n2), sys.row_of_node(n2)) += g;
       if (n1 != kGround && n2 != kGround) {
@@ -92,8 +119,9 @@ numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
     };
 
     // gmin to ground on every non-ground node (ladder may elevate it).
-    for (NodeId n = 1; n < sys.nn; ++n)
-      a(sys.row_of_node(n), sys.row_of_node(n)) += knobs.gmin;
+    if (!reuse_lu)
+      for (NodeId n = 1; n < sys.nn; ++n)
+        a(sys.row_of_node(n), sys.row_of_node(n)) += knobs.gmin;
 
     for (const auto& r : nl.resistors()) stamp_g(r.n1, r.n2, 1.0 / r.r);
 
@@ -112,17 +140,20 @@ numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
       }
     }
 
-    // Voltage sources.
+    // Voltage sources. The incidence entries live in the matrix; the source
+    // value itself is pure right-hand side.
     for (std::size_t j = 0; j < sys.nv; ++j) {
       const auto& src = nl.vsources()[j];
       const std::size_t rs = sys.row_of_src(j);
-      if (src.pos != kGround) {
-        a(sys.row_of_node(src.pos), rs) += 1.0;
-        a(rs, sys.row_of_node(src.pos)) += 1.0;
-      }
-      if (src.neg != kGround) {
-        a(sys.row_of_node(src.neg), rs) -= 1.0;
-        a(rs, sys.row_of_node(src.neg)) -= 1.0;
+      if (!reuse_lu) {
+        if (src.pos != kGround) {
+          a(sys.row_of_node(src.pos), rs) += 1.0;
+          a(rs, sys.row_of_node(src.pos)) += 1.0;
+        }
+        if (src.neg != kGround) {
+          a(sys.row_of_node(src.neg), rs) -= 1.0;
+          a(rs, sys.row_of_node(src.neg)) -= 1.0;
+        }
       }
       rhs[rs] = knobs.source_scale * src.wave.at(t);
     }
@@ -153,11 +184,26 @@ numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
     }
 
     numeric::Vec x_new;
-    try {
-      x_new = numeric::solve_dense(a, rhs);
-    } catch (const std::runtime_error&) {
-      st.reason = numeric::SolveReason::kSingularJacobian;
-      return st;
+    if (reuse_lu) {
+      lu_reuses.add(1);
+      x_new = sys.lu_cache.lu->solve(rhs);
+    } else {
+      auto lu = numeric::DenseLu::factor(a);
+      if (!lu) {
+        st.reason = numeric::SolveReason::kSingularJacobian;
+        return st;
+      }
+      lu_factors.add(1);
+      if (cacheable) {
+        sys.lu_cache.lu = std::move(lu);
+        sys.lu_cache.gmin = knobs.gmin;
+        sys.lu_cache.use_caps = use_caps;
+        sys.lu_cache.dt = dt;
+        sys.lu_cache.trap = trapezoidal;
+        x_new = sys.lu_cache.lu->solve(rhs);
+      } else {
+        x_new = lu->solve(rhs);
+      }
     }
 
     // Per-node voltage limiting (SPICE-style): each node moves at most
@@ -204,7 +250,7 @@ numeric::SolveStatus newton_once(const System& sys, double t, numeric::Vec& x,
 /// sources from 0 with the solution carried forward). Each failed stage is
 /// re-attempted with a tightened update limit before the ladder advances.
 /// All work is charged against `budget`.
-numeric::SolveStatus newton_robust(const System& sys, double t, numeric::Vec& x,
+numeric::SolveStatus newton_robust(System& sys, double t, numeric::Vec& x,
                                    bool use_caps, double dt, bool trapezoidal,
                                    const EngineOptions& opts,
                                    numeric::SolveBudget& budget,
@@ -371,7 +417,7 @@ DcResult dc_operating_point(const Netlist& nl, double t, const EngineOptions& op
   static obs::Counter& c_failures = obs::counter("spice.dc.failures");
   static obs::Histogram& h_iters = obs::histogram(
       "spice.dc.iterations", {5, 10, 20, 40, 80, 160, 320});
-  const System sys = make_system(nl);
+  System sys = make_system(nl);
   numeric::Vec x(sys.dim, 0.0);
   DcResult res;
   numeric::SolveBudget budget = budget_of(opts.retry);

@@ -18,7 +18,7 @@ gnn::TrainStats TcadSurrogate::train_poisson(std::span<const DeviceSample> train
                                              const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].poisson_graph;
-    return tensor::mse_loss(poisson_->forward(g), g.node_target_tensor(1));
+    return tensor::mse_loss(poisson_->forward(g, ctx), g.node_target_tensor(1));
   };
   return gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train, ctx);
 }
@@ -27,7 +27,7 @@ gnn::TrainStats TcadSurrogate::train_iv(std::span<const DeviceSample> train,
                                         const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].iv_graph;
-    return tensor::mse_loss(iv_->forward(g), g.graph_target_tensor());
+    return tensor::mse_loss(iv_->forward(g, ctx), g.graph_target_tensor());
   };
   return gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train, ctx);
 }

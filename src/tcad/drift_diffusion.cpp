@@ -5,8 +5,9 @@
 #include <stdexcept>
 
 #include "src/numeric/solve.hpp"
-#include "src/obs/obs.hpp"
 #include "src/numeric/sparse.hpp"
+#include "src/numeric/workspace.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::tcad {
 
@@ -80,11 +81,17 @@ Bias bias_fraction(const Bias& b, double f) {
 /// One Gummel solve at a fixed bias. `warm` (when non-null) seeds the
 /// potential and carrier densities — a continuation stage hands the
 /// previous converged state forward. Gummel cycles are charged to `budget`.
+/// `ws_poisson` (n_nodes system) and `ws_continuity` (semiconductor
+/// sub-system, same pattern for electrons and holes) persist the Jacobian
+/// patterns, ILU factors, and scratch across Gummel cycles and
+/// continuation stages.
 DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
                                      const mesh::DeviceMesh& m,
                                      const DriftDiffusionOptions& opts,
                                      const DriftDiffusionSolution* warm,
-                                     numeric::SolveBudget& budget) {
+                                     numeric::SolveBudget& budget,
+                                     numeric::NewtonWorkspace& ws_poisson,
+                                     numeric::NewtonWorkspace& ws_continuity) {
   const std::size_t n_nodes = m.num_nodes();
   const std::size_t nx = m.nx(), ny = m.ny();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -172,6 +179,13 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
   };
 
   // --- Gummel outer loop ----------------------------------------------------
+  // Hoisted assembly buffers: the same sparsity patterns are restamped
+  // every inner Newton iteration / carrier solve, so the workspaces refill
+  // in place instead of rebuilding CSR structures.
+  numeric::TripletBuilder jac(n_nodes, n_nodes);
+  numeric::Vec f(n_nodes), rhs_phi(n_nodes);
+  numeric::TripletBuilder cont(ns, ns);
+  numeric::Vec rhs_cont(ns);
   double id_prev = 0.0;
   bool dead = false;
   for (std::size_t outer = 0; outer < opts.max_gummel && !dead; ++outer) {
@@ -189,8 +203,8 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
     {
       const numeric::Vec phi_ref = phi;
       for (std::size_t it = 0; it < opts.max_inner_newton; ++it) {
-        numeric::TripletBuilder jac(n_nodes, n_nodes);
-        numeric::Vec f(n_nodes, 0.0);
+        jac.clear();
+        std::fill(f.begin(), f.end(), 0.0);
         for (std::size_t iy = 0; iy < ny; ++iy) {
           for (std::size_t ix = 0; ix < nx; ++ix) {
             const std::size_t i = m.index(ix, iy);
@@ -235,18 +249,13 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
             }
           }
         }
-        auto a = numeric::SparseMatrix::from_triplets(jac);
-        numeric::Vec rhs(n_nodes);
-        for (std::size_t i = 0; i < n_nodes; ++i) rhs[i] = -f[i];
-        auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
+        for (std::size_t i = 0; i < n_nodes; ++i) rhs_phi[i] = -f[i];
+        ws_poisson.assemble(jac);
+        auto res = ws_poisson.solve(rhs_phi);
         if (!res.converged) {
-          try {
-            res.x = numeric::solve_dense(a.to_dense(), rhs);
-          } catch (const std::runtime_error&) {
-            sol.status.reason = numeric::SolveReason::kSingularJacobian;
-            dead = true;
-            break;
-          }
+          sol.status.reason = numeric::SolveReason::kSingularJacobian;
+          dead = true;
+          break;
         }
         const double step = numeric::norm_inf(res.x);
         if (!std::isfinite(step)) {
@@ -279,13 +288,13 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
     for (int carrier = 0; carrier < 2 && !dead; ++carrier) {
       const bool electrons = carrier == 0;
       const double mu = electrons ? dev.semi.mu0 : dev.semi.mu0 * 0.5;
-      numeric::TripletBuilder a(ns, ns);
-      numeric::Vec rhs(ns, 0.0);
+      cont.clear();
+      std::fill(rhs_cont.begin(), rhs_cont.end(), 0.0);
       for (std::size_t k = 0; k < ns; ++k) {
         const std::size_t i = semi_nodes[k];
         if (is_carrier_contact(i)) {
-          a.add(k, k, 1.0);
-          rhs[k] = electrons ? n_eq : p_eq;
+          cont.add(k, k, 1.0);
+          rhs_cont[k] = electrons ? n_eq : p_eq;
           continue;
         }
         const std::size_t ix = i % nx, iy = i / nx;
@@ -300,8 +309,8 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
           //   w [ p_i B(d) - p_j B(-d) ]
           const double ci = electrons ? bernoulli(-d) : bernoulli(d);
           const double cj = electrons ? bernoulli(d) : bernoulli(-d);
-          a.add(k, k, w * ci);
-          a.add(k, semi_index[j], -w * cj);
+          cont.add(k, k, w * ci);
+          cont.add(k, semi_index[j], -w * cj);
         };
         if (ix > 0) stamp(ix - 1, iy);
         if (ix + 1 < nx) stamp(ix + 1, iy);
@@ -315,19 +324,18 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
         const double area = geo.cell_area(ix, iy);
         const double other = electrons ? sol.hole_density[i] : sol.electron_density[i];
         // Outflow + R*area = 0  ->  A x = rhs with R split linear/const.
-        a.add(k, k, area * other / denom);
-        rhs[k] = area * sp.ni * sp.ni / denom;
+        cont.add(k, k, area * other / denom);
+        rhs_cont[k] = area * sp.ni * sp.ni / denom;
       }
-      const auto mat = numeric::SparseMatrix::from_triplets(a);
-      auto res = numeric::solve_bicgstab(mat, rhs, 1e-12);
+      // Electrons and holes stamp the same positions, so one workspace
+      // serves both (values differ per carrier; the staleness rule decides
+      // whether the ILU factors carry over).
+      ws_continuity.assemble(cont);
+      auto res = ws_continuity.solve(rhs_cont);
       if (!res.converged) {
-        try {
-          res.x = numeric::solve_dense(mat.to_dense(), rhs);
-        } catch (const std::runtime_error&) {
-          sol.status.reason = numeric::SolveReason::kSingularJacobian;
-          dead = true;
-          break;
-        }
+        sol.status.reason = numeric::SolveReason::kSingularJacobian;
+        dead = true;
+        break;
       }
       for (std::size_t k = 0; k < ns; ++k) {
         const double v = std::max(res.x[k], 1e-10 * dev.semi.ni);
@@ -372,8 +380,13 @@ DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
                                                     const DriftDiffusionOptions& opts) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
+  // Two workspaces shared by every continuation stage: the Poisson system
+  // on all nodes and the continuity system on the semiconductor sub-mesh.
+  const auto lin_opts = linear_options_for(opts.linear_solver);
+  numeric::NewtonWorkspace ws_poisson(lin_opts), ws_continuity(lin_opts);
 
-  DriftDiffusionSolution sol = solve_dd_once(dev, bias, m, opts, nullptr, budget);
+  DriftDiffusionSolution sol =
+      solve_dd_once(dev, bias, m, opts, nullptr, budget, ws_poisson, ws_continuity);
   ++sol.stats.attempts;
   if (sol.converged) {
     ++sol.stats.direct_success;
@@ -406,8 +419,9 @@ DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
     const double f_try = std::min(1.0, f + step);
     const Bias b = bias_fraction(bias, f_try);
     const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
-    DriftDiffusionSolution sub =
-        solve_dd_once(dev, b, mb, opts, have_warm ? &last : nullptr, budget);
+    DriftDiffusionSolution sub = solve_dd_once(dev, b, mb, opts,
+                                               have_warm ? &last : nullptr, budget,
+                                               ws_poisson, ws_continuity);
     ++stats.continuation_retries;
     ++total.retries;
     total.iterations += sub.status.iterations;

@@ -6,6 +6,7 @@
 
 #include "src/numeric/solve.hpp"
 #include "src/numeric/sparse.hpp"
+#include "src/numeric/workspace.hpp"
 #include "src/obs/obs.hpp"
 
 namespace stco::tcad {
@@ -56,11 +57,15 @@ Bias bias_fraction(const Bias& b, double f) {
 
 /// One damped-Newton solve at a fixed bias. `warm_start` (when non-null)
 /// seeds the potential; all Newton iterations are charged to `budget`.
+/// `ws` carries the Jacobian pattern, ILU factors, and scratch across
+/// iterations — and across continuation stages, since rebias_mesh keeps
+/// the geometry (and hence the sparsity pattern) unchanged.
 PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
                                    const mesh::DeviceMesh& m,
                                    const PoissonOptions& opts,
                                    const numeric::Vec* warm_start,
-                                   numeric::SolveBudget& budget) {
+                                   numeric::SolveBudget& budget,
+                                   numeric::NewtonWorkspace& ws) {
   const std::size_t n = m.num_nodes();
   const std::size_t nx = m.nx();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -117,7 +122,8 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
   };
 
   numeric::Vec phi = sol.potential;
-  numeric::Vec f_res(n), np(n), pp(n);
+  numeric::Vec f_res(n), np(n), pp(n), rhs(n);
+  numeric::TripletBuilder jac(n, n);  // hoisted: cleared and restamped per iteration
 
   const double carrier_scale = kQ;  // residual in Coulombs per unit depth
 
@@ -149,7 +155,7 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
       }
     }
 
-    numeric::TripletBuilder jac(n, n);
+    jac.clear();
     for (std::size_t iy = 0; iy < m.ny(); ++iy) {
       for (std::size_t ix = 0; ix < nx; ++ix) {
         const std::size_t i = m.index(ix, iy);
@@ -190,19 +196,15 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
       }
     }
 
-    // Newton step: J dphi = -F.
-    numeric::Vec rhs(n);
+    // Newton step: J dphi = -F. The workspace reuses the pattern (refill),
+    // the ILU(0) factors (staleness-gated), and runs the fallback ladder
+    // (banded LU, then counted dense LU) if the Krylov solve stalls.
     for (std::size_t i = 0; i < n; ++i) rhs[i] = -f_res[i];
-    auto a = numeric::SparseMatrix::from_triplets(jac);
-    auto res = numeric::solve_bicgstab(a, rhs, 1e-12);
+    ws.assemble(jac);
+    auto res = ws.solve(rhs);
     if (!res.converged) {
-      // Fall back to a dense solve for robustness on tiny meshes.
-      try {
-        res.x = numeric::solve_dense(a.to_dense(), rhs);
-      } catch (const std::runtime_error&) {
-        sol.status.reason = numeric::SolveReason::kSingularJacobian;
-        break;
-      }
+      sol.status.reason = numeric::SolveReason::kSingularJacobian;
+      break;
     }
 
     double step_inf = numeric::norm_inf(res.x);
@@ -252,9 +254,13 @@ PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
                                      const PoissonOptions& opts) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
+  // One workspace for the whole ladder: continuation stages share the mesh
+  // geometry, so the Jacobian pattern — and often the ILU factors — carry
+  // over between stages.
+  numeric::NewtonWorkspace ws(linear_options_for(opts.linear_solver));
 
   // Direct attempt at the target bias.
-  PoissonSolution sol = solve_poisson_once(dev, bias, m, opts, nullptr, budget);
+  PoissonSolution sol = solve_poisson_once(dev, bias, m, opts, nullptr, budget, ws);
   ++sol.stats.attempts;
   if (sol.converged) {
     ++sol.stats.direct_success;
@@ -288,7 +294,7 @@ PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
     const Bias b = bias_fraction(bias, f_try);
     const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
     PoissonSolution sub = solve_poisson_once(dev, b, mb, opts,
-                                             warm.empty() ? nullptr : &warm, budget);
+                                             warm.empty() ? nullptr : &warm, budget, ws);
     ++stats.continuation_retries;
     ++total.retries;
     total.iterations += sub.status.iterations;

@@ -1,12 +1,39 @@
 #pragma once
-// Shared convergence-recovery policy for the TCAD solvers (nonlinear
-// Poisson, drift-diffusion, quasi-1D transport).
+// Shared convergence-recovery and linear-solver policy for the TCAD
+// solvers (nonlinear Poisson, drift-diffusion, quasi-1D transport).
 
 #include <cstddef>
 
 #include "src/numeric/status.hpp"
+#include "src/numeric/workspace.hpp"
 
 namespace stco::tcad {
+
+/// Which linear-solver path the Newton loops use.
+enum class LinearSolverPolicy {
+  kFast,    ///< ILU(0)-preconditioned Krylov + banded LU fallback, pattern reuse
+  kLegacy,  ///< pre-workspace path: Jacobi Krylov + dense fallback (bench A/B)
+};
+
+/// Map the policy to workspace options, overriding the Krylov tolerance.
+/// The fast path asks for an extra digit: ILU(0) converges in O(1)
+/// iterations so it tends to land *just* under the tolerance, whereas the
+/// slow Jacobi path overshoots well past it on its final sweep. Residual
+/// physical quantities (e.g. the equilibrium terminal current, a pure
+/// cancellation) inherit that final-residual gap, so the cheap extra digit
+/// keeps the two paths physically interchangeable.
+inline numeric::LinearSolverOptions linear_options_for(LinearSolverPolicy p,
+                                                       double tol = 1e-12) {
+  numeric::LinearSolverOptions o;
+  if (p == LinearSolverPolicy::kLegacy) {
+    o = numeric::legacy_linear_options();
+    o.tol = tol;
+  } else {
+    o = numeric::fast_linear_options();
+    o.tol = tol * 1e-2;
+  }
+  return o;
+}
 
 /// Bias-continuation recovery: when the direct solve at the target bias
 /// fails, the bias step is subdivided adaptively (halving on divergence,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/numeric/solve.hpp"
+#include "src/numeric/workspace.hpp"
 #include "src/obs/obs.hpp"
 
 namespace stco::tcad {
@@ -27,11 +28,14 @@ struct SliceResult {
 /// Returns the mobile sheet charge integrated over the film. `step_cap`
 /// bounds the per-iteration potential update (the recovery ladder tightens
 /// it); `phi_io` (when non-null) carries a warm-start potential in and the
-/// final potential out. Newton iterations are charged to `budget`.
+/// final potential out. Newton iterations are charged to `budget`. `tws`
+/// supplies the tridiagonal system buffers, reused across iterations and
+/// across the slices of one integration sweep.
 SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
                              const TransportOptions& opts, double step_cap,
                              std::vector<double>* phi_io,
-                             numeric::SolveBudget& budget) {
+                             numeric::SolveBudget& budget,
+                             numeric::TridiagWorkspace& tws) {
   const double vt = thermal_voltage(opts.temperature_k);
   const std::size_t n_total = std::max<std::size_t>(opts.slice_points, 8);
   // Split rows between film and oxide proportionally, at least 3 each.
@@ -72,6 +76,7 @@ SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
 
   auto cexp = [&](double x) { return std::exp(std::clamp(x, -clamp, clamp)); };
 
+  numeric::Vec dphi;
   for (std::size_t it = 0; it < opts.max_newton; ++it) {
     if (budget.exhausted()) {
       out.status.reason = numeric::SolveReason::kBudgetExceeded;
@@ -79,7 +84,11 @@ SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
     }
     budget.charge(1);
     out.status.iterations = it + 1;
-    numeric::Vec lower(n - 1, 0.0), diag(n, 0.0), upper(n - 1, 0.0), rhs(n, 0.0);
+    tws.resize(n);  // zero-fills; no reallocation once sized
+    numeric::Vec& lower = tws.lower;
+    numeric::Vec& diag = tws.diag;
+    numeric::Vec& upper = tws.upper;
+    numeric::Vec& rhs = tws.rhs;
     for (std::size_t i = 0; i < n; ++i) {
       if (i == n - 1) {  // gate Dirichlet
         diag[i] = 1.0;
@@ -113,9 +122,8 @@ SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
       rhs[i] = -f;
     }
 
-    numeric::Vec dphi;
     try {
-      dphi = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+      tws.solve(dphi);
     } catch (const std::runtime_error&) {
       out.status.reason = numeric::SolveReason::kSingularJacobian;
       break;
@@ -157,9 +165,11 @@ SliceResult solve_slice_once(const TftDevice& dev, double vg, double v_channel,
 SliceResult solve_slice_robust(const TftDevice& dev, double vg, double v_channel,
                                const TransportOptions& opts,
                                numeric::SolveBudget& budget,
-                               numeric::RobustnessStats& stats) {
+                               numeric::RobustnessStats& stats,
+                               numeric::TridiagWorkspace& tws) {
   ++stats.attempts;
-  SliceResult direct = solve_slice_once(dev, vg, v_channel, opts, 1.0, nullptr, budget);
+  SliceResult direct =
+      solve_slice_once(dev, vg, v_channel, opts, 1.0, nullptr, budget, tws);
   if (direct.status.ok()) {
     ++stats.direct_success;
     return direct;
@@ -182,7 +192,7 @@ SliceResult solve_slice_robust(const TftDevice& dev, double vg, double v_channel
     }
     ++stats.damping_retries;
     ++total.retries;
-    SliceResult r = solve_slice_once(dev, vg, v_channel, opts, cap, nullptr, budget);
+    SliceResult r = solve_slice_once(dev, vg, v_channel, opts, cap, nullptr, budget, tws);
     total.iterations += r.status.iterations;
     total.residual = r.status.residual;
     if (r.status.ok()) {
@@ -210,7 +220,7 @@ SliceResult solve_slice_robust(const TftDevice& dev, double vg, double v_channel
     const double vg_f = v_channel + f_try * (vg - v_channel);
     ++stats.continuation_retries;
     ++total.retries;
-    SliceResult r = solve_slice_once(dev, vg_f, v_channel, opts, 0.25, &phi, budget);
+    SliceResult r = solve_slice_once(dev, vg_f, v_channel, opts, 0.25, &phi, budget, tws);
     total.iterations += r.status.iterations;
     total.residual = r.status.residual;
     if (r.status.ok()) {
@@ -235,7 +245,8 @@ double sheet_charge(const TftDevice& dev, double vg, double v_channel,
   numeric::SolveBudget budget(opts.continuation.iteration_budget,
                               opts.continuation.wall_clock_budget);
   numeric::RobustnessStats stats;
-  return solve_slice_robust(dev, vg, v_channel, opts, budget, stats).qs;
+  numeric::TridiagWorkspace tws;
+  return solve_slice_robust(dev, vg, v_channel, opts, budget, stats, tws).qs;
 }
 
 double srh_leakage(const TftDevice& dev, double vd) {
@@ -266,6 +277,9 @@ TransportResult drain_current_ex_impl(const TftDevice& dev, const Bias& bias,
 
   numeric::SolveBudget budget(opts.continuation.iteration_budget,
                               opts.continuation.wall_clock_budget);
+  // One tridiagonal workspace for every slice of the sweep: all slices
+  // share the same grid size, so the buffers never reallocate.
+  numeric::TridiagWorkspace tws;
 
   // Gradual channel integration. The local channel quasi-Fermi potential
   // runs from vs to vd; for N-type forward operation that de-biases the
@@ -278,7 +292,7 @@ TransportResult drain_current_ex_impl(const TftDevice& dev, const Bias& bias,
   for (std::size_t k = 0; k <= steps; ++k) {
     const double v_local = bias.vs + sgn_vd * static_cast<double>(k) * dv;
     const SliceResult sr =
-        solve_slice_robust(dev, bias.vg, v_local, opts, budget, out.stats);
+        solve_slice_robust(dev, bias.vg, v_local, opts, budget, out.stats, tws);
     out.status.iterations += sr.status.iterations;
     out.status.retries += sr.status.retries;
     if (!sr.status.ok()) {

@@ -1,5 +1,6 @@
 #include "src/tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -69,42 +70,130 @@ Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
 
 }  // namespace
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape");
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor out = Tensor::make_op(m, n, {a, b}, [m, k, n](Node& node) {
-    Node& pa = *node.parents[0];
-    Node& pb = *node.parents[1];
-    // dA = dC * B^T
-    if (pa.requires_grad) {
-      for (std::size_t i = 0; i < m; ++i)
-        for (std::size_t j = 0; j < n; ++j) {
-          const double g = node.grad[i * n + j];
-          if (g == 0.0) continue;
-          for (std::size_t kk = 0; kk < k; ++kk)
-            pa.grad[i * k + kk] += g * pb.value[kk * n + j];
+namespace {
+
+// Blocking parameters for matmul. kMatmulParallelFlops gates both the
+// row-block fan-out and the backward scratch buffer; the gate depends only
+// on problem size (never on the thread count) so the serial and parallel
+// contexts take the same accumulation path.
+constexpr std::size_t kMatmulRowBlock = 32;
+constexpr std::size_t kMatmulKBlock = 64;
+constexpr std::size_t kMatmulColBlock = 128;
+constexpr double kMatmulParallelFlops = 1 << 18;
+
+/// C[r0:r1, :] += A[r0:r1, :] * B, tiled over k and j for cache reuse. The
+/// k-tile loop stays outermost so each output element still accumulates its
+/// k-terms in ascending order — bit-identical to the untiled triple loop.
+void matmul_rows(const double* av, const double* bv, double* c, std::size_t r0,
+                 std::size_t r1, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kMatmulKBlock) {
+    const std::size_t k1 = std::min(k, k0 + kMatmulKBlock);
+    for (std::size_t j0 = 0; j0 < n; j0 += kMatmulColBlock) {
+      const std::size_t j1 = std::min(n, j0 + kMatmulColBlock);
+      for (std::size_t i = r0; i < r1; ++i)
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double aik = av[i * k + kk];
+          if (aik == 0.0) continue;
+          for (std::size_t j = j0; j < j1; ++j)
+            c[i * n + j] += aik * bv[kk * n + j];
         }
     }
-    // dB = A^T * dC
-    if (pb.requires_grad) {
-      for (std::size_t i = 0; i < m; ++i)
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const double av = pa.value[i * k + kk];
-          if (av == 0.0) continue;
-          for (std::size_t j = 0; j < n; ++j)
-            pb.grad[kk * n + j] += av * node.grad[i * n + j];
-        }
+  }
+}
+
+/// dA[r0:r1, :] += G[r0:r1, :] * B^T (row range of dA).
+void matmul_grad_a_rows(const double* g, const double* bv, double* da,
+                        std::size_t r0, std::size_t r1, std::size_t k,
+                        std::size_t n) {
+  for (std::size_t i = r0; i < r1; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double gij = g[i * n + j];
+      if (gij == 0.0) continue;
+      for (std::size_t kk = 0; kk < k; ++kk)
+        da[i * k + kk] += gij * bv[kk * n + j];
     }
-  });
-  auto& c = out.value();
-  const auto& av = a.value();
-  const auto& bv = b.value();
+}
+
+/// dB[k0:k1, :] += A[:, k0:k1]^T * G (row range of dB; i stays ascending per
+/// element, matching the full serial loop).
+void matmul_grad_b_rows(const double* av, const double* g, double* db,
+                        std::size_t k0, std::size_t k1, std::size_t m,
+                        std::size_t k, std::size_t n) {
   for (std::size_t i = 0; i < m; ++i)
-    for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t kk = k0; kk < k1; ++kk) {
       const double aik = av[i * k + kk];
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < n; ++j) c[i * n + j] += aik * bv[kk * n + j];
+      for (std::size_t j = 0; j < n; ++j) db[kk * n + j] += aik * g[i * n + j];
     }
+}
+
+/// Run `kernel(r0, r1, dst)` over [0, nrows), fanned out in row blocks on
+/// `ctx` when the problem is large enough. Small problems write straight
+/// into `grad`; large ones accumulate into a zeroed scratch first (so block
+/// writes stay disjoint and a cancelled region can be redone serially) and
+/// then fold the scratch into `grad` in index order. The scratch path is
+/// chosen by size alone, keeping serial and parallel results bit-identical.
+template <typename Kernel>
+void blocked_grad(std::vector<double>& grad, std::size_t nrows, double flops,
+                  const exec::Context& ctx, Kernel&& kernel) {
+  const std::size_t nblocks =
+      nrows == 0 ? 0 : (nrows + kMatmulRowBlock - 1) / kMatmulRowBlock;
+  if (flops < kMatmulParallelFlops || nblocks < 2) {
+    kernel(std::size_t{0}, nrows, grad.data());
+    return;
+  }
+  std::vector<double> scratch(grad.size(), 0.0);
+  const std::size_t done = ctx.parallel_for(nblocks, [&](std::size_t blk) {
+    const std::size_t r0 = blk * kMatmulRowBlock;
+    kernel(r0, std::min(nrows, r0 + kMatmulRowBlock), scratch.data());
+  });
+  if (done != nblocks) {  // cancelled mid-region: redo the whole thing serially
+    scratch.assign(scratch.size(), 0.0);
+    kernel(std::size_t{0}, nrows, scratch.data());
+  }
+  for (std::size_t i = 0; i < grad.size(); ++i) grad[i] += scratch[i];
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, const exec::Context& ctx) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: shape");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  const double flops = static_cast<double>(m) * static_cast<double>(k) *
+                       static_cast<double>(n);
+  const exec::Context* ctxp = &ctx;  // must outlive backward(); see ops.hpp
+  Tensor out = Tensor::make_op(m, n, {a, b}, [m, k, n, flops, ctxp](Node& node) {
+    Node& pa = *node.parents[0];
+    Node& pb = *node.parents[1];
+    if (pa.requires_grad)
+      blocked_grad(pa.grad, m, flops, *ctxp,
+                   [&](std::size_t r0, std::size_t r1, double* dst) {
+                     matmul_grad_a_rows(node.grad.data(), pb.value.data(), dst,
+                                        r0, r1, k, n);
+                   });
+    if (pb.requires_grad)
+      blocked_grad(pb.grad, k, flops, *ctxp,
+                   [&](std::size_t k0, std::size_t k1, double* dst) {
+                     matmul_grad_b_rows(pa.value.data(), node.grad.data(), dst,
+                                        k0, k1, m, k, n);
+                   });
+  });
+  auto& c = out.value();
+  const double* av = a.value().data();
+  const double* bv = b.value().data();
+  const std::size_t nblocks = m == 0 ? 0 : (m + kMatmulRowBlock - 1) / kMatmulRowBlock;
+  if (flops < kMatmulParallelFlops || nblocks < 2) {
+    matmul_rows(av, bv, c.data(), 0, m, k, n);
+  } else {
+    const std::size_t done = ctx.parallel_for(nblocks, [&](std::size_t blk) {
+      const std::size_t r0 = blk * kMatmulRowBlock;
+      matmul_rows(av, bv, c.data(), r0, std::min(m, r0 + kMatmulRowBlock), k, n);
+    });
+    if (done != nblocks) {  // cancelled: rebuild the full product serially
+      std::fill(c.begin(), c.end(), 0.0);
+      matmul_rows(av, bv, c.data(), 0, m, k, n);
+    }
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/exec/context.hpp"
 #include "src/tensor/tensor.hpp"
 
 namespace stco::tensor {
@@ -16,7 +17,15 @@ namespace stco::tensor {
 using IndexVec = std::vector<std::uint32_t>;
 
 // --- arithmetic -----------------------------------------------------------
-Tensor matmul(const Tensor& a, const Tensor& b);
+/// Cache-blocked matrix product. Large products (forward and backward) are
+/// split over disjoint row blocks and run on `ctx`; every output element
+/// accumulates its k-terms in ascending order regardless of blocking or
+/// schedule, so the result is bit-identical for any thread count. The
+/// backward closure keeps a pointer to `ctx`: it must outlive backward(),
+/// which holds for Context::serial() (static) and for any training loop
+/// whose context spans the loop body.
+Tensor matmul(const Tensor& a, const Tensor& b,
+              const exec::Context& ctx = exec::Context::serial());
 Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
 Tensor mul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,117 @@
+#include "src/numeric/band.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/rng.hpp"
+#include "src/numeric/solve.hpp"
+
+namespace stco::numeric {
+namespace {
+
+/// Random banded matrix with bandwidths (kl, ku) and a dominant diagonal.
+SparseMatrix random_banded(std::size_t n, std::size_t kl, std::size_t ku, Rng& rng,
+                           double diag_boost = 4.0) {
+  TripletBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j0 = i >= kl ? i - kl : 0;
+    const std::size_t j1 = std::min(n - 1, i + ku);
+    for (std::size_t j = j0; j <= j1; ++j)
+      b.add(i, j, rng.uniform(-1, 1) + (i == j ? diag_boost : 0.0));
+  }
+  return SparseMatrix::from_triplets(b);
+}
+
+TEST(BandLu, SolvesTridiagonalKnownSystem) {
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 2); b.add(0, 1, 1);
+  b.add(1, 0, 1); b.add(1, 1, 2); b.add(1, 2, 1);
+  b.add(2, 1, 1); b.add(2, 2, 2);
+  const auto a = SparseMatrix::from_triplets(b);
+  const auto lu = BandLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  EXPECT_EQ(lu->lower_bandwidth(), 1u);
+  EXPECT_EQ(lu->upper_bandwidth(), 1u);
+  const Vec x = lu->solve({4, 8, 8});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(BandLu, MatchesDenseOnRandomNonsymmetricBand) {
+  Rng rng(42);
+  const std::size_t n = 60;
+  const auto a = random_banded(n, 3, 2, rng);
+  Vec x_true(n);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  Vec b;
+  a.apply(x_true, b);
+
+  const auto lu = BandLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vec x = lu->solve(b);
+  const Vec x_dense = solve_dense(a.to_dense(), b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 1e-9);
+    EXPECT_NEAR(x[i], x_dense[i], 1e-9);
+  }
+}
+
+TEST(BandLu, MatchesDenseOnSpdStencil) {
+  // 1-D Laplacian with Dirichlet ends: SPD, bandwidth 1.
+  const std::size_t n = 50;
+  TripletBuilder b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < n) b.add(i, i + 1, -1.0);
+  }
+  const auto a = SparseMatrix::from_triplets(b);
+  Rng rng(7);
+  Vec rhs(n);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+  const auto lu = BandLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vec x = lu->solve(rhs);
+  const Vec x_dense = solve_dense(a.to_dense(), rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_dense[i], 1e-9);
+}
+
+TEST(BandLu, PivotsThroughZeroDiagonal) {
+  // a(0,0) = 0 forces a row swap in the first elimination step.
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 0); b.add(0, 1, 1);
+  b.add(1, 0, 1); b.add(1, 1, 1); b.add(1, 2, 1);
+  b.add(2, 1, 1); b.add(2, 2, 2);
+  const auto a = SparseMatrix::from_triplets(b);
+  const auto lu = BandLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  Vec x_true{1, 2, 3};
+  Vec rhs;
+  a.apply(x_true, rhs);
+  const Vec x = lu->solve(rhs);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(BandLu, SingularReturnsNullopt) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1); b.add(0, 1, 2);
+  b.add(1, 0, 2); b.add(1, 1, 4);
+  EXPECT_FALSE(BandLu::factor(SparseMatrix::from_triplets(b)).has_value());
+}
+
+TEST(BandLu, BufferSolveMatchesReturningSolve) {
+  Rng rng(3);
+  const auto a = random_banded(20, 2, 2, rng);
+  Vec rhs(20);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+  const auto lu = BandLu::factor(a);
+  ASSERT_TRUE(lu.has_value());
+  const Vec x1 = lu->solve(rhs);
+  Vec x2;
+  lu->solve(rhs, x2);
+  ASSERT_EQ(x2.size(), x1.size());
+  for (std::size_t i = 0; i < x1.size(); ++i) EXPECT_EQ(x1[i], x2[i]);
+}
+
+}  // namespace
+}  // namespace stco::numeric

@@ -1,0 +1,105 @@
+// Determinism contract of the cache-blocked parallel tensor::matmul: the
+// forward value and both parent gradients must be bit-identical to the
+// serial result for any thread count (the accumulation order per output
+// element never depends on the schedule).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "src/exec/context.hpp"
+#include "src/numeric/rng.hpp"
+#include "src/tensor/ops.hpp"
+
+namespace stco::tensor {
+namespace {
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, numeric::Rng& rng,
+                     bool requires_grad) {
+  std::vector<double> data(rows * cols);
+  for (auto& v : data) v = rng.uniform(-1, 1);
+  return Tensor::from_data(std::move(data), rows, cols, requires_grad);
+}
+
+struct MatmulRun {
+  std::vector<double> value, grad_a, grad_b;
+};
+
+/// Forward + backward of sum(matmul(a, b)) on `ctx`, from a fixed seed.
+MatmulRun run_matmul(std::size_t m, std::size_t k, std::size_t n,
+                     const exec::Context& ctx) {
+  numeric::Rng rng(1234);
+  Tensor a = random_tensor(m, k, rng, /*requires_grad=*/true);
+  Tensor b = random_tensor(k, n, rng, /*requires_grad=*/true);
+  Tensor c = matmul(a, b, ctx);
+  sum_all(c).backward();
+  return {c.value(), a.grad(), b.grad()};
+}
+
+TEST(BlockedMatmul, SmallKnownProduct) {
+  Tensor a = Tensor::from_data({1, 2, 3, 4, 5, 6}, 3, 2);
+  Tensor b = Tensor::from_data({7, 8, 9, 10}, 2, 2);
+  const Tensor c = matmul(a, b);
+  const std::vector<double> expect{25, 28, 57, 64, 89, 100};
+  ASSERT_EQ(c.value().size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) EXPECT_EQ(c.value()[i], expect[i]);
+}
+
+TEST(BlockedMatmul, GradientsMatchAnalyticForm) {
+  // d/dA sum(AB) = ones * B^T (row i of dA = column sums of B^T rows);
+  // d/dB sum(AB) = A^T * ones.
+  const std::size_t m = 70, k = 40, n = 101;  // above the blocking threshold
+  numeric::Rng rng(99);
+  Tensor a = random_tensor(m, k, rng, true);
+  Tensor b = random_tensor(k, n, rng, true);
+  Tensor c = matmul(a, b);
+  sum_all(c).backward();
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      double expect = 0.0;
+      for (std::size_t j = 0; j < n; ++j) expect += b.value()[kk * n + j];
+      EXPECT_NEAR(a.grad()[i * k + kk], expect, 1e-9);
+    }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    double col_sum = 0.0;
+    for (std::size_t i = 0; i < m; ++i) col_sum += a.value()[i * k + kk];
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(b.grad()[kk * n + j], col_sum, 1e-9);
+  }
+}
+
+TEST(BlockedMatmul, BitIdenticalAcrossThreadCounts) {
+  const std::size_t m = 200, k = 96, n = 150;  // well above kMatmulParallelFlops
+  const MatmulRun serial = run_matmul(m, k, n, exec::Context::serial());
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    exec::Context ctx(threads);
+    const MatmulRun par = run_matmul(m, k, n, ctx);
+    ASSERT_EQ(par.value.size(), serial.value.size());
+    for (std::size_t i = 0; i < serial.value.size(); ++i)
+      ASSERT_EQ(par.value[i], serial.value[i]) << "value slot " << i << " with "
+                                               << threads << " threads";
+    for (std::size_t i = 0; i < serial.grad_a.size(); ++i)
+      ASSERT_EQ(par.grad_a[i], serial.grad_a[i]) << "dA slot " << i << " with "
+                                                 << threads << " threads";
+    for (std::size_t i = 0; i < serial.grad_b.size(); ++i)
+      ASSERT_EQ(par.grad_b[i], serial.grad_b[i]) << "dB slot " << i << " with "
+                                                 << threads << " threads";
+  }
+}
+
+TEST(BlockedMatmul, BitIdenticalBelowParallelThreshold) {
+  const std::size_t m = 40, k = 8, n = 12;  // serial path on every context
+  const MatmulRun serial = run_matmul(m, k, n, exec::Context::serial());
+  exec::Context ctx(4);
+  const MatmulRun par = run_matmul(m, k, n, ctx);
+  for (std::size_t i = 0; i < serial.value.size(); ++i)
+    ASSERT_EQ(par.value[i], serial.value[i]);
+  for (std::size_t i = 0; i < serial.grad_a.size(); ++i)
+    ASSERT_EQ(par.grad_a[i], serial.grad_a[i]);
+  for (std::size_t i = 0; i < serial.grad_b.size(); ++i)
+    ASSERT_EQ(par.grad_b[i], serial.grad_b[i]);
+}
+
+}  // namespace
+}  // namespace stco::tensor

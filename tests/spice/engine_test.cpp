@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/compact/technology.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/spice/measure.hpp"
 
 namespace stco::spice {
@@ -222,6 +223,47 @@ TEST(Transient, CurrentSourceChargesCapLinearly) {
   const auto mid = cross_time(tr, n, 0.5, EdgeDir::kRising);
   ASSERT_TRUE(mid.has_value());
   EXPECT_NEAR(*mid, 0.5e-3, 0.01e-3);
+}
+
+TEST(LuCache, LinearCircuitReusesFactorization) {
+  // TFT-free RC network: after the DC point settles the step size, every
+  // fixed-dt transient Newton solve reuses one dense LU factorization.
+  Netlist nl;
+  const NodeId in = nl.node("in"), mid = nl.node("mid");
+  nl.add_vsource("V1", in, kGround, Waveform::pulse(0, 1.0, 1e-6, 1e-7, 1e-7, 5e-6));
+  nl.add_resistor("R1", in, mid, 1e3);
+  nl.add_capacitor("C1", mid, kGround, 1e-9);
+
+  auto& factors = obs::counter("spice.lu.factors");
+  auto& reuses = obs::counter("spice.lu.reuses");
+  const auto f0 = factors.value();
+  const auto r0 = reuses.value();
+  const auto res = transient(nl, 10e-6, 1e-7);
+  ASSERT_TRUE(res.status.ok());
+  const auto new_factors = factors.value() - f0;
+  const auto new_reuses = reuses.value() - r0;
+  // ~100 timesteps: far more solves reuse the factorization than build one
+  // (fresh factors only at the DC point and on dt/integration changes).
+  EXPECT_GT(new_reuses, new_factors * 4);
+}
+
+TEST(LuCache, ReusedFactorizationMatchesAnalyticRc) {
+  // The cached-LU path must not change the physics: RC discharge curve.
+  // DC point charges the cap to 1 V; the source then collapses to 0 almost
+  // immediately and v_mid decays with tau = RC = 1 us.
+  Netlist nl;
+  const NodeId in = nl.node("in"), mid = nl.node("mid");
+  nl.add_vsource("V1", in, kGround, Waveform::pwl({{0.0, 1.0}, {1e-9, 0.0}}));
+  nl.add_resistor("R1", in, mid, 1e3);
+  nl.add_capacitor("C1", mid, kGround, 1e-9);  // tau = 1 us
+  const auto res = transient(nl, 3e-6, 1e-8);
+  ASSERT_TRUE(res.status.ok());
+  for (std::size_t s = 0; s < res.time.size(); ++s) {
+    const double t = res.time[s];
+    if (t < 1e-8) continue;  // source still ramping down
+    const double expect = std::exp(-(t - 1e-9) / 1e-6);
+    EXPECT_NEAR(res.v[s][mid], expect, 5e-3);
+  }
 }
 
 }  // namespace
