@@ -126,7 +126,11 @@ void BM_GnnCharacterizeCell(benchmark::State& state) {
     ctx.current_state[pin] = false;
     ctx.next_state[pin] = false;
   }
-  ctx.toggling_pin = "A";
+  // Build the pin name char-by-char: assigning a string literal trips a
+  // libstdc++ -Wrestrict false positive under GCC 12 at -O2 (GCC bug
+  // 105651), which STCO_WERROR would promote to an error.
+  ctx.toggling_pin.clear();
+  ctx.toggling_pin.push_back('A');
   ctx.next_state["A"] = true;
   const auto g = charlib::encode_cell(def, compact::cnt_tech(), {}, ctx);
   for (auto _ : state) {

@@ -617,6 +617,7 @@ CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cf
   static obs::Counter& c_arcs = obs::counter("cells.arcs");
   static obs::Histogram& h_latency = obs::histogram(
       "cells.characterize_seconds", {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0});
+  // stco-lint: allow(nondet-clock-now) characterization-latency histogram
   const auto t0 = std::chrono::steady_clock::now();
   CellCharacterization out = cell.sequential
                                  ? characterize_sequential(cell, cfg, ctx)
@@ -624,6 +625,7 @@ CellCharacterization characterize_cell(const CellDef& cell, const CharConfig& cf
   c_cells.add(1);
   c_arcs.add(out.arcs.size());
   h_latency.observe(
+      // stco-lint: allow(nondet-clock-now) characterization-latency histogram
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count());
   return out;
 }

@@ -93,7 +93,10 @@ CellDef aoi22() {
   return gate1("AOI22", {"A", "B", "C", "D"},
                parallel({series({in_("A"), in_("B")}), series({in_("C"), in_("D")})}));
 }
-CellDef aoi211() {
+// AOI211/OAI211 are deliberately not registered in standard_library()
+// (the cell count is pinned at 35 across the characterization tests and
+// paper tables); the definitions stay as the next candidates to admit.
+[[maybe_unused]] CellDef aoi211() {
   return gate1("AOI211", {"A", "B", "C", "D"},
                parallel({series({in_("A"), in_("B")}), in_("C"), in_("D")}));
 }
@@ -109,7 +112,7 @@ CellDef oai22() {
   return gate1("OAI22", {"A", "B", "C", "D"},
                series({parallel({in_("A"), in_("B")}), parallel({in_("C"), in_("D")})}));
 }
-CellDef oai211() {
+[[maybe_unused]] CellDef oai211() {
   return gate1("OAI211", {"A", "B", "C", "D"},
                series({parallel({in_("A"), in_("B")}), in_("C"), in_("D")}));
 }

@@ -28,6 +28,7 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
   TrainStats stats;
   for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
     obs::Span epoch_span("gnn.epoch");
+    // stco-lint: allow(nondet-clock-now) epoch-duration histogram
     const auto epoch_t0 = std::chrono::steady_clock::now();
     // Fisher-Yates shuffle with our deterministic RNG.
     for (std::size_t i = n_samples; i > 1; --i)
@@ -65,6 +66,7 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
     c_epochs.add(1);
     g_loss.set(epoch_loss);
     h_epoch_s.observe(std::chrono::duration<double>(
+                          // stco-lint: allow(nondet-clock-now) epoch timing
                           std::chrono::steady_clock::now() - epoch_t0)
                           .count());
     opt.lr() *= cfg.lr_decay;

@@ -22,7 +22,7 @@ class BandLu {
  public:
   /// Factor `a`, detecting the band (kl, ku) from its sparsity pattern.
   /// Returns nullopt if the matrix is singular to working precision.
-  static std::optional<BandLu> factor(const SparseMatrix& a);
+  [[nodiscard]] static std::optional<BandLu> factor(const SparseMatrix& a);
 
   /// Solve L U x = P b.
   Vec solve(const Vec& b) const;

@@ -1,0 +1,69 @@
+#include "src/numeric/contract.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "src/obs/metrics.hpp"
+
+namespace stco::numeric::contract {
+
+namespace {
+
+struct ContractMetrics {
+  obs::Counter& violations = obs::counter("contract.violations");
+  obs::Counter& require_failures = obs::counter("contract.require_failures");
+  obs::Counter& ensure_failures = obs::counter("contract.ensure_failures");
+};
+
+ContractMetrics& metrics() {
+  static ContractMetrics m;
+  return m;
+}
+
+}  // namespace
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& message) {
+  metrics().violations.add(1);
+  if (std::strcmp(kind, "STCO_ENSURE") == 0) {
+    metrics().ensure_failures.add(1);
+  } else {
+    metrics().require_failures.add(1);
+  }
+  // fprintf (not iostream): must work mid-corruption, no static-init order
+  // or locale machinery involved, and the write is atomic enough for the
+  // one line a death test scrapes.
+  std::fprintf(stderr, "%s:%d: %s(%s) failed: %s\n", file, line, kind, expr,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::size_t violation_count() {
+  return static_cast<std::size_t>(metrics().violations.value());
+}
+
+void poison(double* p, std::size_t n) {
+  if constexpr (!kChecksEnabled) {
+    (void)p;
+    (void)n;
+    return;
+  }
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t i = 0; i < n; ++i) p[i] = nan;
+}
+
+void poison(std::vector<double>& v) { poison(v.data(), v.size()); }
+
+bool all_finite(const double* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+bool all_finite(const std::vector<double>& v) { return all_finite(v.data(), v.size()); }
+
+}  // namespace stco::numeric::contract

@@ -1,0 +1,87 @@
+#pragma once
+// Numeric contract layer: STCO_REQUIRE / STCO_ENSURE and NaN-poisoning.
+//
+// Configure with -DSTCO_CHECKS=ON to compile the checks in. They are the
+// debug-build safety net for unattended multi-hour runs (dataset factories,
+// STCO services): a violated precondition aborts immediately with
+// `file:line` context instead of corrupting a night of generated data.
+//
+//   STCO_REQUIRE(cond, msg)  precondition: validate inputs on entry
+//   STCO_ENSURE(cond, msg)   postcondition: validate results before return
+//
+// On failure both record the violation through the obs counters
+// `contract.violations` + `contract.{require,ensure}_failures` (so a
+// monitoring harness sees the event even if stderr is lost), print
+// `file:line: STCO_REQUIRE(expr) failed: msg` to stderr, and abort.
+// `msg` is only evaluated on failure, so it may build a std::string.
+//
+// With STCO_CHECKS=OFF both macros compile to nothing (the condition is
+// not evaluated — do not put side effects in it), and the poison helpers
+// are no-ops. Unlike assert(), the macros are immune to NDEBUG: the same
+// source builds identically checked in Debug and Release trees, gated
+// only by the CMake option. assert() is banned by stco-lint (assert-ban)
+// in favor of these.
+//
+// Poisoning: scratch buffers that are fully overwritten before being read
+// are filled with quiet NaN on acquire under STCO_CHECKS, so a
+// use-before-write bug surfaces as a NaN cascade (caught by the nearest
+// FpGuard sweep or finite-validation) instead of silently reading stale
+// values that happen to look plausible.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace stco::numeric::contract {
+
+/// True when the tree was configured with -DSTCO_CHECKS=ON.
+inline constexpr bool kChecksEnabled =
+#ifdef STCO_CHECKS
+    true;
+#else
+    false;
+#endif
+
+/// Record + report a contract violation and abort. `kind` is
+/// "STCO_REQUIRE" or "STCO_ENSURE"; `expr` is the stringified condition.
+[[noreturn]] void fail(const char* kind, const char* expr, const char* file, int line,
+                       const std::string& message);
+
+/// Number of contract violations recorded by this process (reads the
+/// `contract.violations` obs counter; 0 when obs is compiled out).
+std::size_t violation_count();
+
+/// Fill with quiet NaN (STCO_CHECKS only; no-op otherwise). Use on scratch
+/// that the algorithm fully overwrites before reading.
+void poison(double* p, std::size_t n);
+void poison(std::vector<double>& v);
+
+/// True when every element is finite (always evaluated; callers gate with
+/// STCO_REQUIRE / kChecksEnabled as appropriate).
+bool all_finite(const double* p, std::size_t n);
+bool all_finite(const std::vector<double>& v);
+
+}  // namespace stco::numeric::contract
+
+#ifdef STCO_CHECKS
+#define STCO_REQUIRE(cond, msg)                                                       \
+  do {                                                                                \
+    if (!(cond))                                                                      \
+      ::stco::numeric::contract::fail("STCO_REQUIRE", #cond, __FILE__, __LINE__, msg); \
+  } while (0)
+#define STCO_ENSURE(cond, msg)                                                        \
+  do {                                                                                \
+    if (!(cond))                                                                      \
+      ::stco::numeric::contract::fail("STCO_ENSURE", #cond, __FILE__, __LINE__, msg);  \
+  } while (0)
+#else
+// Discarded without evaluating cond or msg; sizeof keeps them type-checked.
+#define STCO_REQUIRE(cond, msg) \
+  do {                          \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#define STCO_ENSURE(cond, msg) \
+  do {                         \
+    (void)sizeof((cond) ? 1 : 0); \
+  } while (0)
+#endif

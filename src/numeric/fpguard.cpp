@@ -1,0 +1,70 @@
+#include "src/numeric/fpguard.hpp"
+
+#include <cfenv>
+
+#include "src/numeric/contract.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace stco::numeric {
+
+namespace {
+
+constexpr int kWatched = FE_INVALID | FE_DIVBYZERO | FE_OVERFLOW;
+
+struct FpMetrics {
+  obs::Counter& invalid = obs::counter("contract.fp.invalid");
+  obs::Counter& divbyzero = obs::counter("contract.fp.divbyzero");
+  obs::Counter& overflow = obs::counter("contract.fp.overflow");
+};
+
+FpMetrics& metrics() {
+  static FpMetrics m;
+  return m;
+}
+
+std::string describe_flags(int raised) {
+  std::string s;
+  if (raised & FE_INVALID) s += "FE_INVALID ";
+  if (raised & FE_DIVBYZERO) s += "FE_DIVBYZERO ";
+  if (raised & FE_OVERFLOW) s += "FE_OVERFLOW ";
+  if (!s.empty()) s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+FpGuard::FpGuard(const char* region, Policy policy)
+    : region_(region), policy_(policy) {
+  if constexpr (!contract::kChecksEnabled) return;
+  entry_flags_ = std::fetestexcept(kWatched);
+  std::feclearexcept(kWatched);
+  active_ = true;
+}
+
+int FpGuard::sweep() {
+  if constexpr (!contract::kChecksEnabled) return 0;
+  if (!active_) return 0;
+  const int raised = std::fetestexcept(kWatched);
+  if (raised & FE_INVALID) metrics().invalid.add(1);
+  if (raised & FE_DIVBYZERO) metrics().divbyzero.add(1);
+  if (raised & FE_OVERFLOW) metrics().overflow.add(1);
+  std::feclearexcept(kWatched);
+  if (raised != 0 && policy_ == Policy::kAbort) {
+    contract::fail("STCO_ENSURE", "fp_environment_clean", region_, 0,
+                   "FP exception raised in region '" + std::string(region_) +
+                       "': " + describe_flags(raised));
+  }
+  return raised;
+}
+
+FpGuard::~FpGuard() {
+  if constexpr (!contract::kChecksEnabled) return;
+  if (!active_) return;
+  sweep();
+  active_ = false;
+  // Restore stickiness of flags raised before this region so an enclosing
+  // guard (or caller-level fetestexcept) still sees them.
+  if (entry_flags_ != 0) std::feraiseexcept(entry_flags_);
+}
+
+}  // namespace stco::numeric

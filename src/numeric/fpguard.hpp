@@ -1,0 +1,53 @@
+#pragma once
+// Scoped floating-point-environment guard (STCO_CHECKS only).
+//
+// FpGuard brackets a numeric hot region (Newton assembly/solve, Krylov
+// iteration, blocked matmul): the constructor clears the FP exception
+// flags, the destructor sweeps fetestexcept(FE_INVALID | FE_DIVBYZERO |
+// FE_OVERFLOW) and records each raised flag in the obs counters
+// `contract.fp.{invalid,divbyzero,overflow}`. Under Policy::kAbort a
+// raised flag is a contract violation and the process aborts with the
+// region name; under Policy::kRecord (the default for production hot
+// regions, whose recovery ladders legitimately detect-and-handle NaN)
+// the event is only counted — an unattended run's telemetry then shows
+// *where* FP exceptions happen without changing control flow.
+//
+// The sweep is the portable half of the feenableexcept() approach: flags
+// are per-thread and sticky, so the guard attributes anything raised
+// between construction and destruction on the same thread. Work fanned
+// out to exec::Context workers raises flags on those threads and is not
+// seen by a guard on the submitting thread. Flags that were already
+// raised when the guard was constructed are re-raised on destruction so
+// an enclosing guard still observes them.
+//
+// With STCO_CHECKS=OFF the class is an empty no-op and costs nothing.
+
+#include <string>
+
+namespace stco::numeric {
+
+class FpGuard {
+ public:
+  enum class Policy {
+    kRecord,  ///< count raised flags in obs, continue
+    kAbort,   ///< treat any raised flag as a contract violation
+  };
+
+  explicit FpGuard(const char* region, Policy policy = Policy::kRecord);
+  ~FpGuard();
+  FpGuard(const FpGuard&) = delete;
+  FpGuard& operator=(const FpGuard&) = delete;
+
+  /// Sweep now instead of at scope exit: record (and, under kAbort, die
+  /// on) currently-raised flags, then clear them. Returns the raised mask
+  /// (an FE_* bitmask; 0 with STCO_CHECKS=OFF).
+  int sweep();
+
+ private:
+  const char* region_;
+  Policy policy_;
+  int entry_flags_ = 0;  ///< flags already raised at construction
+  bool active_ = false;
+};
+
+}  // namespace stco::numeric

@@ -36,8 +36,9 @@ using ResidualFn = std::function<void(const Vec& params, Vec& residuals)>;
 ///
 /// `lower`/`upper` (if non-empty) clamp parameters each step; sizes must
 /// match `initial`.
-LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial, std::size_t n_residuals,
-                             const LmOptions& opts = {}, const Vec& lower = {},
-                             const Vec& upper = {});
+[[nodiscard]] LmResult levenberg_marquardt(const ResidualFn& fn, Vec initial,
+                                           std::size_t n_residuals,
+                                           const LmOptions& opts = {},
+                                           const Vec& lower = {}, const Vec& upper = {});
 
 }  // namespace stco::numeric

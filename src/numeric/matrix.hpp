@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/numeric/contract.hpp"
+
 namespace stco::numeric {
 
 using Vec = std::vector<double>;
@@ -30,8 +32,14 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
-  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
-  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(std::size_t r, std::size_t c) {
+    STCO_REQUIRE(r < rows_ && c < cols_, "Matrix index out of bounds");
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    STCO_REQUIRE(r < rows_ && c < cols_, "Matrix index out of bounds");
+    return data_[r * cols_ + c];
+  }
 
   double& at(std::size_t r, std::size_t c);
   double at(std::size_t r, std::size_t c) const;

@@ -52,7 +52,7 @@ class Ilu0 final : public Preconditioner {
 
   /// Factor on `a`'s pattern and values. Returns false (and marks the
   /// factorization invalid) on a missing or numerically zero pivot.
-  bool factor(const SparseMatrix& a);
+  [[nodiscard]] bool factor(const SparseMatrix& a);
   bool valid() const { return valid_; }
   /// Drop the factorization (apply() must not be called until refactored).
   void invalidate() { valid_ = false; }

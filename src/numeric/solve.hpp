@@ -16,7 +16,7 @@ namespace stco::numeric {
 
 /// Result of an iterative solve. `status` is authoritative; `converged` is
 /// kept in sync as a convenience for boolean call sites.
-struct IterativeResult {
+struct [[nodiscard]] IterativeResult {
   Vec x;
   std::size_t iterations = 0;
   double residual = 0.0;  ///< final ||Ax-b|| / ||b||
@@ -32,7 +32,7 @@ class DenseLu {
  public:
   /// Factors a copy of `a`. Returns nullopt if the matrix is singular to
   /// working precision.
-  static std::optional<DenseLu> factor(const Matrix& a);
+  [[nodiscard]] static std::optional<DenseLu> factor(const Matrix& a);
 
   /// Solve L U x = P b.
   Vec solve(const Vec& b) const;
@@ -54,13 +54,14 @@ Vec solve_tridiagonal(const Vec& lower, const Vec& diag, const Vec& upper, const
 
 /// Preconditioned conjugate gradient (A must be SPD). `precond == nullptr`
 /// falls back to Jacobi scaling built from `a`'s diagonal.
-IterativeResult solve_cg(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
-                         std::size_t max_iter = 0, const Preconditioner* precond = nullptr);
+[[nodiscard]] IterativeResult solve_cg(const SparseMatrix& a, const Vec& b,
+                                       double tol = 1e-10, std::size_t max_iter = 0,
+                                       const Preconditioner* precond = nullptr);
 
 /// Preconditioned BiCGSTAB for general nonsymmetric systems.
 /// `precond == nullptr` falls back to Jacobi scaling from `a`'s diagonal.
-IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b, double tol = 1e-10,
-                               std::size_t max_iter = 0,
-                               const Preconditioner* precond = nullptr);
+[[nodiscard]] IterativeResult solve_bicgstab(const SparseMatrix& a, const Vec& b,
+                                             double tol = 1e-10, std::size_t max_iter = 0,
+                                             const Preconditioner* precond = nullptr);
 
 }  // namespace stco::numeric

@@ -23,7 +23,7 @@ enum class SolveReason {
 const char* to_string(SolveReason r);
 
 /// Outcome of one (possibly retried) nonlinear solve.
-struct SolveStatus {
+struct [[nodiscard]] SolveStatus {
   SolveReason reason = SolveReason::kOk;
   std::size_t iterations = 0;  ///< iterations consumed, summed over attempts
   std::size_t retries = 0;     ///< recovery attempts beyond the first
@@ -50,6 +50,7 @@ class SolveBudget {
   std::size_t used_iterations() const { return used_iterations_; }
 
   double elapsed_seconds() const {
+    // stco-lint: allow(nondet-clock-now) wall-clock budget is inherently timed
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
         .count();
   }
@@ -64,6 +65,7 @@ class SolveBudget {
   std::size_t max_iterations_ = 0;  ///< 0 = unlimited
   double max_seconds_ = 0.0;        ///< 0 = unlimited
   std::size_t used_iterations_ = 0;
+  // stco-lint: allow(nondet-clock-now) wall-clock budget is inherently timed
   std::chrono::steady_clock::time_point start_ = std::chrono::steady_clock::now();
 };
 

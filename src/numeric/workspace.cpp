@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/numeric/contract.hpp"
+#include "src/numeric/fpguard.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace stco::numeric {
@@ -39,6 +41,14 @@ LinearSolverOptions legacy_linear_options() {
 }
 
 void NewtonWorkspace::assemble(const TripletBuilder& b) {
+  if constexpr (contract::kChecksEnabled) {
+    // A NaN/Inf matrix entry here means the upstream residual/Jacobian
+    // evaluation is already broken; catching it at assembly names the
+    // culprit iteration instead of a mysteriously stalled Krylov solve.
+    for (const auto& t : b.entries())
+      STCO_REQUIRE(std::isfinite(t.value),
+                   "non-finite Jacobian entry handed to NewtonWorkspace::assemble");
+  }
   const bool same_shape = has_pattern_ && a_.rows() == b.rows() && a_.cols() == b.cols();
   if (opts_.reuse_pattern && same_shape) {
     try {
@@ -86,6 +96,14 @@ bool NewtonWorkspace::ilu_fresh_enough() const {
 
 IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
   if (!has_pattern_) throw std::logic_error("NewtonWorkspace::solve: assemble first");
+  // Record-only FP sentinel: the solve ladder legitimately detects and
+  // recovers from NaN (kNanResidual -> band/dense fallback), so aborting
+  // here would break the recovery contract; the contract.fp.* counters
+  // still expose how often the hot region raises exceptions.
+  FpGuard fp_guard("numeric.newton_workspace.solve", FpGuard::Policy::kRecord);
+  // residual_scratch_ is fully overwritten by a_.apply() before every read;
+  // poisoning makes any future partial-write bug read back as NaN.
+  contract::poison(residual_scratch_);
   metrics().solves.add(1);
 
   const Preconditioner* precond = nullptr;
@@ -163,6 +181,10 @@ void TridiagWorkspace::resize(std::size_t n) {
   upper.assign(m, 0.0);
   c_.resize(n);
   d_.resize(n);
+  // Thomas scratch is written front-to-back before any read; poison so a
+  // future indexing bug surfaces as NaN instead of stale values.
+  contract::poison(c_);
+  contract::poison(d_);
 }
 
 void TridiagWorkspace::solve(Vec& x) {

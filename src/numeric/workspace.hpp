@@ -69,7 +69,7 @@ class NewtonWorkspace {
 
   /// Solve A x = rhs with the configured ladder. The returned status is
   /// authoritative; `converged` mirrors it for boolean call sites.
-  IterativeResult solve(const Vec& rhs);
+  [[nodiscard]] IterativeResult solve(const Vec& rhs);
 
   /// Drop pattern + factors (call when the mesh/system shape changes).
   void reset();

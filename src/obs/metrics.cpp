@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
+
+#include "src/obs/keys.hpp"
 
 namespace stco::obs {
 
@@ -57,6 +60,24 @@ void append_json_number(std::string& out, double v) {
   out += buf;
 }
 
+// Under STCO_CHECKS, registry lookups reject names outside the canonical
+// registry (keys.hpp) unless they carry the test. prefix. obs is the lowest
+// layer and cannot use the numeric contract machinery (circular link), so
+// this reports and aborts on its own. Snapshot set_counter/set_gauge are a
+// value-type API and stay unvalidated.
+void check_metric_key(const std::string& name) {
+#ifdef STCO_CHECKS
+  if (keys::is_canonical_metric_key(name) || keys::is_test_key(name)) return;
+  std::fprintf(stderr,
+               "obs: metric key \"%s\" is not in the canonical registry "
+               "(src/obs/keys.hpp) and lacks the \"%s\" prefix\n",
+               name.c_str(), std::string(keys::kTestPrefix).c_str());
+  std::abort();
+#else
+  (void)name;
+#endif
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
@@ -105,18 +126,21 @@ void Histogram::reset() {
 }
 
 Counter& counter(const std::string& name) {
+  check_metric_key(name);
   auto& reg = metric_registry();
   std::lock_guard<std::mutex> lock(reg.m);
   return reg.counters[name];
 }
 
 Gauge& gauge(const std::string& name) {
+  check_metric_key(name);
   auto& reg = metric_registry();
   std::lock_guard<std::mutex> lock(reg.m);
   return reg.gauges[name];
 }
 
 Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  check_metric_key(name);
   auto& reg = metric_registry();
   std::lock_guard<std::mutex> lock(reg.m);
   // try_emplace constructs the Histogram in place (it holds atomics, so it

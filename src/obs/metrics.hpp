@@ -13,7 +13,7 @@
 // name (obs::counter("...") etc.) takes a registry mutex, so call sites
 // cache the reference:
 //
-//   static obs::Counter& hits = obs::counter("stco.cache.hits");
+//   static obs::Counter& hits = obs::counter("stco.cost_cache.hits");
 //   hits.add(1);
 //
 // References returned by the registry are stable for the process lifetime
@@ -153,7 +153,7 @@ struct Snapshot {
 };
 
 /// Copy out every registered metric. Empty with STCO_OBS=OFF.
-Snapshot snapshot();
+[[nodiscard]] Snapshot snapshot();
 /// Zero every registered counter/gauge/histogram (registrations remain).
 void reset_metrics();
 

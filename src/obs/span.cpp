@@ -10,6 +10,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "src/obs/keys.hpp"
+
 namespace stco::obs {
 
 namespace detail {
@@ -140,6 +142,18 @@ void json_escape(std::ostream& os, const char* s) {
 std::uint64_t now_ns() { return steady_now_ns() - registry().epoch_ns; }
 
 void Span::begin(const char* name, SpanContext parent) {
+#ifdef STCO_CHECKS
+  // Mirror of the obs-unknown-span lint rule, catching names the linter
+  // cannot see (non-literal or macro-assembled). obs cannot link the
+  // numeric contract layer (it sits below it), so report-and-abort here.
+  if (!keys::is_canonical_span_name(name) && !keys::is_test_key(name)) {
+    std::fprintf(stderr,
+                 "obs: span name \"%s\" is not in the canonical registry "
+                 "(src/obs/keys.hpp)\n",
+                 name);
+    std::abort();
+  }
+#endif
   auto& reg = registry();
   name_ = name;
   id_ = reg.next_id.fetch_add(1, std::memory_order_relaxed);

@@ -86,13 +86,13 @@ struct TranResult {
 };
 
 /// Solve the DC operating point at time `t` (sources evaluated at t).
-DcResult dc_operating_point(const Netlist& nl, double t = 0.0,
-                            const EngineOptions& opts = {});
+[[nodiscard]] DcResult dc_operating_point(const Netlist& nl, double t = 0.0,
+                                          const EngineOptions& opts = {});
 
 /// Transient analysis from t = 0 to `t_stop` with nominal step `dt`.
 /// Starts from the DC operating point at t = 0.
-TranResult transient(const Netlist& nl, double t_stop, double dt,
-                     const EngineOptions& opts = {});
+[[nodiscard]] TranResult transient(const Netlist& nl, double t_stop, double dt,
+                                   const EngineOptions& opts = {});
 
 struct AdaptiveOptions {
   EngineOptions engine{};
@@ -112,7 +112,7 @@ struct AdaptiveOptions {
 /// shrink around edges, controlled by a trapezoidal-vs-BE local truncation
 /// error estimate. Produces far fewer samples than fixed-step for the same
 /// waveform accuracy on bursty digital activity.
-TranResult transient_adaptive(const Netlist& nl, double t_stop,
-                              const AdaptiveOptions& opts = {});
+[[nodiscard]] TranResult transient_adaptive(const Netlist& nl, double t_stop,
+                                            const AdaptiveOptions& opts = {});
 
 }  // namespace stco::spice

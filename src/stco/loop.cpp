@@ -7,6 +7,7 @@ namespace stco {
 
 namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
+  // stco-lint: allow(nondet-clock-now) StcoTiming wall-clock accounting
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
 }  // namespace
@@ -28,6 +29,7 @@ flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
   static obs::Counter& c_evals = obs::counter("stco.evaluations");
   static obs::Counter& c_infeasible = obs::counter("stco.infeasible_evaluations");
 
+  // stco-lint: allow(nondet-clock-now) StcoTiming wall-clock accounting
   const auto t0 = std::chrono::steady_clock::now();
   flow::TimingLibrary lib = std::visit(
       [&](const auto& b) -> flow::TimingLibrary {
@@ -44,6 +46,7 @@ flow::StaReport StcoEngine::evaluate(const compact::TechnologyPoint& tech) {
     stats_.merge(lib.robustness);
   }
 
+  // stco-lint: allow(nondet-clock-now) StcoTiming wall-clock accounting
   const auto t1 = std::chrono::steady_clock::now();
   auto rep = [&] {
     obs::Span sta_span("stco.sta");

@@ -121,7 +121,7 @@ class StcoEngine {
   /// exec, and infeasibility counters under the stco./exec./solver. keys
   /// that stco::report renders. Works with STCO_OBS=OFF (the global part is
   /// then empty, the per-engine overlay still populates).
-  obs::Snapshot obs_snapshot() const;
+  [[nodiscard]] obs::Snapshot obs_snapshot() const;
 
  private:
   using TechKey = std::tuple<int, double, double, double>;
@@ -149,10 +149,10 @@ class StcoEngine {
 /// the bridge the report renderer consumes; StcoEngine::obs_snapshot()
 /// calls it on top of the global metric snapshot, and tests / no-engine
 /// callers can invoke it directly on a default Snapshot.
-obs::Snapshot make_run_snapshot(const StcoTiming& timing,
-                                const numeric::RobustnessStats& robustness,
-                                const exec::ContextStats& exec_stats,
-                                std::size_t infeasible_evaluations,
-                                obs::Snapshot base = {});
+[[nodiscard]] obs::Snapshot make_run_snapshot(const StcoTiming& timing,
+                                              const numeric::RobustnessStats& robustness,
+                                              const exec::ContextStats& exec_stats,
+                                              std::size_t infeasible_evaluations,
+                                              obs::Snapshot base = {});
 
 }  // namespace stco

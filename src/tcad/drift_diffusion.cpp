@@ -28,8 +28,8 @@ double clamped_exp(double x, double clamp) {
 /// (face length / distance, per unit depth) and node control area.
 struct Geometry {
   const mesh::DeviceMesh& m;
-  double face_over_dist(std::size_t ix_a, std::size_t iy_a, std::size_t ix_b,
-                        std::size_t iy_b) const {
+  double face_over_dist(std::size_t ix_a, std::size_t iy_a,
+                        [[maybe_unused]] std::size_t ix_b, std::size_t iy_b) const {
     const bool horizontal = iy_a == iy_b;
     double face = horizontal ? m.dy() : m.dx();
     if (horizontal && (iy_a == 0 || iy_a == m.ny() - 1)) face *= 0.5;

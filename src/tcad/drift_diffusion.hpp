@@ -50,16 +50,15 @@ struct DriftDiffusionSolution {
 };
 
 /// Solve the coupled Poisson + electron/hole continuity system.
-DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
-                                             const mesh::DeviceMesh& mesh,
-                                             const DriftDiffusionOptions& opts = {});
+[[nodiscard]] DriftDiffusionSolution solve_drift_diffusion(
+    const TftDevice& dev, const Bias& bias, const mesh::DeviceMesh& mesh,
+    const DriftDiffusionOptions& opts = {});
 
 /// Convenience overload building the default mesh (finer than the dataset
 /// default: this is the reference engine).
-DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
-                                             std::size_t nx = 32, std::size_t n_ch = 8,
-                                             std::size_t n_ox = 6,
-                                             const DriftDiffusionOptions& opts = {});
+[[nodiscard]] DriftDiffusionSolution solve_drift_diffusion(
+    const TftDevice& dev, const Bias& bias, std::size_t nx = 32, std::size_t n_ch = 8,
+    std::size_t n_ox = 6, const DriftDiffusionOptions& opts = {});
 
 /// Bernoulli function x / (e^x - 1) with the stable small-|x| expansion
 /// (exposed for tests).

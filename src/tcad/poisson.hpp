@@ -42,13 +42,14 @@ struct PoissonOptions {
 /// The quasi-Fermi potential is ramped linearly along the channel between
 /// the source and drain contact potentials (a gradual-channel closure; the
 /// drift-diffusion transport solve lives in transport.hpp).
-PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                              const mesh::DeviceMesh& mesh,
-                              const PoissonOptions& opts = {});
+[[nodiscard]] PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                                            const mesh::DeviceMesh& mesh,
+                                            const PoissonOptions& opts = {});
 
 /// Convenience overload that builds the default mesh first.
-PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                              std::size_t nx = 16, std::size_t n_ch = 5,
-                              std::size_t n_ox = 4, const PoissonOptions& opts = {});
+[[nodiscard]] PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
+                                            std::size_t nx = 16, std::size_t n_ch = 5,
+                                            std::size_t n_ox = 4,
+                                            const PoissonOptions& opts = {});
 
 }  // namespace stco::tcad

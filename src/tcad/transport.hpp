@@ -59,8 +59,8 @@ struct TransportResult {
   numeric::RobustnessStats stats;
 };
 
-TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
-                                 const TransportOptions& opts = {});
+[[nodiscard]] TransportResult drain_current_ex(const TftDevice& dev, const Bias& bias,
+                                               const TransportOptions& opts = {});
 
 /// One simulated I-V sample.
 struct IvPoint {

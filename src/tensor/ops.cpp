@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/numeric/contract.hpp"
+#include "src/numeric/fpguard.hpp"
+
 namespace stco::tensor {
 
 namespace {
@@ -179,6 +182,12 @@ Tensor matmul(const Tensor& a, const Tensor& b, const exec::Context& ctx) {
                    });
   });
   auto& c = out.value();
+  // Record-only: overflow to inf in a forward pass is survivable (the loss
+  // goes non-finite and the trainer sees it), but the contract.fp.* counters
+  // localize it to the matmul hot region. Parallel blocks run on worker
+  // threads whose FP flags this guard cannot see; the serial path and the
+  // submitting thread's share of work are still covered.
+  numeric::FpGuard fp_guard("tensor.matmul", numeric::FpGuard::Policy::kRecord);
   const double* av = a.value().data();
   const double* bv = b.value().data();
   const std::size_t nblocks = m == 0 ? 0 : (m + kMatmulRowBlock - 1) / kMatmulRowBlock;
@@ -217,6 +226,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::make_op(rows, cols, {a, b}, [rows, cols, bc](Node& n) {
     accumulate_broadcast(*n.parents[0], n.grad, rows, cols, Broadcast::kSame);
     std::vector<double> neg_g(n.grad.size());
+    numeric::contract::poison(neg_g);  // fully overwritten just below
     for (std::size_t i = 0; i < n.grad.size(); ++i) neg_g[i] = -n.grad[i];
     accumulate_broadcast(*n.parents[1], neg_g, rows, cols, bc);
   });
@@ -241,6 +251,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
     }
     if (pb.requires_grad) {
       std::vector<double> g(n.grad.size());
+      numeric::contract::poison(g);  // fully overwritten just below
       for (std::size_t r = 0; r < rows; ++r)
         for (std::size_t c = 0; c < cols; ++c)
           g[r * cols + c] = n.grad[r * cols + c] * pa.value[r * cols + c];

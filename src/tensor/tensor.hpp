@@ -11,6 +11,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/numeric/contract.hpp"
+
 namespace stco::tensor {
 
 class Tensor;
@@ -62,9 +64,11 @@ class Tensor {
   const std::vector<double>& grad() const;
 
   double operator()(std::size_t r, std::size_t c) const {
+    STCO_REQUIRE(r < node_->rows && c < node_->cols, "Tensor index out of bounds");
     return node_->value[r * node_->cols + c];
   }
   double& operator()(std::size_t r, std::size_t c) {
+    STCO_REQUIRE(r < node_->rows && c < node_->cols, "Tensor index out of bounds");
     return node_->value[r * node_->cols + c];
   }
 

@@ -29,7 +29,10 @@ TEST(Encoder, TableIIIBitAssignments) {
   const auto& inv = cells::find_cell("INV");
   const auto tech = compact::cnt_tech();
   PinContext ctx = default_ctx(inv);
-  ctx.toggling_pin = "A";
+  // Built char-by-char to dodge a libstdc++ -Wrestrict false positive
+  // (GCC 12, bug 105651) that STCO_WERROR would promote to an error.
+  ctx.toggling_pin.clear();
+  ctx.toggling_pin.push_back('A');
   ctx.input_slew = 25e-9;
   ctx.output_load = 50e-15;
   ctx.current_state["A"] = true;

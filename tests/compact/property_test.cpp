@@ -72,7 +72,9 @@ TEST_P(CompactModelProperty, MonotoneInGateDrive) {
   double prev = -1.0;
   for (double f = 0.0; f <= 1.2; f += 0.1) {
     const double i = std::fabs(tft_current(p, s * f * GetParam().vdd, vd, 0.0));
-    if (prev >= 0.0) EXPECT_GE(i, prev * (1.0 - 1e-12));
+    if (prev >= 0.0) {
+      EXPECT_GE(i, prev * (1.0 - 1e-12));
+    }
     prev = i;
   }
 }
@@ -84,7 +86,9 @@ TEST_P(CompactModelProperty, MonotoneInDrainBias) {
   double prev = -1.0;
   for (double f = 0.05; f <= 1.5; f += 0.15) {
     const double i = std::fabs(tft_current(p, vg, s * f * GetParam().vdd, 0.0));
-    if (prev >= 0.0) EXPECT_GE(i, prev * (1.0 - 1e-12));
+    if (prev >= 0.0) {
+      EXPECT_GE(i, prev * (1.0 - 1e-12));
+    }
     prev = i;
   }
 }

@@ -1,0 +1,189 @@
+// Fixture tests for tools/stco-lint: every rule-id has a seeded fixture
+// whose expected diagnostics are written inline as "// <- rule-id" markers,
+// and the test asserts the linter produces exactly those (file, line, rule)
+// triples — no extras, no misses. Suppression syntax and tree scoping are
+// pinned by dedicated fixtures.
+
+#include "tools/stco-lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using stco::lint::Diagnostic;
+using stco::lint::FileInfo;
+using stco::lint::Tree;
+
+std::string fixture_dir() { return STCO_LINT_FIXTURE_DIR; }
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+using LineRule = std::pair<int, std::string>;  // 1-based line, rule id
+
+/// Parse the "// <- rule-id" expectation markers out of a fixture.
+std::vector<LineRule> expected_markers(const std::string& text) {
+  std::vector<LineRule> out;
+  std::istringstream is(text);
+  std::string line;
+  int ln = 0;
+  while (std::getline(is, line)) {
+    ++ln;
+    const std::size_t pos = line.find("// <- ");
+    if (pos == std::string::npos) continue;
+    std::istringstream rest(line.substr(pos + 6));
+    std::string rule;
+    rest >> rule;
+    EXPECT_FALSE(rule.empty()) << "bad marker at line " << ln;
+    out.emplace_back(ln, rule);
+  }
+  return out;
+}
+
+std::vector<LineRule> actual_diags(const std::vector<Diagnostic>& diags) {
+  std::vector<LineRule> out;
+  for (const auto& d : diags) out.emplace_back(d.line, d.rule);
+  return out;
+}
+
+struct FixtureCase {
+  const char* file;
+  FileInfo info;
+};
+
+const std::vector<FixtureCase>& fixture_cases() {
+  static const std::vector<FixtureCase> kCases = {
+      {"nondet-rand.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"nondet-time.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"nondet-clock-now.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"nondet-unordered-iter.cpp.lint",
+       {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"discarded-status.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"missing-nodiscard.hpp.lint", {"src/x/fixture.hpp", Tree::kSrc, true, false}},
+      {"obs-unknown-key.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"obs-unknown-span.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"include-iostream.hpp.lint", {"src/x/fixture.hpp", Tree::kSrc, true, false}},
+      {"assert-ban.cpp.lint", {"tests/x/fixture.cpp", Tree::kTests, false, false}},
+      {"bench-scope.cpp.lint", {"bench/fixture.cpp", Tree::kBench, false, false}},
+  };
+  return kCases;
+}
+
+TEST(LintFixtures, EachFixtureProducesExactlyItsMarkedDiagnostics) {
+  for (const auto& fc : fixture_cases()) {
+    SCOPED_TRACE(fc.file);
+    const std::string text = read_file(fixture_dir() + "/" + fc.file);
+    ASSERT_FALSE(text.empty());
+    std::vector<LineRule> expected = expected_markers(text);
+    std::vector<LineRule> actual = actual_diags(stco::lint::lint_text(text, fc.info));
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(expected, actual);
+  }
+}
+
+TEST(LintFixtures, SuppressedFixtureLintsClean) {
+  const std::string text = read_file(fixture_dir() + "/suppressed.cpp.lint");
+  ASSERT_FALSE(text.empty());
+  FileInfo info{"src/x/suppressed.cpp", Tree::kSrc, false, false};
+  const auto diags = stco::lint::lint_text(text, info);
+  EXPECT_TRUE(diags.empty()) << (diags.empty() ? "" : diags.front().format());
+}
+
+TEST(LintFixtures, EveryCatalogRuleHasFixtureCoverage) {
+  std::set<std::string> covered;
+  for (const auto& fc : fixture_cases()) {
+    const std::string text = read_file(fixture_dir() + "/" + fc.file);
+    for (const auto& [line, rule] : expected_markers(text)) covered.insert(rule);
+  }
+  for (const auto& rule : stco::lint::rules())
+    EXPECT_TRUE(covered.count(rule.id)) << "rule without fixture coverage: " << rule.id;
+}
+
+TEST(LintFixtures, MarkersNameOnlyCatalogRules) {
+  std::set<std::string> known;
+  for (const auto& rule : stco::lint::rules()) known.insert(rule.id);
+  for (const auto& fc : fixture_cases()) {
+    const std::string text = read_file(fixture_dir() + "/" + fc.file);
+    for (const auto& [line, rule] : expected_markers(text))
+      EXPECT_TRUE(known.count(rule))
+          << fc.file << ":" << line << " marks unknown rule " << rule;
+  }
+}
+
+TEST(LintApi, DiagnosticFormatIsMachineReadable) {
+  Diagnostic d{"src/a/b.cpp", 17, "assert-ban", "no"};
+  EXPECT_EQ(d.format(), "src/a/b.cpp:17: assert-ban: no");
+}
+
+TEST(LintApi, ClassifyPathAssignsTreeHeaderAndObsFlags) {
+  const FileInfo src = stco::lint::classify_path("src/numeric/solve.hpp");
+  EXPECT_EQ(src.tree, Tree::kSrc);
+  EXPECT_TRUE(src.is_header);
+  EXPECT_FALSE(src.in_obs);
+
+  const FileInfo obs = stco::lint::classify_path("src/obs/span.cpp");
+  EXPECT_EQ(obs.tree, Tree::kSrc);
+  EXPECT_TRUE(obs.in_obs);
+  EXPECT_FALSE(obs.is_header);
+
+  EXPECT_EQ(stco::lint::classify_path("bench/bench_solver.cpp").tree, Tree::kBench);
+  EXPECT_EQ(stco::lint::classify_path("tests/lint/lint_test.cpp").tree, Tree::kTests);
+}
+
+TEST(LintApi, ShouldScanCoversSourceTreesAndSkipsFixtures) {
+  EXPECT_TRUE(stco::lint::should_scan("src/numeric/solve.cpp"));
+  EXPECT_TRUE(stco::lint::should_scan("bench/bench_solver.cpp"));
+  EXPECT_TRUE(stco::lint::should_scan("tests/numeric/solve_test.cpp"));
+  EXPECT_FALSE(stco::lint::should_scan("tests/lint/fixtures/assert-ban.cpp.lint"));
+  EXPECT_FALSE(stco::lint::should_scan("tools/stco-lint/lint.cpp"));
+  EXPECT_FALSE(stco::lint::should_scan("src/obs/README.md"));
+  EXPECT_FALSE(stco::lint::should_scan("CMakeLists.txt"));
+}
+
+TEST(LintApi, ScannerIgnoresCommentsStringsAndRawStrings) {
+  FileInfo info{"src/x/s.cpp", Tree::kSrc, false, false};
+  // Banned words inside comments, string literals, raw strings, and char
+  // context must not fire.
+  const std::string text =
+      "// std::rand() in a comment\n"
+      "/* time(nullptr) in a block comment */\n"
+      "const char* s = \"std::rand() inside a string\";\n"
+      "const char* r = R\"(rand() srand() time(0))\";\n";
+  EXPECT_TRUE(stco::lint::lint_text(text, info).empty());
+}
+
+TEST(LintApi, TestsTreeRunsOnlyAssertBan) {
+  FileInfo info{"tests/x/t.cpp", Tree::kTests, false, false};
+  const std::string text =
+      "#include <cstdlib>\n"
+      "int f() { return std::rand(); }\n"  // allowed in tests
+      "void g(int x) { assert(x); }\n";    // still banned
+  const auto diags = stco::lint::lint_text(text, info);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "assert-ban");
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintApi, ObsTreeIsExemptFromObsAndClockRules) {
+  FileInfo info{"src/obs/span.cpp", Tree::kSrc, false, true};
+  const std::string text =
+      "auto t = std::chrono::steady_clock::now();\n"
+      "auto& c = counter(\"totally.unregistered\");\n";
+  EXPECT_TRUE(stco::lint::lint_text(text, info).empty());
+}
+
+}  // namespace

@@ -91,8 +91,9 @@ TEST(Ilu0, AcceleratesBicgstabOnBadlyScaledSystem) {
   const auto with_jacobi = solve_bicgstab(a, rhs, 1e-12, 0, nullptr);
   ASSERT_TRUE(with_ilu.converged);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(with_ilu.x[i], x_true[i], 1e-7);
-  if (with_jacobi.converged)
+  if (with_jacobi.converged) {
     EXPECT_LE(with_ilu.iterations, with_jacobi.iterations);
+  }
 }
 
 TEST(Ilu0, WorksAsCgPreconditionerOnSpdSystem) {

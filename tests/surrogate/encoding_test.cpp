@@ -90,7 +90,9 @@ TEST(Encoding, PoissonTargetsAreResidualPotential) {
   }
   // Dirichlet node residuals are exactly zero.
   for (std::size_t i = 0; i < g.num_nodes; ++i)
-    if (s.mesh.node(i).dirichlet) EXPECT_NEAR(g.node_targets[i], 0.0, 1e-12);
+    if (s.mesh.node(i).dirichlet) {
+      EXPECT_NEAR(g.node_targets[i], 0.0, 1e-12);
+    }
 }
 
 TEST(Encoding, PredictPotentialVoltsReconstructsBaseline) {

@@ -31,8 +31,9 @@ TEST(Poisson, DirichletValuesPinned) {
   const auto sol = solve_poisson(dev, bias, mesh);
   ASSERT_TRUE(sol.converged);
   for (std::size_t i = 0; i < mesh.num_nodes(); ++i)
-    if (mesh.node(i).dirichlet)
+    if (mesh.node(i).dirichlet) {
       EXPECT_NEAR(sol.potential[i], mesh.node(i).dirichlet_value, 1e-6);
+    }
 }
 
 TEST(Poisson, PositiveGateAccumulatesElectronsInNType) {

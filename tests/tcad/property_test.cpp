@@ -59,7 +59,9 @@ TEST_P(TcadSweep, SheetChargeMonotoneInOverdrive) {
   for (double f = 0.1; f <= 1.0; f += 0.15) {
     const double q = sheet_charge(dev, s * f * 5.0, 0.0);
     EXPECT_GT(q, 0.0);
-    if (prev >= 0.0) EXPECT_GE(q, prev * (1.0 - 1e-9));
+    if (prev >= 0.0) {
+      EXPECT_GE(q, prev * (1.0 - 1e-9));
+    }
     prev = q;
   }
 }

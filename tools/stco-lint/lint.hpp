@@ -1,0 +1,73 @@
+#pragma once
+// stco-lint: project-specific invariant linter for the fast-stco tree.
+//
+// A token/AST-lite scanner that enforces the repo invariants the compiler
+// cannot: determinism hygiene, status discipline, canonical obs keys,
+// include hygiene, and the assert() ban. See rules() for the catalog and
+// DESIGN.md "Correctness tooling" for the rationale per rule.
+//
+// Diagnostics are machine-readable, one per line:
+//
+//   <file>:<line>: <rule-id>: <message>
+//
+// Suppression (the escape hatch for intentional violations):
+//
+//   code();  // stco-lint: allow(rule-id) reason
+//   // stco-lint: allow(rule-id, other-rule) reason   <- next line
+//   // stco-lint: allow-file(rule-id) reason          <- whole file
+//
+// The library half (this header + lint.cpp) is linked by both the CLI
+// (main.cpp, run as `ctest -L lint` over the real tree) and the fixture
+// tests (tests/lint), which assert exact diagnostics per rule.
+
+#include <string>
+#include <vector>
+
+namespace stco::lint {
+
+/// Which tree a file belongs to; rules scope themselves by tree.
+enum class Tree {
+  kSrc,    ///< src/ — all rules
+  kBench,  ///< bench/ — status, obs-key, assert rules (timing code is free
+           ///< to read clocks / seed rngs)
+  kTests,  ///< tests/ — assert ban only (gtest has its own assertions)
+};
+
+struct FileInfo {
+  std::string display_path;  ///< path printed in diagnostics
+  Tree tree = Tree::kSrc;
+  bool is_header = false;    ///< .hpp — enables header-only rules
+  bool in_obs = false;       ///< under src/obs/ — the machinery itself is
+                             ///< exempt from the obs-key rules and owns the
+                             ///< clock (nondet-clock-now)
+};
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  /// "<file>:<line>: <rule>: <message>" — the machine-readable format.
+  std::string format() const;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// The rule catalog (stable ids; fixtures cover each one).
+const std::vector<RuleInfo>& rules();
+
+/// Lint one file's contents. Diagnostics are ordered by line.
+std::vector<Diagnostic> lint_text(const std::string& text, const FileInfo& info);
+
+/// Classify a repo-relative path ("src/numeric/solve.hpp") into a FileInfo.
+FileInfo classify_path(const std::string& rel_path);
+
+/// Should this repo-relative path be scanned at all? (.cpp/.hpp under
+/// src/ bench/ tests/, excluding tests/lint/fixtures/.)
+bool should_scan(const std::string& rel_path);
+
+}  // namespace stco::lint
