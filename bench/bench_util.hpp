@@ -9,11 +9,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "src/obs/obs.hpp"
+#include "src/persist/storage.hpp"
 
 namespace stco::bench {
 
@@ -46,10 +47,10 @@ inline std::size_t env_size(const char* name, std::size_t small_default,
 /// bench numbers with solver/exec telemetry.
 inline void write_bench_json(const std::string& path, const std::string& bench,
                              const std::string& payload) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("write_bench_json: cannot open " + path);
-  f << "{\n  \"bench\": \"" << bench << "\",\n" << payload
-    << ",\n  \"obs\": " << obs::snapshot().to_json() << "\n}\n";
+  std::ostringstream ss;
+  ss << "{\n  \"bench\": \"" << bench << "\",\n" << payload
+     << ",\n  \"obs\": " << obs::snapshot().to_json() << "\n}\n";
+  persist::default_storage().write_atomic(path, ss.str());
 }
 
 inline void rule(char c = '-', int width = 86) {

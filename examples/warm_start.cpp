@@ -1,0 +1,75 @@
+// Example: warm-starting the STCO loop from the persistent cost cache.
+//
+// With STCO_CACHE_DIR set (or StcoConfig::cache_dir), the engine persists
+// its tech-point -> cost map and calibrated PPA weights as a checksummed
+// artifact on shutdown and restores them on construction. Run this once
+// cold, then again with the same cache directory: the second run restores
+// every cost from disk and re-evaluates nothing. A corrupt or stale cache
+// is detected by its CRC/fingerprint, counted, and silently rebuilt.
+//
+// Usage:
+//   STCO_CACHE_DIR=/tmp/stco-cache ./warm_start
+//   STCO_CACHE_DIR=/tmp/stco-cache ./warm_start --expect-warm
+//
+// --expect-warm exits nonzero unless the cache actually warmed the engine
+// (used by the CI smoke job to prove the round trip works end to end).
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/obs/obs.hpp"
+#include "src/stco/loop.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stco;
+
+  bool expect_warm = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--expect-warm") == 0) expect_warm = true;
+
+  StcoConfig cfg;
+  cfg.benchmark = "s298";
+  cfg.grid_n = 3;
+  cfg.rl.episodes = 2;
+  cfg.rl.steps_per_episode = 5;
+  // cfg.cache_dir left empty: the engine reads $STCO_CACHE_DIR.
+
+  StcoEngine engine(cfg, SpiceBackend{});
+  if (engine.cost_cache_path().empty()) {
+    printf("persistence off: set STCO_CACHE_DIR to enable the cost cache\n");
+    if (expect_warm) return 1;
+  } else {
+    printf("cost cache: %s (%zu entries restored)\n",
+           engine.cost_cache_path().c_str(), engine.warm_cache_entries());
+  }
+
+  const auto result = engine.optimize();
+  printf("best point: VDD %.2f V, Vth %.2f V, Cox %.1f nF/cm^2, cost %.4f\n",
+         result.best_point.vdd, result.best_point.vth,
+         result.best_point.cox * 1e5, result.best_cost);
+  printf("library evaluations this run: %zu (warm cache skips them)\n",
+         engine.timing().evaluations.load());
+
+  const auto snap = engine.obs_snapshot();
+  printf("persist: %llu writes, %llu reads, %llu corrupt artifacts detected, "
+         "%llu warm hits\n",
+         static_cast<unsigned long long>(snap.counter_or("persist.writes")),
+         static_cast<unsigned long long>(snap.counter_or("persist.reads")),
+         static_cast<unsigned long long>(snap.counter_or("persist.corrupt_artifacts")),
+         static_cast<unsigned long long>(snap.counter_or("persist.cache.warm_hits")));
+
+  if (expect_warm) {
+    if (engine.warm_cache_entries() == 0) {
+      printf("FAIL: --expect-warm but the cache restored nothing\n");
+      return 1;
+    }
+    if (engine.timing().evaluations.load() != 0) {
+      printf("FAIL: --expect-warm but %zu evaluations ran\n",
+             engine.timing().evaluations.load());
+      return 1;
+    }
+    printf("warm start verified: zero evaluations, all costs from disk\n");
+  }
+  // The destructor persists the (possibly grown) cache for the next run.
+  return 0;
+}

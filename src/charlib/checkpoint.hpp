@@ -1,0 +1,50 @@
+#pragma once
+// Resumable, sharded charlib dataset generation.
+//
+// The corner sweep is split into shards of consecutive corners; each
+// completed shard is written as a checksummed artifact and recorded in an
+// atomically rewritten manifest. A rerun after an interruption (or crash)
+// loads the finished shards, verifies them, and characterizes only what is
+// missing — and because characterization is deterministic per corner and
+// merged in grid order, the resumed dataset is bit-identical to an
+// uninterrupted run. A shard or manifest that fails validation is simply
+// rebuilt (counted under persist.corrupt_artifacts), never trusted.
+
+#include <string>
+#include <vector>
+
+#include "src/charlib/dataset.hpp"
+#include "src/persist/manifest.hpp"
+#include "src/persist/storage.hpp"
+
+namespace stco::charlib {
+
+using persist::CheckpointOptions;
+
+/// build_charlib_dataset with shard checkpointing. Identical output to the
+/// plain builder for the same corners/opts; interruptions only cost the
+/// unfinished shard.
+std::vector<CharSample> build_charlib_dataset_resumable(
+    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts,
+    const CheckpointOptions& ckpt, const exec::Context& ctx = exec::Context::serial());
+
+/// Shard artifact codec (exposed for tests and tools).
+void save_charlib_shard(persist::Storage& storage, const std::string& path,
+                        const std::vector<CharSample>& samples,
+                        const DatasetStats& stats);
+
+struct CharlibShardLoad {
+  persist::LoadStatus status = persist::LoadStatus::kNotFound;
+  std::vector<CharSample> samples;
+  DatasetStats stats;  ///< this shard's drop/solver accounting
+};
+[[nodiscard]] CharlibShardLoad load_charlib_shard(persist::Storage& storage,
+                                                  const std::string& path);
+
+/// Configuration fingerprint: any change to corners or options invalidates
+/// existing checkpoints instead of resuming into a different dataset.
+std::uint64_t charlib_dataset_fingerprint(
+    const std::vector<compact::TechnologyPoint>& corners, const DatasetOptions& opts,
+    std::size_t shard_size);
+
+}  // namespace stco::charlib

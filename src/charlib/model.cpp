@@ -4,13 +4,16 @@
 #include <stdexcept>
 
 #include "src/numeric/stats.hpp"
+#include "src/persist/artifacts.hpp"
 #include "src/tensor/ops.hpp"
-#include "src/tensor/serialize.hpp"
 
 namespace stco::charlib {
 
 namespace {
 constexpr double kFloor = 1e-21;
+/// Model tag inside the weights artifact: distinguishes a charlib model
+/// file from any other parameter dump with the same tensor shapes.
+constexpr std::uint32_t kModelTag = persist::fourcc('C', 'H', 'M', 'D');
 }
 
 double log_target(double raw) { return std::log10(std::fabs(raw) + kFloor); }
@@ -144,19 +147,29 @@ void CellCharModel::save(const std::string& path) const {
     stats[cells::kNumMetrics + m] = norm_std_[m];
   }
   params.push_back(tensor::Tensor::from_data(std::move(stats), 2, cells::kNumMetrics));
-  tensor::save_parameters_file(path, params);
+  persist::write_weights(persist::default_storage(), path, kModelTag, params);
 }
 
-void CellCharModel::load(const std::string& path) {
+persist::LoadStatus CellCharModel::try_load(const std::string& path) {
   auto params = parameters();
   auto stats = tensor::Tensor::zeros(2, cells::kNumMetrics);
   params.push_back(stats);
-  tensor::load_parameters_file(path, params);
+  const persist::LoadStatus status =
+      persist::read_weights(persist::default_storage(), path, kModelTag, params);
+  if (!persist::ok(status)) return status;
   for (std::size_t m = 0; m < cells::kNumMetrics; ++m) {
     norm_mean_[m] = stats(0, m);
     norm_std_[m] = stats(1, m);
   }
   normalized_ = true;
+  return status;
+}
+
+void CellCharModel::load(const std::string& path) {
+  const persist::LoadStatus status = try_load(path);
+  if (!persist::ok(status))
+    throw std::runtime_error("CellCharModel::load: " + path + ": " +
+                             persist::to_string(status));
 }
 
 std::array<std::size_t, cells::kNumMetrics> CellCharModel::count_by_metric(

@@ -17,6 +17,7 @@
 #include "src/charlib/encoder.hpp"
 #include "src/gnn/layers.hpp"
 #include "src/gnn/trainer.hpp"
+#include "src/persist/storage.hpp"
 
 namespace stco::charlib {
 
@@ -74,7 +75,11 @@ class CellCharModel {
 
   /// Persist / restore weights plus the per-metric normalization
   /// statistics (a loaded model is immediately usable for predict()).
+  /// Artifacts are checksummed and written atomically (src/persist);
+  /// try_load degrades a missing or corrupt artifact to a LoadStatus so
+  /// callers can fall back to retraining; load throws instead.
   void save(const std::string& path) const;
+  [[nodiscard]] persist::LoadStatus try_load(const std::string& path);
   void load(const std::string& path);
 
  private:

@@ -1,0 +1,59 @@
+#include "src/gnn/serialize.hpp"
+
+namespace stco::gnn {
+
+namespace {
+
+void put_f64_vec(persist::PayloadWriter& w, const std::vector<double>& v) {
+  w.put_f64s(v);
+}
+
+void put_index_vec(persist::PayloadWriter& w, const tensor::IndexVec& v) {
+  w.put_u64(v.size());
+  for (auto i : v) w.put_u32(i);
+}
+
+tensor::IndexVec get_index_vec(persist::PayloadReader& r) {
+  const std::uint64_t n = r.get_u64();
+  if (n > r.remaining() / sizeof(std::uint32_t))
+    throw persist::PayloadError("gnn: corrupt index vector length");
+  tensor::IndexVec v(static_cast<std::size_t>(n));
+  for (auto& i : v) i = r.get_u32();
+  return v;
+}
+
+}  // namespace
+
+void put_graph(persist::PayloadWriter& w, const Graph& g) {
+  w.put_u64(g.num_nodes);
+  w.put_u64(g.node_dim);
+  w.put_u64(g.edge_dim);
+  put_index_vec(w, g.edge_src);
+  put_index_vec(w, g.edge_dst);
+  put_f64_vec(w, g.node_features);
+  put_f64_vec(w, g.edge_features);
+  put_f64_vec(w, g.node_targets);
+  put_f64_vec(w, g.graph_targets);
+}
+
+Graph get_graph(persist::PayloadReader& r) {
+  Graph g;
+  g.num_nodes = static_cast<std::size_t>(r.get_u64());
+  g.node_dim = static_cast<std::size_t>(r.get_u64());
+  g.edge_dim = static_cast<std::size_t>(r.get_u64());
+  g.edge_src = get_index_vec(r);
+  g.edge_dst = get_index_vec(r);
+  g.node_features = r.get_f64s();
+  g.edge_features = r.get_f64s();
+  g.node_targets = r.get_f64s();
+  g.graph_targets = r.get_f64s();
+  try {
+    g.check();
+  } catch (const std::invalid_argument& e) {
+    throw persist::PayloadError(std::string("gnn: decoded graph invalid: ") +
+                                e.what());
+  }
+  return g;
+}
+
+}  // namespace stco::gnn

@@ -1,0 +1,18 @@
+#pragma once
+// Graph payload codec used by the dataset shard artifacts (charlib and
+// surrogate checkpointing). Graphs are encoded into / decoded from a
+// persist payload stream; container framing, checksums, and atomicity are
+// the persist layer's job.
+
+#include "src/gnn/graph.hpp"
+#include "src/persist/format.hpp"
+
+namespace stco::gnn {
+
+void put_graph(persist::PayloadWriter& w, const Graph& g);
+
+/// Decode one graph. Throws persist::PayloadError on overrun or
+/// internally inconsistent sizes (the caller degrades to kBadPayload).
+Graph get_graph(persist::PayloadReader& r);
+
+}  // namespace stco::gnn

@@ -8,7 +8,8 @@
 //
 // Naming convention: `<layer>.<noun>[.<noun>]` with layers drawn from
 // kKeyPrefixes (stco, solver, exec, spice, tcad, gnn, cells, charlib,
-// surrogate, contract). Tests may additionally use the `test.` prefix,
+// surrogate, contract, persist). Tests may additionally use the `test.`
+// prefix,
 // which is never canonical in src/ or bench/.
 //
 // Adding a metric or span: add the literal here first, then use it at the
@@ -23,14 +24,14 @@ namespace stco::obs::keys {
 
 /// Allowed key prefixes (layer names). Purely documentary for humans; the
 /// authoritative check is exact membership in kMetricKeys / kSpanNames.
-inline constexpr std::array<std::string_view, 10> kKeyPrefixes = {
-    "cells.",  "charlib.", "contract.", "exec.", "gnn.",
+inline constexpr std::array<std::string_view, 11> kKeyPrefixes = {
+    "cells.",  "charlib.", "contract.", "exec.", "gnn.", "persist.",
     "solver.", "spice.",   "stco.",     "surrogate.", "tcad.",
 };
 
 /// Every canonical metric key (counters, gauges, histograms, and snapshot
 /// set_counter/set_gauge keys). Keep sorted.
-inline constexpr std::array<std::string_view, 61> kMetricKeys = {
+inline constexpr std::array<std::string_view, 70> kMetricKeys = {
     "cells.arcs",
     "cells.characterize_seconds",
     "cells.characterized",
@@ -50,6 +51,15 @@ inline constexpr std::array<std::string_view, 61> kMetricKeys = {
     "gnn.epoch_loss",
     "gnn.epoch_seconds",
     "gnn.epochs",
+    "persist.bytes_written",
+    "persist.cache.warm_hits",
+    "persist.corrupt_artifacts",
+    "persist.faults_injected",
+    "persist.reads",
+    "persist.retries",
+    "persist.shards_built",
+    "persist.shards_loaded",
+    "persist.writes",
     "solver.attempts",
     "solver.budget_exhausted",
     "solver.continuation_retries",
@@ -96,14 +106,17 @@ inline constexpr std::array<std::string_view, 61> kMetricKeys = {
 
 /// Every canonical span name. Keep sorted. (Span names carry a `flow.`
 /// prefix for the library-build flows in addition to the metric layers.)
-inline constexpr std::array<std::string_view, 18> kSpanNames = {
+inline constexpr std::array<std::string_view, 22> kSpanNames = {
     "cells.characterize_cell",
     "charlib.build_dataset",
+    "charlib.build_dataset_resumable",
     "exec.parallel_for",
     "flow.build_library_gnn",
     "flow.build_library_spice",
     "gnn.epoch",
     "gnn.train",
+    "persist.read_artifact",
+    "persist.write_artifact",
     "spice.dc_operating_point",
     "spice.transient",
     "spice.transient_adaptive",
@@ -112,6 +125,7 @@ inline constexpr std::array<std::string_view, 18> kSpanNames = {
     "stco.optimize_random",
     "stco.sta",
     "surrogate.generate_population",
+    "surrogate.generate_population_resumable",
     "tcad.drain_current",
     "tcad.solve_drift_diffusion",
     "tcad.solve_poisson",

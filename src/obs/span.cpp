@@ -5,12 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/obs/keys.hpp"
+#include "src/persist/atomic_file.hpp"
 
 namespace stco::obs {
 
@@ -237,11 +238,11 @@ void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>& spans) 
 }
 
 void write_chrome_trace_file(const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("obs: cannot open trace file: " + path);
+  std::ostringstream os;
   write_chrome_trace(os, collect_spans());
   os << '\n';
-  if (!os) throw std::runtime_error("obs: write failed: " + path);
+  // Atomic replace: a crash mid-export can never leave a torn trace file.
+  persist::atomic_write_file(path, os.str());
 }
 
 #else  // STCO_OBS_DISABLED — compile-time no-op bodies.
@@ -259,10 +260,10 @@ void write_chrome_trace(std::ostream& os, const std::vector<SpanRecord>&) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}";
 }
 void write_chrome_trace_file(const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("obs: cannot open trace file: " + path);
+  std::ostringstream os;
   write_chrome_trace(os, {});
   os << '\n';
+  persist::atomic_write_file(path, os.str());
 }
 
 #endif  // STCO_OBS_DISABLED

@@ -1,0 +1,83 @@
+#include "src/persist/artifacts.hpp"
+
+#include <sstream>
+
+#include "src/tensor/serialize.hpp"
+
+namespace stco::persist {
+
+namespace {
+constexpr std::uint32_t kWeightsSchema = 1;
+}  // namespace
+
+void write_weights(Storage& storage, const std::string& path, std::uint32_t model_tag,
+                   const std::vector<tensor::Tensor>& params) {
+  std::ostringstream os(std::ios::binary);
+  tensor::save_parameters(os, params);
+  PayloadWriter w;
+  w.put_u32(model_tag);
+  w.put_raw(os.str());
+  write_artifact(storage, path, kind::kWeights, kWeightsSchema, w.bytes());
+}
+
+LoadStatus read_weights(Storage& storage, const std::string& path,
+                        std::uint32_t model_tag, std::vector<tensor::Tensor>& params) {
+  ArtifactData art = read_artifact(storage, path, kind::kWeights);
+  if (!ok(art.status)) return art.status;
+  if (art.schema != kWeightsSchema) {
+    count_corrupt_artifact();
+    return LoadStatus::kBadVersion;
+  }
+  try {
+    PayloadReader r(art.payload);
+    if (r.get_u32() != model_tag) {
+      count_corrupt_artifact();
+      return LoadStatus::kWrongKind;
+    }
+    // Decode into scratch tensors first so a payload that fails mid-way
+    // cannot leave `params` half-overwritten.
+    std::vector<tensor::Tensor> scratch;
+    scratch.reserve(params.size());
+    for (const tensor::Tensor& p : params)
+      scratch.emplace_back(tensor::Tensor::zeros(p.rows(), p.cols()));
+    std::istringstream is(std::string(r.get_raw(r.remaining())),
+                          std::ios::binary);
+    tensor::load_parameters(is, scratch);
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i].value() = scratch[i].value();
+  } catch (const std::exception&) {  // PayloadError or tensor codec error
+    count_corrupt_artifact();
+    return LoadStatus::kBadPayload;
+  }
+  return LoadStatus::kOk;
+}
+
+void put_robustness(PayloadWriter& w, const numeric::RobustnessStats& s) {
+  w.put_u64(s.attempts);
+  w.put_u64(s.direct_success);
+  w.put_u64(s.gmin_retries);
+  w.put_u64(s.source_retries);
+  w.put_u64(s.continuation_retries);
+  w.put_u64(s.damping_retries);
+  w.put_u64(s.recovered);
+  w.put_u64(s.failures);
+  w.put_u64(s.budget_exhausted);
+  w.put_u64(s.fallbacks);
+}
+
+numeric::RobustnessStats get_robustness(PayloadReader& r) {
+  numeric::RobustnessStats s;
+  s.attempts = r.get_u64();
+  s.direct_success = r.get_u64();
+  s.gmin_retries = r.get_u64();
+  s.source_retries = r.get_u64();
+  s.continuation_retries = r.get_u64();
+  s.damping_retries = r.get_u64();
+  s.recovered = r.get_u64();
+  s.failures = r.get_u64();
+  s.budget_exhausted = r.get_u64();
+  s.fallbacks = r.get_u64();
+  return s;
+}
+
+}  // namespace stco::persist

@@ -1,0 +1,94 @@
+#include "src/persist/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace stco::persist {
+
+namespace {
+
+[[noreturn]] void fail_transient(const std::string& what, const std::string& path) {
+  throw TransientIoError("persist: " + what + ": " + path + ": " +
+                         std::strerror(errno));
+}
+
+// Make the rename itself durable. Best effort: some filesystems refuse
+// directory fsync, and the artifact content is already safe either way.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string tmp_path_for(const std::string& path) { return path + ".tmp"; }
+
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       IoHooks* hooks) {
+  const std::string tmp = tmp_path_for(path);
+  std::string buf(bytes);
+  if (hooks) {
+    hooks->on_write_begin(path);  // may throw TransientIoError (ENOSPC/EIO)
+    hooks->on_payload(buf);       // may truncate (short write) or flip bits
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_transient("cannot open temp file", tmp);
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail_transient("write failed", tmp);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail_transient("fsync failed", tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_transient("close failed", tmp);
+  }
+  // Crash point: the temp file is durable but the destination still holds
+  // the old content. A kill here must lose only the new write.
+  if (hooks) hooks->on_pre_rename(tmp, path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail_transient("rename failed", path);
+  }
+  fsync_parent_dir(path);
+}
+
+ReadFileStatus read_file_bytes(const std::string& path, std::string& out) {
+  out.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0)
+    return errno == ENOENT ? ReadFileStatus::kNotFound : ReadFileStatus::kIoError;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ReadFileStatus::kIoError;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return ReadFileStatus::kOk;
+}
+
+}  // namespace stco::persist

@@ -1,0 +1,66 @@
+#pragma once
+// Crash-safe single-file replacement: write to `<path>.tmp`, fsync, rename
+// over the destination. POSIX rename(2) is atomic, so a reader observes
+// either the complete old file or the complete new file — never a torn
+// mix. This header is dependency-free (no obs) so src/obs itself can link
+// it; everything above obs goes through persist::Storage (storage.hpp),
+// which adds retry/backoff and the persist.* counters.
+//
+// src/persist is the only tree allowed to open files for writing
+// (stco-lint rule raw-file-io).
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace stco::persist {
+
+/// Retryable I/O failure (real write/fsync/rename errors and injected
+/// ENOSPC/EIO). Storage::write_atomic retries these with bounded
+/// exponential backoff.
+class TransientIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Simulated process kill at a crash point (fault injection only). Never
+/// retried and never caught inside persist: tests let it unwind to prove
+/// the destination file survives untouched.
+class CrashError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Test seam behind every atomic write. The default hooks do nothing; the
+/// FaultInjector (fault.hpp) overrides them to model short writes, bit
+/// flips, ENOSPC/EIO at the Nth operation, and kill-before-rename.
+class IoHooks {
+ public:
+  virtual ~IoHooks() = default;
+  /// Before any byte of a new write operation is issued.
+  virtual void on_write_begin(const std::string& /*path*/) {}
+  /// May corrupt or truncate the bytes about to hit the temp file.
+  virtual void on_payload(std::string& /*bytes*/) {}
+  /// After the temp file is durable, before the rename commit point.
+  virtual void on_pre_rename(const std::string& /*tmp_path*/,
+                             const std::string& /*final_path*/) {}
+};
+
+/// Temp-file name used by atomic_write_file ("<path>.tmp").
+std::string tmp_path_for(const std::string& path);
+
+/// One atomic-replace attempt (no retries — see Storage::write_atomic):
+/// open(tmp) -> write -> fsync(file) -> close -> rename(tmp, path) ->
+/// fsync(parent dir, best effort). Throws TransientIoError on any real I/O
+/// failure (the temp file is removed); propagates CrashError from hooks
+/// with the temp file left behind, exactly like a killed process.
+void atomic_write_file(const std::string& path, std::string_view bytes,
+                       IoHooks* hooks = nullptr);
+
+enum class ReadFileStatus { kOk, kNotFound, kIoError };
+
+/// Read an entire file into `out`. kNotFound when it does not exist.
+[[nodiscard]] ReadFileStatus read_file_bytes(const std::string& path,
+                                             std::string& out);
+
+}  // namespace stco::persist

@@ -1,0 +1,34 @@
+#include "src/persist/crc32c.hpp"
+
+#include <array>
+
+namespace stco::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ 0x82F63B78u : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data, std::size_t len) {
+  static const std::array<std::uint32_t, 256> kTable = make_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::string_view bytes) {
+  return crc32c_update(0, bytes.data(), bytes.size());
+}
+
+}  // namespace stco::persist

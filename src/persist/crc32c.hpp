@@ -1,0 +1,19 @@
+#pragma once
+// CRC32C (Castagnoli) checksum — the integrity trailer of every on-disk
+// artifact (format.hpp). Software table implementation, reflected
+// polynomial 0x82F63B78; matches the RFC 3720 test vector
+// crc32c("123456789") == 0xE3069283.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace stco::persist {
+
+/// Incremental update: start from 0, feed chunks in order.
+std::uint32_t crc32c_update(std::uint32_t crc, const void* data, std::size_t len);
+
+/// One-shot CRC32C of a buffer.
+std::uint32_t crc32c(std::string_view bytes);
+
+}  // namespace stco::persist

@@ -1,0 +1,51 @@
+#include "src/persist/fault.hpp"
+
+#include "src/numeric/rng.hpp"
+#include "src/obs/obs.hpp"
+
+namespace stco::persist {
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultKind kind, std::size_t at_op,
+                             std::size_t times)
+    : seed_(seed), kind_(kind), at_op_(at_op), times_(times) {}
+
+void FaultInjector::count_injected() {
+  static obs::Counter& c_faults = obs::counter("persist.faults_injected");
+  c_faults.add(1);
+  ++injected_;
+}
+
+void FaultInjector::on_write_begin(const std::string& path) {
+  ++op_;
+  if (armed() && kind_ == FaultKind::kTransientError) {
+    count_injected();
+    throw TransientIoError("persist: injected transient failure (op " +
+                           std::to_string(op_) + "): " + path);
+  }
+}
+
+void FaultInjector::on_payload(std::string& bytes) {
+  if (!armed() || bytes.empty()) return;
+  if (kind_ == FaultKind::kBitFlip) {
+    numeric::Rng rng = numeric::stream_rng(seed_, op_);
+    const std::size_t byte_idx = rng.uniform_index(bytes.size());
+    const unsigned bit = static_cast<unsigned>(rng.uniform_index(8));
+    bytes[byte_idx] = static_cast<char>(
+        static_cast<unsigned char>(bytes[byte_idx]) ^ (1u << bit));
+    count_injected();
+  } else if (kind_ == FaultKind::kShortWriteCrash) {
+    numeric::Rng rng = numeric::stream_rng(seed_, op_);
+    bytes.resize(rng.uniform_index(bytes.size()));  // strictly shorter
+  }
+}
+
+void FaultInjector::on_pre_rename(const std::string& tmp_path,
+                                  const std::string& /*final_path*/) {
+  if (!armed()) return;
+  if (kind_ == FaultKind::kShortWriteCrash || kind_ == FaultKind::kCrashBeforeRename) {
+    count_injected();
+    throw CrashError("persist: injected crash before rename: " + tmp_path);
+  }
+}
+
+}  // namespace stco::persist

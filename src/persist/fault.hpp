@@ -1,0 +1,65 @@
+#pragma once
+// Deterministic I/O fault injector for the persist layer. Plugged in as
+// the IoHooks of a Storage instance, it turns the crash-safety contract
+// into something tests can actually exercise: transient ENOSPC/EIO-style
+// failures, silent bit flips, short writes followed by a simulated kill,
+// and a kill at the crash point between temp-file durability and rename.
+//
+// Everything is seed-driven (PR-3 stream_rng scheme): the same
+// (seed, kind, at_op, times) always injects the same faults at the same
+// operations, so a failing fault-injection test replays exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/persist/atomic_file.hpp"
+
+namespace stco::persist {
+
+enum class FaultKind {
+  kNone = 0,
+  /// on_write_begin throws TransientIoError ("disk full"); the write is
+  /// retried by Storage and succeeds once the window passes.
+  kTransientError,
+  /// on_payload flips one seed-chosen bit; the write "succeeds" and the
+  /// corruption is only detectable by the CRC32C trailer on read.
+  kBitFlip,
+  /// on_payload truncates the buffer (short write), then on_pre_rename
+  /// throws CrashError: a torn temp file exists, the target is intact.
+  kShortWriteCrash,
+  /// on_pre_rename throws CrashError: the temp file is complete and
+  /// durable but the rename never happened.
+  kCrashBeforeRename,
+};
+
+class FaultInjector final : public IoHooks {
+ public:
+  /// Inject `kind` for write operations [at_op, at_op + times), 1-based
+  /// in order of on_write_begin calls. Retried attempts count as new ops,
+  /// which is how kTransientError windows eventually clear.
+  explicit FaultInjector(std::uint64_t seed, FaultKind kind = FaultKind::kNone,
+                         std::size_t at_op = 1, std::size_t times = 1);
+
+  void on_write_begin(const std::string& path) override;
+  void on_payload(std::string& bytes) override;
+  void on_pre_rename(const std::string& tmp_path,
+                     const std::string& final_path) override;
+
+  std::size_t ops() const { return op_; }            ///< writes observed
+  std::size_t injected() const { return injected_; }  ///< faults fired
+
+ private:
+  bool armed() const { return kind_ != FaultKind::kNone && op_ >= at_op_ &&
+                              op_ < at_op_ + times_; }
+  void count_injected();
+
+  std::uint64_t seed_;
+  FaultKind kind_;
+  std::size_t at_op_;
+  std::size_t times_;
+  std::size_t op_ = 0;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace stco::persist

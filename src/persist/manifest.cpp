@@ -1,0 +1,91 @@
+#include "src/persist/manifest.hpp"
+
+#include <cstring>
+
+#include "src/persist/artifacts.hpp"
+#include "src/persist/format.hpp"
+
+namespace stco::persist {
+
+namespace {
+constexpr std::uint32_t kManifestSchema = 1;
+}  // namespace
+
+void Fingerprint::add_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 0x100000001B3ULL;
+  }
+}
+
+Fingerprint& Fingerprint::add_u64(std::uint64_t v) {
+  add_bytes(&v, sizeof(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add_f64(double v) {
+  add_bytes(&v, sizeof(v));
+  return *this;
+}
+
+Fingerprint& Fingerprint::add_str(std::string_view s) {
+  add_u64(s.size());
+  add_bytes(s.data(), s.size());
+  return *this;
+}
+
+const ShardEntry* Manifest::find(std::uint32_t index) const {
+  for (const ShardEntry& e : completed)
+    if (e.index == index) return &e;
+  return nullptr;
+}
+
+void save_manifest(Storage& storage, const std::string& path, const Manifest& m) {
+  PayloadWriter w;
+  w.put_str(m.dataset_kind);
+  w.put_u64(m.fingerprint);
+  w.put_u64(m.shard_size);
+  w.put_u64(m.total_items);
+  w.put_u32(m.num_shards);
+  w.put_u64(m.completed.size());
+  for (const ShardEntry& e : m.completed) {
+    w.put_u32(e.index);
+    w.put_u64(e.items);
+    w.put_str(e.file);
+  }
+  write_artifact(storage, path, kind::kManifest, kManifestSchema, w.bytes());
+}
+
+LoadStatus load_manifest(Storage& storage, const std::string& path, Manifest& out) {
+  ArtifactData art = read_artifact(storage, path, kind::kManifest);
+  if (!ok(art.status)) return art.status;
+  if (art.schema != kManifestSchema) {
+    count_corrupt_artifact();
+    return LoadStatus::kBadVersion;
+  }
+  try {
+    PayloadReader r(art.payload);
+    out.dataset_kind = r.get_str();
+    out.fingerprint = r.get_u64();
+    out.shard_size = r.get_u64();
+    out.total_items = r.get_u64();
+    out.num_shards = r.get_u32();
+    const std::uint64_t n = r.get_u64();
+    out.completed.clear();
+    out.completed.reserve(n > 4096 ? 4096 : static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ShardEntry e;
+      e.index = r.get_u32();
+      e.items = r.get_u64();
+      e.file = r.get_str();
+      out.completed.push_back(std::move(e));
+    }
+  } catch (const PayloadError&) {
+    count_corrupt_artifact();
+    return LoadStatus::kBadPayload;
+  }
+  return LoadStatus::kOk;
+}
+
+}  // namespace stco::persist

@@ -1,0 +1,70 @@
+#pragma once
+// Checkpoint manifest for sharded, resumable dataset generation.
+//
+// A generator splits its work into deterministic shards, writes each shard
+// as its own artifact, and after every completed shard atomically rewrites
+// a manifest recording what is done. A resumed run loads the manifest,
+// verifies it matches the requested configuration (fingerprint) and that
+// every recorded shard artifact still validates, then generates only what
+// is missing. Because each shard's randomness is a pure function of
+// (master seed, shard index) — the stream_rng scheme — the resumed result
+// is bit-identical to an uninterrupted run.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/persist/storage.hpp"
+
+namespace stco::persist {
+
+/// Where and how to checkpoint a sharded dataset build.
+struct CheckpointOptions {
+  std::string dir;             ///< checkpoint directory (created if missing)
+  std::size_t shard_size = 8;  ///< items per shard (corners / devices)
+  /// Storage override; null = default_storage(). Tests inject a Storage
+  /// wired to a FaultInjector here.
+  Storage* storage = nullptr;
+};
+
+/// FNV-1a accumulator over the configuration that determines a dataset's
+/// content. Any change to seed, sizes, or physics options changes the
+/// fingerprint, which invalidates old checkpoints instead of silently
+/// resuming into a different dataset.
+class Fingerprint {
+ public:
+  Fingerprint& add_u64(std::uint64_t v);
+  Fingerprint& add_f64(double v);
+  Fingerprint& add_str(std::string_view s);
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void add_bytes(const void* data, std::size_t len);
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+struct ShardEntry {
+  std::uint32_t index = 0;  ///< shard number in [0, num_shards)
+  std::uint64_t items = 0;  ///< samples in this shard
+  std::string file;         ///< shard artifact path relative to the manifest dir
+};
+
+struct Manifest {
+  std::string dataset_kind;       ///< "charlib" / "surrogate"
+  std::uint64_t fingerprint = 0;  ///< config fingerprint (see Fingerprint)
+  std::uint64_t shard_size = 0;   ///< nominal items per shard
+  std::uint64_t total_items = 0;  ///< full dataset size once complete
+  std::uint32_t num_shards = 0;
+  std::vector<ShardEntry> completed;
+
+  const ShardEntry* find(std::uint32_t index) const;
+};
+
+void save_manifest(Storage& storage, const std::string& path, const Manifest& m);
+
+/// Corrupt or version-skewed manifests degrade to their LoadStatus; the
+/// caller restarts generation from scratch (counted, not fatal).
+[[nodiscard]] LoadStatus load_manifest(Storage& storage, const std::string& path,
+                                       Manifest& out);
+
+}  // namespace stco::persist

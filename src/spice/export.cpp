@@ -1,9 +1,10 @@
 #include "src/spice/export.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/persist/storage.hpp"
 
 namespace stco::spice {
 
@@ -38,9 +39,7 @@ std::string waveforms_csv(const TranResult& tr, const CsvColumns& cols) {
 
 void write_waveforms_csv_file(const std::string& path, const TranResult& tr,
                               const CsvColumns& cols) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("write_waveforms_csv_file: cannot open " + path);
-  write_waveforms_csv(f, tr, cols);
+  persist::default_storage().write_atomic(path, waveforms_csv(tr, cols));
 }
 
 }  // namespace stco::spice

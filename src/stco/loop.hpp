@@ -8,6 +8,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <tuple>
 #include <variant>
 
@@ -36,6 +37,12 @@ struct StcoConfig {
   /// fault-injection tests can corrupt specific technology points and check
   /// the degradation path without touching the real builders.
   std::function<void(flow::TimingLibrary&)> library_hook;
+  /// Directory for the persistent tech-point -> cost cache. Empty = use
+  /// $STCO_CACHE_DIR; both empty = in-memory cache only. A warm cache also
+  /// restores the calibrated PPA weights, so a fully warm run re-evaluates
+  /// nothing. A corrupt or configuration-mismatched cache artifact is
+  /// ignored (counted under persist.corrupt_artifacts) and rebuilt.
+  std::string cache_dir;
   StcoConfig() {
     // Small NLDM axes keep per-iteration library builds cheap.
     lib_opts.slew_axis = {10e-9, 40e-9};
@@ -84,6 +91,11 @@ class StcoEngine {
   StcoEngine(const StcoConfig& cfg, LibraryBackend backend,
              const exec::Context& ctx = exec::Context::serial());
 
+  /// Persists the cost cache (when a cache directory is configured); save
+  /// failures are swallowed — a destructor must not throw, and the cache is
+  /// an optimization, not a correctness requirement.
+  ~StcoEngine();
+
   /// Library + STA at one technology point (uncached; cost() memoizes).
   /// Thread-safe: may be called from concurrent prefetch tasks.
   flow::StaReport evaluate(const compact::TechnologyPoint& tech);
@@ -116,6 +128,15 @@ class StcoEngine {
   /// Technology points that degraded to the infeasible penalty.
   std::size_t infeasible_evaluations() const { return infeasible_evaluations_; }
 
+  /// Cost-cache entries restored from disk at construction (0 on a cold
+  /// start or when no cache directory is configured).
+  std::size_t warm_cache_entries() const;
+  /// Path of the cost-cache artifact; empty when persistence is off.
+  const std::string& cost_cache_path() const { return cache_path_; }
+  /// Write the current cost cache (and calibrated weights) to disk now.
+  /// No-op when persistence is off. Also runs in the destructor.
+  void save_cost_cache();
+
   /// One observability cut of this engine's run: the process-wide
   /// obs::snapshot() overlaid with this engine's own timing, robustness,
   /// exec, and infeasibility counters under the stco./exec./solver. keys
@@ -131,17 +152,28 @@ class StcoEngine {
   /// context (speculative evaluation only pays off with extra lanes).
   void prefetch_costs(const TechGrid& grid, const std::vector<std::size_t>& states);
 
+  /// Configuration fingerprint of everything a cached cost depends on.
+  std::uint64_t cache_fingerprint() const;
+  void load_cost_cache();
+
   StcoConfig cfg_;
   LibraryBackend backend_;
   const exec::Context* ctx_;
   flow::GateNetlist netlist_;
   StcoTiming timing_;
   PpaWeights weights_{};
-  std::once_flag weights_once_;
+  /// Weight calibration state (mutex + flag instead of std::once_flag so a
+  /// warm cost cache can pre-seed the calibrated weights at construction,
+  /// making a fully warm run evaluate nothing).
+  std::mutex weights_mu_;
+  bool weights_ready_ = false;
   numeric::RobustnessStats stats_;
   std::size_t infeasible_evaluations_ = 0;
   mutable std::mutex mu_;  ///< guards stats_, infeasible_evaluations_, cost_cache_
   std::map<TechKey, double> cost_cache_;
+  std::string cache_path_;           ///< empty = persistence off
+  std::set<TechKey> warm_keys_;      ///< keys restored from disk
+  std::size_t warm_entries_ = 0;     ///< |warm_keys_| at construction
 };
 
 /// Fold one run's counters into an obs::Snapshot under the canonical keys

@@ -1,9 +1,10 @@
 #include "src/stco/report.hpp"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "src/persist/storage.hpp"
 
 namespace stco {
 
@@ -95,6 +96,23 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
   }
   os << "\n";
 
+  // Persistence health: artifact traffic, warm-start effectiveness, and —
+  // most importantly — whether any artifact failed validation and was
+  // regenerated (nonzero corrupt count with a successful run is the
+  // crash-safety contract working as designed).
+  os << "## Persistence\n\n";
+  os << "- artifact writes: " << in.obs.counter_or("persist.writes") << " ("
+     << in.obs.counter_or("persist.bytes_written") << " bytes), reads: "
+     << in.obs.counter_or("persist.reads") << "\n";
+  os << "- transient-write retries: " << in.obs.counter_or("persist.retries")
+     << ", corrupt artifacts detected and regenerated: "
+     << in.obs.counter_or("persist.corrupt_artifacts") << "\n";
+  os << "- dataset shards: " << in.obs.counter_or("persist.shards_loaded")
+     << " loaded from checkpoint, " << in.obs.counter_or("persist.shards_built")
+     << " built\n";
+  os << "- cost-cache warm hits: " << in.obs.counter_or("persist.cache.warm_hits")
+     << "\n\n";
+
   if (!in.pareto.front.empty()) {
     os << "## Pareto front (delay / power / area)\n\n";
     os << "| VDD [V] | Vth [V] | Cox [nF/cm^2] | period [us] | power [uW] | area "
@@ -125,9 +143,7 @@ std::string run_report_markdown(const RunReportInputs& in) {
 }
 
 void write_run_report_file(const std::string& path, const RunReportInputs& in) {
-  std::ofstream f(path);
-  if (!f) throw std::runtime_error("write_run_report_file: cannot open " + path);
-  write_run_report(f, in);
+  persist::default_storage().write_atomic(path, run_report_markdown(in));
 }
 
 }  // namespace stco

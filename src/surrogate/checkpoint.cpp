@@ -1,0 +1,258 @@
+#include "src/surrogate/checkpoint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/gnn/serialize.hpp"
+#include "src/numeric/rng.hpp"
+#include "src/obs/obs.hpp"
+#include "src/persist/artifacts.hpp"
+#include "src/persist/format.hpp"
+
+namespace stco::surrogate {
+
+namespace {
+
+constexpr std::uint32_t kShardSchema = 1;
+
+void put_device(persist::PayloadWriter& w, const tcad::TftDevice& d) {
+  w.put_u8(static_cast<std::uint8_t>(d.semi.kind));
+  w.put_u8(static_cast<std::uint8_t>(d.semi.carrier));
+  w.put_f64(d.semi.eps_r);
+  w.put_f64(d.semi.ni);
+  w.put_f64(d.semi.mu0);
+  w.put_f64(d.semi.gamma);
+  w.put_f64(d.semi.tau_srh_n);
+  w.put_f64(d.semi.tau_srh_p);
+  w.put_f64(d.semi.vth0);
+  w.put_f64(d.semi.flatband);
+  w.put_f64(d.semi.tail_trap_density);
+  w.put_f64(d.semi.hop_energy_mev);
+  w.put_f64(d.oxide.eps_r);
+  w.put_f64(d.length);
+  w.put_f64(d.width);
+  w.put_f64(d.t_ox);
+  w.put_f64(d.t_ch);
+  w.put_f64(d.contact_len);
+  w.put_f64(d.doping);
+  w.put_f64(d.contact_phi);
+}
+
+tcad::TftDevice get_device(persist::PayloadReader& r) {
+  tcad::TftDevice d;
+  const std::uint8_t kind = r.get_u8();
+  if (kind > static_cast<std::uint8_t>(tcad::SemiconductorKind::kSilicon))
+    throw persist::PayloadError("surrogate: semiconductor kind out of range");
+  d.semi.kind = static_cast<tcad::SemiconductorKind>(kind);
+  const std::uint8_t carrier = r.get_u8();
+  if (carrier > 1) throw persist::PayloadError("surrogate: carrier out of range");
+  d.semi.carrier = static_cast<tcad::CarrierType>(carrier);
+  d.semi.eps_r = r.get_f64();
+  d.semi.ni = r.get_f64();
+  d.semi.mu0 = r.get_f64();
+  d.semi.gamma = r.get_f64();
+  d.semi.tau_srh_n = r.get_f64();
+  d.semi.tau_srh_p = r.get_f64();
+  d.semi.vth0 = r.get_f64();
+  d.semi.flatband = r.get_f64();
+  d.semi.tail_trap_density = r.get_f64();
+  d.semi.hop_energy_mev = r.get_f64();
+  d.oxide.eps_r = r.get_f64();
+  d.length = r.get_f64();
+  d.width = r.get_f64();
+  d.t_ox = r.get_f64();
+  d.t_ch = r.get_f64();
+  d.contact_len = r.get_f64();
+  d.doping = r.get_f64();
+  d.contact_phi = r.get_f64();
+  return d;
+}
+
+void put_sample(persist::PayloadWriter& w, const DeviceSample& s) {
+  put_device(w, s.device);
+  w.put_f64(s.bias.vg);
+  w.put_f64(s.bias.vd);
+  w.put_f64(s.bias.vs);
+  w.put_f64(s.drain_current);
+  gnn::put_graph(w, s.poisson_graph);
+  gnn::put_graph(w, s.iv_graph);
+}
+
+DeviceSample get_sample(persist::PayloadReader& r) {
+  DeviceSample s;
+  s.device = get_device(r);
+  s.bias.vg = r.get_f64();
+  s.bias.vd = r.get_f64();
+  s.bias.vs = r.get_f64();
+  s.drain_current = r.get_f64();
+  s.poisson_graph = gnn::get_graph(r);
+  s.iv_graph = gnn::get_graph(r);
+  return s;
+}
+
+std::string shard_file(std::uint32_t index) {
+  return "surrogate-shard-" + std::to_string(index) + ".stca";
+}
+
+persist::Storage& storage_of(const CheckpointOptions& ckpt) {
+  return ckpt.storage ? *ckpt.storage : persist::default_storage();
+}
+
+}  // namespace
+
+std::uint64_t population_fingerprint(std::size_t count, std::uint64_t seed,
+                                     const PopulationOptions& opts,
+                                     std::size_t shard_size) {
+  persist::Fingerprint fp;
+  fp.add_str("surrogate-population-v1");
+  fp.add_u64(count).add_u64(seed).add_u64(shard_size);
+  fp.add_u64(opts.mesh_nx).add_u64(opts.mesh_nch).add_u64(opts.mesh_nox);
+  fp.add_u64(opts.kinds.size());
+  for (auto k : opts.kinds) fp.add_u64(static_cast<std::uint64_t>(k));
+  fp.add_f64(opts.length_min).add_f64(opts.length_max);
+  fp.add_f64(opts.tox_min).add_f64(opts.tox_max);
+  fp.add_f64(opts.tch_min).add_f64(opts.tch_max);
+  fp.add_f64(opts.vg_mag_min).add_f64(opts.vg_mag_max);
+  fp.add_f64(opts.vd_mag_min).add_f64(opts.vd_mag_max);
+  fp.add_f64(opts.doping_mag_max);
+  fp.add_f64(opts.scales.potential).add_f64(opts.scales.potential_residual);
+  fp.add_f64(opts.scales.charge).add_f64(opts.scales.charge_asinh_div);
+  fp.add_f64(opts.scales.doping).add_f64(opts.scales.log_ni_div);
+  fp.add_f64(opts.scales.mobility).add_f64(opts.scales.eps_r);
+  // Principal solver knobs; these change which attempts converge and
+  // therefore which devices survive drop-and-redraw.
+  fp.add_u64(opts.poisson.max_newton).add_f64(opts.poisson.tol_update);
+  fp.add_u64(opts.transport.max_newton).add_f64(opts.transport.tol_update);
+  fp.add_u64(opts.transport.slice_points).add_u64(opts.transport.integration_steps);
+  return fp.value();
+}
+
+void save_surrogate_shard(persist::Storage& storage, const std::string& path,
+                          const std::vector<DeviceSample>& samples,
+                          const PopulationStats& stats) {
+  persist::PayloadWriter w;
+  w.put_u64(samples.size());
+  for (const DeviceSample& s : samples) put_sample(w, s);
+  w.put_u64(stats.attempts);
+  w.put_u64(stats.dropped);
+  persist::put_robustness(w, stats.solver);
+  persist::write_artifact(storage, path, persist::kind::kSurrogateShard, kShardSchema,
+                          w.bytes());
+}
+
+SurrogateShardLoad load_surrogate_shard(persist::Storage& storage,
+                                        const std::string& path) {
+  SurrogateShardLoad out;
+  persist::ArtifactData art =
+      persist::read_artifact(storage, path, persist::kind::kSurrogateShard);
+  out.status = art.status;
+  if (!persist::ok(art.status)) return out;
+  if (art.schema != kShardSchema) {
+    persist::count_corrupt_artifact();
+    out.status = persist::LoadStatus::kBadVersion;
+    return out;
+  }
+  try {
+    persist::PayloadReader r(art.payload);
+    const std::uint64_t n = r.get_u64();
+    for (std::uint64_t i = 0; i < n; ++i) out.samples.push_back(get_sample(r));
+    out.stats.attempts = r.get_u64();
+    out.stats.dropped = r.get_u64();
+    out.stats.solver = persist::get_robustness(r);
+  } catch (const persist::PayloadError&) {
+    persist::count_corrupt_artifact();
+    out = SurrogateShardLoad{};
+    out.status = persist::LoadStatus::kBadPayload;
+  }
+  return out;
+}
+
+std::vector<DeviceSample> generate_population_resumable(
+    std::size_t count, std::uint64_t seed, const PopulationOptions& opts,
+    const CheckpointOptions& ckpt, const exec::Context& ctx) {
+  obs::Span span("surrogate.generate_population_resumable");
+  static obs::Counter& c_loaded = obs::counter("persist.shards_loaded");
+  static obs::Counter& c_built = obs::counter("persist.shards_built");
+  if (ckpt.dir.empty())
+    throw std::invalid_argument("generate_population_resumable: empty dir");
+  if (ckpt.shard_size == 0)
+    throw std::invalid_argument("generate_population_resumable: shard_size 0");
+
+  persist::Storage& storage = storage_of(ckpt);
+  storage.create_directories(ckpt.dir);
+  const std::string manifest_path = ckpt.dir + "/manifest.stca";
+  const std::uint64_t fp = population_fingerprint(count, seed, opts, ckpt.shard_size);
+  const std::uint32_t num_shards =
+      static_cast<std::uint32_t>((count + ckpt.shard_size - 1) / ckpt.shard_size);
+
+  persist::Manifest manifest;
+  const persist::LoadStatus ms = persist::load_manifest(storage, manifest_path, manifest);
+  if (!persist::ok(ms) || manifest.dataset_kind != "surrogate" ||
+      manifest.fingerprint != fp || manifest.num_shards != num_shards) {
+    manifest = persist::Manifest{};
+    manifest.dataset_kind = "surrogate";
+    manifest.fingerprint = fp;
+    manifest.shard_size = ckpt.shard_size;
+    manifest.num_shards = num_shards;
+    manifest.total_items = count;
+  }
+
+  std::vector<DeviceSample> out;
+  PopulationStats total;
+  for (std::uint32_t si = 0; si < num_shards; ++si) {
+    const std::size_t begin = static_cast<std::size_t>(si) * ckpt.shard_size;
+    const std::size_t target = std::min(ckpt.shard_size, count - begin);
+    const std::string path = ckpt.dir + "/" + shard_file(si);
+
+    if (manifest.find(si) != nullptr) {
+      SurrogateShardLoad loaded = load_surrogate_shard(storage, path);
+      if (persist::ok(loaded.status)) {
+        c_loaded.add(1);
+        out.insert(out.end(), std::make_move_iterator(loaded.samples.begin()),
+                   std::make_move_iterator(loaded.samples.end()));
+        total.attempts += loaded.stats.attempts;
+        total.dropped += loaded.stats.dropped;
+        total.solver.merge(loaded.stats.solver);
+        continue;
+      }
+      auto& done = manifest.completed;
+      for (auto it = done.begin(); it != done.end(); ++it) {
+        if (it->index == si) {
+          done.erase(it);
+          break;
+        }
+      }
+    }
+
+    // Shard randomness: an independent master seed per shard index makes
+    // the shard a pure function of (seed, si, opts) — resuming cannot
+    // shift any other shard's stream.
+    const std::uint64_t shard_seed = numeric::mix_seed(seed, si);
+    PopulationOptions shard_opts = opts;
+    PopulationStats shard_stats;
+    shard_opts.stats = &shard_stats;
+    std::vector<DeviceSample> samples =
+        generate_population(target, shard_seed, shard_opts, ctx);
+
+    save_surrogate_shard(storage, path, samples, shard_stats);
+    manifest.completed.push_back(
+        {si, static_cast<std::uint64_t>(samples.size()), shard_file(si)});
+    persist::save_manifest(storage, manifest_path, manifest);
+    c_built.add(1);
+
+    out.insert(out.end(), std::make_move_iterator(samples.begin()),
+               std::make_move_iterator(samples.end()));
+    total.attempts += shard_stats.attempts;
+    total.dropped += shard_stats.dropped;
+    total.solver.merge(shard_stats.solver);
+  }
+
+  if (opts.stats) {
+    opts.stats->attempts += total.attempts;
+    opts.stats->dropped += total.dropped;
+    opts.stats->solver.merge(total.solver);
+  }
+  return out;
+}
+
+}  // namespace stco::surrogate

@@ -1,10 +1,18 @@
 #include "src/surrogate/surrogate.hpp"
 
+#include <stdexcept>
+
 #include "src/numeric/stats.hpp"
+#include "src/persist/artifacts.hpp"
 #include "src/tensor/ops.hpp"
-#include "src/tensor/serialize.hpp"
 
 namespace stco::surrogate {
+
+namespace {
+/// Model tag inside the weights artifact: distinguishes a surrogate
+/// weights file from any other parameter dump with the same shapes.
+constexpr std::uint32_t kModelTag = persist::fourcc('S', 'U', 'R', 'W');
+}  // namespace
 
 TcadSurrogate::TcadSurrogate(const SurrogateConfig& cfg) : cfg_(cfg) {
   numeric::Rng rng(cfg.init_seed);
@@ -59,13 +67,20 @@ double TcadSurrogate::predict_current(const gnn::Graph& g) const {
 void TcadSurrogate::save_weights(const std::string& path) const {
   auto params = poisson_->parameters();
   for (auto& p : iv_->parameters()) params.push_back(p);
-  tensor::save_parameters_file(path, params);
+  persist::write_weights(persist::default_storage(), path, kModelTag, params);
+}
+
+persist::LoadStatus TcadSurrogate::try_load_weights(const std::string& path) {
+  auto params = poisson_->parameters();
+  for (auto& p : iv_->parameters()) params.push_back(p);
+  return persist::read_weights(persist::default_storage(), path, kModelTag, params);
 }
 
 void TcadSurrogate::load_weights(const std::string& path) {
-  auto params = poisson_->parameters();
-  for (auto& p : iv_->parameters()) params.push_back(p);
-  tensor::load_parameters_file(path, params);
+  const persist::LoadStatus status = try_load_weights(path);
+  if (!persist::ok(status))
+    throw std::runtime_error("TcadSurrogate::load_weights: " + path + ": " +
+                             persist::to_string(status));
 }
 
 namespace {

@@ -11,6 +11,7 @@
 
 #include "src/gnn/models.hpp"
 #include "src/gnn/trainer.hpp"
+#include "src/persist/storage.hpp"
 #include "src/surrogate/dataset.hpp"
 
 namespace stco::surrogate {
@@ -82,7 +83,11 @@ class TcadSurrogate {
 
   /// Persist / restore both models' weights (topology must match, i.e. the
   /// surrogate must be constructed with the same SurrogateConfig).
+  /// Artifacts are checksummed and written atomically (src/persist);
+  /// try_load_weights degrades missing/corrupt artifacts to a LoadStatus
+  /// so callers fall back to retraining; load_weights throws instead.
   void save_weights(const std::string& path) const;
+  [[nodiscard]] persist::LoadStatus try_load_weights(const std::string& path);
   void load_weights(const std::string& path);
 
  private:

@@ -62,6 +62,9 @@ void load_parameters(std::istream& is, std::vector<Tensor>& params) {
 }
 
 void save_parameters_file(const std::string& path, const std::vector<Tensor>& params) {
+  // Tensor sits below persist in the layer graph; crash-safe callers go
+  // through persist::write_weights instead of this raw stream.
+  // stco-lint: allow(raw-file-io) layering: tensor cannot depend on persist
   std::ofstream f(path, std::ios::binary);
   if (!f) throw std::runtime_error("save_parameters_file: cannot open " + path);
   save_parameters(f, params);

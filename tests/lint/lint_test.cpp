@@ -78,6 +78,7 @@ const std::vector<FixtureCase>& fixture_cases() {
       {"include-iostream.hpp.lint", {"src/x/fixture.hpp", Tree::kSrc, true, false}},
       {"assert-ban.cpp.lint", {"tests/x/fixture.cpp", Tree::kTests, false, false}},
       {"bench-scope.cpp.lint", {"bench/fixture.cpp", Tree::kBench, false, false}},
+      {"raw-file-io.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
   };
   return kCases;
 }
@@ -139,6 +140,12 @@ TEST(LintApi, ClassifyPathAssignsTreeHeaderAndObsFlags) {
   EXPECT_EQ(obs.tree, Tree::kSrc);
   EXPECT_TRUE(obs.in_obs);
   EXPECT_FALSE(obs.is_header);
+  EXPECT_FALSE(obs.in_persist);
+
+  const FileInfo persist = stco::lint::classify_path("src/persist/atomic_file.cpp");
+  EXPECT_EQ(persist.tree, Tree::kSrc);
+  EXPECT_TRUE(persist.in_persist);
+  EXPECT_FALSE(persist.in_obs);
 
   EXPECT_EQ(stco::lint::classify_path("bench/bench_solver.cpp").tree, Tree::kBench);
   EXPECT_EQ(stco::lint::classify_path("tests/lint/lint_test.cpp").tree, Tree::kTests);
@@ -176,6 +183,14 @@ TEST(LintApi, TestsTreeRunsOnlyAssertBan) {
   ASSERT_EQ(diags.size(), 1u);
   EXPECT_EQ(diags[0].rule, "assert-ban");
   EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintApi, PersistTreeIsExemptFromRawFileIo) {
+  FileInfo info{"src/persist/atomic_file.cpp", Tree::kSrc, false, false, true};
+  const std::string text =
+      "#include <fstream>\n"
+      "void w() { std::ofstream f(\"x\"); FILE* fp = fopen(\"x\", \"w\"); (void)fp; }\n";
+  EXPECT_TRUE(stco::lint::lint_text(text, info).empty());
 }
 
 TEST(LintApi, ObsTreeIsExemptFromObsAndClockRules) {

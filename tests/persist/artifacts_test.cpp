@@ -1,0 +1,122 @@
+// Typed artifact tests: the weights artifact (round trip, model-tag
+// confusion, corrupt degradation, all-or-nothing restore) and the
+// RobustnessStats payload codec.
+
+#include "src/persist/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.hpp"
+
+namespace stco::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kTagA = fourcc('T', 'A', 'G', 'A');
+constexpr std::uint32_t kTagB = fourcc('T', 'A', 'G', 'B');
+
+class ArtifactsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path("persist_artifacts_scratch") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  static std::vector<tensor::Tensor> sample_params() {
+    return {tensor::Tensor::from_data({1.5, -2.0, 0.25, 1e-9}, 2, 2),
+            tensor::Tensor::from_data({3.0, 4.0, 5.0}, 3, 1)};
+  }
+
+  fs::path dir_;
+  Storage storage_{RetryPolicy{1, 0, false}};
+};
+
+TEST_F(ArtifactsTest, WeightsRoundTrip) {
+  const auto saved = sample_params();
+  write_weights(storage_, path("w.stca"), kTagA, saved);
+
+  auto loaded = sample_params();
+  for (auto& t : loaded)
+    for (auto& v : t.value()) v = 0.0;
+  ASSERT_TRUE(ok(read_weights(storage_, path("w.stca"), kTagA, loaded)));
+  for (std::size_t i = 0; i < saved.size(); ++i)
+    EXPECT_EQ(loaded[i].value(), saved[i].value());
+}
+
+TEST_F(ArtifactsTest, MissingWeightsDegradeToNotFound) {
+  auto params = sample_params();
+  EXPECT_EQ(read_weights(storage_, path("absent.stca"), kTagA, params),
+            LoadStatus::kNotFound);
+}
+
+TEST_F(ArtifactsTest, ModelTagConfusionIsWrongKind) {
+  write_weights(storage_, path("w.stca"), kTagA, sample_params());
+  auto params = sample_params();
+  EXPECT_EQ(read_weights(storage_, path("w.stca"), kTagB, params),
+            LoadStatus::kWrongKind);
+}
+
+TEST_F(ArtifactsTest, ShapeMismatchIsBadPayloadAndLeavesParamsUntouched) {
+  write_weights(storage_, path("w.stca"), kTagA, sample_params());
+  // Different topology: the tensor codec must reject, and the target
+  // parameters must keep their pre-load values (all-or-nothing).
+  std::vector<tensor::Tensor> other = {tensor::Tensor::full(4, 4, 7.0)};
+  const LoadStatus status = read_weights(storage_, path("w.stca"), kTagA, other);
+  EXPECT_EQ(status, LoadStatus::kBadPayload);
+  for (const double v : other[0].value()) EXPECT_EQ(v, 7.0);
+}
+
+TEST_F(ArtifactsTest, TruncatedWeightsDegradeNotThrow) {
+  write_weights(storage_, path("w.stca"), kTagA, sample_params());
+  std::string bytes;
+  ASSERT_EQ(storage_.read(path("w.stca"), bytes), LoadStatus::kOk);
+  storage_.write_atomic(path("w.stca"),
+                        std::string_view(bytes).substr(0, bytes.size() / 2));
+  auto params = sample_params();
+  const LoadStatus status = read_weights(storage_, path("w.stca"), kTagA, params);
+  EXPECT_FALSE(ok(status));
+  EXPECT_TRUE(corrupt(status));
+}
+
+TEST(RobustnessCodec, RoundTripsEveryField) {
+  numeric::RobustnessStats s;
+  s.attempts = 11;
+  s.direct_success = 7;
+  s.gmin_retries = 1;
+  s.source_retries = 2;
+  s.continuation_retries = 3;
+  s.damping_retries = 4;
+  s.recovered = 5;
+  s.failures = 6;
+  s.budget_exhausted = 8;
+  s.fallbacks = 9;
+
+  PayloadWriter w;
+  put_robustness(w, s);
+  PayloadReader r(w.bytes());
+  const numeric::RobustnessStats got = get_robustness(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(got.attempts, s.attempts);
+  EXPECT_EQ(got.direct_success, s.direct_success);
+  EXPECT_EQ(got.gmin_retries, s.gmin_retries);
+  EXPECT_EQ(got.source_retries, s.source_retries);
+  EXPECT_EQ(got.continuation_retries, s.continuation_retries);
+  EXPECT_EQ(got.damping_retries, s.damping_retries);
+  EXPECT_EQ(got.recovered, s.recovered);
+  EXPECT_EQ(got.failures, s.failures);
+  EXPECT_EQ(got.budget_exhausted, s.budget_exhausted);
+  EXPECT_EQ(got.fallbacks, s.fallbacks);
+}
+
+}  // namespace
+}  // namespace stco::persist

@@ -1,0 +1,138 @@
+// StcoEngine disk cost-cache tests: a warm cache restores memoized costs
+// AND the calibrated PPA weights (so a fully warm engine re-evaluates
+// nothing), a corrupt cache degrades to a counted cold start, and the
+// $STCO_CACHE_DIR environment variable selects the directory.
+
+#include "src/stco/loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/obs.hpp"
+
+namespace stco {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CostCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path("persist_cache_scratch") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  StcoConfig config() const {
+    StcoConfig cfg;
+    cfg.benchmark = "s298";
+    cfg.cache_dir = dir_.string();
+    return cfg;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CostCacheTest, WarmStartRestoresCostsAndWeights) {
+  const StcoConfig cfg = config();
+  const TechGrid grid(cfg.ranges, cfg.grid_n);
+  double cold_cost = 0.0;
+  std::string cache_path;
+  {
+    StcoEngine cold(cfg, SpiceBackend{});
+    EXPECT_EQ(cold.warm_cache_entries(), 0u);
+    cold_cost = cold.cost(grid.point(0));
+    cache_path = cold.cost_cache_path();
+    // Destructor persists the cache.
+  }
+  ASSERT_FALSE(cache_path.empty());
+  ASSERT_TRUE(fs::exists(cache_path));
+
+  const std::uint64_t warm_before = obs::snapshot().counter_or("persist.cache.warm_hits");
+  StcoEngine warm(cfg, SpiceBackend{});
+  EXPECT_GE(warm.warm_cache_entries(), 1u);
+  EXPECT_EQ(warm.cost(grid.point(0)), cold_cost);  // bit-identical from disk
+  // Weights came from the cache too: no library was built to serve that hit.
+  EXPECT_EQ(warm.timing().evaluations.load(), 0u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(obs::snapshot().counter_or("persist.cache.warm_hits"), warm_before);
+  }
+}
+
+TEST_F(CostCacheTest, CorruptCacheDegradesToCountedColdStart) {
+  const StcoConfig cfg = config();
+  const TechGrid grid(cfg.ranges, cfg.grid_n);
+  double cold_cost = 0.0;
+  std::string cache_path;
+  {
+    StcoEngine cold(cfg, SpiceBackend{});
+    cold_cost = cold.cost(grid.point(0));
+    cache_path = cold.cost_cache_path();
+  }
+  std::string bytes;
+  {
+    std::ifstream in(cache_path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  std::ofstream(cache_path, std::ios::binary)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+
+  const std::uint64_t corrupt_before =
+      obs::snapshot().counter_or("persist.corrupt_artifacts");
+  StcoEngine again(cfg, SpiceBackend{});
+  EXPECT_EQ(again.warm_cache_entries(), 0u);  // cache ignored, not trusted
+  if constexpr (obs::kEnabled) {
+    EXPECT_GT(obs::snapshot().counter_or("persist.corrupt_artifacts"), corrupt_before);
+  }
+  // The engine regenerates the same deterministic cost from scratch.
+  EXPECT_EQ(again.cost(grid.point(0)), cold_cost);
+}
+
+TEST_F(CostCacheTest, ConfigChangeInvalidatesCache) {
+  const StcoConfig cfg = config();
+  const TechGrid grid(cfg.ranges, cfg.grid_n);
+  {
+    StcoEngine cold(cfg, SpiceBackend{});
+    (void)cold.cost(grid.point(0));
+  }
+  // Different cost weights: cached costs would be wrong, so the
+  // fingerprint must reject the artifact (silently — not corruption).
+  StcoConfig other = config();
+  other.w_area = 0.25;
+  StcoEngine engine(other, SpiceBackend{});
+  EXPECT_EQ(engine.warm_cache_entries(), 0u);
+}
+
+TEST_F(CostCacheTest, EnvVarSelectsCacheDirectory) {
+  StcoConfig cfg;
+  cfg.benchmark = "s298";  // cache_dir left empty -> $STCO_CACHE_DIR
+  ASSERT_EQ(setenv("STCO_CACHE_DIR", dir_.string().c_str(), 1), 0);
+  std::string cache_path;
+  {
+    StcoEngine engine(cfg, SpiceBackend{});
+    cache_path = engine.cost_cache_path();
+    engine.save_cost_cache();
+  }
+  unsetenv("STCO_CACHE_DIR");
+  EXPECT_EQ(fs::path(cache_path).parent_path(), dir_);
+  EXPECT_TRUE(fs::exists(cache_path));
+
+  // With neither config nor environment, persistence is off.
+  StcoEngine off(cfg, SpiceBackend{});
+  EXPECT_TRUE(off.cost_cache_path().empty());
+  EXPECT_EQ(off.warm_cache_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace stco

@@ -276,6 +276,7 @@ class Linter {
           rule_obs_unknown_key(ln, code);
           rule_obs_unknown_span(ln, code);
         }
+        if (!info_.in_persist) rule_raw_file_io(ln, code);
       }
       rule_assert_ban(ln, code);
     }
@@ -442,8 +443,8 @@ class Linter {
         "LmResult",          "DcResult",
         "TranResult",        "PoissonSolution",
         "DriftDiffusionSolution", "TransportResult",
-        "Snapshot",          "optional<DenseLu>",
-        "optional<BandLu>"};
+        "Snapshot",          "LoadStatus",
+        "optional<DenseLu>", "optional<BandLu>"};
     for (const auto& type : kTypes) {
       for (const std::size_t pos : find_word(code, type)) {
         // Return-type position: nothing but qualifiers / namespace
@@ -525,6 +526,25 @@ class Linter {
     }
   }
 
+  // raw-file-io: direct write-side file I/O (std::ofstream, fopen/freopen)
+  // outside src/persist bypasses the atomic temp-file + fsync + rename +
+  // checksum discipline — a crash mid-write leaves a torn file the readers
+  // cannot distinguish from a good one. Read-side I/O (ifstream) is fine.
+  void rule_raw_file_io(std::size_t ln, const std::string& code) {
+    if (!find_word(code, "ofstream").empty())
+      report(ln, "raw-file-io",
+             "raw 'std::ofstream' outside src/persist; route writes through "
+             "persist::Storage::write_atomic / persist::atomic_write_file so "
+             "they are atomic and crash-safe");
+    for (const char* fn : {"fopen", "freopen"}) {
+      if (has_call(code, fn))
+        report(ln, "raw-file-io",
+               std::string("raw '") + fn +
+                   "()' outside src/persist; route writes through "
+                   "persist::Storage::write_atomic / persist::atomic_write_file");
+    }
+  }
+
   // include-iostream: <iostream> in a src header drags static iostream
   // constructors into every TU; keep I/O in .cpp files.
   void rule_include_iostream(std::size_t ln, const std::string& code) {
@@ -576,6 +596,7 @@ const std::vector<RuleInfo>& rules() {
       {"obs-unknown-span", "span name not in the canonical registry (keys.hpp)"},
       {"include-iostream", "<iostream> banned in src/ headers"},
       {"assert-ban", "assert()/<cassert> banned; use STCO_REQUIRE/STCO_ENSURE"},
+      {"raw-file-io", "std::ofstream/fopen outside src/persist; use the atomic writer"},
   };
   return kRules;
 }
@@ -597,6 +618,7 @@ FileInfo classify_path(const std::string& rel_path) {
   info.is_header = rel_path.size() >= 4 &&
                    rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
   info.in_obs = rel_path.rfind("src/obs/", 0) == 0;
+  info.in_persist = rel_path.rfind("src/persist/", 0) == 0;
   return info;
 }
 

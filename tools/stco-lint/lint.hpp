@@ -40,6 +40,8 @@ struct FileInfo {
   bool in_obs = false;       ///< under src/obs/ — the machinery itself is
                              ///< exempt from the obs-key rules and owns the
                              ///< clock (nondet-clock-now)
+  bool in_persist = false;   ///< under src/persist/ — the only tree allowed
+                             ///< to open files for writing (raw-file-io)
 };
 
 struct Diagnostic {
