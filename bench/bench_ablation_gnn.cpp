@@ -27,6 +27,7 @@ double train_and_eval(const gnn::RelGatConfig& cfg, std::span<const DeviceSample
   gnn::RelGatModel model(cfg, rng);
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].poisson_graph;
+    // stco-lint: allow(training-path-inference) gradient step
     return tensor::mse_loss(model.forward(g), g.node_target_tensor(1));
   };
   gnn::TrainConfig tc;
@@ -38,6 +39,7 @@ double train_and_eval(const gnn::RelGatConfig& cfg, std::span<const DeviceSample
 
   numeric::Vec pred, act;
   for (const auto& s : val) {
+    // stco-lint: allow(training-path-inference) throwaway ablation probe
     const auto out = model.forward(s.poisson_graph).value();
     pred.insert(pred.end(), out.begin(), out.end());
     act.insert(act.end(), s.poisson_graph.node_targets.begin(),

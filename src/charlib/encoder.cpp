@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/numeric/contract.hpp"
 #include "src/spice/netlist.hpp"
 
 namespace stco::charlib {
@@ -108,7 +109,9 @@ gnn::Graph encode_cell(const cells::CellDef& cell,
                  fets[a].second || fets[b].second);
   }
 
-  g.check();
+  // Structural validation is a debug-build contract (encode output is
+  // constructed correct); batches re-validate in merge_graphs.
+  STCO_REQUIRE(g.valid(), "encode_cell produced an invalid graph");
   return g;
 }
 

@@ -28,6 +28,11 @@ CellCharModel::CellCharModel(const CellCharModelConfig& cfg) : cfg_(cfg) {
     heads_.emplace_back(std::vector<std::size_t>{cfg.hidden, cfg.mlp_hidden, 1}, rng);
   norm_mean_.fill(0.0);
   norm_std_.fill(1.0);
+  recompile_plan();
+}
+
+void CellCharModel::recompile_plan() {
+  plan_ = gnn::infer::compile_gcn_plan(*input_proj_, gcn_, heads_);
 }
 
 void CellCharModel::fit_normalization(std::span<const CharSample> train) {
@@ -96,14 +101,36 @@ gnn::TrainStats CellCharModel::train(std::span<const CharSample> train_split,
         head_forward(trunk_forward(s.graph, ctx), s.metric, ctx);
     return tensor::scale(tensor::mse_loss(pred, tensor::Tensor::scalar(y)), weight[m]);
   };
-  return gnn::train(parameters(), loss, train_split.size(), cfg_.train, ctx);
+  auto stats = gnn::train(parameters(), loss, train_split.size(), cfg_.train, ctx);
+  recompile_plan();  // weights changed: new plan snapshot
+  return stats;
 }
 
 double CellCharModel::predict(const gnn::Graph& g, cells::Metric metric) const {
   if (!normalized_) throw std::logic_error("CellCharModel::predict before training");
   const std::size_t m = static_cast<std::size_t>(metric);
-  const double y = head_forward(trunk_forward(g), metric).item();
+  const std::size_t head[] = {m};
+  const double y = plan_.run_one(g, head, gnn::infer::scratch_arena())[0];
   return unlog_target(y * norm_std_[m] + norm_mean_[m]);
+}
+
+std::vector<double> CellCharModel::predict_batch(
+    std::span<const gnn::Graph> graphs, std::span<const cells::Metric> metrics,
+    const exec::Context& ctx) const {
+  if (!normalized_)
+    throw std::logic_error("CellCharModel::predict_batch before training");
+  std::vector<std::size_t> heads(metrics.size());
+  for (std::size_t j = 0; j < metrics.size(); ++j)
+    heads[j] = static_cast<std::size_t>(metrics[j]);
+  const gnn::BatchedGraph batch = gnn::merge_graphs(graphs);
+  std::vector<double> out =
+      plan_.run(batch, heads, gnn::infer::scratch_arena(), ctx);
+  for (std::size_t i = 0; i < graphs.size(); ++i)
+    for (std::size_t j = 0; j < heads.size(); ++j) {
+      double& v = out[i * heads.size() + j];
+      v = unlog_target(v * norm_std_[heads[j]] + norm_mean_[heads[j]]);
+    }
+  return out;
 }
 
 std::array<double, cells::kNumMetrics> CellCharModel::mape_by_metric(
@@ -162,6 +189,9 @@ persist::LoadStatus CellCharModel::try_load(const std::string& path) {
     norm_std_[m] = stats(1, m);
   }
   normalized_ = true;
+  // Warm start: the loaded artifact is the new weight state, so the plan
+  // is rebuilt exactly once here.
+  recompile_plan();
   return status;
 }
 

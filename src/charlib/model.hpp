@@ -15,6 +15,7 @@
 
 #include "src/cells/characterize.hpp"
 #include "src/charlib/encoder.hpp"
+#include "src/gnn/infer/gcn_plan.hpp"
 #include "src/gnn/layers.hpp"
 #include "src/gnn/trainer.hpp"
 #include "src/persist/storage.hpp"
@@ -55,8 +56,21 @@ class CellCharModel {
   gnn::TrainStats train(std::span<const CharSample> train_split,
                         const exec::Context& ctx = exec::Context::serial());
 
-  /// Predicted raw value for a sample's graph/metric.
+  /// Predicted raw value for a sample's graph/metric. Runs the compiled
+  /// inference plan (no autograd); safe to call concurrently.
   double predict(const gnn::Graph& g, cells::Metric metric) const;
+
+  /// Batched predict: one fused CSR forward over all graphs, evaluating
+  /// `metrics` for each. Returns (graphs.size() x metrics.size())
+  /// row-major raw values. This is the grid-characterization fast path
+  /// used by flow::build_library_gnn.
+  std::vector<double> predict_batch(
+      std::span<const gnn::Graph> graphs, std::span<const cells::Metric> metrics,
+      const exec::Context& ctx = exec::Context::serial()) const;
+
+  /// Fingerprint of the compiled plan's weight snapshot (warm-start
+  /// observability; recompiled exactly once per train()/load()).
+  std::uint64_t plan_fingerprint() const { return plan_.fingerprint(); }
 
   /// MAPE [%] per metric over a split; metrics absent from the split get -1.
   std::array<double, cells::kNumMetrics> mape_by_metric(
@@ -91,10 +105,15 @@ class CellCharModel {
       const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
 
+  void recompile_plan();
+
   CellCharModelConfig cfg_;
   std::unique_ptr<gnn::Linear> input_proj_;
   std::vector<gnn::GcnLayer> gcn_;
   std::vector<gnn::Mlp> heads_;  ///< one per metric
+  /// Compiled inference plan over the trunk + heads; rebuilt at every
+  /// weight mutation point (construction, train(), try_load()).
+  gnn::infer::GcnPlan plan_;
   std::array<double, cells::kNumMetrics> norm_mean_{};
   std::array<double, cells::kNumMetrics> norm_std_{};
   bool normalized_ = false;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "src/charlib/encoder.hpp"
 #include "src/numeric/stats.hpp"
@@ -180,23 +181,39 @@ TimingLibrary build_library_gnn(const charlib::CellCharModel& model,
       return ctx;
     };
 
+    // Encode the whole slew x load grid, then run it as one fused batched
+    // forward (one CSR merge + one arena pass instead of a model.predict
+    // per grid point).
+    std::vector<gnn::Graph> grid;
+    grid.reserve(opts.slew_axis.size() * opts.load_axis.size());
+    for (std::size_t si = 0; si < opts.slew_axis.size(); ++si)
+      for (std::size_t li = 0; li < opts.load_axis.size(); ++li)
+        grid.push_back(charlib::encode_cell(
+            def, tech, opts.sizing,
+            ctx_for(opts.slew_axis[si], opts.load_axis[li]), opts.scales));
+
+    const cells::Metric timing[] = {cells::Metric::kDelay,
+                                    cells::Metric::kOutputSlew};
+    const auto timing_pred = model.predict_batch(grid, timing);
     for (std::size_t si = 0; si < opts.slew_axis.size(); ++si) {
       for (std::size_t li = 0; li < opts.load_axis.size(); ++li) {
-        const auto g = charlib::encode_cell(
-            def, tech, opts.sizing, ctx_for(opts.slew_axis[si], opts.load_axis[li]),
-            opts.scales);
-        ct.delay(si, li) = model.predict(g, cells::Metric::kDelay);
-        ct.out_slew(si, li) = model.predict(g, cells::Metric::kOutputSlew);
-        if (si == opts.slew_axis.size() / 2 && li == opts.load_axis.size() / 2) {
-          ct.leakage = model.predict(g, cells::Metric::kLeakagePower);
-          ct.flip_energy = model.predict(g, cells::Metric::kFlipPower);
-          ct.nonflip_energy = model.predict(g, cells::Metric::kNonFlipPower);
-          ct.input_cap = model.predict(g, cells::Metric::kCapacitance);
-          if (def.sequential)
-            job.dff_setup = model.predict(g, cells::Metric::kMinSetup);
-        }
+        const std::size_t g = si * opts.load_axis.size() + li;
+        ct.delay(si, li) = timing_pred[2 * g];
+        ct.out_slew(si, li) = timing_pred[2 * g + 1];
       }
     }
+
+    // The remaining metrics are load/slew-independent by convention: take
+    // them from the center grid point, as the serial path does.
+    const std::size_t center = (opts.slew_axis.size() / 2) * opts.load_axis.size() +
+                               opts.load_axis.size() / 2;
+    const auto& gc = grid[center];
+    ct.leakage = model.predict(gc, cells::Metric::kLeakagePower);
+    ct.flip_energy = model.predict(gc, cells::Metric::kFlipPower);
+    ct.nonflip_energy = model.predict(gc, cells::Metric::kNonFlipPower);
+    ct.input_cap = model.predict(gc, cells::Metric::kCapacitance);
+    if (def.sequential)
+      job.dff_setup = model.predict(gc, cells::Metric::kMinSetup);
     return job;
   });
 

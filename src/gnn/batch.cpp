@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/numeric/contract.hpp"
 #include "src/tensor/ops.hpp"
 
 namespace stco::gnn {
@@ -11,20 +12,44 @@ BatchedGraph merge_graphs(std::span<const Graph> graphs) {
   const std::size_t node_dim = graphs[0].node_dim;
   const std::size_t edge_dim = graphs[0].edge_dim;
 
+  // First pass: widths + totals, so every merged array reserves once.
+  std::size_t total_nodes = 0, total_edges = 0, total_node_targets = 0;
+  bool all_have_graph_targets = true;
+  const std::size_t target_dim = graphs[0].graph_targets.size();
+  for (const Graph& g : graphs) {
+    if (g.node_dim != node_dim || g.edge_dim != edge_dim)
+      throw std::invalid_argument("merge_graphs: feature width mismatch");
+    // Structural validation is hoisted out of the per-forward paths to
+    // batch construction, and compiled out entirely with STCO_CHECKS=OFF.
+    STCO_REQUIRE(g.valid(), "merge_graphs: structurally invalid input graph");
+    total_nodes += g.num_nodes;
+    total_edges += g.num_edges();
+    total_node_targets += g.node_targets.size();
+    if (g.graph_targets.size() != target_dim) all_have_graph_targets = false;
+  }
+
   BatchedGraph out;
   out.num_graphs = graphs.size();
   out.merged.node_dim = node_dim;
   out.merged.edge_dim = edge_dim;
+  out.merged.num_nodes = total_nodes;
+  out.merged.node_features.reserve(total_nodes * node_dim);
+  out.merged.edge_features.reserve(total_edges * edge_dim);
+  out.merged.node_targets.reserve(total_node_targets);
+  out.merged.edge_src.reserve(total_edges);
+  out.merged.edge_dst.reserve(total_edges);
+  out.graph_id.reserve(total_nodes);
+  out.node_offset.reserve(graphs.size() + 1);
+  out.edge_offset.reserve(graphs.size() + 1);
+  out.target_dim = target_dim;
+  if (all_have_graph_targets)
+    out.graph_targets.reserve(graphs.size() * target_dim);
 
-  bool all_have_graph_targets = true;
-  out.target_dim = graphs[0].graph_targets.size();
-
-  std::uint32_t offset = 0;
+  std::uint32_t node_off = 0, edge_off = 0;
   for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
     const Graph& g = graphs[gi];
-    if (g.node_dim != node_dim || g.edge_dim != edge_dim)
-      throw std::invalid_argument("merge_graphs: feature width mismatch");
-    g.check();
+    out.node_offset.push_back(node_off);
+    out.edge_offset.push_back(edge_off);
     out.merged.node_features.insert(out.merged.node_features.end(),
                                     g.node_features.begin(), g.node_features.end());
     out.merged.edge_features.insert(out.merged.edge_features.end(),
@@ -32,24 +57,24 @@ BatchedGraph merge_graphs(std::span<const Graph> graphs) {
     out.merged.node_targets.insert(out.merged.node_targets.end(),
                                    g.node_targets.begin(), g.node_targets.end());
     for (std::size_t e = 0; e < g.num_edges(); ++e) {
-      out.merged.edge_src.push_back(g.edge_src[e] + offset);
-      out.merged.edge_dst.push_back(g.edge_dst[e] + offset);
+      out.merged.edge_src.push_back(g.edge_src[e] + node_off);
+      out.merged.edge_dst.push_back(g.edge_dst[e] + node_off);
     }
     for (std::size_t n = 0; n < g.num_nodes; ++n)
       out.graph_id.push_back(static_cast<std::uint32_t>(gi));
-    offset += static_cast<std::uint32_t>(g.num_nodes);
-
-    if (g.graph_targets.size() != out.target_dim) all_have_graph_targets = false;
+    node_off += static_cast<std::uint32_t>(g.num_nodes);
+    edge_off += static_cast<std::uint32_t>(g.num_edges());
     if (all_have_graph_targets)
       out.graph_targets.insert(out.graph_targets.end(), g.graph_targets.begin(),
                                g.graph_targets.end());
   }
-  out.merged.num_nodes = offset;
+  out.node_offset.push_back(node_off);
+  out.edge_offset.push_back(edge_off);
   if (!all_have_graph_targets || out.target_dim == 0) {
     out.graph_targets.clear();
     out.target_dim = 0;
   }
-  out.merged.check();
+  STCO_ENSURE(out.merged.valid(), "merge_graphs: merged graph invalid");
   return out;
 }
 
@@ -59,8 +84,11 @@ tensor::Tensor forward_batched(const RelGatModel& model, const BatchedGraph& bat
     throw std::invalid_argument(
         "forward_batched: model is node-regression; call forward(merged)");
   const tensor::Tensor h = model.trunk(batch.merged, ctx);
+  // Pooling rides the batch's CSR offsets — the same index structure the
+  // fused inference kernels use (bit-identical to the old graph_id-driven
+  // segment_mean, since segments are sorted and contiguous).
   const tensor::Tensor pooled =
-      tensor::segment_mean(h, batch.graph_id, batch.num_graphs);
+      tensor::segment_mean_offsets(h, batch.node_offset);
   return model.head(pooled, ctx);
 }
 

@@ -32,6 +32,22 @@ struct Graph {
 
   std::size_t num_edges() const { return edge_src.size(); }
 
+  /// O(E) structural validity scan without throwing. Hot paths gate this
+  /// behind STCO_REQUIRE at batch-construction time (gnn::merge_graphs,
+  /// the encoders), so STCO_CHECKS=OFF builds pay nothing per forward;
+  /// the throwing check() below stays for untrusted inputs
+  /// (deserialization, caller-built graphs in tests).
+  bool valid() const noexcept {
+    if (edge_src.size() != edge_dst.size()) return false;
+    if (node_features.size() != num_nodes * node_dim) return false;
+    if (edge_features.size() != num_edges() * edge_dim) return false;
+    for (auto s : edge_src)
+      if (s >= num_nodes) return false;
+    for (auto d : edge_dst)
+      if (d >= num_nodes) return false;
+    return true;
+  }
+
   /// Validate internal consistency; throws std::invalid_argument on error.
   void check() const {
     if (edge_src.size() != edge_dst.size()) throw std::invalid_argument("Graph: edge arrays");

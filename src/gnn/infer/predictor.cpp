@@ -1,0 +1,38 @@
+#include "src/gnn/infer/predictor.hpp"
+
+#include <stdexcept>
+
+namespace stco::gnn {
+
+void Predictor::compile(const RelGatModel& model) {
+  plan_ = std::make_shared<const infer::InferencePlan>(infer::compile_plan(model));
+}
+
+std::uint64_t Predictor::fingerprint() const {
+  return plan_ ? plan_->fingerprint() : 0;
+}
+
+const infer::InferencePlan& Predictor::plan() const {
+  if (!plan_) throw std::logic_error("Predictor: predict before compile");
+  return *plan_;
+}
+
+std::vector<double> Predictor::predict(std::span<const Graph> graphs,
+                                       const exec::Context& ctx) const {
+  const BatchedGraph batch = merge_graphs(graphs);
+  return plan().run(batch, infer::scratch_arena(), ctx);
+}
+
+std::vector<double> Predictor::predict_one(const Graph& g) const {
+  return plan().run_one(g, infer::scratch_arena());
+}
+
+double Predictor::predict_scalar(const Graph& g) const {
+  const infer::InferencePlan& p = plan();
+  if (!p.config().graph_regression || p.config().out_dim != 1)
+    throw std::invalid_argument(
+        "Predictor::predict_scalar: needs a graph-regression model with out_dim 1");
+  return p.run_one(g, infer::scratch_arena())[0];
+}
+
+}  // namespace stco::gnn

@@ -1,0 +1,62 @@
+#pragma once
+// gnn::ForwardApi — the Predictor facade over the inference engine.
+//
+// The forward-pass API splits into compile-then-execute:
+//
+//   gnn::Predictor pred;
+//   pred.compile(model);                  // once per weight state
+//   auto y = pred.predict(graphs);        // batched fused forward
+//   double s = pred.predict_scalar(g);    // graph-regression convenience
+//
+// charlib::CellCharModel, surrogate::TcadSurrogate, and
+// flow::build_library_gnn all consume this instead of hand-rolling
+// merge_graphs + forward_batched / RelGatModel::forward. A Predictor is an
+// immutable snapshot of the model's weights (see InferencePlan); owners
+// recompile after training steps or weight loads — fingerprint() proves
+// which weight state a prediction came from. predict() is const,
+// lock-free, and safe to call concurrently (scratch comes from a
+// thread-local arena), which is what the parallel characterization loops
+// need.
+
+#include <memory>
+#include <span>
+
+#include "src/gnn/infer/plan.hpp"
+
+namespace stco::gnn {
+
+class Predictor {
+ public:
+  Predictor() = default;
+
+  /// Snapshot `model`'s current weights into a fresh plan. Call again
+  /// after any weight mutation (training, artifact load).
+  void compile(const RelGatModel& model);
+
+  bool compiled() const { return plan_ != nullptr; }
+  /// Fingerprint of the compiled weight snapshot (0 when not compiled).
+  std::uint64_t fingerprint() const;
+  const infer::InferencePlan& plan() const;
+
+  /// Batched forward: packs `graphs` into one CSR batch and runs the fused
+  /// plan, one task per graph on `ctx`. Graph regression returns
+  /// (num_graphs x out_dim) row-major; node regression returns the
+  /// concatenated per-node rows (total_nodes x out_dim), in input order.
+  std::vector<double> predict(std::span<const Graph> graphs,
+                              const exec::Context& ctx = exec::Context::serial()) const;
+
+  /// Single-graph forward (no merge copy): (out_dim) for graph regression,
+  /// else (num_nodes x out_dim).
+  std::vector<double> predict_one(const Graph& g) const;
+
+  /// Graph-regression scalar convenience (out_dim must be 1).
+  double predict_scalar(const Graph& g) const;
+
+ private:
+  std::shared_ptr<const infer::InferencePlan> plan_;
+};
+
+/// The facade name used in API docs: Predictor IS the forward API.
+using ForwardApi = Predictor;
+
+}  // namespace stco::gnn

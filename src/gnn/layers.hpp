@@ -27,6 +27,8 @@ class Linear {
   std::vector<tensor::Tensor> parameters() const { return {w_, b_}; }
   std::size_t in_dim() const { return w_.rows(); }
   std::size_t out_dim() const { return w_.cols(); }
+  const tensor::Tensor& weight() const { return w_; }
+  const tensor::Tensor& bias() const { return b_; }
 
  private:
   tensor::Tensor w_, b_;
@@ -42,6 +44,8 @@ class Mlp {
                          const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
   std::size_t num_layers() const { return layers_.size(); }
+  const std::vector<Linear>& layers() const { return layers_; }
+  Activation hidden_activation() const { return act_; }
 
  private:
   std::vector<Linear> layers_;
@@ -54,6 +58,8 @@ class LayerNorm {
   explicit LayerNorm(std::size_t dim);
   tensor::Tensor forward(const tensor::Tensor& x) const;
   std::vector<tensor::Tensor> parameters() const { return {gain_, bias_}; }
+  const tensor::Tensor& gain() const { return gain_; }
+  const tensor::Tensor& bias() const { return bias_; }
 
  private:
   tensor::Tensor gain_, bias_;
@@ -68,6 +74,8 @@ class GcnLayer {
   tensor::Tensor forward(const tensor::Tensor& x, const Graph& g,
                          const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const { return lin_.parameters(); }
+  const Linear& linear() const { return lin_; }
+  Activation activation() const { return act_; }
 
  private:
   Linear lin_;
@@ -92,7 +100,12 @@ class RelGatLayer {
                          const exec::Context& ctx = exec::Context::serial()) const;
   std::vector<tensor::Tensor> parameters() const;
   std::size_t heads() const { return heads_; }
+  std::size_t head_dim() const { return head_dim_; }
   std::size_t out_dim() const { return heads_ * head_dim_; }
+  const std::vector<tensor::Tensor>& head_weights() const { return w_; }
+  const std::vector<tensor::Tensor>& edge_weights() const { return we_; }
+  const std::vector<tensor::Tensor>& attention() const { return a_; }
+  const tensor::Tensor& bias() const { return bias_; }
 
  private:
   std::size_t heads_, head_dim_;

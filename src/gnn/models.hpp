@@ -53,6 +53,13 @@ class RelGatModel {
   std::size_t num_parameters() const;
   const RelGatConfig& config() const { return cfg_; }
 
+  // Component access for the inference plan compiler (gnn/infer): the plan
+  // snapshots these weights into prepacked blocks.
+  const Linear& input_proj() const { return input_proj_; }
+  const std::vector<RelGatLayer>& gat_layers() const { return gat_layers_; }
+  const std::vector<LayerNorm>& layer_norms() const { return norms_; }
+  const Mlp& head_mlp() const { return head_; }
+
  private:
   RelGatConfig cfg_;
   Linear input_proj_;

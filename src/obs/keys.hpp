@@ -31,7 +31,7 @@ inline constexpr std::array<std::string_view, 11> kKeyPrefixes = {
 
 /// Every canonical metric key (counters, gauges, histograms, and snapshot
 /// set_counter/set_gauge keys). Keep sorted.
-inline constexpr std::array<std::string_view, 70> kMetricKeys = {
+inline constexpr std::array<std::string_view, 74> kMetricKeys = {
     "cells.arcs",
     "cells.characterize_seconds",
     "cells.characterized",
@@ -51,6 +51,10 @@ inline constexpr std::array<std::string_view, 70> kMetricKeys = {
     "gnn.epoch_loss",
     "gnn.epoch_seconds",
     "gnn.epochs",
+    "gnn.infer.arena_bytes",
+    "gnn.infer.batches",
+    "gnn.infer.graphs",
+    "gnn.infer.plan_compiles",
     "persist.bytes_written",
     "persist.cache.warm_hits",
     "persist.corrupt_artifacts",
@@ -106,7 +110,7 @@ inline constexpr std::array<std::string_view, 70> kMetricKeys = {
 
 /// Every canonical span name. Keep sorted. (Span names carry a `flow.`
 /// prefix for the library-build flows in addition to the metric layers.)
-inline constexpr std::array<std::string_view, 22> kSpanNames = {
+inline constexpr std::array<std::string_view, 24> kSpanNames = {
     "cells.characterize_cell",
     "charlib.build_dataset",
     "charlib.build_dataset_resumable",
@@ -114,6 +118,8 @@ inline constexpr std::array<std::string_view, 22> kSpanNames = {
     "flow.build_library_gnn",
     "flow.build_library_spice",
     "gnn.epoch",
+    "gnn.infer.compile",
+    "gnn.infer.run",
     "gnn.train",
     "persist.read_artifact",
     "persist.write_artifact",

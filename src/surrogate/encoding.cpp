@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/numeric/contract.hpp"
+
 namespace stco::surrogate {
 
 double normalize_potential(double phi, const EncodingScales& s) {
@@ -93,7 +95,9 @@ gnn::Graph encode_device(const tcad::TftDevice& dev, const tcad::Bias& bias,
       g.node_targets[i] = (sol.potential[i] - baseline) / s.potential_residual;
     }
   }
-  g.check();
+  // Structural validation is a debug-build contract (encode output is
+  // constructed correct); batches re-validate in merge_graphs.
+  STCO_REQUIRE(g.valid(), "encode_device produced an invalid graph");
   return g;
 }
 

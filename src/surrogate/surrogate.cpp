@@ -20,28 +20,38 @@ TcadSurrogate::TcadSurrogate(const SurrogateConfig& cfg) : cfg_(cfg) {
       gnn::poisson_emulator_config(kNodeDim, kEdgeDim, cfg.poisson_hidden), rng);
   iv_ = std::make_unique<gnn::RelGatModel>(
       gnn::iv_predictor_config(kNodeDim, kEdgeDim, cfg.iv_hidden), rng);
+  poisson_pred_.compile(*poisson_);
+  iv_pred_.compile(*iv_);
 }
 
 gnn::TrainStats TcadSurrogate::train_poisson(std::span<const DeviceSample> train,
                                              const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].poisson_graph;
+    // Training needs the autograd-capable forward, not the Predictor.
+    // stco-lint: allow(training-path-inference) gradient step
     return tensor::mse_loss(poisson_->forward(g, ctx), g.node_target_tensor(1));
   };
-  return gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train, ctx);
+  auto stats =
+      gnn::train(poisson_->parameters(), loss, train.size(), cfg_.poisson_train, ctx);
+  poisson_pred_.compile(*poisson_);  // weights changed: new plan snapshot
+  return stats;
 }
 
 gnn::TrainStats TcadSurrogate::train_iv(std::span<const DeviceSample> train,
                                         const exec::Context& ctx) {
   auto loss = [&](std::size_t i) {
     const auto& g = train[i].iv_graph;
+    // stco-lint: allow(training-path-inference) gradient step
     return tensor::mse_loss(iv_->forward(g, ctx), g.graph_target_tensor());
   };
-  return gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train, ctx);
+  auto stats = gnn::train(iv_->parameters(), loss, train.size(), cfg_.iv_train, ctx);
+  iv_pred_.compile(*iv_);  // weights changed: new plan snapshot
+  return stats;
 }
 
 std::vector<double> TcadSurrogate::predict_potential(const gnn::Graph& g) const {
-  return poisson_->forward(g).value();
+  return poisson_pred_.predict_one(g);
 }
 
 std::vector<double> TcadSurrogate::predict_potential_volts(
@@ -61,7 +71,7 @@ std::vector<double> TcadSurrogate::predict_potential_volts(
 }
 
 double TcadSurrogate::predict_current(const gnn::Graph& g) const {
-  return denormalize_current(iv_->forward(g).item());
+  return denormalize_current(iv_pred_.predict_scalar(g));
 }
 
 void TcadSurrogate::save_weights(const std::string& path) const {
@@ -73,7 +83,15 @@ void TcadSurrogate::save_weights(const std::string& path) const {
 persist::LoadStatus TcadSurrogate::try_load_weights(const std::string& path) {
   auto params = poisson_->parameters();
   for (auto& p : iv_->parameters()) params.push_back(p);
-  return persist::read_weights(persist::default_storage(), path, kModelTag, params);
+  const persist::LoadStatus status =
+      persist::read_weights(persist::default_storage(), path, kModelTag, params);
+  if (persist::ok(status)) {
+    // Warm start: the loaded artifact is the new weight state, so each
+    // engine rebuilds its plan exactly once here.
+    poisson_pred_.compile(*poisson_);
+    iv_pred_.compile(*iv_);
+  }
+  return status;
 }
 
 void TcadSurrogate::load_weights(const std::string& path) {
@@ -84,12 +102,13 @@ void TcadSurrogate::load_weights(const std::string& path) {
 }
 
 namespace {
-/// Collect flattened (predicted, actual) pairs for either model.
-void collect(const gnn::RelGatModel& model, std::span<const DeviceSample> split,
+/// Collect flattened (predicted, actual) pairs for either model through
+/// its compiled inference engine (no autograd graphs on evaluation paths).
+void collect(const gnn::Predictor& predictor, std::span<const DeviceSample> split,
              bool poisson, numeric::Vec& pred, numeric::Vec& act) {
   for (const auto& s : split) {
     const auto& g = poisson ? s.poisson_graph : s.iv_graph;
-    const auto out = model.forward(g).value();
+    const auto out = predictor.predict_one(g);
     if (poisson) {
       for (std::size_t i = 0; i < out.size(); ++i) {
         pred.push_back(out[i]);
@@ -105,25 +124,25 @@ void collect(const gnn::RelGatModel& model, std::span<const DeviceSample> split,
 
 double TcadSurrogate::poisson_mse(std::span<const DeviceSample> split) const {
   numeric::Vec p, a;
-  collect(*poisson_, split, true, p, a);
+  collect(poisson_pred_, split, true, p, a);
   return numeric::mse(p, a);
 }
 
 double TcadSurrogate::iv_mse(std::span<const DeviceSample> split) const {
   numeric::Vec p, a;
-  collect(*iv_, split, false, p, a);
+  collect(iv_pred_, split, false, p, a);
   return numeric::mse(p, a);
 }
 
 double TcadSurrogate::poisson_r2(std::span<const DeviceSample> split) const {
   numeric::Vec p, a;
-  collect(*poisson_, split, true, p, a);
+  collect(poisson_pred_, split, true, p, a);
   return numeric::r_squared(p, a);
 }
 
 double TcadSurrogate::iv_r2(std::span<const DeviceSample> split) const {
   numeric::Vec p, a;
-  collect(*iv_, split, false, p, a);
+  collect(iv_pred_, split, false, p, a);
   return numeric::r_squared(p, a);
 }
 

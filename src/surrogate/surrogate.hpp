@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "src/gnn/infer/predictor.hpp"
 #include "src/gnn/models.hpp"
 #include "src/gnn/trainer.hpp"
 #include "src/persist/storage.hpp"
@@ -81,6 +82,13 @@ class TcadSurrogate {
   const gnn::RelGatModel& poisson_model() const { return *poisson_; }
   const gnn::RelGatModel& iv_model() const { return *iv_; }
 
+  /// Compiled inference engines for the two models (gnn::ForwardApi). All
+  /// predict/evaluate paths run through these; they are recompiled at
+  /// every weight mutation point (construction, training, artifact load),
+  /// so a warm-started surrogate builds each plan exactly once.
+  const gnn::Predictor& poisson_predictor() const { return poisson_pred_; }
+  const gnn::Predictor& iv_predictor() const { return iv_pred_; }
+
   /// Persist / restore both models' weights (topology must match, i.e. the
   /// surrogate must be constructed with the same SurrogateConfig).
   /// Artifacts are checksummed and written atomically (src/persist);
@@ -94,6 +102,8 @@ class TcadSurrogate {
   SurrogateConfig cfg_;
   std::unique_ptr<gnn::RelGatModel> poisson_;
   std::unique_ptr<gnn::RelGatModel> iv_;
+  gnn::Predictor poisson_pred_;
+  gnn::Predictor iv_pred_;
 };
 
 }  // namespace stco::surrogate

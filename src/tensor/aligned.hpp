@@ -1,0 +1,64 @@
+#pragma once
+// Alignment helpers for the inference fast path (src/gnn/infer).
+//
+// Fused inference kernels want their weight blocks and scratch buffers on
+// cache-line boundaries with contiguous unit stride, so the compiler can
+// vectorize the inner loops without peeling. AlignedVec is a std::vector
+// whose storage is 64-byte aligned; PackedView is a cheap non-owning
+// (rows x cols) view over a raw double block used to pass prepacked
+// weights into kernels without dragging the autograd Tensor type along.
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace stco::tensor {
+
+/// Cache-line / AVX-512-friendly alignment for kernel data.
+inline constexpr std::size_t kKernelAlignment = 64;
+
+/// Minimal aligned allocator (C++17 aligned operator new).
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kKernelAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kKernelAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+/// 64-byte-aligned double buffer (prepacked weights, kernel scratch).
+using AlignedVec = std::vector<double, AlignedAllocator<double>>;
+
+/// Non-owning row-major (rows x cols) view over a raw double block.
+/// Kernels take these instead of Tensor so inference never touches the
+/// autograd graph machinery.
+struct PackedView {
+  const double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  const double* row(std::size_t r) const { return data + r * cols; }
+  std::size_t size() const { return rows * cols; }
+};
+
+}  // namespace stco::tensor

@@ -370,6 +370,36 @@ Tensor segment_mean(const Tensor& a, const IndexVec& seg, std::size_t n_seg) {
   return out;
 }
 
+Tensor segment_mean_offsets(const Tensor& a, const IndexVec& offsets) {
+  const std::size_t rows = a.rows(), cols = a.cols();
+  if (offsets.size() < 2 || offsets.front() != 0 || offsets.back() != rows)
+    throw std::invalid_argument("segment_mean_offsets: offsets must cover [0, rows]");
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s)
+    if (offsets[s] > offsets[s + 1])
+      throw std::invalid_argument("segment_mean_offsets: offsets must be non-decreasing");
+  const std::size_t n_seg = offsets.size() - 1;
+  Tensor out = Tensor::make_op(n_seg, cols, {a}, [offsets, cols](Node& n) {
+    Node& p = *n.parents[0];
+    if (!p.requires_grad) return;
+    for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+      const double inv =
+          1.0 / std::max(1.0, static_cast<double>(offsets[s + 1] - offsets[s]));
+      for (std::size_t r = offsets[s]; r < offsets[s + 1]; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+          p.grad[r * cols + c] += inv * n.grad[s * cols + c];
+    }
+  });
+  auto& v = out.value();
+  for (std::size_t s = 0; s < n_seg; ++s) {
+    for (std::size_t r = offsets[s]; r < offsets[s + 1]; ++r)
+      for (std::size_t c = 0; c < cols; ++c) v[s * cols + c] += a.value()[r * cols + c];
+    const double inv =
+        1.0 / std::max(1.0, static_cast<double>(offsets[s + 1] - offsets[s]));
+    for (std::size_t c = 0; c < cols; ++c) v[s * cols + c] *= inv;
+  }
+  return out;
+}
+
 Tensor concat_cols(const std::vector<Tensor>& parts) {
   if (parts.empty()) throw std::invalid_argument("concat_cols: empty");
   const std::size_t rows = parts[0].rows();

@@ -49,6 +49,14 @@ Tensor mean_rows(const Tensor& a);
 /// Per-segment column means: N x F with seg[i] in [0, n_seg) -> n_seg x F.
 /// Empty segments yield zero rows.
 Tensor segment_mean(const Tensor& a, const IndexVec& seg, std::size_t n_seg);
+/// Per-segment column means over CONTIGUOUS segments: row r belongs to
+/// segment s iff offsets[s] <= r < offsets[s+1]. `offsets` has n_seg + 1
+/// non-decreasing entries with offsets.front() == 0 and
+/// offsets.back() == a.rows(). For the equivalent sorted segment-id vector
+/// this accumulates in exactly segment_mean's order (bit-identical); it is
+/// the pooling entry point shared by batched training pooling and the
+/// inference engine's CSR batch layout (gnn::BatchedGraph::node_offset).
+Tensor segment_mean_offsets(const Tensor& a, const IndexVec& offsets);
 
 // --- structure ------------------------------------------------------------
 Tensor concat_cols(const std::vector<Tensor>& parts);

@@ -79,6 +79,8 @@ const std::vector<FixtureCase>& fixture_cases() {
       {"assert-ban.cpp.lint", {"tests/x/fixture.cpp", Tree::kTests, false, false}},
       {"bench-scope.cpp.lint", {"bench/fixture.cpp", Tree::kBench, false, false}},
       {"raw-file-io.cpp.lint", {"src/x/fixture.cpp", Tree::kSrc, false, false}},
+      {"training-path-inference.cpp.lint",
+       {"src/x/fixture.cpp", Tree::kSrc, false, false}},
   };
   return kCases;
 }

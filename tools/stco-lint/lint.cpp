@@ -258,8 +258,11 @@ class Linter {
 
   std::vector<Diagnostic> run() {
     collect_unordered_decls();
+    collect_relgat_mention();
     for (std::size_t ln = 0; ln < lines_.size(); ++ln) {
       const std::string& code = lines_[ln].code;
+      if (info_.tree != Tree::kTests && !info_.in_gnn)
+        rule_training_path_inference(ln, code);
       if (info_.tree == Tree::kSrc) {
         rule_nondet_rand(ln, code);
         rule_nondet_time(ln, code);
@@ -571,10 +574,48 @@ class Linter {
                  "(src/numeric/contract.hpp)");
   }
 
+  void collect_relgat_mention() {
+    for (const auto& sl : lines_)
+      if (!find_word(sl.code, "RelGatModel").empty()) {
+        mentions_relgat_ = true;
+        return;
+      }
+  }
+
+  // training-path-inference: the autograd forward (RelGatModel::forward,
+  // forward_batched) builds a gradient graph per call — an order of
+  // magnitude slower than the compiled engine and never what an inference
+  // call site wants. Outside src/gnn (which owns both paths) and tests/,
+  // inference must go through gnn::Predictor / infer::InferencePlan;
+  // genuine gradient steps carry a suppression stating so.
+  void rule_training_path_inference(std::size_t ln, const std::string& code) {
+    if (has_call(code, "forward_batched"))
+      report(ln, "training-path-inference",
+             "'forward_batched' is the deprecated training-path batch forward; "
+             "inference call sites use gnn::Predictor::predict "
+             "(src/gnn/infer/predictor.hpp)");
+    if (!mentions_relgat_) return;
+    for (const std::size_t pos : find_word(code, "forward")) {
+      const bool member =
+          (pos >= 1 && code[pos - 1] == '.') ||
+          (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+      if (!member) continue;
+      const std::size_t after = skip_spaces(code, pos + 7);
+      if (after < code.size() && code[after] == '(') {
+        report(ln, "training-path-inference",
+               "autograd 'forward()' in a RelGatModel context; inference runs "
+               "the compiled plan (gnn::Predictor) — gradient steps suppress "
+               "with a reason");
+        return;
+      }
+    }
+  }
+
   FileInfo info_;
   std::vector<ScannedLine> lines_;
   Suppressions supp_;
   std::set<std::string> unordered_names_;
+  bool mentions_relgat_ = false;
   std::vector<Diagnostic> diags_;
 };
 
@@ -597,6 +638,9 @@ const std::vector<RuleInfo>& rules() {
       {"include-iostream", "<iostream> banned in src/ headers"},
       {"assert-ban", "assert()/<cassert> banned; use STCO_REQUIRE/STCO_ENSURE"},
       {"raw-file-io", "std::ofstream/fopen outside src/persist; use the atomic writer"},
+      {"training-path-inference",
+       "autograd forward (forward_batched / RelGatModel::forward) outside "
+       "src/gnn; inference goes through gnn::Predictor"},
   };
   return kRules;
 }
@@ -619,6 +663,7 @@ FileInfo classify_path(const std::string& rel_path) {
                    rel_path.compare(rel_path.size() - 4, 4, ".hpp") == 0;
   info.in_obs = rel_path.rfind("src/obs/", 0) == 0;
   info.in_persist = rel_path.rfind("src/persist/", 0) == 0;
+  info.in_gnn = rel_path.rfind("src/gnn/", 0) == 0;
   return info;
 }
 

@@ -42,6 +42,9 @@ struct FileInfo {
                              ///< clock (nondet-clock-now)
   bool in_persist = false;   ///< under src/persist/ — the only tree allowed
                              ///< to open files for writing (raw-file-io)
+  bool in_gnn = false;       ///< under src/gnn/ — owns both the training
+                             ///< forward and the inference engine, so it is
+                             ///< exempt from training-path-inference
 };
 
 struct Diagnostic {
