@@ -1,0 +1,95 @@
+// Example: live telemetry around a resumable dataset build + training run.
+//
+// Demonstrates the observability stack end to end: set STCO_TELEMETRY=<path>
+// and every obs mutation (metrics, progress tasks, always-on span stats)
+// streams to a JSONL file while the run is in flight. With --kill the build
+// is killed mid-shard through the persist fault injector; rerunning without
+// --kill resumes from the checkpoint and appends a second telemetry session
+// to the same stream. `stco-perfdiff --validate <path>` then checks the
+// combined stream (CI job telemetry-smoke drives exactly that sequence).
+//
+//   STCO_TELEMETRY=/tmp/t.jsonl ./telemetry_smoke ckpt_dir --kill
+//   STCO_TELEMETRY=/tmp/t.jsonl ./telemetry_smoke ckpt_dir
+//   stco-perfdiff --validate /tmp/t.jsonl
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/charlib/checkpoint.hpp"
+#include "src/charlib/model.hpp"
+#include "src/obs/obs.hpp"
+#include "src/persist/fault.hpp"
+
+int main(int argc, char** argv) {
+  using namespace stco;
+
+  std::string ckpt_dir = "telemetry_smoke_ckpt";
+  bool kill = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kill") == 0)
+      kill = true;
+    else
+      ckpt_dir = argv[i];
+  }
+
+  charlib::CornerRanges ranges;
+  const auto corners = charlib::corner_grid(ranges, 2);  // 8 corners
+  charlib::DatasetOptions opts;
+  opts.cell_names = {"INV"};
+  opts.input_slews = {15e-9};
+  opts.output_loads = {30e-15};
+
+  if (kill) {
+    // Run 1: die while writing the second shard (persist op 3), leaving a
+    // valid shard-0 checkpoint and a telemetry stream that simply stops.
+    printf("building charlib dataset (will be killed mid-shard)...\n");
+    persist::FaultInjector injector(/*seed=*/5,
+                                    persist::FaultKind::kCrashBeforeRename,
+                                    /*at_op=*/3);
+    persist::Storage faulty(persist::RetryPolicy{1, 0, false}, &injector);
+    charlib::CheckpointOptions ckpt{ckpt_dir, /*shard_size=*/3, &faulty};
+    try {
+      charlib::build_charlib_dataset_resumable(corners, opts, ckpt);
+      fprintf(stderr, "expected the injected crash to fire\n");
+      return 1;
+    } catch (const persist::CrashError&) {
+      printf("killed mid-build; checkpoint left in %s\n", ckpt_dir.c_str());
+    }
+  } else {
+    // Run 2 (or an uninterrupted run): finish the build from whatever the
+    // checkpoint already holds, then train a small model so the
+    // gnn.train.epochs progress task streams too.
+    persist::Storage storage;
+    charlib::CheckpointOptions ckpt{ckpt_dir, /*shard_size=*/3, &storage};
+    const auto samples =
+        charlib::build_charlib_dataset_resumable(corners, opts, ckpt);
+    printf("dataset ready: %zu samples over %zu corners\n", samples.size(),
+           corners.size());
+
+    charlib::CellCharModelConfig mcfg;
+    mcfg.train.epochs = 5;
+    charlib::CellCharModel model(mcfg);
+    model.fit_normalization(samples);
+    model.train(samples);
+    printf("trained %zu-parameter model for %zu epochs\n",
+           model.num_parameters(), mcfg.train.epochs);
+  }
+
+  // Progress / attribution summary straight from the registry.
+  for (const auto& [name, p] : obs::progress_snapshot())
+    printf("progress %-28s %llu/%llu (eta %.1fs)\n", name.c_str(),
+           static_cast<unsigned long long>(p.done),
+           static_cast<unsigned long long>(p.total), p.eta_seconds);
+
+  // If telemetry is active, show what reached disk so far. The "final"
+  // record lands when the process exits (the env session's destructor), so
+  // validate the file with `stco-perfdiff --validate` afterwards.
+  if (const char* path = std::getenv("STCO_TELEMETRY"); path && *path) {
+    const obs::TelemetryLog log = obs::read_telemetry_file(path);
+    printf("telemetry: %zu record(s) streamed to %s so far\n",
+           log.records.size(), path);
+  }
+  return 0;
+}

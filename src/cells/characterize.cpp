@@ -136,6 +136,8 @@ CellCharacterization characterize_combinational(const CellDef& def,
                           {t_back + cfg.input_slew, level(!rising, cfg)}});
   };
 
+  static obs::ProgressTask& prog_sims = obs::progress("cells.characterize.sims");
+
   // Leakage: mean over all static states (one task per state; powers are
   // summed in state order so the serial reduction is reproduced exactly).
   {
@@ -144,9 +146,11 @@ CellCharacterization characterize_combinational(const CellDef& def,
       CellCharacterization scratch;
       double power = 0.0;
     };
+    prog_sims.add_work(states.size());
     auto jobs = ctx.map(states.size(), [&](std::size_t i) {
       LeakJob j;
       j.power = static_power(def, cfg, states[i], j.scratch);
+      prog_sims.advance(1);
       return j;
     });
     double sum = 0.0;
@@ -164,6 +168,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
     CellCharacterization scratch;
     double cap = 0.0;
   };
+  prog_sims.add_work(def.inputs.size());
   auto pin_jobs = ctx.map(def.inputs.size(), [&](std::size_t pi) {
     PinJob job;
     CellCharacterization& scr = job.scratch;
@@ -268,6 +273,7 @@ CellCharacterization characterize_combinational(const CellDef& def,
         scr.nonflip.push_back(std::move(nf));
       }
     }
+    prog_sims.advance(1);
     return job;
   });
 
@@ -558,7 +564,12 @@ CellCharacterization characterize_sequential(const CellDef& def, const CharConfi
   }
 
   std::vector<SeqJob> slots(tasks.size());
-  ctx.parallel_for(tasks.size(), [&](std::size_t i) { tasks[i](slots[i]); });
+  static obs::ProgressTask& prog_sims = obs::progress("cells.characterize.sims");
+  prog_sims.add_work(tasks.size());
+  ctx.parallel_for(tasks.size(), [&](std::size_t i) {
+    tasks[i](slots[i]);
+    prog_sims.advance(1);
+  });
 
   // Deterministic merge in task-list order.
   std::size_t idx = 0;

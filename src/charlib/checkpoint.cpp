@@ -150,6 +150,12 @@ std::vector<CharSample> build_charlib_dataset_resumable(
       CharlibShardLoad loaded = load_charlib_shard(storage, path);
       if (persist::ok(loaded.status)) {
         c_loaded.add(1);
+        // Loaded shards count into the same cumulative progress task the
+        // inner builder advances for rebuilt ones, so a resumed run's
+        // done/total covers the whole dataset.
+        static obs::ProgressTask& prog = obs::progress("charlib.dataset.corners");
+        prog.add_work(end - begin);
+        prog.advance(end - begin);
         out.insert(out.end(), std::make_move_iterator(loaded.samples.begin()),
                    std::make_move_iterator(loaded.samples.end()));
         total.characterizations += loaded.stats.characterizations;

@@ -153,6 +153,7 @@ std::vector<CharSample> build_charlib_dataset(
     const exec::Context& ctx) {
   obs::Span span("charlib.build_dataset");
   static obs::Counter& c_samples = obs::counter("charlib.dataset.samples");
+  static obs::ProgressTask& prog = obs::progress("charlib.dataset.corners");
   std::vector<const cells::CellDef*> defs;
   if (opts.cell_names.empty()) {
     for (const auto& c : cells::standard_library()) defs.push_back(&c);
@@ -173,7 +174,10 @@ std::vector<CharSample> build_charlib_dataset(
   };
 
   // Progress fires when a corner's last characterization completes; the
-  // guard serializes callbacks and keeps the reported counts 1..N.
+  // guard serializes callbacks and keeps the reported counts 1..N. The
+  // obs task accumulates across calls, so the resumable wrapper's loaded
+  // shards and this builder's fresh corners share one done/total.
+  prog.add_work(corners.size());
   std::mutex progress_m;
   std::vector<std::size_t> corner_tasks_done(corners.size(), 0);
   std::size_t corners_done = 0;
@@ -195,16 +199,20 @@ std::vector<CharSample> build_charlib_dataset(
     job.failed_sims = ch.failed_sims;
     job.samples = samples_from_characterization(*defs[cell_i], ch, corners[ci], cfg,
                                                 opts.scales, combo == 0);
-    if (opts.on_progress) {
+    {
       std::lock_guard<std::mutex> lk(progress_m);
-      if (++corner_tasks_done[ci] == per_corner)
-        opts.on_progress(++corners_done, corners.size());
+      if (++corner_tasks_done[ci] == per_corner) {
+        prog.advance(1);
+        if (opts.on_progress) opts.on_progress(++corners_done, corners.size());
+      }
     }
     return job;
   });
-  if (per_corner == 0 && opts.on_progress) {
-    for (std::size_t ci = 0; ci < corners.size(); ++ci)
-      opts.on_progress(ci + 1, corners.size());
+  if (per_corner == 0) {
+    prog.advance(corners.size());
+    if (opts.on_progress)
+      for (std::size_t ci = 0; ci < corners.size(); ++ci)
+        opts.on_progress(ci + 1, corners.size());
   }
 
   std::vector<CharSample> out;

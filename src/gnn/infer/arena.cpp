@@ -1,6 +1,7 @@
 #include "src/gnn/infer/arena.hpp"
 
 #include "src/numeric/contract.hpp"
+#include "src/obs/obs.hpp"
 
 namespace stco::gnn::infer {
 
@@ -45,6 +46,11 @@ double* Arena::alloc(std::size_t n) {
 
 void Arena::reset() {
   const std::size_t high_water = used();
+  // Process-wide high-water gauge across every (thread-local) arena: the
+  // peak footprint one batch actually touched, vs arena_bytes' capacity.
+  static obs::Gauge& g_high_water =
+      obs::gauge("gnn.infer.arena_high_water_bytes");
+  g_high_water.set_max(static_cast<double>(high_water * sizeof(double)));
   used_ = 0;
   overflow_used_ = 0;
   overflow_retired_ = 0;
@@ -62,6 +68,9 @@ void Arena::reserve(std::size_t doubles) {
   if (need > buf_.size()) {
     buf_.assign(need, 0.0);
     ++allocations_;
+    static obs::Gauge& g_high_water =
+        obs::gauge("gnn.infer.arena_high_water_bytes");
+    g_high_water.set_max(static_cast<double>(need * sizeof(double)));
   }
 }
 

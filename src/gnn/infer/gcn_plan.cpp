@@ -151,6 +151,8 @@ void GcnPlan::run_span(const Graph& merged, const tensor::IndexVec& node_offset,
   obs::counter("gnn.infer.graphs").add(num_graphs);
   obs::gauge("gnn.infer.arena_bytes")
       .set(static_cast<double>(arena.capacity() * sizeof(double)));
+  obs::gauge("gnn.infer.arena_high_water_bytes")
+      .set_max(static_cast<double>(arena.used() * sizeof(double)));
 }
 
 std::vector<double> GcnPlan::run(const BatchedGraph& batch,

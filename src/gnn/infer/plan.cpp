@@ -263,6 +263,8 @@ void InferencePlan::run_span(const Graph& merged,
   obs::counter("gnn.infer.graphs").add(num_graphs);
   obs::gauge("gnn.infer.arena_bytes")
       .set(static_cast<double>(arena.capacity() * sizeof(double)));
+  obs::gauge("gnn.infer.arena_high_water_bytes")
+      .set_max(static_cast<double>(arena.used() * sizeof(double)));
 }
 
 std::vector<double> InferencePlan::run(const BatchedGraph& batch, Arena& arena,

@@ -19,6 +19,8 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
   static obs::Gauge& g_loss = obs::gauge("gnn.epoch_loss");
   static obs::Histogram& h_epoch_s = obs::histogram(
       "gnn.epoch_seconds", {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0});
+  static obs::ProgressTask& prog = obs::progress("gnn.train.epochs");
+  prog.add_work(cfg.epochs);
   tensor::Adam opt(std::move(params), cfg.lr);
   numeric::Rng rng(cfg.shuffle_seed);
 
@@ -70,8 +72,12 @@ TrainStats train(std::vector<tensor::Tensor> params, const SampleLossFn& sample_
                           std::chrono::steady_clock::now() - epoch_t0)
                           .count());
     opt.lr() *= cfg.lr_decay;
+    prog.advance(1);
     if (cfg.on_epoch && !cfg.on_epoch(epoch, epoch_loss)) break;
   }
+  // Early stop: retract the epochs we decided not to run so the task reads
+  // complete (done == total, ETA 0) instead of stalled.
+  prog.reduce_work(cfg.epochs - stats.epochs_run);
   return stats;
 }
 

@@ -20,11 +20,30 @@ struct LinearMetrics {
   obs::Counter& dense_fallback = obs::counter("solver.linear.dense_fallback");
   obs::Histogram& iterations =
       obs::histogram("solver.linear.iterations", {2, 5, 10, 20, 40, 80, 160, 320});
+  obs::Gauge& workspace_bytes = obs::gauge("solver.workspace_bytes");
 };
 
 LinearMetrics& metrics() {
   static LinearMetrics m;
   return m;
+}
+
+// Estimated resident footprint of one NewtonWorkspace: the CSR matrix
+// (row_ptr + col_idx + values), the cached factored values, the Krylov
+// residual scratch, and the ILU factorization (same pattern as a_, so
+// roughly another values + col_idx copy when valid). High-water gauge —
+// concurrent workspaces report the largest one, which is what an OOM
+// post-mortem wants to know.
+std::size_t workspace_footprint(const SparseMatrix& a, bool ilu_valid,
+                                std::size_t factored_values,
+                                std::size_t residual_scratch) {
+  const std::size_t nnz = a.values().size();
+  std::size_t bytes = (a.rows() + 1) * sizeof(std::size_t)  // row_ptr
+                      + nnz * (sizeof(std::size_t) + sizeof(double))
+                      + factored_values * sizeof(double)
+                      + residual_scratch * sizeof(double);
+  if (ilu_valid) bytes += nnz * (sizeof(std::size_t) + sizeof(double));
+  return bytes;
 }
 
 }  // namespace
@@ -66,6 +85,8 @@ void NewtonWorkspace::assemble(const TripletBuilder& b) {
   factored_values_.clear();
   ++stats_.pattern_builds;
   metrics().pattern_builds.add(1);
+  metrics().workspace_bytes.set_max(static_cast<double>(workspace_footprint(
+      a_, false, factored_values_.size(), residual_scratch_.size())));
 }
 
 void NewtonWorkspace::reset() {
@@ -119,6 +140,8 @@ IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
     }
     if (ilu_.valid()) precond = &ilu_;
   }
+  metrics().workspace_bytes.set_max(static_cast<double>(workspace_footprint(
+      a_, ilu_.valid(), factored_values_.size(), residual_scratch_.size())));
 
   IterativeResult res = opts_.symmetric
                             ? solve_cg(a_, rhs, opts_.tol, opts_.max_iter, precond)

@@ -29,12 +29,14 @@ inline constexpr std::array<std::string_view, 11> kKeyPrefixes = {
     "solver.", "spice.",   "stco.",     "surrogate.", "tcad.",
 };
 
-/// Every canonical metric key (counters, gauges, histograms, and snapshot
-/// set_counter/set_gauge keys). Keep sorted.
-inline constexpr std::array<std::string_view, 74> kMetricKeys = {
+/// Every canonical metric key (counters, gauges, histograms, progress
+/// tasks, and snapshot set_counter/set_gauge keys). Keep sorted.
+inline constexpr std::array<std::string_view, 81> kMetricKeys = {
     "cells.arcs",
+    "cells.characterize.sims",
     "cells.characterize_seconds",
     "cells.characterized",
+    "charlib.dataset.corners",
     "charlib.dataset.samples",
     "contract.ensure_failures",
     "contract.fp.divbyzero",
@@ -52,9 +54,11 @@ inline constexpr std::array<std::string_view, 74> kMetricKeys = {
     "gnn.epoch_seconds",
     "gnn.epochs",
     "gnn.infer.arena_bytes",
+    "gnn.infer.arena_high_water_bytes",
     "gnn.infer.batches",
     "gnn.infer.graphs",
     "gnn.infer.plan_compiles",
+    "gnn.train.epochs",
     "persist.bytes_written",
     "persist.cache.warm_hits",
     "persist.corrupt_artifacts",
@@ -81,6 +85,7 @@ inline constexpr std::array<std::string_view, 74> kMetricKeys = {
     "solver.linear.solves",
     "solver.recovered",
     "solver.source_retries",
+    "solver.workspace_bytes",
     "spice.dc.failures",
     "spice.dc.iterations",
     "spice.dc.solves",
@@ -94,8 +99,10 @@ inline constexpr std::array<std::string_view, 74> kMetricKeys = {
     "stco.evaluations",
     "stco.infeasible_evaluations",
     "stco.library_seconds",
+    "stco.search.steps",
     "stco.sta_seconds",
     "surrogate.population.attempts",
+    "surrogate.population.devices",
     "surrogate.population.dropped",
     "tcad.drift_diffusion.failures",
     "tcad.drift_diffusion.iterations",
@@ -146,6 +153,16 @@ inline constexpr bool is_canonical_metric_key(std::string_view key) {
 
 inline constexpr bool is_canonical_span_name(std::string_view name) {
   return std::find(kSpanNames.begin(), kSpanNames.end(), name) != kSpanNames.end();
+}
+
+/// Index of `name` in kSpanNames (binary search over the sorted table), or
+/// -1 for non-canonical names. The always-on span-statistics aggregate
+/// (span.hpp) is indexed by this, so the lookup sits on every Span
+/// construction and must stay cheap.
+inline constexpr int span_name_index(std::string_view name) {
+  const auto it = std::lower_bound(kSpanNames.begin(), kSpanNames.end(), name);
+  if (it == kSpanNames.end() || *it != name) return -1;
+  return static_cast<int>(it - kSpanNames.begin());
 }
 
 inline constexpr bool is_test_key(std::string_view key) {

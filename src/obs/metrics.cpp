@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "src/obs/keys.hpp"
+#include "src/obs/progress.hpp"
 
 namespace stco::obs {
 
@@ -165,10 +166,102 @@ const HistogramSnapshot* Snapshot::histogram_or_null(
   return it == histograms.end() ? nullptr : &it->second;
 }
 
+const SpanStatSnapshot* Snapshot::span_or_null(const std::string& name) const {
+  const auto it = spans.find(name);
+  return it == spans.end() ? nullptr : &it->second;
+}
+
+const ProgressSnapshot* Snapshot::progress_or_null(
+    const std::string& name) const {
+  const auto it = progress.find(name);
+  return it == progress.end() ? nullptr : &it->second;
+}
+
 void Snapshot::merge(const Snapshot& other) {
   for (const auto& [k, v] : other.counters) counters[k] += v;
   for (const auto& [k, v] : other.gauges) gauges[k] = v;
-  for (const auto& [k, v] : other.histograms) histograms[k] = v;
+  for (const auto& [k, h] : other.histograms) {
+    if (h.count == 0) continue;
+    auto [it, inserted] = histograms.try_emplace(k, h);
+    if (inserted) continue;
+    HistogramSnapshot& mine = it->second;
+    if (mine.count == 0 || mine.bounds != h.bounds) {
+      mine = h;
+      continue;
+    }
+    for (std::size_t i = 0; i < mine.buckets.size() && i < h.buckets.size(); ++i)
+      mine.buckets[i] += h.buckets[i];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    mine.min = std::min(mine.min, h.min);
+    mine.max = std::max(mine.max, h.max);
+  }
+  for (const auto& [k, s] : other.spans) {
+    SpanStatSnapshot& mine = spans[k];
+    mine.count += s.count;
+    mine.total_ns += s.total_ns;
+    mine.max_ns = std::max(mine.max_ns, s.max_ns);
+  }
+  for (const auto& [k, p] : other.progress) progress[k] = p;
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& prev) const {
+  Snapshot d;
+  for (const auto& [k, cur] : counters) {
+    const auto it = prev.counters.find(k);
+    // A reset (cur < prev) re-emits the fresh value: merged reconstruction
+    // folds both epochs into one monotone running total.
+    const std::uint64_t base =
+        (it != prev.counters.end() && it->second <= cur) ? it->second : 0;
+    if (cur - base != 0 || it == prev.counters.end()) d.counters[k] = cur - base;
+  }
+  for (const auto& [k, cur] : gauges) {
+    const auto it = prev.gauges.find(k);
+    if (it == prev.gauges.end() || it->second != cur) d.gauges[k] = cur;
+  }
+  for (const auto& [k, cur] : histograms) {
+    const auto it = prev.histograms.find(k);
+    if (it == prev.histograms.end() || it->second.count == 0 ||
+        it->second.bounds != cur.bounds || cur.count < it->second.count) {
+      if (cur.count != 0) d.histograms[k] = cur;
+      continue;
+    }
+    if (cur.count == it->second.count) continue;  // unchanged
+    HistogramSnapshot hd;
+    hd.bounds = cur.bounds;
+    hd.buckets.resize(cur.buckets.size(), 0);
+    for (std::size_t i = 0;
+         i < cur.buckets.size() && i < it->second.buckets.size(); ++i)
+      hd.buckets[i] = cur.buckets[i] - it->second.buckets[i];
+    hd.count = cur.count - it->second.count;
+    hd.sum = cur.sum - it->second.sum;
+    // Per-interval min/max are not recoverable from cumulative state; carry
+    // the cumulative extremes so merge's widening keeps them correct.
+    hd.min = cur.min;
+    hd.max = cur.max;
+    d.histograms[k] = hd;
+  }
+  for (const auto& [k, cur] : spans) {
+    const auto it = prev.spans.find(k);
+    if (it == prev.spans.end() || cur.count < it->second.count) {
+      d.spans[k] = cur;
+      continue;
+    }
+    if (cur.count == it->second.count) continue;
+    SpanStatSnapshot sd;
+    sd.count = cur.count - it->second.count;
+    sd.total_ns = cur.total_ns - it->second.total_ns;
+    sd.max_ns = cur.max_ns;
+    d.spans[k] = sd;
+  }
+  for (const auto& [k, cur] : progress) {
+    const auto it = prev.progress.find(k);
+    if (it == prev.progress.end() || it->second.done != cur.done ||
+        it->second.total != cur.total ||
+        it->second.eta_seconds != cur.eta_seconds)
+      d.progress[k] = cur;
+  }
+  return d;
 }
 
 std::string Snapshot::to_json() const {
@@ -222,6 +315,38 @@ std::string Snapshot::to_json() const {
     }
     out += "]}";
   }
+  out += "},\"spans\":{";
+  first = true;
+  for (const auto& [k, s] : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":{\"count\":";
+    out += std::to_string(s.count);
+    out += ",\"total_ns\":";
+    out += std::to_string(s.total_ns);
+    out += ",\"max_ns\":";
+    out += std::to_string(s.max_ns);
+    out += '}';
+  }
+  out += "},\"progress\":{";
+  first = true;
+  for (const auto& [k, p] : progress) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":{\"done\":";
+    out += std::to_string(p.done);
+    out += ",\"total\":";
+    out += std::to_string(p.total);
+    out += ",\"rate_per_sec\":";
+    append_json_number(out, p.rate_per_sec);
+    out += ",\"eta_seconds\":";
+    append_json_number(out, p.eta_seconds);
+    out += '}';
+  }
   out += "}}";
   return out;
 }
@@ -229,20 +354,33 @@ std::string Snapshot::to_json() const {
 Snapshot snapshot() {
   Snapshot snap;
   if constexpr (!kEnabled) return snap;
-  auto& reg = metric_registry();
-  std::lock_guard<std::mutex> lock(reg.m);
-  for (const auto& [name, c] : reg.counters) snap.counters[name] = c.value();
-  for (const auto& [name, g] : reg.gauges) snap.gauges[name] = g.value();
-  for (const auto& [name, h] : reg.histograms) {
-    HistogramSnapshot hs;
-    hs.bounds = h.bounds();
-    hs.buckets = h.bucket_counts();
-    hs.count = h.count();
-    hs.sum = h.sum();
-    hs.min = h.min();
-    hs.max = h.max();
-    snap.histograms[name] = hs;
+  {
+    auto& reg = metric_registry();
+    std::lock_guard<std::mutex> lock(reg.m);
+    for (const auto& [name, c] : reg.counters) snap.counters[name] = c.value();
+    for (const auto& [name, g] : reg.gauges) snap.gauges[name] = g.value();
+    for (const auto& [name, h] : reg.histograms) {
+      HistogramSnapshot hs;
+      hs.bounds = h.bounds();
+      hs.buckets = h.bucket_counts();
+      hs.count = h.count();
+      hs.sum = h.sum();
+      hs.min = h.min();
+      hs.max = h.max();
+      snap.histograms[name] = hs;
+    }
   }
+  // Always-on span aggregates and registered progress tasks ride along in
+  // every snapshot — they are what telemetry and the report attribution
+  // tree are built from.
+  for (const auto& s : span_stats()) {
+    SpanStatSnapshot ss;
+    ss.count = s.count;
+    ss.total_ns = s.total_ns;
+    ss.max_ns = s.max_ns;
+    snap.spans.emplace(std::string(s.name), ss);
+  }
+  snap.progress = progress_snapshot();
   return snap;
 }
 

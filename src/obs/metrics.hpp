@@ -56,6 +56,16 @@ class Gauge {
   void set(double v) {
     if constexpr (kEnabled) value_.store(v, std::memory_order_relaxed);
   }
+  /// Raise the gauge to `v` if `v` is larger — lock-free high-water marks
+  /// (arena capacity, workspace footprint) shared across threads.
+  void set_max(double v) {
+    if constexpr (kEnabled) {
+      double cur = value_.load(std::memory_order_relaxed);
+      while (v > cur &&
+             !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      }
+    }
+  }
   double value() const {
     if constexpr (kEnabled) return value_.load(std::memory_order_relaxed);
     return 0.0;
@@ -124,31 +134,77 @@ struct HistogramSnapshot {
   }
 };
 
+/// Always-on per-span-name aggregate (count / total / max wall-clock), as
+/// carried inside Snapshot. Sampled by every Span even with tracing off.
+struct SpanStatSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Point-in-time view of one registered progress task (obs/progress.hpp).
+/// `rate_per_sec` and `eta_seconds` are computed at sample time from the
+/// monotone done count; eta is 0 once done == total.
+struct ProgressSnapshot {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  double rate_per_sec = 0.0;
+  double eta_seconds = 0.0;
+};
+
 /// Immutable copy of every registered metric. Plain value type — fully
 /// functional even with STCO_OBS=OFF (snapshots are then just empty until
 /// populated by hand with set_counter/set_gauge, which is how
 /// stco::make_run_snapshot keeps reports working in the no-op build).
 struct Snapshot {
   /// Schema version stamped into to_json() output; bump when the JSON
-  /// layout changes incompatibly.
-  static constexpr int kSchemaVersion = 1;
+  /// layout changes incompatibly. v2 added "spans" and "progress".
+  static constexpr int kSchemaVersion = 2;
 
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, SpanStatSnapshot> spans;
+  std::map<std::string, ProgressSnapshot> progress;
 
   std::uint64_t counter_or(const std::string& name, std::uint64_t fallback = 0) const;
   double gauge_or(const std::string& name, double fallback = 0.0) const;
   const HistogramSnapshot* histogram_or_null(const std::string& name) const;
+  const SpanStatSnapshot* span_or_null(const std::string& name) const;
+  const ProgressSnapshot* progress_or_null(const std::string& name) const;
   void set_counter(const std::string& name, std::uint64_t v) { counters[name] = v; }
   void set_gauge(const std::string& name, double v) { gauges[name] = v; }
-  /// Merge `other` into this: counters add, gauges overwrite, histograms
-  /// overwrite (bucket-wise merge is not needed by current callers).
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           spans.empty() && progress.empty();
+  }
+
+  /// Merge `other` into this. The semantics make a chronological sequence
+  /// of delta snapshots (delta_since) fold back into the totals:
+  ///   counters    add
+  ///   gauges      overwrite (later value wins)
+  ///   histograms  bucket-wise add when the bounds match (count/sum add,
+  ///               min/max widen); overwrite on bounds mismatch or when
+  ///               ours is empty
+  ///   spans       count/total add, max widens
+  ///   progress    overwrite (later sample wins)
   void merge(const Snapshot& other);
 
-  /// Single-object JSON: {"obs_schema_version":1,"counters":{...},
-  /// "gauges":{...},"histograms":{...}}. Keys sorted (std::map), so output
-  /// is deterministic for a given snapshot.
+  /// Delta record: everything in *this that changed since `prev`, with
+  /// counters/histograms/spans expressed as differences so that
+  /// prev.merge(delta) reconstructs *this. Edge cases:
+  ///   * key missing from prev -> emitted in full
+  ///   * counter reset (current < prev) -> current value emitted as a
+  ///     fresh delta (the merged total keeps growing monotonically)
+  ///   * histogram shrank or changed bounds -> emitted in full (merge then
+  ///     overwrites)
+  ///   * empty histograms and zero deltas -> omitted
+  [[nodiscard]] Snapshot delta_since(const Snapshot& prev) const;
+
+  /// Single-object JSON: {"obs_schema_version":2,"counters":{...},
+  /// "gauges":{...},"histograms":{...},"spans":{...},"progress":{...}}.
+  /// Keys sorted (std::map), so output is deterministic for a given
+  /// snapshot.
   std::string to_json() const;
 };
 

@@ -102,6 +102,27 @@ Registry& registry() {
   return *r;
 }
 
+// Always-on per-span-name aggregate, indexed by keys::span_name_index.
+// Fixed-size and constant-initialized: updating a slot is three relaxed
+// RMWs with no registration step, safe from any thread at any time.
+struct SpanAgg {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+SpanAgg g_span_aggs[keys::kSpanNames.size()];
+
+void agg_record(int idx, std::uint64_t dur_ns) {
+  SpanAgg& a = g_span_aggs[idx];
+  a.count.fetch_add(1, std::memory_order_relaxed);
+  a.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  std::uint64_t cur = a.max_ns.load(std::memory_order_relaxed);
+  while (dur_ns > cur &&
+         !a.max_ns.compare_exchange_weak(cur, dur_ns,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
 ThreadRing& thread_ring() {
   thread_local ThreadRing* ring = registry().make_ring();
   return *ring;
@@ -155,17 +176,24 @@ void Span::begin(const char* name, SpanContext parent) {
     std::abort();
   }
 #endif
-  auto& reg = registry();
   name_ = name;
-  id_ = reg.next_id.fetch_add(1, std::memory_order_relaxed);
-  parent_ = parent.id;
-  saved_current_ = detail::t_current;
-  detail::t_current = id_;
+  stat_idx_ = keys::span_name_index(name);
+  // Full record machinery (ids, nesting, ring push at end()) only while a
+  // trace session is live; the aggregate above is maintained regardless.
+  if (tracing_enabled()) {
+    auto& reg = registry();
+    id_ = reg.next_id.fetch_add(1, std::memory_order_relaxed);
+    parent_ = parent.id;
+    saved_current_ = detail::t_current;
+    detail::t_current = id_;
+  }
   start_ns_ = now_ns();
 }
 
 void Span::end() {
   const std::uint64_t end_ns = now_ns();
+  if (stat_idx_ >= 0) agg_record(stat_idx_, end_ns - start_ns_);
+  if (id_ == 0) return;
   detail::t_current = saved_current_;
   SpanRecord rec;
   rec.name = name_;
@@ -184,6 +212,30 @@ void Span::set_arg(const char* arg) {
   if (id_ == 0 || arg == nullptr) return;
   std::strncpy(arg_, arg, sizeof(arg_) - 1);
   arg_[sizeof(arg_) - 1] = 0;
+}
+
+std::vector<SpanStat> span_stats() {
+  std::vector<SpanStat> out;
+  for (std::size_t i = 0; i < keys::kSpanNames.size(); ++i) {
+    const SpanAgg& a = g_span_aggs[i];
+    const std::uint64_t count = a.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    SpanStat s;
+    s.name = keys::kSpanNames[i];
+    s.count = count;
+    s.total_ns = a.total_ns.load(std::memory_order_relaxed);
+    s.max_ns = a.max_ns.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+void reset_span_stats() {
+  for (SpanAgg& a : g_span_aggs) {
+    a.count.store(0, std::memory_order_relaxed);
+    a.total_ns.store(0, std::memory_order_relaxed);
+    a.max_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 void start_tracing() { detail::g_tracing.store(true, std::memory_order_relaxed); }
@@ -251,6 +303,8 @@ std::uint64_t now_ns() { return 0; }
 void Span::begin(const char*, SpanContext) {}
 void Span::end() {}
 void Span::set_arg(const char*) {}
+std::vector<SpanStat> span_stats() { return {}; }
+void reset_span_stats() {}
 void start_tracing() {}
 void stop_tracing() {}
 void clear_spans() {}

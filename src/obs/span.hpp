@@ -12,12 +12,14 @@
 // Cost model:
 //   * STCO_OBS=OFF (compile-time): every member function is an empty
 //     inline body — spans vanish entirely.
-//   * tracing disabled at runtime (the default): one relaxed atomic load
-//     and one branch per Span construction; destruction is one branch on a
-//     plain bool.
-//   * tracing enabled: two steady_clock reads plus one push into the
-//     owning thread's ring buffer (guarded by that thread's own mutex,
-//     uncontended except while a collector drains).
+//   * tracing disabled at runtime (the default): two steady_clock reads
+//     plus three relaxed atomic RMWs per span — the always-on per-name
+//     aggregate (span_stats()) is maintained even without a TraceSession,
+//     so every run can answer "where did the time go" for free. No
+//     allocation, no ring-buffer push, no locks.
+//   * tracing enabled: the above plus one push into the owning thread's
+//     ring buffer (guarded by that thread's own mutex, uncontended except
+//     while a collector drains).
 //
 // Enabling tracing: construct a TraceSession (programmatic), or set
 // STCO_TRACE=<path> in the environment — tracing then starts at process
@@ -31,6 +33,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace stco::obs {
@@ -87,20 +90,20 @@ struct SpanRecord {
 };
 
 /// RAII scoped span. Construction opens the region (child of the thread's
-/// current span, or of an explicit SpanContext); destruction closes it and
-/// records it. When tracing is disabled the constructor is a single
-/// branch and nothing is recorded.
+/// current span, or of an explicit SpanContext); destruction closes it.
+/// The per-name wall-clock aggregate (span_stats()) is always updated;
+/// full records (ids, nesting, ring-buffer push) only while tracing.
 class Span {
  public:
   explicit Span(const char* name) {
-    if (tracing_enabled()) begin(name, current_context());
+    if constexpr (kEnabled) begin(name, current_context());
   }
   Span(const char* name, SpanContext parent) {
-    if (tracing_enabled()) begin(name, parent);
+    if constexpr (kEnabled) begin(name, parent);
   }
   ~Span() {
     if constexpr (kEnabled) {
-      if (id_ != 0) end();
+      if (name_ != nullptr) end();
     }
   }
   Span(const Span&) = delete;
@@ -126,12 +129,15 @@ class Span {
 
   // Declared in both build modes (an `if constexpr` discarded branch still
   // name-checks); with STCO_OBS=OFF the constructor never writes them and
-  // the object folds away entirely.
+  // the object folds away entirely. id_ stays 0 unless tracing was live at
+  // construction (active()/context() keep their tracing-only semantics);
+  // stat_idx_ is the always-on aggregate slot (-1 for test./unknown names).
   const char* name_ = nullptr;
   SpanId id_ = 0;
   SpanId parent_ = 0;
   SpanId saved_current_ = 0;
   std::uint64_t start_ns_ = 0;
+  int stat_idx_ = -1;
   char arg_[24] = {0};
 };
 
@@ -162,6 +168,23 @@ class TaskScope {
   bool active_ = false;
   SpanId saved_ = 0;
 };
+
+/// One row of the always-on per-span-name aggregate: how many times a
+/// canonical span ran and how much wall-clock it consumed, maintained by
+/// every Span even when no TraceSession is active.
+struct SpanStat {
+  std::string_view name;      ///< canonical name (keys::kSpanNames entry)
+  std::uint64_t count = 0;    ///< completed spans
+  std::uint64_t total_ns = 0; ///< summed wall-clock
+  std::uint64_t max_ns = 0;   ///< longest single span
+};
+
+/// The aggregate rows with count > 0, in kSpanNames (sorted) order. Empty
+/// with STCO_OBS=OFF. Ad-hoc `test.` span names are not aggregated.
+std::vector<SpanStat> span_stats();
+/// Zero the always-on aggregate (used by telemetry tests and sessions that
+/// want per-phase attribution).
+void reset_span_stats();
 
 /// Start recording spans process-wide. Idempotent.
 void start_tracing();

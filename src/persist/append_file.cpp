@@ -1,0 +1,75 @@
+#include "src/persist/append_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace stco::persist {
+
+AppendWriter::AppendWriter(AppendWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      lines_(other.lines_),
+      bytes_(other.bytes_) {}
+
+AppendWriter& AppendWriter::operator=(AppendWriter&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    lines_ = other.lines_;
+    bytes_ = other.bytes_;
+  }
+  return *this;
+}
+
+bool AppendWriter::open(const std::string& path) {
+  close();
+  path_ = path;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  return fd_ >= 0;
+}
+
+bool AppendWriter::append_line(std::string_view line) {
+  if (fd_ < 0) return false;
+  if (line.find('\n') != std::string_view::npos) return false;
+  std::string buf;
+  buf.reserve(line.size() + 1);
+  buf.append(line);
+  buf.push_back('\n');
+  // O_APPEND makes each write(2) land at the current end of file
+  // atomically with respect to other appenders; looping only continues a
+  // genuinely short write (rare for page-cache writes of JSONL-sized
+  // lines) or an EINTR restart.
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd_);
+      fd_ = -1;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++lines_;
+  bytes_ += buf.size();
+  return true;
+}
+
+bool AppendWriter::flush() {
+  if (fd_ < 0) return false;
+  return ::fsync(fd_) == 0;
+}
+
+void AppendWriter::close() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace stco::persist

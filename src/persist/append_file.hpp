@@ -1,0 +1,65 @@
+#pragma once
+// Append-safe line writer: the sanctioned seam for append-only streams
+// (telemetry JSONL). atomic_write_file replaces a whole file per write —
+// the wrong shape for a stream that grows one record at a time for hours —
+// so AppendWriter opens the destination once with O_APPEND and issues each
+// line (payload + '\n') as a single write(2). A killed process therefore
+// leaves every previously appended line intact and at worst one torn line
+// at the tail, which readers skip (see obs::read_telemetry_file).
+//
+// Like atomic_file.hpp this header is dependency-free (no obs), so
+// src/obs can link it through stco_persist_core. src/persist is the only
+// tree allowed to open files for writing (stco-lint rule raw-file-io);
+// everything else appends through this class.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace stco::persist {
+
+/// Append-only line stream. Errors never throw: a failed open or append
+/// flips the writer into a dead state (ok() == false) and further appends
+/// return false — an observability stream must not take down the run it
+/// observes.
+class AppendWriter {
+ public:
+  AppendWriter() = default;
+  /// Opens (creating if needed) `path` for appending.
+  explicit AppendWriter(const std::string& path) { open(path); }
+  ~AppendWriter() { close(); }
+
+  AppendWriter(AppendWriter&& other) noexcept;
+  AppendWriter& operator=(AppendWriter&& other) noexcept;
+  AppendWriter(const AppendWriter&) = delete;
+  AppendWriter& operator=(const AppendWriter&) = delete;
+
+  /// Open `path` (O_WRONLY | O_CREAT | O_APPEND). Closes any previous fd.
+  bool open(const std::string& path);
+
+  /// True while the underlying fd is usable.
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Append `line` + '\n' as ONE write(2) call (retried only on EINTR /
+  /// short writes). `line` must not contain '\n' — embedded newlines would
+  /// break the one-record-per-line framing, so they are rejected.
+  bool append_line(std::string_view line);
+
+  /// fsync the fd — durability point for machine crashes. Process kills
+  /// need no flush: appended bytes are already in the page cache.
+  bool flush();
+
+  void close();
+
+  std::uint64_t lines_written() const { return lines_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace stco::persist

@@ -1,8 +1,12 @@
 #include "src/stco/report.hpp"
 
+#include <algorithm>
+#include <iomanip>
+#include <map>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "src/persist/storage.hpp"
 
@@ -36,6 +40,59 @@ exec::ContextStats exec_from(const obs::Snapshot& s) {
   e.max_queue_depth = s.counter_or("exec.max_queue_depth");
   e.parallel_regions = s.counter_or("exec.parallel_regions");
   return e;
+}
+
+std::string format_ms(std::uint64_t ns) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(2)
+     << static_cast<double>(ns) / 1e6 << " ms";
+  return ss.str();
+}
+
+// "Where did the time go" attribution tree, rendered from the always-on
+// span aggregate (sampled with zero setup — no TraceSession needed).
+// Spans are grouped by their first dot-segment (the layer), layers and
+// spans both sorted by descending total wall-clock. The totals overlap
+// (an outer span contains its inner spans' time), so this is attribution,
+// not a partition.
+void write_attribution_tree(std::ostream& os, const obs::Snapshot& s) {
+  if (s.spans.empty()) return;
+  struct Row {
+    std::string name;
+    obs::SpanStatSnapshot stat;
+  };
+  std::map<std::string, std::vector<Row>> by_layer;
+  std::map<std::string, std::uint64_t> layer_total;
+  for (const auto& [name, stat] : s.spans) {
+    const std::string layer = name.substr(0, name.find('.'));
+    by_layer[layer].push_back({name, stat});
+    layer_total[layer] += stat.total_ns;
+  }
+  std::vector<std::string> layers;
+  for (const auto& [layer, total] : layer_total) layers.push_back(layer);
+  std::sort(layers.begin(), layers.end(), [&](const auto& a, const auto& b) {
+    return layer_total[a] != layer_total[b] ? layer_total[a] > layer_total[b]
+                                            : a < b;
+  });
+
+  os << "## Where did the time go\n\n";
+  os << "Always-on span attribution (wall-clock; nested spans overlap "
+        "their parents).\n\n";
+  for (const auto& layer : layers) {
+    auto& rows = by_layer[layer];
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      return a.stat.total_ns != b.stat.total_ns
+                 ? a.stat.total_ns > b.stat.total_ns
+                 : a.name < b.name;
+    });
+    os << "- " << layer << " — " << format_ms(layer_total[layer]) << "\n";
+    for (const Row& r : rows) {
+      os << "  - " << r.name << ": " << format_ms(r.stat.total_ns) << " over "
+         << r.stat.count << (r.stat.count == 1 ? " call" : " calls")
+         << " (max " << format_ms(r.stat.max_ns) << ")\n";
+    }
+  }
+  os << "\n";
 }
 
 }  // namespace
@@ -112,6 +169,8 @@ void write_run_report(std::ostream& os, const RunReportInputs& in) {
      << " built\n";
   os << "- cost-cache warm hits: " << in.obs.counter_or("persist.cache.warm_hits")
      << "\n\n";
+
+  write_attribution_tree(os, in.obs);
 
   if (!in.pareto.front.empty()) {
     os << "## Pareto front (delay / power / area)\n\n";

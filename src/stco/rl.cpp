@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "src/obs/obs.hpp"
+
 namespace stco {
 
 TechGrid::TechGrid(const charlib::CornerRanges& ranges, std::size_t n_per_axis)
@@ -64,6 +66,8 @@ SearchResult q_learning_search(const TechGrid& grid, const CostFn& cost,
                                const RlConfig& cfg, const SearchHooks& hooks) {
   numeric::Rng rng(cfg.seed);
   CachedCost eval(grid, cost);
+  static obs::ProgressTask& prog = obs::progress("stco.search.steps");
+  prog.add_work(cfg.episodes * cfg.steps_per_episode);
   const std::size_t n_actions = 7;  // +-vdd, +-vth, +-cox, stay
   std::vector<double> q(grid.num_states() * n_actions, 0.0);
 
@@ -136,6 +140,7 @@ SearchResult q_learning_search(const TechGrid& grid, const CostFn& cost,
       qa += cfg.alpha * (reward + cfg.discount * q_next_max - qa);
       state = next;
       c_state = c_next;
+      prog.advance(1);
     }
   }
   res.best_point = grid.point(res.best_state);
@@ -154,6 +159,8 @@ SearchResult random_search(const TechGrid& grid, const CostFn& cost,
   std::vector<std::size_t> states(budget);
   for (auto& s : states) s = rng.uniform_index(grid.num_states());
   if (hooks.prefetch && budget > 0) hooks.prefetch(states);
+  static obs::ProgressTask& prog = obs::progress("stco.search.steps");
+  prog.add_work(budget);
   SearchResult res;
   res.best_cost = 1e300;
   for (std::size_t i = 0; i < budget; ++i) {
@@ -164,6 +171,7 @@ SearchResult random_search(const TechGrid& grid, const CostFn& cost,
       res.best_state = state;
     }
     res.best_cost_history.push_back(res.best_cost);
+    prog.advance(1);
   }
   res.best_point = grid.point(res.best_state);
   res.unique_evaluations = eval.unique();

@@ -208,6 +208,13 @@ std::vector<DeviceSample> generate_population_resumable(
       SurrogateShardLoad loaded = load_surrogate_shard(storage, path);
       if (persist::ok(loaded.status)) {
         c_loaded.add(1);
+        // Same cumulative progress task generate_population advances for
+        // rebuilt shards: a resumed run's done/total spans the whole
+        // population.
+        static obs::ProgressTask& prog =
+            obs::progress("surrogate.population.devices");
+        prog.add_work(loaded.samples.size());
+        prog.advance(loaded.samples.size());
         out.insert(out.end(), std::make_move_iterator(loaded.samples.begin()),
                    std::make_move_iterator(loaded.samples.end()));
         total.attempts += loaded.stats.attempts;

@@ -76,6 +76,8 @@ std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t s
   obs::Span span("surrogate.generate_population");
   static obs::Counter& c_attempts = obs::counter("surrogate.population.attempts");
   static obs::Counter& c_dropped = obs::counter("surrogate.population.dropped");
+  static obs::ProgressTask& prog = obs::progress("surrogate.population.devices");
+  prog.add_work(count);
 
   std::vector<DeviceSample> out;
   out.reserve(count);
@@ -101,9 +103,15 @@ std::vector<DeviceSample> generate_population(std::size_t count, std::uint64_t s
         opts.stats->solver.merge(r.solver);
         if (!r.ok) ++opts.stats->dropped;
       }
-      if (r.ok) out.push_back(std::move(r.sample));
+      if (r.ok) {
+        out.push_back(std::move(r.sample));
+        prog.advance(1);
+      }
     }
   }
+  // Attempt budget exhausted short of `count`: retract the unmet work so
+  // the progress task completes instead of reporting a stalled ETA.
+  prog.reduce_work(count - out.size());
   return out;
 }
 

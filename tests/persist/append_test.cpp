@@ -1,0 +1,127 @@
+// AppendWriter tests: one-write-per-line framing, reopen-and-append
+// across writer lifetimes (the telemetry resume path), embedded-newline
+// rejection, and the never-throws dead-state contract on I/O failure.
+
+#include "src/persist/append_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace stco::persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+class AppendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path("persist_append_scratch") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  static std::vector<std::string> lines_of(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(AppendTest, AppendsLinesWithNewlineFraming) {
+  const std::string p = path("log.jsonl");
+  AppendWriter w(p);
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(w.append_line("{\"a\":1}"));
+  EXPECT_TRUE(w.append_line("{\"b\":2}"));
+  EXPECT_TRUE(w.append_line(""));  // empty payload is a legal blank record
+  EXPECT_EQ(w.lines_written(), 3u);
+  EXPECT_EQ(w.bytes_written(), 8u + 8u + 1u);  // payloads + one '\n' each
+  EXPECT_TRUE(w.flush());
+  w.close();
+  EXPECT_FALSE(w.ok());
+  const auto lines = lines_of(p);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(lines[1], "{\"b\":2}");
+  EXPECT_EQ(lines[2], "");
+}
+
+TEST_F(AppendTest, ReopenAppendsAfterExistingContent) {
+  const std::string p = path("log.jsonl");
+  {
+    AppendWriter w(p);
+    ASSERT_TRUE(w.append_line("first"));
+  }
+  {
+    AppendWriter w(p);  // second lifetime: O_APPEND, never truncates
+    ASSERT_TRUE(w.append_line("second"));
+    EXPECT_EQ(w.lines_written(), 1u);  // counters are per-writer
+  }
+  const auto lines = lines_of(p);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "first");
+  EXPECT_EQ(lines[1], "second");
+}
+
+TEST_F(AppendTest, RejectsEmbeddedNewline) {
+  const std::string p = path("log.jsonl");
+  AppendWriter w(p);
+  EXPECT_FALSE(w.append_line("torn\nframing"));
+  EXPECT_TRUE(w.ok());  // rejection is not an I/O failure
+  EXPECT_TRUE(w.append_line("intact"));
+  const auto lines = lines_of(p);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "intact");
+}
+
+TEST_F(AppendTest, OpenFailureIsDeadStateNotThrow) {
+  AppendWriter w;
+  EXPECT_FALSE(w.open(path("no_such_dir") + "/log.jsonl"));
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.append_line("dropped"));
+  EXPECT_FALSE(w.flush());
+  EXPECT_EQ(w.lines_written(), 0u);
+}
+
+TEST_F(AppendTest, ReopenResetsDeadState) {
+  AppendWriter w;
+  EXPECT_FALSE(w.open(path("no_such_dir") + "/log.jsonl"));
+  EXPECT_TRUE(w.open(path("log.jsonl")));
+  EXPECT_TRUE(w.ok());
+  EXPECT_TRUE(w.append_line("alive"));
+}
+
+TEST_F(AppendTest, MoveTransfersOwnership) {
+  const std::string p = path("log.jsonl");
+  AppendWriter a(p);
+  ASSERT_TRUE(a.append_line("one"));
+  AppendWriter b(std::move(a));
+  EXPECT_FALSE(a.ok());  // NOLINT(bugprone-use-after-move): moved-from is dead
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b.path(), p);
+  EXPECT_TRUE(b.append_line("two"));
+  AppendWriter c;
+  c = std::move(b);
+  EXPECT_TRUE(c.append_line("three"));
+  c.close();
+  const auto lines = lines_of(p);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "three");
+}
+
+}  // namespace
+}  // namespace stco::persist

@@ -87,6 +87,30 @@ TEST(RunReport, RobustnessSectionAlwaysPresent) {
   EXPECT_NE(md.find("infeasible technology evaluations: 2"), std::string::npos);
 }
 
+TEST(RunReport, AttributionTreeFromSpanStats) {
+  // No span stats -> section omitted entirely.
+  const std::string without = run_report_markdown(sample_inputs());
+  EXPECT_EQ(without.find("## Where did the time go"), std::string::npos);
+
+  // Hand-populated span aggregates (the value-type path, so this also
+  // holds with STCO_OBS=OFF): grouped by layer, heaviest layer first.
+  auto in = sample_inputs();
+  in.obs.spans["tcad.poisson.solve"] = {40, 800'000'000, 30'000'000};
+  in.obs.spans["tcad.dd.solve"] = {10, 200'000'000, 25'000'000};
+  in.obs.spans["gnn.epoch"] = {60, 90'000'000, 2'000'000};
+  const std::string md = run_report_markdown(in);
+  EXPECT_NE(md.find("## Where did the time go"), std::string::npos);
+  const auto tcad_pos = md.find("- tcad — 1000.00 ms");
+  const auto gnn_pos = md.find("- gnn — 90.00 ms");
+  ASSERT_NE(tcad_pos, std::string::npos);
+  ASSERT_NE(gnn_pos, std::string::npos);
+  EXPECT_LT(tcad_pos, gnn_pos);  // heavier layer renders first
+  EXPECT_NE(md.find("tcad.poisson.solve: 800.00 ms over 40 calls"),
+            std::string::npos);
+  EXPECT_NE(md.find("gnn.epoch: 90.00 ms over 60 calls (max 2.00 ms)"),
+            std::string::npos);
+}
+
 TEST(RunReport, ExecutionStatsLine) {
   // Default inputs carry a serial-inline context.
   const std::string serial = run_report_markdown(sample_inputs());

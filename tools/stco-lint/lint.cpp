@@ -499,7 +499,8 @@ class Linter {
   // src/obs/keys.hpp (shared with the runtime validation).
   void rule_obs_unknown_key(std::size_t ln, const std::string& code) {
     for (const char* fn :
-         {"counter", "gauge", "histogram", "set_counter", "set_gauge"}) {
+         {"counter", "gauge", "histogram", "set_counter", "set_gauge",
+          "progress"}) {
       for (const std::size_t pos : find_word(code, fn)) {
         const std::size_t after = skip_spaces(code, pos + std::string(fn).size());
         if (after >= code.size() || code[after] != '(') continue;
@@ -529,10 +530,12 @@ class Linter {
     }
   }
 
-  // raw-file-io: direct write-side file I/O (std::ofstream, fopen/freopen)
-  // outside src/persist bypasses the atomic temp-file + fsync + rename +
-  // checksum discipline — a crash mid-write leaves a torn file the readers
-  // cannot distinguish from a good one. Read-side I/O (ifstream) is fine.
+  // raw-file-io: direct write-side file I/O (std::ofstream, fopen/freopen,
+  // POSIX open with write flags) outside src/persist bypasses the atomic
+  // temp-file + fsync + rename + checksum discipline — a crash mid-write
+  // leaves a torn file the readers cannot distinguish from a good one —
+  // or, for append streams, the single-write-per-line framing of
+  // persist::AppendWriter. Read-side I/O (ifstream, O_RDONLY open) is fine.
   void rule_raw_file_io(std::size_t ln, const std::string& code) {
     if (!find_word(code, "ofstream").empty())
       report(ln, "raw-file-io",
@@ -545,6 +548,20 @@ class Linter {
                std::string("raw '") + fn +
                    "()' outside src/persist; route writes through "
                    "persist::Storage::write_atomic / persist::atomic_write_file");
+    }
+    // POSIX open() with any write-side flag. Plain O_RDONLY opens are
+    // read-side and allowed.
+    if (has_call(code, "open")) {
+      for (const char* flag :
+           {"O_WRONLY", "O_RDWR", "O_APPEND", "O_CREAT", "O_TRUNC"}) {
+        if (!find_word(code, flag).empty()) {
+          report(ln, "raw-file-io",
+                 std::string("raw POSIX open() with ") + flag +
+                     " outside src/persist; route writes through "
+                     "persist::atomic_write_file or persist::AppendWriter");
+          break;
+        }
+      }
     }
   }
 
@@ -637,7 +654,9 @@ const std::vector<RuleInfo>& rules() {
       {"obs-unknown-span", "span name not in the canonical registry (keys.hpp)"},
       {"include-iostream", "<iostream> banned in src/ headers"},
       {"assert-ban", "assert()/<cassert> banned; use STCO_REQUIRE/STCO_ENSURE"},
-      {"raw-file-io", "std::ofstream/fopen outside src/persist; use the atomic writer"},
+      {"raw-file-io",
+       "std::ofstream/fopen/write-mode open() outside src/persist; use the "
+       "atomic or append writer"},
       {"training-path-inference",
        "autograd forward (forward_batched / RelGatModel::forward) outside "
        "src/gnn; inference goes through gnn::Predictor"},

@@ -1,0 +1,9 @@
+// stco-perfdiff CLI — see perfdiff.hpp for the comparison model.
+
+#include <iostream>
+
+#include "tools/stco-perfdiff/perfdiff.hpp"
+
+int main(int argc, char** argv) {
+  return stco::perfdiff::run_cli(argc, argv, std::cout, std::cerr);
+}

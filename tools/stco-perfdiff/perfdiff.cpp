@@ -1,0 +1,301 @@
+#include "tools/stco-perfdiff/perfdiff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/obs/telemetry.hpp"
+
+namespace stco::perfdiff {
+
+namespace {
+
+// Substring vocabularies shared with the obs key registry and the bench
+// payload schema (BENCH_inference.json: train_us/plan_us/speedup/
+// graphs_per_s; BENCH_solver.json: *_seconds).
+constexpr const char* kLowerIsBetter[] = {
+    "latency", "seconds", "_us",       "_ns",      "bytes",
+    "failures", "fallback", "corrupt", "dropped",  "retries",
+    "eta",
+};
+constexpr const char* kHigherIsBetter[] = {
+    "speedup", "throughput", "graphs_per_s", "hits",
+};
+
+bool contains_any(const std::string& key, const char* const* words,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (key.find(words[i]) != std::string::npos) return true;
+  return false;
+}
+
+void flatten_into(const obs::JsonValue& v, const std::string& prefix,
+                  std::map<std::string, double>& out) {
+  using Kind = obs::JsonValue::Kind;
+  switch (v.kind) {
+    case Kind::kNumber:
+      out[prefix] = v.number;
+      break;
+    case Kind::kBool:
+      out[prefix] = v.boolean ? 1.0 : 0.0;
+      break;
+    case Kind::kObject:
+      for (const auto& [k, child] : v.obj)
+        flatten_into(child, prefix.empty() ? k : prefix + "." + k, out);
+      break;
+    case Kind::kArray:
+      for (std::size_t i = 0; i < v.arr.size(); ++i)
+        flatten_into(v.arr[i],
+                     prefix.empty() ? std::to_string(i)
+                                    : prefix + "." + std::to_string(i),
+                     out);
+      break;
+    case Kind::kString:
+    case Kind::kNull:
+      break;  // not comparable
+  }
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+bool looks_like_telemetry(const std::string& text) {
+  const std::size_t nl = text.find('\n');
+  const std::string_view first(text.data(),
+                               nl == std::string::npos ? text.size() : nl);
+  return first.find("\"telemetry_schema_version\"") != std::string_view::npos;
+}
+
+}  // namespace
+
+Direction key_direction(const std::string& key) {
+  if (contains_any(key, kHigherIsBetter, std::size(kHigherIsBetter)))
+    return Direction::kHigherIsBetter;
+  if (contains_any(key, kLowerIsBetter, std::size(kLowerIsBetter)))
+    return Direction::kLowerIsBetter;
+  return Direction::kInformational;
+}
+
+std::map<std::string, double> flatten_numeric(const obs::JsonValue& v) {
+  std::map<std::string, double> out;
+  flatten_into(v, "", out);
+  return out;
+}
+
+PerfInput load_perf_file(const std::string& path) {
+  PerfInput in;
+  std::string text;
+  if (!read_file(path, text)) {
+    in.error = "cannot read " + path;
+    return in;
+  }
+  if (looks_like_telemetry(text)) {
+    in.is_telemetry = true;
+    const obs::TelemetryLog log = obs::read_telemetry_file(path);
+    if (log.records.empty()) {
+      in.error = path + ": no parseable telemetry records";
+      return in;
+    }
+    if (log.bad_lines > 0) {
+      in.error = path + ": " + std::to_string(log.bad_lines) +
+                 " corrupt (complete but unparseable) lines";
+      return in;
+    }
+    const auto parsed = obs::parse_json(log.merged().to_json());
+    if (!parsed) {
+      in.error = path + ": merged snapshot failed to re-parse";
+      return in;
+    }
+    in.values = flatten_numeric(*parsed);
+    in.ok = true;
+    return in;
+  }
+  const auto parsed = obs::parse_json(text);
+  if (!parsed) {
+    in.error = path + ": invalid JSON";
+    return in;
+  }
+  in.values = flatten_numeric(*parsed);
+  in.ok = true;
+  return in;
+}
+
+DiffResult diff(const PerfInput& a, const PerfInput& b, const DiffOptions& opts) {
+  DiffResult res;
+  auto gated = [&](const std::string& key) {
+    if (opts.gates.empty()) return true;
+    for (const auto& g : opts.gates)
+      if (key.find(g) != std::string::npos) return true;
+    return false;
+  };
+  for (const auto& [key, va] : a.values) {
+    const auto it = b.values.find(key);
+    if (it == b.values.end()) {
+      res.only_a.push_back(key);
+      continue;
+    }
+    DiffRow row;
+    row.key = key;
+    row.a = va;
+    row.b = it->second;
+    row.direction = key_direction(key);
+    if (std::fabs(va) >= opts.min_abs)
+      row.rel = (row.b - row.a) / std::fabs(va);
+    if (gated(key) && std::fabs(va) >= opts.min_abs) {
+      if (row.direction == Direction::kLowerIsBetter &&
+          row.rel > opts.threshold)
+        row.regressed = true;
+      if (row.direction == Direction::kHigherIsBetter &&
+          row.rel < -opts.threshold)
+        row.regressed = true;
+    }
+    if (row.regressed) ++res.regressions;
+    res.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, vb] : b.values)
+    if (a.values.find(key) == a.values.end()) res.only_b.push_back(key);
+  return res;
+}
+
+void print_diff(std::ostream& out, const DiffResult& res,
+                const DiffOptions& opts) {
+  out << std::fixed << std::setprecision(4);
+  for (const DiffRow& row : res.rows) {
+    const char* dir = row.direction == Direction::kLowerIsBetter    ? "v"
+                      : row.direction == Direction::kHigherIsBetter ? "^"
+                                                                    : "-";
+    out << (row.regressed ? "REGRESSED " : "          ") << dir << ' '
+        << row.key << ": " << row.a << " -> " << row.b;
+    if (row.rel != 0.0) out << " (" << std::showpos << row.rel * 100.0
+                            << std::noshowpos << "%)";
+    out << '\n';
+  }
+  if (!res.only_a.empty())
+    out << "only in A: " << res.only_a.size() << " key(s)\n";
+  if (!res.only_b.empty())
+    out << "only in B: " << res.only_b.size() << " key(s)\n";
+  out << res.rows.size() << " key(s) compared, " << res.regressions
+      << " regression(s) past " << opts.threshold * 100.0 << "%\n";
+}
+
+ValidateResult validate_telemetry(const std::string& path) {
+  ValidateResult res;
+  const obs::TelemetryLog log = obs::read_telemetry_file(path);
+  res.records = log.records.size();
+  res.truncated_tail = log.truncated_tail;
+  if (log.records.empty()) {
+    res.errors.push_back("no parseable records");
+    return res;
+  }
+  if (log.bad_lines > 0)
+    res.errors.push_back(std::to_string(log.bad_lines) +
+                         " corrupt complete line(s)");
+
+  // seq strictly increasing within the stream; a resumed run appends a
+  // fresh session to the same file, so seq may restart at 0.
+  std::uint64_t prev_seq = 0;
+  bool have_prev = false;
+  for (const auto& r : log.records) {
+    if (have_prev && r.seq != 0 && r.seq <= prev_seq)
+      res.errors.push_back("seq not increasing at record " +
+                           std::to_string(r.seq));
+    prev_seq = r.seq;
+    have_prev = true;
+  }
+
+  // Progress done-counts must be monotone within a session (delta records
+  // carry absolute progress values, so this checks the raw records in
+  // order). A "start" record opens a fresh session — a resumed process
+  // counts its own work from zero, so the floor resets at the boundary.
+  std::map<std::string, std::uint64_t> done_floor;
+  for (const auto& r : log.records) {
+    if (r.kind == "start") done_floor.clear();
+    for (const auto& [task, p] : r.obs.progress) {
+      auto [it, inserted] = done_floor.try_emplace(task, p.done);
+      if (!inserted) {
+        if (p.done < it->second)
+          res.errors.push_back("progress " + task + " went backwards (" +
+                               std::to_string(it->second) + " -> " +
+                               std::to_string(p.done) + ")");
+        it->second = std::max(it->second, p.done);
+      }
+    }
+  }
+
+  // Finished tasks read ETA 0 in the final cumulative state.
+  const obs::Snapshot merged = log.merged();
+  for (const auto& [task, p] : merged.progress) {
+    if (p.total > 0 && p.done >= p.total && p.eta_seconds != 0.0)
+      res.errors.push_back("progress " + task +
+                           " finished but eta_seconds != 0");
+  }
+
+  res.ok = res.errors.empty();
+  return res;
+}
+
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  std::vector<std::string> positional;
+  DiffOptions opts;
+  bool validate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      validate = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      try {
+        opts.threshold = std::stod(arg.substr(12));
+      } catch (const std::exception&) {
+        err << "stco-perfdiff: bad threshold: " << arg << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      opts.gates.push_back(arg.substr(7));
+    } else if (arg.rfind("--", 0) == 0) {
+      err << "stco-perfdiff: unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (validate) {
+    if (positional.size() != 1) {
+      err << "usage: stco-perfdiff --validate FILE\n";
+      return 2;
+    }
+    const ValidateResult res = validate_telemetry(positional[0]);
+    out << positional[0] << ": " << res.records << " record(s)"
+        << (res.truncated_tail ? ", torn tail line skipped" : "") << "\n";
+    for (const auto& e : res.errors) out << "  INVALID: " << e << "\n";
+    return res.ok ? 0 : 1;
+  }
+
+  if (positional.size() != 2) {
+    err << "usage: stco-perfdiff A B [--threshold=0.10] [--gate=substr ...]\n"
+        << "       stco-perfdiff --validate FILE\n";
+    return 2;
+  }
+  const PerfInput a = load_perf_file(positional[0]);
+  const PerfInput b = load_perf_file(positional[1]);
+  if (!a.ok || !b.ok) {
+    if (!a.ok) err << "stco-perfdiff: " << a.error << "\n";
+    if (!b.ok) err << "stco-perfdiff: " << b.error << "\n";
+    return 1;
+  }
+  const DiffResult res = diff(a, b, opts);
+  print_diff(out, res, opts);
+  return res.regressions > 0 ? 1 : 0;
+}
+
+}  // namespace stco::perfdiff

@@ -1,0 +1,100 @@
+#pragma once
+// stco-perfdiff core: compare two performance artifacts — BENCH_*.json
+// payloads (bench/) or telemetry JSONL streams (obs::TelemetrySession) —
+// and flag regressions. The core is a library so tests/obs can drive it
+// in-process; main.cpp wraps it as a CLI for CI gates:
+//
+//   stco-perfdiff A B [--threshold=0.10] [--gate=substr ...]
+//   stco-perfdiff --validate FILE
+//
+// Both input kinds reduce to a flat map of dotted numeric keys. A plain
+// JSON document is flattened directly (arrays by index:
+// "latency.0.plan_us"); a telemetry stream is first reconstructed into a
+// cumulative Snapshot by merging its delta records in order, then the
+// snapshot JSON is flattened. Key direction (lower- vs higher-is-better)
+// comes from name heuristics shared with the bench payload schema.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/json_parse.hpp"
+
+namespace stco::perfdiff {
+
+enum class Direction {
+  kLowerIsBetter,   ///< latency, bytes, failures...
+  kHigherIsBetter,  ///< throughput, speedup, hits...
+  kInformational,   ///< no gating either way
+};
+
+/// Name-based direction heuristic (substring match on the dotted key).
+Direction key_direction(const std::string& key);
+
+/// Flatten a parsed JSON document into dotted numeric keys. Arrays index
+/// numerically; booleans become 0/1; strings/nulls are dropped.
+std::map<std::string, double> flatten_numeric(const obs::JsonValue& v);
+
+/// One file reduced to comparable numbers.
+struct PerfInput {
+  std::map<std::string, double> values;
+  bool is_telemetry = false;  ///< reconstructed from a JSONL delta stream
+  bool ok = false;
+  std::string error;  ///< set when !ok
+};
+
+/// Load `path`: telemetry JSONL (first parseable line carries
+/// "telemetry_schema_version") or a single JSON document.
+PerfInput load_perf_file(const std::string& path);
+
+/// One compared key.
+struct DiffRow {
+  std::string key;
+  double a = 0.0;
+  double b = 0.0;
+  double rel = 0.0;  ///< (b - a) / |a|; 0 when |a| below the abs guard
+  Direction direction = Direction::kInformational;
+  bool regressed = false;
+};
+
+struct DiffOptions {
+  double threshold = 0.10;  ///< relative worsening that counts as regression
+  /// Only keys containing one of these substrings are gated (all keys are
+  /// still reported). Empty = gate every directional key.
+  std::vector<std::string> gates;
+  /// |a| below this is noise — direction gating is skipped for the key.
+  double min_abs = 1e-12;
+};
+
+struct DiffResult {
+  std::vector<DiffRow> rows;      ///< keys present in both inputs
+  std::vector<std::string> only_a;
+  std::vector<std::string> only_b;
+  std::size_t regressions = 0;
+};
+
+DiffResult diff(const PerfInput& a, const PerfInput& b, const DiffOptions& opts);
+
+/// Render a human-readable comparison table to `out`.
+void print_diff(std::ostream& out, const DiffResult& res,
+                const DiffOptions& opts);
+
+/// Telemetry stream validation: every complete line parses as a tagged
+/// record, seq strictly increases, progress done-counts are monotone
+/// non-decreasing across records, and each task that finishes
+/// (done == total in the final cumulative state) reads ETA 0.
+struct ValidateResult {
+  bool ok = false;
+  std::size_t records = 0;
+  bool truncated_tail = false;
+  std::vector<std::string> errors;
+};
+
+ValidateResult validate_telemetry(const std::string& path);
+
+/// CLI entry (argv semantics): 0 ok, 1 regression/invalid, 2 usage.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace stco::perfdiff
