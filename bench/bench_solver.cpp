@@ -1,11 +1,23 @@
 // Sparse linear-algebra fast-path A/B bench (seeds the solver trajectory).
 //
-// Sweeps structured mesh sizes and times the TCAD nonlinear Poisson and
-// drift-diffusion solves twice per size: once with the legacy linear
-// path (Jacobi-preconditioned BiCGSTAB + dense LU fallback, fresh pattern
-// build per Newton iteration) and once with the workspace fast path
-// (ILU(0)-preconditioned Krylov, banded LU fallback, pattern + factor
-// reuse). Also runs a standard bias sweep on the fast path and reports the
+// Sweeps structured mesh sizes up to 256x256 and times the TCAD nonlinear
+// Poisson and drift-diffusion solves with three linear-solver policies per
+// size:
+//   legacy  Jacobi-preconditioned BiCGSTAB + dense LU fallback, fresh
+//           pattern build per Newton iteration (kLegacy);
+//   ilu     workspace fast path with ILU(0)-preconditioned Krylov and
+//           banded LU fallback (kIlu) — the multigrid A/B control;
+//   mg      full fast path (kFast): geometric multigrid V-cycle
+//           preconditioning on meshes larger than 32 on a side, falling
+//           back to the ILU rung otherwise.
+// The legacy runs are capped separately (STCO_BENCH_SOLVER_LEGACY_MAX)
+// because dense fallbacks make them cubic in node count; physics agreement
+// is checked mg-vs-ilu at every size and against legacy when it ran. Mean
+// Krylov iterations under the MG preconditioner are read per size from the
+// solver.mg.iterations histogram delta: near-constant iterations across
+// sizes is the near-O(n) claim.
+//
+// Also runs a standard bias sweep on the mg path and reports the
 // `solver.linear.dense_fallback` delta, which must be 0.
 //
 // Emits BENCH_solver.json with the embedded obs snapshot.
@@ -27,9 +39,13 @@ using namespace stco;
 
 struct SizeResult {
   std::size_t nx = 0, ny = 0;
-  double poisson_legacy_s = 0.0, poisson_fast_s = 0.0;
-  double dd_legacy_s = 0.0, dd_fast_s = 0.0;  ///< 0 when DD skipped at this size
-  bool physics_match = true;  ///< fast-vs-legacy drain current within 1%
+  double poisson_legacy_s = 0.0;  ///< 0 when legacy skipped at this size
+  double poisson_ilu_s = 0.0, poisson_mg_s = 0.0;
+  double dd_legacy_s = 0.0;       ///< 0 when DD or legacy skipped
+  double dd_ilu_s = 0.0, dd_mg_s = 0.0;  ///< 0 when DD skipped at this size
+  double mg_mean_iters = 0.0;  ///< mean Krylov iters per MG-preconditioned solve
+  std::uint64_t mg_solves = 0; ///< MG-converged solves at this size (0 => ILU rung)
+  bool physics_match = true;   ///< mg vs ilu (and vs legacy when run) within tol
 };
 
 /// ny = n_ch + n_ox + 1 (gate row); pick a film/oxide split with ny == nx.
@@ -38,32 +54,47 @@ void square_mesh_rows(std::size_t nx, std::size_t& n_ch, std::size_t& n_ox) {
   n_ox = nx - n_ch - 1;
 }
 
+double max_abs_diff(const numeric::Vec& a, const numeric::Vec& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
 }  // namespace
 
 int main() {
-  bench::header("bench_solver: legacy vs fast sparse linear path (TCAD)");
+  bench::header("bench_solver: legacy vs ILU(0) vs multigrid sparse path (TCAD)");
 
   tcad::TftDevice dev;
   dev.semi = tcad::igzo_params();
   const tcad::Bias bias{3.0, 1.0, 0.0};
 
-  tcad::PoissonOptions p_legacy, p_fast;
+  tcad::PoissonOptions p_legacy, p_ilu, p_mg;
   p_legacy.linear_solver = tcad::LinearSolverPolicy::kLegacy;
-  p_fast.linear_solver = tcad::LinearSolverPolicy::kFast;
-  tcad::DriftDiffusionOptions d_legacy, d_fast;
+  p_ilu.linear_solver = tcad::LinearSolverPolicy::kIlu;
+  p_mg.linear_solver = tcad::LinearSolverPolicy::kFast;
+  tcad::DriftDiffusionOptions d_legacy, d_ilu, d_mg;
   d_legacy.linear_solver = tcad::LinearSolverPolicy::kLegacy;
-  d_fast.linear_solver = tcad::LinearSolverPolicy::kFast;
+  d_ilu.linear_solver = tcad::LinearSolverPolicy::kIlu;
+  d_mg.linear_solver = tcad::LinearSolverPolicy::kFast;
 
-  const std::size_t max_size = bench::env_size("STCO_BENCH_SOLVER_MAX", 64, 96);
+  const std::size_t max_size = bench::env_size("STCO_BENCH_SOLVER_MAX", 64, 256);
+  const std::size_t legacy_max_size =
+      bench::env_size("STCO_BENCH_SOLVER_LEGACY_MAX", 96, 96);
   const std::size_t dd_max_size = bench::env_size("STCO_BENCH_SOLVER_DD_MAX", 64, 64);
   std::vector<std::size_t> sizes;
   for (std::size_t nx : {std::size_t{16}, std::size_t{32}, std::size_t{48},
-                         std::size_t{64}, std::size_t{96}})
+                         std::size_t{64}, std::size_t{96}, std::size_t{128},
+                         std::size_t{192}, std::size_t{256}})
     if (nx <= max_size) sizes.push_back(nx);
 
-  std::printf("%6s  %14s %12s %9s  %14s %12s %9s\n", "mesh", "poisson legacy",
-              "poisson fast", "speedup", "dd legacy", "dd fast", "speedup");
-  bench::rule();
+  auto& mg_iters_hist =
+      obs::histogram("solver.mg.iterations", {2, 5, 10, 20, 40, 80});
+
+  std::printf("%7s  %10s %9s %9s %8s %7s  %9s %9s %8s\n", "mesh", "p-legacy",
+              "p-ilu", "p-mg", "speedup", "mg-it", "dd-ilu", "dd-mg", "speedup");
+  bench::rule('-', 100);
 
   std::vector<SizeResult> results;
   for (std::size_t nx : sizes) {
@@ -76,71 +107,103 @@ int main() {
     r.ny = mesh.ny();
 
     bench::Timer t;
-    const auto ps_legacy = tcad::solve_poisson(dev, bias, mesh, p_legacy);
-    r.poisson_legacy_s = t.seconds();
+    tcad::PoissonSolution ps_legacy;
+    const bool run_legacy = nx <= legacy_max_size;
+    if (run_legacy) {
+      ps_legacy = tcad::solve_poisson(dev, bias, mesh, p_legacy);
+      r.poisson_legacy_s = t.seconds();
+    }
     t.reset();
-    const auto ps_fast = tcad::solve_poisson(dev, bias, mesh, p_fast);
-    r.poisson_fast_s = t.seconds();
-    double max_dphi = 0.0;
-    for (std::size_t i = 0; i < ps_fast.potential.size(); ++i)
-      max_dphi = std::max(max_dphi,
-                          std::fabs(ps_fast.potential[i] - ps_legacy.potential[i]));
-    if (!(ps_legacy.converged && ps_fast.converged) || max_dphi > 1e-6)
+    const auto ps_ilu = tcad::solve_poisson(dev, bias, mesh, p_ilu);
+    r.poisson_ilu_s = t.seconds();
+
+    const auto it_count0 = mg_iters_hist.count();
+    const auto it_sum0 = mg_iters_hist.sum();
+    const auto mg_solves0 = obs::counter("solver.mg.solves").value();
+    t.reset();
+    const auto ps_mg = tcad::solve_poisson(dev, bias, mesh, p_mg);
+    r.poisson_mg_s = t.seconds();
+    const auto it_dcount = mg_iters_hist.count() - it_count0;
+    r.mg_mean_iters = it_dcount == 0
+                          ? 0.0
+                          : (mg_iters_hist.sum() - it_sum0) /
+                                static_cast<double>(it_dcount);
+    r.mg_solves = obs::counter("solver.mg.solves").value() - mg_solves0;
+
+    if (!(ps_ilu.converged && ps_mg.converged) ||
+        max_abs_diff(ps_mg.potential, ps_ilu.potential) > 1e-6)
+      r.physics_match = false;
+    if (run_legacy &&
+        (!ps_legacy.converged ||
+         max_abs_diff(ps_mg.potential, ps_legacy.potential) > 1e-6))
       r.physics_match = false;
 
     if (nx <= dd_max_size) {
+      tcad::DriftDiffusionSolution dd_legacy;
+      if (run_legacy) {
+        t.reset();
+        dd_legacy = tcad::solve_drift_diffusion(dev, bias, mesh, d_legacy);
+        r.dd_legacy_s = t.seconds();
+      }
       t.reset();
-      const auto dd_legacy = tcad::solve_drift_diffusion(dev, bias, mesh, d_legacy);
-      r.dd_legacy_s = t.seconds();
+      const auto dd_ilu = tcad::solve_drift_diffusion(dev, bias, mesh, d_ilu);
+      r.dd_ilu_s = t.seconds();
       t.reset();
-      const auto dd_fast = tcad::solve_drift_diffusion(dev, bias, mesh, d_fast);
-      r.dd_fast_s = t.seconds();
-      const double id_scale = std::max(std::fabs(dd_legacy.drain_current), 1e-18);
-      if (!(dd_legacy.converged && dd_fast.converged) ||
-          std::fabs(dd_fast.drain_current - dd_legacy.drain_current) > 0.01 * id_scale)
+      const auto dd_mg = tcad::solve_drift_diffusion(dev, bias, mesh, d_mg);
+      r.dd_mg_s = t.seconds();
+      const double id_scale = std::max(std::fabs(dd_ilu.drain_current), 1e-18);
+      if (!(dd_ilu.converged && dd_mg.converged) ||
+          std::fabs(dd_mg.drain_current - dd_ilu.drain_current) > 0.01 * id_scale)
+        r.physics_match = false;
+      if (run_legacy &&
+          (!dd_legacy.converged ||
+           std::fabs(dd_mg.drain_current - dd_legacy.drain_current) >
+               0.01 * std::max(std::fabs(dd_legacy.drain_current), 1e-18)))
         r.physics_match = false;
     }
 
-    std::printf("%3zux%-3zu %13.3fs %11.3fs %8.2fx  %13.3fs %11.3fs %8.2fx%s\n",
-                r.nx, r.ny, r.poisson_legacy_s, r.poisson_fast_s,
-                r.poisson_fast_s > 0 ? r.poisson_legacy_s / r.poisson_fast_s : 0.0,
-                r.dd_legacy_s, r.dd_fast_s,
-                r.dd_fast_s > 0 ? r.dd_legacy_s / r.dd_fast_s : 0.0,
+    std::printf("%3zux%-3zu %9.3fs %8.3fs %8.3fs %7.2fx %7.1f %8.3fs %8.3fs %7.2fx%s\n",
+                r.nx, r.ny, r.poisson_legacy_s, r.poisson_ilu_s, r.poisson_mg_s,
+                r.poisson_mg_s > 0 ? r.poisson_ilu_s / r.poisson_mg_s : 0.0,
+                r.mg_mean_iters, r.dd_ilu_s, r.dd_mg_s,
+                r.dd_mg_s > 0 ? r.dd_ilu_s / r.dd_mg_s : 0.0,
                 r.physics_match ? "" : "  [PHYSICS MISMATCH]");
     results.push_back(r);
   }
 
-  // Standard bias sweep on the fast path only: the dense-fallback counter
+  // Standard bias sweep on the mg path only: the dense-fallback counter
   // must not move. (The legacy runs above use the dense path by design.)
   const auto fallback_before =
       obs::counter("solver.linear.dense_fallback").value();
   {
     std::size_t n_ch, n_ox;
     square_mesh_rows(64, n_ch, n_ox);
-    const auto mesh = tcad::build_mesh(dev, bias, 64, n_ch, n_ox);
     for (double vg : {0.0, 1.0, 2.0, 3.0, 4.0}) {
       const tcad::Bias b{vg, 1.0, 0.0};
       const auto mesh_b = tcad::build_mesh(dev, b, 64, n_ch, n_ox);
-      (void)tcad::solve_poisson(dev, b, mesh_b, p_fast);
+      (void)tcad::solve_poisson(dev, b, mesh_b, p_mg);
     }
-    (void)mesh;
   }
   const auto fallback_sweep =
       obs::counter("solver.linear.dense_fallback").value() - fallback_before;
-  bench::rule();
-  std::printf("dense fallbacks during fast-path bias sweep: %llu (target 0)\n",
+  bench::rule('-', 100);
+  std::printf("dense fallbacks during mg-path bias sweep: %llu (target 0)\n",
               static_cast<unsigned long long>(fallback_sweep));
 
   std::string payload = "  \"sizes\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
-    char buf[512];
+    char buf[640];
     std::snprintf(buf, sizeof buf,
                   "    {\"nx\": %zu, \"ny\": %zu, \"poisson_legacy_s\": %.6f, "
-                  "\"poisson_fast_s\": %.6f, \"dd_legacy_s\": %.6f, "
-                  "\"dd_fast_s\": %.6f, \"physics_match\": %s}%s\n",
-                  r.nx, r.ny, r.poisson_legacy_s, r.poisson_fast_s, r.dd_legacy_s,
-                  r.dd_fast_s, r.physics_match ? "true" : "false",
+                  "\"poisson_ilu_s\": %.6f, \"poisson_mg_s\": %.6f, "
+                  "\"dd_legacy_s\": %.6f, \"dd_ilu_s\": %.6f, \"dd_mg_s\": %.6f, "
+                  "\"mg_mean_iters\": %.2f, \"mg_solves\": %llu, "
+                  "\"physics_match\": %s}%s\n",
+                  r.nx, r.ny, r.poisson_legacy_s, r.poisson_ilu_s, r.poisson_mg_s,
+                  r.dd_legacy_s, r.dd_ilu_s, r.dd_mg_s, r.mg_mean_iters,
+                  static_cast<unsigned long long>(r.mg_solves),
+                  r.physics_match ? "true" : "false",
                   i + 1 < results.size() ? "," : "");
     payload += buf;
   }

@@ -1,0 +1,365 @@
+#include "src/numeric/multigrid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "src/numeric/contract.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace stco::numeric {
+
+namespace {
+
+struct MgMetrics {
+  obs::Counter& hierarchy_builds = obs::counter("solver.mg.hierarchy_builds");
+  obs::Counter& refills = obs::counter("solver.mg.refills");
+  obs::Counter& vcycles = obs::counter("solver.mg.vcycles");
+  obs::Gauge& hierarchy_bytes = obs::gauge("solver.mg.hierarchy_bytes");
+};
+
+MgMetrics& metrics() {
+  static MgMetrics m;
+  return m;
+}
+
+struct LineWeight {
+  std::size_t idx;
+  double w;
+};
+
+// 1D bilinear interpolation weights for fine index `f` on a line whose
+// coarse image has `cn` points (coarse points sit at even fine indices).
+// Even fine points inject from their coarse twin; odd points average the
+// two flanking coarse points, degrading to weight 1 on the lower neighbour
+// when the upper one falls off an even-length line.
+std::size_t line_weights(std::size_t f, std::size_t cn, LineWeight out[2]) {
+  if (f % 2 == 0) {
+    out[0] = {f / 2, 1.0};
+    return 1;
+  }
+  const std::size_t lo = (f - 1) / 2;
+  const std::size_t hi = (f + 1) / 2;
+  if (hi < cn) {
+    out[0] = {lo, 0.5};
+    out[1] = {hi, 0.5};
+    return 2;
+  }
+  out[0] = {lo, 1.0};
+  return 1;
+}
+
+std::size_t csr_bytes(const SparseMatrix& m) {
+  if (m.rows() == 0) return 0;
+  return (m.rows() + 1) * sizeof(std::size_t) +
+         m.nnz() * (sizeof(std::size_t) + sizeof(double));
+}
+
+}  // namespace
+
+SparseMatrix build_prolongation(std::size_t nx, std::size_t ny) {
+  const std::size_t cnx = mg_coarse_dim(nx);
+  const std::size_t cny = mg_coarse_dim(ny);
+  TripletBuilder b(nx * ny, cnx * cny);
+  LineWeight wx[2], wy[2];
+  for (std::size_t fy = 0; fy < ny; ++fy) {
+    const std::size_t ny_w = line_weights(fy, cny, wy);
+    for (std::size_t fx = 0; fx < nx; ++fx) {
+      const std::size_t nx_w = line_weights(fx, cnx, wx);
+      const std::size_t row = fy * nx + fx;
+      for (std::size_t a = 0; a < ny_w; ++a)
+        for (std::size_t c = 0; c < nx_w; ++c)
+          b.add(row, wy[a].idx * cnx + wx[c].idx, wy[a].w * wx[c].w);
+    }
+  }
+  return SparseMatrix::from_triplets(b);
+}
+
+bool GmgPreconditioner::build_structure(const SparseMatrix& a, std::size_t nx,
+                                        std::size_t ny) {
+  levels_.clear();
+  coarse_lu_.reset();
+  if (nx == 0 || ny == 0 || nx * ny != a.rows() || a.rows() != a.cols()) return false;
+
+  // Plan the grid cascade first (push_back would invalidate references).
+  std::vector<std::pair<std::size_t, std::size_t>> dims{{nx, ny}};
+  while (dims.size() < opts_.max_levels) {
+    const auto [cx, cy] = dims.back();
+    if (std::min(cx, cy) <= opts_.min_coarse_dim || cx < 3 || cy < 3) break;
+    dims.emplace_back(mg_coarse_dim(cx), mg_coarse_dim(cy));
+  }
+  if (dims.size() < 2) return false;  // nothing to coarsen; ILU wins at this size
+
+  levels_.resize(dims.size());
+  for (std::size_t l = 0; l < dims.size(); ++l) {
+    levels_[l].nx = dims[l].first;
+    levels_[l].ny = dims[l].second;
+    levels_[l].n = dims[l].first * dims[l].second;
+  }
+
+  // Transfer operators: p maps level l+1 -> level l, rt is its transpose.
+  for (std::size_t l = 0; l + 1 < levels_.size(); ++l) {
+    levels_[l].p = build_prolongation(levels_[l].nx, levels_[l].ny);
+    const SparseMatrix& p = levels_[l].p;
+    TripletBuilder bt(p.cols(), p.rows());
+    for (std::size_t r = 0; r < p.rows(); ++r)
+      for (std::size_t k = p.row_ptr()[r]; k < p.row_ptr()[r + 1]; ++k)
+        bt.add(p.col_idx()[k], r, p.values()[k]);
+    levels_[l].rt = SparseMatrix::from_triplets(bt);
+  }
+
+  // Galerkin patterns A_l = rt_{l-1} A_{l-1} p_{l-1}, structure only
+  // (zero-valued entries survive from_triplets); values always flow through
+  // the scatter walk in refresh_values() so build and refill produce
+  // bit-identical operators.
+  for (std::size_t l = 1; l < levels_.size(); ++l) {
+    const SparseMatrix& af = op(l - 1);
+    const SparseMatrix& rt = levels_[l - 1].rt;
+    const SparseMatrix& p = levels_[l - 1].p;
+    TripletBuilder g(levels_[l].n, levels_[l].n);
+    std::vector<char> mark(levels_[l].n, 0);
+    std::vector<std::size_t> cols;
+    for (std::size_t bi = 0; bi < rt.rows(); ++bi) {
+      cols.clear();
+      for (std::size_t si = rt.row_ptr()[bi]; si < rt.row_ptr()[bi + 1]; ++si) {
+        const std::size_t i = rt.col_idx()[si];
+        for (std::size_t sa = af.row_ptr()[i]; sa < af.row_ptr()[i + 1]; ++sa) {
+          const std::size_t j = af.col_idx()[sa];
+          for (std::size_t sp = p.row_ptr()[j]; sp < p.row_ptr()[j + 1]; ++sp) {
+            const std::size_t bj = p.col_idx()[sp];
+            if (!mark[bj]) {
+              mark[bj] = 1;
+              cols.push_back(bj);
+            }
+          }
+        }
+      }
+      for (const std::size_t bj : cols) {
+        g.add(bi, bj, 0.0);
+        mark[bj] = 0;
+      }
+    }
+    levels_[l].a = SparseMatrix::from_triplets(g);
+  }
+
+  for (auto& lv : levels_) {
+    lv.x.resize(lv.n);
+    lv.rhs.resize(lv.n);
+    lv.tmp.resize(lv.n);
+    contract::poison(lv.x);
+    contract::poison(lv.rhs);
+    contract::poison(lv.tmp);
+    const std::size_t line = std::max(lv.nx, lv.ny);
+    lv.ld_lo.resize(line);
+    lv.ld_di.resize(line);
+    lv.ld_up.resize(line);
+    lv.ld_b.resize(line);
+  }
+  return true;
+}
+
+bool GmgPreconditioner::refresh_values() {
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    if (l > 0) {
+      // Scatter walk over rt * A_f * p in coarse-row order: mark this
+      // coarse row's value slots, accumulate every wi*v*wj contribution in
+      // deterministic traversal order, unmark. Same discipline as Ilu0's
+      // factor scratch.
+      SparseMatrix& ac = levels_[l].a;
+      auto& vals = ac.values();
+      std::fill(vals.begin(), vals.end(), 0.0);
+      slot_.assign(ac.cols(), -1);
+      const SparseMatrix& af = op(l - 1);
+      const SparseMatrix& rt = levels_[l - 1].rt;
+      const SparseMatrix& p = levels_[l - 1].p;
+      for (std::size_t bi = 0; bi < ac.rows(); ++bi) {
+        for (std::size_t k = ac.row_ptr()[bi]; k < ac.row_ptr()[bi + 1]; ++k)
+          slot_[ac.col_idx()[k]] = static_cast<std::ptrdiff_t>(k);
+        for (std::size_t si = rt.row_ptr()[bi]; si < rt.row_ptr()[bi + 1]; ++si) {
+          const std::size_t i = rt.col_idx()[si];
+          const double wi = rt.values()[si];
+          for (std::size_t sa = af.row_ptr()[i]; sa < af.row_ptr()[i + 1]; ++sa) {
+            const std::size_t j = af.col_idx()[sa];
+            const double v = af.values()[sa];
+            for (std::size_t sp = p.row_ptr()[j]; sp < p.row_ptr()[j + 1]; ++sp) {
+              const std::size_t bj = p.col_idx()[sp];
+              if constexpr (contract::kChecksEnabled)
+                STCO_REQUIRE(slot_[bj] >= 0,
+                             "multigrid Galerkin refill hit a column missing from "
+                             "the prebuilt coarse pattern");
+              vals[static_cast<std::size_t>(slot_[bj])] += wi * v * p.values()[sp];
+            }
+          }
+        }
+        for (std::size_t k = ac.row_ptr()[bi]; k < ac.row_ptr()[bi + 1]; ++k)
+          slot_[ac.col_idx()[k]] = -1;
+      }
+    }
+
+    // A vanishing or non-finite diagonal anywhere means the operator is not
+    // smoothable here — report failure so the caller drops to the ILU rung
+    // instead of producing NaN cycles.
+    const SparseMatrix& a = op(l);
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      double d = 0.0;
+      for (std::size_t k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k)
+        if (a.col_idx()[k] == r) {
+          d = a.values()[k];
+          break;
+        }
+      if (!(std::fabs(d) > 1e-300) || !std::isfinite(d)) return false;
+    }
+  }
+
+  coarse_lu_ = BandLu::factor(levels_.back().a);
+  return coarse_lu_.has_value();
+}
+
+bool GmgPreconditioner::update(const SparseMatrix& a, std::size_t nx, std::size_t ny) {
+  const bool rebuild = levels_.empty() || fine_ != &a || fine_nnz_ != a.nnz() ||
+                       levels_[0].nx != nx || levels_[0].ny != ny;
+  valid_ = false;
+  fine_ = &a;
+  fine_nnz_ = a.nnz();
+  if (rebuild) {
+    if (!build_structure(a, nx, ny)) {
+      levels_.clear();
+      coarse_lu_.reset();
+      fine_ = nullptr;
+      fine_nnz_ = 0;
+      return false;
+    }
+    ++stats_.hierarchy_builds;
+    metrics().hierarchy_builds.add(1);
+  } else {
+    ++stats_.refills;
+    metrics().refills.add(1);
+  }
+  if (!refresh_values()) return false;
+  valid_ = true;
+  metrics().hierarchy_bytes.set_max(static_cast<double>(footprint_bytes()));
+  return true;
+}
+
+void GmgPreconditioner::reset() {
+  levels_.clear();
+  slot_.clear();
+  coarse_lu_.reset();
+  fine_ = nullptr;
+  fine_nnz_ = 0;
+  valid_ = false;
+}
+
+void GmgPreconditioner::apply(const Vec& r, Vec& z) const {
+  if (!valid_) throw std::logic_error("GmgPreconditioner::apply: not valid");
+  ++stats_.vcycles;
+  metrics().vcycles.add(1);
+  vcycle(0, r, z);
+}
+
+// One Gauss-Seidel pass over every x-line (grid row, x_lines == true) or
+// every y-line (grid column): each line's tridiagonal sub-system is solved
+// exactly by the Thomas algorithm with the off-line coupling lagged at the
+// current iterate. The backward pass (forward == false) visits lines in
+// reverse, which is the adjoint sweep for symmetric operators. Pivots are
+// clamped away from zero — a degenerate line degrades the smoother, never
+// the arithmetic (validity of the level diagonals is checked at refill).
+void GmgPreconditioner::smooth_lines(const Level& lv, const SparseMatrix& a,
+                                     const Vec& rhs, Vec& x, bool x_lines,
+                                     bool forward) const {
+  const std::size_t n_lines = x_lines ? lv.ny : lv.nx;
+  const std::size_t len = x_lines ? lv.nx : lv.ny;
+  const std::size_t stride = x_lines ? 1 : lv.nx;
+  for (std::size_t li = 0; li < n_lines; ++li) {
+    const std::size_t line = forward ? li : n_lines - 1 - li;
+    const std::size_t base = x_lines ? line * lv.nx : line;
+    for (std::size_t t = 0; t < len; ++t) {
+      const std::size_t k = base + t * stride;
+      double lo = 0.0, di = 0.0, up = 0.0, off = 0.0;
+      for (std::size_t s = a.row_ptr()[k]; s < a.row_ptr()[k + 1]; ++s) {
+        const std::size_t c = a.col_idx()[s];
+        const double v = a.values()[s];
+        if (c == k)
+          di = v;
+        else if (t > 0 && c == k - stride)
+          lo = v;
+        else if (t + 1 < len && c == k + stride)
+          up = v;
+        else
+          off += v * x[c];
+      }
+      lv.ld_lo[t] = lo;
+      lv.ld_di[t] = di;
+      lv.ld_up[t] = up;
+      lv.ld_b[t] = rhs[k] - off;
+    }
+    double piv = lv.ld_di[0];
+    if (!(std::fabs(piv) > 1e-300)) piv = 1e-300;
+    lv.ld_up[0] /= piv;
+    lv.ld_b[0] /= piv;
+    for (std::size_t t = 1; t < len; ++t) {
+      piv = lv.ld_di[t] - lv.ld_lo[t] * lv.ld_up[t - 1];
+      if (!(std::fabs(piv) > 1e-300)) piv = 1e-300;
+      lv.ld_up[t] /= piv;
+      lv.ld_b[t] = (lv.ld_b[t] - lv.ld_lo[t] * lv.ld_b[t - 1]) / piv;
+    }
+    for (std::size_t t = len - 1; t-- > 0;)
+      lv.ld_b[t] -= lv.ld_up[t] * lv.ld_b[t + 1];
+    for (std::size_t t = 0; t < len; ++t) x[base + t * stride] = lv.ld_b[t];
+  }
+}
+
+void GmgPreconditioner::vcycle(std::size_t l, const Vec& rhs, Vec& x) const {
+  if (l + 1 == levels_.size()) {
+    coarse_lu_->solve(rhs, x);
+    return;
+  }
+  const Level& lv = levels_[l];
+  const SparseMatrix& a = op(l);
+
+  // Pre-smooth from a zero initial guess: rows forward, then columns
+  // forward.
+  x.assign(lv.n, 0.0);
+  for (std::size_t s = 0; s < opts_.pre_smooth; ++s) {
+    smooth_lines(lv, a, rhs, x, /*x_lines=*/true, /*forward=*/true);
+    smooth_lines(lv, a, rhs, x, /*x_lines=*/false, /*forward=*/true);
+  }
+
+  // Coarse-grid correction: restrict the residual, recurse, prolong back.
+  a.apply(x, lv.tmp);
+  for (std::size_t i = 0; i < lv.n; ++i) lv.tmp[i] = rhs[i] - lv.tmp[i];
+  const Level& child = levels_[l + 1];
+  lv.rt.apply(lv.tmp, child.rhs);
+  vcycle(l + 1, child.rhs, child.x);
+  lv.p.apply(child.x, lv.tmp);
+  for (std::size_t i = 0; i < lv.n; ++i) x[i] += lv.tmp[i];
+
+  // Post-smooth in the adjoint order — columns backward, then rows
+  // backward — so the whole cycle is symmetric for symmetric A.
+  for (std::size_t s = 0; s < opts_.post_smooth; ++s) {
+    smooth_lines(lv, a, rhs, x, /*x_lines=*/false, /*forward=*/false);
+    smooth_lines(lv, a, rhs, x, /*x_lines=*/true, /*forward=*/false);
+  }
+}
+
+std::size_t GmgPreconditioner::footprint_bytes() const {
+  std::size_t bytes = 0;
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const Level& lv = levels_[l];
+    bytes += csr_bytes(lv.p) + csr_bytes(lv.rt);
+    if (l > 0) bytes += csr_bytes(lv.a);
+    bytes += (lv.x.size() + lv.rhs.size() + lv.tmp.size() + lv.ld_lo.size() +
+              lv.ld_di.size() + lv.ld_up.size() + lv.ld_b.size()) *
+             sizeof(double);
+  }
+  if (coarse_lu_) {
+    const std::size_t width =
+        2 * coarse_lu_->lower_bandwidth() + coarse_lu_->upper_bandwidth() + 1;
+    bytes += coarse_lu_->dim() * (width * sizeof(double) + sizeof(std::size_t));
+  }
+  bytes += slot_.size() * sizeof(std::ptrdiff_t);
+  return bytes;
+}
+
+}  // namespace stco::numeric

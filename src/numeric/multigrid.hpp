@@ -1,0 +1,154 @@
+#pragma once
+// Geometric multigrid (V-cycle) preconditioner for the structured
+// 5-point-stencil systems the TCAD solvers assemble on DeviceMesh grids.
+//
+// This is the top rung of the NewtonWorkspace solve ladder: ILU(0)-Krylov
+// iteration counts grow with mesh size (the preconditioner is local, so
+// information crosses the grid one cell per iteration), which is what caps
+// the PR-5 fast path at 64x64-class meshes. A V-cycle moves the smooth
+// error components to coarser grids where they are cheap to kill, so
+// MG-preconditioned Krylov converges in a near-constant number of
+// iterations and the whole solve stays near-O(n) at 256x256 and beyond.
+//
+// Design (all deterministic, all serial — one V-cycle is cheap relative to
+// the Newton assembly around it):
+//   * coarsening: standard vertex-centered 2:1 in each grid direction,
+//     coarse points at even fine indices, down to min_coarse_dim;
+//   * transfers: bilinear prolongation P, restriction R = P^T (the scaling
+//     of a full-weighting R cancels inside the coarse-grid correction);
+//   * coarse operators: Galerkin A_c = P^T A P, pattern built once per
+//     hierarchy and value-refilled in place via a precomputed scatter walk
+//     (same refill-not-rebuild discipline as the workspace CSR / ILU);
+//   * smoother: alternating line Gauss-Seidel (every grid row, then every
+//     grid column, solved exactly by the Thomas algorithm with off-line
+//     coupling lagged). Point smoothers fail on the TCAD meshes — nm film
+//     thickness against um channel length puts the 1/h^2 couplings three
+//     or four orders of magnitude apart, and point Jacobi cannot damp
+//     modes oscillatory only in the strong direction. Line sweeps solve
+//     the strong direction exactly, restoring textbook convergence at any
+//     grid-aligned anisotropy. Post-smoothing runs the adjoint order
+//     (columns then rows, lines reversed), so the V-cycle stays a fixed
+//     linear operator, symmetric for symmetric A — CG and BiCGSTAB both
+//     accept it as a preconditioner;
+//   * coarsest level: banded direct LU (bandwidth = coarse nx).
+//
+// The hierarchy (patterns + values + scratch) is owned by whoever owns the
+// fine matrix — in practice a NewtonWorkspace — and refreshed under the
+// same per-entry staleness rule as the ILU factors, so Newton / Gummel /
+// bias-continuation iterations reuse it across solves.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/numeric/band.hpp"
+#include "src/numeric/precond.hpp"
+#include "src/numeric/sparse.hpp"
+
+namespace stco::numeric {
+
+/// Cycle-shape knobs. Defaults are the sweet spot for the TCAD Jacobians
+/// (mixed O(1) Dirichlet rows + strongly anisotropic stencil couplings):
+/// more smoothing buys little once the V-cycle sits inside a Krylov method.
+/// One "sweep" is a full alternating pass — every x-line, then every
+/// y-line (reversed order on the post side to keep the cycle symmetric).
+struct MultigridOptions {
+  std::size_t pre_smooth = 1;      ///< alternating line-GS sweeps before coarsening
+  std::size_t post_smooth = 1;     ///< sweeps after the coarse-grid correction
+  std::size_t min_coarse_dim = 8;  ///< stop coarsening once min(nx, ny) <= this
+  std::size_t max_levels = 16;     ///< hierarchy depth cap
+};
+
+/// Per-hierarchy tallies (process-wide equivalents live in obs under
+/// `solver.mg.*`).
+struct MultigridStats {
+  std::size_t hierarchy_builds = 0;  ///< pattern + transfer constructions
+  std::size_t refills = 0;           ///< Galerkin value refreshes
+  std::size_t vcycles = 0;           ///< preconditioner applications
+};
+
+/// Next-coarser grid dimension under 2:1 vertex-centered coarsening
+/// (coarse points at even fine indices; dimensions < 3 stop coarsening).
+inline std::size_t mg_coarse_dim(std::size_t n) { return n >= 3 ? (n + 1) / 2 : n; }
+
+/// Bilinear prolongation from the (coarse_dim(nx) x coarse_dim(ny)) grid to
+/// the (nx x ny) grid, row-major node numbering (node = iy*nx + ix). Fine
+/// points at even indices inject; odd points average their coarse
+/// neighbours (weight 1 on the left/lower neighbour at a boundary where the
+/// right/upper one does not exist). Every row sums to 1. Exposed for the
+/// transfer-operator consistency tests.
+SparseMatrix build_prolongation(std::size_t nx, std::size_t ny);
+
+/// V-cycle geometric multigrid as a Preconditioner: apply(r, z) runs one
+/// V-cycle on A z = r from a zero initial guess. update() builds or
+/// refreshes the hierarchy from the fine operator; the caller decides when
+/// (NewtonWorkspace gates it on the same value-drift rule as the ILU).
+class GmgPreconditioner final : public Preconditioner {
+ public:
+  GmgPreconditioner() = default;
+  explicit GmgPreconditioner(MultigridOptions opts) : opts_(opts) {}
+
+  /// Build (first call / after reset) or value-refresh the hierarchy from
+  /// `a`, interpreted as an operator on the nx x ny structured grid
+  /// (nx * ny must equal a.rows() == a.cols()). Keeps a non-owning
+  /// reference to `a` as the level-0 operator: the caller must keep `a`
+  /// alive and call update() again after changing its values. Returns
+  /// false — and marks the preconditioner invalid — when the grid is too
+  /// small to coarsen, a level diagonal vanishes, or the coarsest direct
+  /// factorization fails; the caller then falls back to the ILU rung.
+  [[nodiscard]] bool update(const SparseMatrix& a, std::size_t nx, std::size_t ny);
+
+  bool valid() const { return valid_; }
+  /// Drop the hierarchy entirely (fine pattern/shape changed).
+  void reset();
+
+  /// z = V(r): one V-cycle with zero initial guess. Requires valid().
+  /// Reuses per-level scratch, so a GmgPreconditioner must not be applied
+  /// from two threads at once (same contract as the owning workspace).
+  void apply(const Vec& r, Vec& z) const override;
+
+  std::size_t levels() const { return levels_.size(); }
+  /// Level operator: 0 is the fine matrix, >= 1 the owned Galerkin
+  /// products. Exposed for the transfer-operator consistency tests.
+  const SparseMatrix& level_operator(std::size_t l) const { return op(l); }
+  const MultigridStats& stats() const { return stats_; }
+  const MultigridOptions& options() const { return opts_; }
+
+  /// Resident bytes of the hierarchy: transfer operators, coarse CSR
+  /// operators, inverse diagonals, V-cycle scratch, and the coarsest band
+  /// factors. Feeds the `solver.mg.hierarchy_bytes` gauge and the
+  /// workspace-footprint gauge.
+  std::size_t footprint_bytes() const;
+
+ private:
+  struct Level {
+    std::size_t nx = 0, ny = 0, n = 0;
+    SparseMatrix p;   ///< prolongation next-coarser -> this level (empty at coarsest)
+    SparseMatrix rt;  ///< restriction this level -> next-coarser (= p transposed)
+    SparseMatrix a;   ///< owned Galerkin operator (levels >= 1; level 0 aliases fine)
+    // V-cycle scratch, fully overwritten before every read. ld_* hold one
+    // grid line's tridiagonal factors during a smoothing sweep.
+    mutable Vec x, rhs, tmp;
+    mutable Vec ld_lo, ld_di, ld_up, ld_b;
+  };
+
+  const SparseMatrix& op(std::size_t l) const {
+    return l == 0 ? *fine_ : levels_[l].a;
+  }
+  bool build_structure(const SparseMatrix& a, std::size_t nx, std::size_t ny);
+  [[nodiscard]] bool refresh_values();
+  void vcycle(std::size_t l, const Vec& rhs, Vec& x) const;
+  void smooth_lines(const Level& lv, const SparseMatrix& a, const Vec& rhs,
+                    Vec& x, bool x_lines, bool forward) const;
+
+  MultigridOptions opts_;
+  const SparseMatrix* fine_ = nullptr;  ///< non-owning level-0 operator
+  std::size_t fine_nnz_ = 0;           ///< pattern fingerprint for rebuild detection
+  std::vector<Level> levels_;
+  std::vector<std::ptrdiff_t> slot_;  ///< col -> value-slot scatter map (refill scratch)
+  std::optional<BandLu> coarse_lu_;
+  mutable MultigridStats stats_;  ///< vcycles ticks inside const apply()
+  bool valid_ = false;
+};
+
+}  // namespace stco::numeric

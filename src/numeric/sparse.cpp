@@ -10,6 +10,12 @@ void TripletBuilder::add(std::size_t r, std::size_t c, double v) {
   entries_.push_back({r, c, v});
 }
 
+void TripletBuilder::append(const TripletBuilder& other) {
+  if (other.rows_ != rows_ || other.cols_ != cols_)
+    throw std::invalid_argument("TripletBuilder::append: shape mismatch");
+  entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+}
+
 SparseMatrix SparseMatrix::from_triplets(const TripletBuilder& b) {
   SparseMatrix m;
   m.rows_ = b.rows();

@@ -18,6 +18,12 @@ class TripletBuilder {
   TripletBuilder(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {}
 
   void add(std::size_t r, std::size_t c, double v);
+  /// Append every entry of `other` (same shape required). Parallel Newton
+  /// assembly stamps per-row-block scratch builders concurrently, then
+  /// merges them serially in block order — the combined entry sequence (and
+  /// hence from_triplets/refill duplicate-summation order) is identical to
+  /// a single serial stamping pass, at any thread count.
+  void append(const TripletBuilder& other);
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
   std::size_t nnz_upper_bound() const { return entries_.size(); }

@@ -18,8 +18,12 @@ struct LinearMetrics {
   obs::Counter& ilu_refactors = obs::counter("solver.linear.ilu_refactors");
   obs::Counter& band_solves = obs::counter("solver.linear.band_solves");
   obs::Counter& dense_fallback = obs::counter("solver.linear.dense_fallback");
+  obs::Counter& mg_solves = obs::counter("solver.mg.solves");
+  obs::Counter& mg_fallbacks = obs::counter("solver.mg.fallbacks");
   obs::Histogram& iterations =
       obs::histogram("solver.linear.iterations", {2, 5, 10, 20, 40, 80, 160, 320});
+  obs::Histogram& mg_iterations =
+      obs::histogram("solver.mg.iterations", {2, 5, 10, 20, 40, 80});
   obs::Gauge& workspace_bytes = obs::gauge("solver.workspace_bytes");
 };
 
@@ -30,18 +34,20 @@ LinearMetrics& metrics() {
 
 // Estimated resident footprint of one NewtonWorkspace: the CSR matrix
 // (row_ptr + col_idx + values), the cached factored values, the Krylov
-// residual scratch, and the ILU factorization (same pattern as a_, so
-// roughly another values + col_idx copy when valid). High-water gauge —
-// concurrent workspaces report the largest one, which is what an OOM
-// post-mortem wants to know.
+// residual scratch, the ILU factorization (same pattern as a_, so roughly
+// another values + col_idx copy when valid), and the multigrid hierarchy
+// (transfers + coarse operators + scratch + coarsest band factors).
+// High-water gauge — concurrent workspaces report the largest one, which
+// is what an OOM post-mortem wants to know.
 std::size_t workspace_footprint(const SparseMatrix& a, bool ilu_valid,
                                 std::size_t factored_values,
-                                std::size_t residual_scratch) {
+                                std::size_t residual_scratch,
+                                std::size_t mg_bytes) {
   const std::size_t nnz = a.values().size();
   std::size_t bytes = (a.rows() + 1) * sizeof(std::size_t)  // row_ptr
                       + nnz * (sizeof(std::size_t) + sizeof(double))
                       + factored_values * sizeof(double)
-                      + residual_scratch * sizeof(double);
+                      + residual_scratch * sizeof(double) + mg_bytes;
   if (ilu_valid) bytes += nnz * (sizeof(std::size_t) + sizeof(double));
   return bytes;
 }
@@ -83,10 +89,12 @@ void NewtonWorkspace::assemble(const TripletBuilder& b) {
   has_pattern_ = true;
   ilu_.invalidate();
   factored_values_.clear();
+  mg_.reset();
+  mg_values_.clear();
   ++stats_.pattern_builds;
   metrics().pattern_builds.add(1);
   metrics().workspace_bytes.set_max(static_cast<double>(workspace_footprint(
-      a_, false, factored_values_.size(), residual_scratch_.size())));
+      a_, false, factored_values_.size(), residual_scratch_.size(), 0)));
 }
 
 void NewtonWorkspace::reset() {
@@ -94,25 +102,39 @@ void NewtonWorkspace::reset() {
   has_pattern_ = false;
   ilu_.invalidate();
   factored_values_.clear();
+  mg_.reset();
+  mg_values_.clear();
+}
+
+// Worst per-entry relative drift of `current` against `snapshot`. An
+// aggregate norm would be dominated by the largest entries (e.g. O(1)
+// Dirichlet rows next to O(1e-11) stencil couplings) and miss
+// order-of-magnitude swings in the small ones — and a preconditioner that
+// is stale in *any* entry's scale can stall Krylov. Shared between the ILU
+// and multigrid staleness gates so the two rungs age under one rule.
+bool NewtonWorkspace::values_fresh(const std::vector<double>& current,
+                                   const std::vector<double>& snapshot,
+                                   double threshold) {
+  if (snapshot.size() != current.size()) return false;
+  if (threshold <= 0.0) return false;
+  double worst = 0.0;
+  for (std::size_t k = 0; k < current.size(); ++k) {
+    const double scale = std::max(std::fabs(current[k]), std::fabs(snapshot[k]));
+    if (scale < 1e-300) continue;
+    worst = std::max(worst, std::fabs(current[k] - snapshot[k]) / scale);
+    if (worst > threshold) return false;
+  }
+  return worst <= threshold;
 }
 
 bool NewtonWorkspace::ilu_fresh_enough() const {
   if (!ilu_.valid()) return false;
-  if (factored_values_.size() != a_.values().size()) return false;
-  if (opts_.refactor_threshold <= 0.0) return false;
-  // Worst per-entry relative drift. An aggregate norm would be dominated by
-  // the largest entries (e.g. O(1) Dirichlet rows next to O(1e-11) stencil
-  // couplings) and miss order-of-magnitude swings in the small ones — and a
-  // preconditioner that is stale in *any* entry's scale can stall Krylov.
-  double worst = 0.0;
-  const auto& v = a_.values();
-  for (std::size_t k = 0; k < v.size(); ++k) {
-    const double scale = std::max(std::fabs(v[k]), std::fabs(factored_values_[k]));
-    if (scale < 1e-300) continue;
-    worst = std::max(worst, std::fabs(v[k] - factored_values_[k]) / scale);
-    if (worst > opts_.refactor_threshold) return false;
-  }
-  return worst <= opts_.refactor_threshold;
+  return values_fresh(a_.values(), factored_values_, opts_.refactor_threshold);
+}
+
+bool NewtonWorkspace::mg_fresh_enough() const {
+  if (!mg_.valid()) return false;
+  return values_fresh(a_.values(), mg_values_, opts_.refactor_threshold);
 }
 
 IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
@@ -127,6 +149,39 @@ IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
   contract::poison(residual_scratch_);
   metrics().solves.add(1);
 
+  // Top rung: MG-preconditioned Krylov on structured grids. The hierarchy
+  // ages under the same per-entry drift rule as the ILU factors; a stalled
+  // or unbuildable cycle falls through to the ILU rung below (counted).
+  if (opts_.use_multigrid && opts_.mg_nx * opts_.mg_ny == a_.rows()) {
+    if (!mg_fresh_enough()) {
+      if (mg_.update(a_, opts_.mg_nx, opts_.mg_ny)) {
+        mg_values_ = a_.values();
+      } else {
+        mg_values_.clear();
+      }
+    }
+    if (mg_.valid()) {
+      // A healthy V-cycle settles these systems in O(10) iterations; cap
+      // well below the Krylov default so a stall drops to ILU quickly
+      // instead of burning the full 8n budget against a bad hierarchy.
+      const std::size_t cap = opts_.max_iter != 0 ? opts_.max_iter : 100;
+      IterativeResult res = opts_.symmetric
+                                ? solve_cg(a_, rhs, opts_.tol, cap, &mg_)
+                                : solve_bicgstab(a_, rhs, opts_.tol, cap, &mg_);
+      metrics().mg_iterations.observe(static_cast<double>(res.iterations));
+      metrics().workspace_bytes.set_max(static_cast<double>(
+          workspace_footprint(a_, ilu_.valid(), factored_values_.size(),
+                              residual_scratch_.size(), mg_.footprint_bytes())));
+      if (res.converged) {
+        ++stats_.mg_solves;
+        metrics().mg_solves.add(1);
+        return res;
+      }
+    }
+    ++stats_.mg_fallbacks;
+    metrics().mg_fallbacks.add(1);
+  }
+
   const Preconditioner* precond = nullptr;
   if (opts_.use_ilu) {
     if (!ilu_fresh_enough()) {
@@ -140,8 +195,9 @@ IterativeResult NewtonWorkspace::solve(const Vec& rhs) {
     }
     if (ilu_.valid()) precond = &ilu_;
   }
-  metrics().workspace_bytes.set_max(static_cast<double>(workspace_footprint(
-      a_, ilu_.valid(), factored_values_.size(), residual_scratch_.size())));
+  metrics().workspace_bytes.set_max(static_cast<double>(
+      workspace_footprint(a_, ilu_.valid(), factored_values_.size(),
+                          residual_scratch_.size(), mg_.footprint_bytes())));
 
   IterativeResult res = opts_.symmetric
                             ? solve_cg(a_, rhs, opts_.tol, opts_.max_iter, precond)

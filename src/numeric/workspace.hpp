@@ -6,15 +6,17 @@
 // point. NewtonWorkspace exploits that: the CSR pattern is built once
 // (from_triplets) and refilled afterwards, the ILU(0) preconditioner is
 // re-factored only when the matrix values drift past a staleness
-// threshold, and the solve ladder runs ILU-Krylov -> banded direct LU ->
-// (counted, discouraged) dense LU instead of the former dense O(n³)
-// fallback. All decisions are surfaced through obs `solver.linear.*`
+// threshold, and the solve ladder runs MG-preconditioned Krylov (opt-in,
+// structured grids) -> ILU-Krylov -> banded direct LU -> (counted,
+// discouraged) dense LU instead of the former dense O(n³) fallback. All
+// decisions are surfaced through obs `solver.linear.*` / `solver.mg.*`
 // metrics and the local WorkspaceStats.
 
 #include <cstddef>
 #include <optional>
 
 #include "src/numeric/band.hpp"
+#include "src/numeric/multigrid.hpp"
 #include "src/numeric/precond.hpp"
 #include "src/numeric/solve.hpp"
 #include "src/numeric/sparse.hpp"
@@ -37,6 +39,14 @@ struct LinearSolverOptions {
   /// norms would let large Dirichlet entries mask order-of-magnitude
   /// swings in small stencil couplings). 0 refactors every solve.
   double refactor_threshold = 0.25;
+  /// Geometric multigrid rung above ILU. Off by default: it only pays on
+  /// structured grids, so callers that know their mesh (the TCAD drivers)
+  /// opt in with the grid shape. mg_nx * mg_ny must equal the system size
+  /// or the rung is skipped.
+  bool use_multigrid = false;
+  std::size_t mg_nx = 0;  ///< structured-grid x dimension (row-major nodes)
+  std::size_t mg_ny = 0;  ///< structured-grid y dimension
+  MultigridOptions mg{};  ///< V-cycle shape knobs
 };
 
 /// Fast-path defaults (ILU + band fallback + pattern reuse).
@@ -50,7 +60,9 @@ struct WorkspaceStats {
   std::size_t pattern_builds = 0;  ///< from_triplets calls (pattern changed)
   std::size_t refills = 0;         ///< cheap value-only refills
   std::size_t ilu_factors = 0;     ///< ILU(0) factorizations
-  std::size_t krylov_solves = 0;   ///< solves settled by CG/BiCGSTAB
+  std::size_t mg_solves = 0;       ///< solves settled by MG-preconditioned Krylov
+  std::size_t mg_fallbacks = 0;    ///< MG attempts that fell through to the ILU rung
+  std::size_t krylov_solves = 0;   ///< solves settled by CG/BiCGSTAB (ILU/Jacobi rung)
   std::size_t band_solves = 0;     ///< solves settled by banded LU
   std::size_t dense_solves = 0;    ///< solves settled by dense LU (should be 0)
 };
@@ -77,15 +89,21 @@ class NewtonWorkspace {
   const SparseMatrix& matrix() const { return a_; }
   const LinearSolverOptions& options() const { return opts_; }
   const WorkspaceStats& stats() const { return stats_; }
+  const GmgPreconditioner& multigrid() const { return mg_; }
 
  private:
   bool ilu_fresh_enough() const;
+  bool mg_fresh_enough() const;
+  static bool values_fresh(const std::vector<double>& current,
+                           const std::vector<double>& snapshot, double threshold);
 
   LinearSolverOptions opts_;
   SparseMatrix a_;
   bool has_pattern_ = false;
   Ilu0 ilu_;
   std::vector<double> factored_values_;  ///< values at last ILU factorization
+  GmgPreconditioner mg_;
+  std::vector<double> mg_values_;  ///< values at last MG hierarchy refresh
   WorkspaceStats stats_;
   Vec residual_scratch_;
 };

@@ -91,7 +91,8 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
                                      const DriftDiffusionSolution* warm,
                                      numeric::SolveBudget& budget,
                                      numeric::NewtonWorkspace& ws_poisson,
-                                     numeric::NewtonWorkspace& ws_continuity) {
+                                     numeric::NewtonWorkspace& ws_continuity,
+                                     const exec::Context& ctx) {
   const std::size_t n_nodes = m.num_nodes();
   const std::size_t nx = m.nx(), ny = m.ny();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -120,7 +121,7 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
     // The Gummel loop has its own continuation ladder above this function;
     // give the initializer a direct shot only so failures surface here.
     popts.continuation.enabled = false;
-    const auto init = solve_poisson(dev, bias, m, popts);
+    const auto init = solve_poisson(dev, bias, m, popts, ctx);
     sol.stats.merge(init.stats);
     sol.potential = init.potential;
     sol.electron_density = init.electron_density;
@@ -186,6 +187,16 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
   numeric::Vec f(n_nodes), rhs_phi(n_nodes);
   numeric::TripletBuilder cont(ns, ns);
   numeric::Vec rhs_cont(ns);
+  // Per-row-block scratch for parallel assembly: stamped concurrently,
+  // merged serially in block order so the combined entry sequence (and the
+  // downstream duplicate-summation order) matches a serial pass exactly.
+  std::vector<numeric::TripletBuilder> row_jac;
+  row_jac.reserve(ny);
+  for (std::size_t iy = 0; iy < ny; ++iy) row_jac.emplace_back(n_nodes, n_nodes);
+  const std::size_t n_blocks = nx > 0 ? (ns + nx - 1) / nx : 0;
+  std::vector<numeric::TripletBuilder> row_cont;
+  row_cont.reserve(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) row_cont.emplace_back(ns, ns);
   double id_prev = 0.0;
   bool dead = false;
   for (std::size_t outer = 0; outer < opts.max_gummel && !dead; ++outer) {
@@ -203,16 +214,19 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
     {
       const numeric::Vec phi_ref = phi;
       for (std::size_t it = 0; it < opts.max_inner_newton; ++it) {
-        jac.clear();
         std::fill(f.begin(), f.end(), 0.0);
-        for (std::size_t iy = 0; iy < ny; ++iy) {
+        // Parallel over mesh rows: writes (f[i], row_jac[iy]) stay inside
+        // row iy; phi/densities are read-only during assembly.
+        ctx.parallel_for(ny, [&](std::size_t iy) {
+          numeric::TripletBuilder& rj = row_jac[iy];
+          rj.clear();
           for (std::size_t ix = 0; ix < nx; ++ix) {
             const std::size_t i = m.index(ix, iy);
             const auto& nd = m.node(i);
             if (nd.dirichlet) {
               // Residual F_i = phi_i - bc so that rhs = -F yields
               // dphi_i = bc - phi_i (moves toward the contact value).
-              jac.add(i, i, 1.0);
+              rj.add(i, i, 1.0);
               f[i] = phi[i] - nd.dirichlet_value;
               continue;
             }
@@ -230,8 +244,8 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
               const double c =
                   kEps0 * (2.0 * ea * eb / (ea + eb)) * geo.face_over_dist(ix, iy, jx, jy);
               f[i] += c * (phi[j] - phi[i]);
-              jac.add(i, i, -c);
-              jac.add(i, j, c);
+              rj.add(i, i, -c);
+              rj.add(i, j, c);
             };
             if (ix > 0) stamp(ix - 1, iy);
             if (ix + 1 < nx) stamp(ix + 1, iy);
@@ -245,10 +259,12 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
               const double pp = sol.hole_density[i] * ep;
               const double area = geo.cell_area(ix, iy);
               f[i] += kQ * (pp - nn + dev.doping) * area;
-              jac.add(i, i, -(kQ / vt) * (nn + pp) * area);
+              rj.add(i, i, -(kQ / vt) * (nn + pp) * area);
             }
           }
-        }
+        });
+        jac.clear();
+        for (std::size_t iy = 0; iy < ny; ++iy) jac.append(row_jac[iy]);
         for (std::size_t i = 0; i < n_nodes; ++i) rhs_phi[i] = -f[i];
         ws_poisson.assemble(jac);
         auto res = ws_poisson.solve(rhs_phi);
@@ -288,45 +304,54 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
     for (int carrier = 0; carrier < 2 && !dead; ++carrier) {
       const bool electrons = carrier == 0;
       const double mu = electrons ? dev.semi.mu0 : dev.semi.mu0 * 0.5;
-      cont.clear();
       std::fill(rhs_cont.begin(), rhs_cont.end(), 0.0);
-      for (std::size_t k = 0; k < ns; ++k) {
-        const std::size_t i = semi_nodes[k];
-        if (is_carrier_contact(i)) {
-          cont.add(k, k, 1.0);
-          rhs_cont[k] = electrons ? n_eq : p_eq;
-          continue;
-        }
-        const std::size_t ix = i % nx, iy = i / nx;
-        auto stamp = [&](std::size_t jx, std::size_t jy) {
-          const std::size_t j = m.index(jx, jy);
-          if (semi_index[j] == SIZE_MAX) return;  // insulated boundary
-          const double w = geo.face_over_dist(ix, iy, jx, jy) * mu * vt;
-          const double d = (phi[j] - phi[i]) / vt;
-          // Electron particle outflow i->j:
-          //   w [ n_i B(-d) - n_j B(d) ]
-          // Hole particle outflow i->j:
-          //   w [ p_i B(d) - p_j B(-d) ]
-          const double ci = electrons ? bernoulli(-d) : bernoulli(d);
-          const double cj = electrons ? bernoulli(d) : bernoulli(-d);
-          cont.add(k, k, w * ci);
-          cont.add(k, semi_index[j], -w * cj);
-        };
-        if (ix > 0) stamp(ix - 1, iy);
-        if (ix + 1 < nx) stamp(ix + 1, iy);
-        if (iy > 0) stamp(ix, iy - 1);
-        if (iy + 1 < ny) stamp(ix, iy + 1);
+      // Parallel over row-sized blocks of the semiconductor sub-index:
+      // writes (rhs_cont[k], row_cont[blk]) stay inside the block; phi and
+      // the lagged densities are read-only during assembly.
+      ctx.parallel_for(n_blocks, [&](std::size_t blk) {
+        numeric::TripletBuilder& rc = row_cont[blk];
+        rc.clear();
+        const std::size_t k_end = std::min(ns, (blk + 1) * nx);
+        for (std::size_t k = blk * nx; k < k_end; ++k) {
+          const std::size_t i = semi_nodes[k];
+          if (is_carrier_contact(i)) {
+            rc.add(k, k, 1.0);
+            rhs_cont[k] = electrons ? n_eq : p_eq;
+            continue;
+          }
+          const std::size_t ix = i % nx, iy = i / nx;
+          auto stamp = [&](std::size_t jx, std::size_t jy) {
+            const std::size_t j = m.index(jx, jy);
+            if (semi_index[j] == SIZE_MAX) return;  // insulated boundary
+            const double w = geo.face_over_dist(ix, iy, jx, jy) * mu * vt;
+            const double d = (phi[j] - phi[i]) / vt;
+            // Electron particle outflow i->j:
+            //   w [ n_i B(-d) - n_j B(d) ]
+            // Hole particle outflow i->j:
+            //   w [ p_i B(d) - p_j B(-d) ]
+            const double ci = electrons ? bernoulli(-d) : bernoulli(d);
+            const double cj = electrons ? bernoulli(d) : bernoulli(-d);
+            rc.add(k, k, w * ci);
+            rc.add(k, semi_index[j], -w * cj);
+          };
+          if (ix > 0) stamp(ix - 1, iy);
+          if (ix + 1 < nx) stamp(ix + 1, iy);
+          if (iy > 0) stamp(ix, iy - 1);
+          if (iy + 1 < ny) stamp(ix, iy + 1);
 
-        // SRH with lagged denominator: R = (x * other - ni^2) / D_old.
-        const auto& sp = dev.semi;
-        const double denom = sp.tau_srh_p * (sol.electron_density[i] + sp.ni) +
-                             sp.tau_srh_n * (sol.hole_density[i] + sp.ni);
-        const double area = geo.cell_area(ix, iy);
-        const double other = electrons ? sol.hole_density[i] : sol.electron_density[i];
-        // Outflow + R*area = 0  ->  A x = rhs with R split linear/const.
-        cont.add(k, k, area * other / denom);
-        rhs_cont[k] = area * sp.ni * sp.ni / denom;
-      }
+          // SRH with lagged denominator: R = (x * other - ni^2) / D_old.
+          const auto& sp = dev.semi;
+          const double denom = sp.tau_srh_p * (sol.electron_density[i] + sp.ni) +
+                               sp.tau_srh_n * (sol.hole_density[i] + sp.ni);
+          const double area = geo.cell_area(ix, iy);
+          const double other = electrons ? sol.hole_density[i] : sol.electron_density[i];
+          // Outflow + R*area = 0  ->  A x = rhs with R split linear/const.
+          rc.add(k, k, area * other / denom);
+          rhs_cont[k] = area * sp.ni * sp.ni / denom;
+        }
+      });
+      cont.clear();
+      for (std::size_t b = 0; b < n_blocks; ++b) cont.append(row_cont[b]);
       // Electrons and holes stamp the same positions, so one workspace
       // serves both (values differ per carrier; the staleness rule decides
       // whether the ILU factors carry over).
@@ -377,16 +402,32 @@ DriftDiffusionSolution solve_dd_once(const TftDevice& dev, const Bias& bias,
 DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
                                                     const Bias& bias,
                                                     const mesh::DeviceMesh& m,
-                                                    const DriftDiffusionOptions& opts) {
+                                                    const DriftDiffusionOptions& opts,
+                                                    const exec::Context& ctx) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
   // Two workspaces shared by every continuation stage: the Poisson system
   // on all nodes and the continuity system on the semiconductor sub-mesh.
-  const auto lin_opts = linear_options_for(opts.linear_solver);
-  numeric::NewtonWorkspace ws_poisson(lin_opts), ws_continuity(lin_opts);
+  // The continuity unknowns are the semiconductor nodes, which build_mesh
+  // lays out as the first whole rows of the mesh — a structured nx-by-
+  // (ns/nx) grid in sub-index space, so it gets its own MG geometry; a
+  // non-rectangular film degrades to (0, 0), which keeps MG off.
+  std::size_t ns = 0;
+  for (std::size_t i = 0; i < m.num_nodes(); ++i)
+    if (m.node(i).material == mesh::Material::kSemiconductor) ++ns;
+  const std::size_t ns_rows = (m.nx() > 0 && ns % m.nx() == 0) ? ns / m.nx() : 0;
+  numeric::NewtonWorkspace ws_poisson(
+      linear_options_for(opts.linear_solver, m.nx(), m.ny()));
+  numeric::NewtonWorkspace ws_continuity(
+      linear_options_for(opts.linear_solver, ns_rows > 0 ? m.nx() : 0, ns_rows));
+  // Continuation progress: one unit per fixed-bias Gummel solve (direct
+  // attempt or continuation stage), shared with the Poisson ladder.
+  static obs::ProgressTask& prog = obs::progress("tcad.continuation.stages");
 
-  DriftDiffusionSolution sol =
-      solve_dd_once(dev, bias, m, opts, nullptr, budget, ws_poisson, ws_continuity);
+  prog.add_work(1);
+  DriftDiffusionSolution sol = solve_dd_once(dev, bias, m, opts, nullptr, budget,
+                                             ws_poisson, ws_continuity, ctx);
+  prog.advance();
   ++sol.stats.attempts;
   if (sol.converged) {
     ++sol.stats.direct_success;
@@ -419,9 +460,11 @@ DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
     const double f_try = std::min(1.0, f + step);
     const Bias b = bias_fraction(bias, f_try);
     const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
+    prog.add_work(1);
     DriftDiffusionSolution sub = solve_dd_once(dev, b, mb, opts,
                                                have_warm ? &last : nullptr, budget,
-                                               ws_poisson, ws_continuity);
+                                               ws_poisson, ws_continuity, ctx);
+    prog.advance();
     ++stats.continuation_retries;
     ++total.retries;
     total.iterations += sub.status.iterations;
@@ -456,13 +499,14 @@ DriftDiffusionSolution solve_drift_diffusion_ladder(const TftDevice& dev,
 
 DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
                                              const mesh::DeviceMesh& m,
-                                             const DriftDiffusionOptions& opts) {
+                                             const DriftDiffusionOptions& opts,
+                                             const exec::Context& ctx) {
   obs::Span span("tcad.solve_drift_diffusion");
   static obs::Counter& c_solves = obs::counter("tcad.drift_diffusion.solves");
   static obs::Counter& c_failures = obs::counter("tcad.drift_diffusion.failures");
   static obs::Histogram& h_iters = obs::histogram(
       "tcad.drift_diffusion.iterations", {10, 20, 40, 80, 160, 320, 640});
-  DriftDiffusionSolution sol = solve_drift_diffusion_ladder(dev, bias, m, opts);
+  DriftDiffusionSolution sol = solve_drift_diffusion_ladder(dev, bias, m, opts, ctx);
   c_solves.add(1);
   if (!sol.converged) c_failures.add(1);
   h_iters.observe(static_cast<double>(sol.status.iterations));
@@ -472,9 +516,10 @@ DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& b
 DriftDiffusionSolution solve_drift_diffusion(const TftDevice& dev, const Bias& bias,
                                              std::size_t nx, std::size_t n_ch,
                                              std::size_t n_ox,
-                                             const DriftDiffusionOptions& opts) {
+                                             const DriftDiffusionOptions& opts,
+                                             const exec::Context& ctx) {
   const auto m = build_mesh(dev, bias, nx, n_ch, n_ox);
-  return solve_drift_diffusion(dev, bias, m, opts);
+  return solve_drift_diffusion(dev, bias, m, opts, ctx);
 }
 
 }  // namespace stco::tcad

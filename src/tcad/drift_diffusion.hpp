@@ -50,15 +50,21 @@ struct DriftDiffusionSolution {
 };
 
 /// Solve the coupled Poisson + electron/hole continuity system.
+///
+/// Inner-Newton and continuity assembly parallelize over mesh rows on
+/// `ctx` with per-row scratch merged in index order — bit-identical to the
+/// serial default at any thread count (the PR-3 determinism contract).
 [[nodiscard]] DriftDiffusionSolution solve_drift_diffusion(
     const TftDevice& dev, const Bias& bias, const mesh::DeviceMesh& mesh,
-    const DriftDiffusionOptions& opts = {});
+    const DriftDiffusionOptions& opts = {},
+    const exec::Context& ctx = exec::Context::serial());
 
 /// Convenience overload building the default mesh (finer than the dataset
 /// default: this is the reference engine).
 [[nodiscard]] DriftDiffusionSolution solve_drift_diffusion(
     const TftDevice& dev, const Bias& bias, std::size_t nx = 32, std::size_t n_ch = 8,
-    std::size_t n_ox = 6, const DriftDiffusionOptions& opts = {});
+    std::size_t n_ox = 6, const DriftDiffusionOptions& opts = {},
+    const exec::Context& ctx = exec::Context::serial());
 
 /// Bernoulli function x / (e^x - 1) with the stable small-|x| expansion
 /// (exposed for tests).

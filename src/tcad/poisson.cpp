@@ -65,7 +65,9 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
                                    const PoissonOptions& opts,
                                    const numeric::Vec* warm_start,
                                    numeric::SolveBudget& budget,
-                                   numeric::NewtonWorkspace& ws) {
+                                   numeric::NewtonWorkspace& ws,
+                                   const exec::Context& ctx,
+                                   std::vector<numeric::TripletBuilder>& row_jac) {
   const std::size_t n = m.num_nodes();
   const std::size_t nx = m.nx();
   const double vt = thermal_voltage(opts.temperature_k);
@@ -136,9 +138,11 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
     sol.newton_iterations = it + 1;
     sol.status.iterations = it + 1;
 
-    // Carrier densities and residual.
+    // Carrier densities and residual, parallel over mesh rows: every write
+    // (np/pp/f_res at node i) stays inside row iy and reads only shared
+    // immutable state, so any schedule produces the serial result.
     std::fill(f_res.begin(), f_res.end(), 0.0);
-    for (std::size_t iy = 0; iy < m.ny(); ++iy) {
+    ctx.parallel_for(m.ny(), [&](std::size_t iy) {
       for (std::size_t ix = 0; ix < nx; ++ix) {
         const std::size_t i = m.index(ix, iy);
         const auto& nd = m.node(i);
@@ -153,10 +157,17 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
         }
         f_res[i] += rho * cell_area(ix, iy);
       }
-    }
+    });
 
-    jac.clear();
-    for (std::size_t iy = 0; iy < m.ny(); ++iy) {
+    // Jacobian stamp, parallel over mesh rows into per-row scratch
+    // builders. Stamping row iy touches f_res only at nodes of row iy and
+    // reads phi/np/pp from neighbouring rows (immutable during assembly);
+    // the serial index-ordered append below reproduces the exact entry
+    // sequence a single serial stamping pass would emit, so from_triplets
+    // / refill sum duplicates in the same order at any thread count.
+    ctx.parallel_for(m.ny(), [&](std::size_t iy) {
+      numeric::TripletBuilder& rj = row_jac[iy];
+      rj.clear();
       for (std::size_t ix = 0; ix < nx; ++ix) {
         const std::size_t i = m.index(ix, iy);
         const auto& nd = m.node(i);
@@ -165,7 +176,7 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
           // J dphi = -F convention this gives dphi_i = bc - phi_i, snapping
           // the node onto the boundary value in one step (critical for
           // warm starts, where phi_i != bc on entry).
-          jac.add(i, i, 1.0);
+          rj.add(i, i, 1.0);
           f_res[i] = phi[i] - nd.dirichlet_value;
           continue;
         }
@@ -173,13 +184,13 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
                                   std::size_t perp_edge_count) {
           const double c = coupling(i, j, horizontal, perp_edge_count);
           f_res[i] += c * (phi[j] - phi[i]);
-          jac.add(i, i, -c);
-          if (!m.node(j).dirichlet) jac.add(i, j, c);
+          rj.add(i, i, -c);
+          if (!m.node(j).dirichlet) rj.add(i, j, c);
           // Dirichlet neighbours contribute to the residual only; their
           // dphi is handled by their identity rows (which give dphi = 0
           // once converged; during iteration the pinned residual pulls
           // them exactly onto the boundary value).
-          else jac.add(i, j, c);
+          else rj.add(i, j, c);
         };
         const bool top_or_bottom = (iy == 0 || iy == m.ny() - 1);
         const bool left_or_right = (ix == 0 || ix == nx - 1);
@@ -191,10 +202,12 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
         // d rho / d phi = -(q/vt) (n + p)
         if (nd.material == mesh::Material::kSemiconductor) {
           const double drho = -(carrier_scale / vt) * (np[i] + pp[i]);
-          jac.add(i, i, drho * cell_area(ix, iy));
+          rj.add(i, i, drho * cell_area(ix, iy));
         }
       }
-    }
+    });
+    jac.clear();
+    for (std::size_t iy = 0; iy < m.ny(); ++iy) jac.append(row_jac[iy]);
 
     // Newton step: J dphi = -F. The workspace reuses the pattern (refill),
     // the ILU(0) factors (staleness-gated), and runs the fallback ladder
@@ -251,16 +264,31 @@ PoissonSolution solve_poisson_once(const TftDevice& dev, const Bias& bias,
 // an obs span and per-solve histograms.
 PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
                                      const mesh::DeviceMesh& m,
-                                     const PoissonOptions& opts) {
+                                     const PoissonOptions& opts,
+                                     const exec::Context& ctx) {
   const ContinuationPolicy& cp = opts.continuation;
   numeric::SolveBudget budget(cp.iteration_budget, cp.wall_clock_budget);
   // One workspace for the whole ladder: continuation stages share the mesh
-  // geometry, so the Jacobian pattern — and often the ILU factors — carry
-  // over between stages.
-  numeric::NewtonWorkspace ws(linear_options_for(opts.linear_solver));
+  // geometry, so the Jacobian pattern — and often the ILU factors and the
+  // multigrid hierarchy — carry over between stages. The grid-aware policy
+  // arms the MG rung only on meshes large enough for the V-cycle to pay.
+  numeric::NewtonWorkspace ws(
+      linear_options_for(opts.linear_solver, m.nx(), m.ny()));
+  // Per-row Jacobian scratch shared by every stage (see solve_poisson_once).
+  std::vector<numeric::TripletBuilder> row_jac;
+  row_jac.reserve(m.ny());
+  for (std::size_t iy = 0; iy < m.ny(); ++iy)
+    row_jac.emplace_back(m.num_nodes(), m.num_nodes());
+  // Continuation progress: each unit is one fixed-bias Newton solve
+  // (direct attempt or continuation stage), announced before it runs so
+  // large-mesh dataset builds report rate/ETA while solves are in flight.
+  static obs::ProgressTask& prog = obs::progress("tcad.continuation.stages");
 
   // Direct attempt at the target bias.
-  PoissonSolution sol = solve_poisson_once(dev, bias, m, opts, nullptr, budget, ws);
+  prog.add_work(1);
+  PoissonSolution sol =
+      solve_poisson_once(dev, bias, m, opts, nullptr, budget, ws, ctx, row_jac);
+  prog.advance();
   ++sol.stats.attempts;
   if (sol.converged) {
     ++sol.stats.direct_success;
@@ -293,8 +321,11 @@ PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
     const double f_try = std::min(1.0, f + step);
     const Bias b = bias_fraction(bias, f_try);
     const mesh::DeviceMesh mb = rebias_mesh(m, dev, b);
-    PoissonSolution sub = solve_poisson_once(dev, b, mb, opts,
-                                             warm.empty() ? nullptr : &warm, budget, ws);
+    prog.add_work(1);
+    PoissonSolution sub =
+        solve_poisson_once(dev, b, mb, opts, warm.empty() ? nullptr : &warm,
+                           budget, ws, ctx, row_jac);
+    prog.advance();
     ++stats.continuation_retries;
     ++total.retries;
     total.iterations += sub.status.iterations;
@@ -331,13 +362,14 @@ PoissonSolution solve_poisson_ladder(const TftDevice& dev, const Bias& bias,
 }  // namespace
 
 PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                              const mesh::DeviceMesh& m, const PoissonOptions& opts) {
+                              const mesh::DeviceMesh& m, const PoissonOptions& opts,
+                              const exec::Context& ctx) {
   obs::Span span("tcad.solve_poisson");
   static obs::Counter& c_solves = obs::counter("tcad.poisson.solves");
   static obs::Counter& c_failures = obs::counter("tcad.poisson.failures");
   static obs::Histogram& h_iters = obs::histogram(
       "tcad.poisson.iterations", {5, 10, 20, 40, 80, 160, 320});
-  PoissonSolution sol = solve_poisson_ladder(dev, bias, m, opts);
+  PoissonSolution sol = solve_poisson_ladder(dev, bias, m, opts, ctx);
   c_solves.add(1);
   if (!sol.converged) c_failures.add(1);
   h_iters.observe(static_cast<double>(sol.status.iterations));
@@ -346,9 +378,9 @@ PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
 
 PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias, std::size_t nx,
                               std::size_t n_ch, std::size_t n_ox,
-                              const PoissonOptions& opts) {
+                              const PoissonOptions& opts, const exec::Context& ctx) {
   const auto m = build_mesh(dev, bias, nx, n_ch, n_ox);
-  return solve_poisson(dev, bias, m, opts);
+  return solve_poisson(dev, bias, m, opts, ctx);
 }
 
 }  // namespace stco::tcad

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 
+#include "src/exec/context.hpp"
 #include "src/mesh/mesh.hpp"
 #include "src/numeric/matrix.hpp"
 #include "src/numeric/status.hpp"
@@ -42,14 +43,20 @@ struct PoissonOptions {
 /// The quasi-Fermi potential is ramped linearly along the channel between
 /// the source and drain contact potentials (a gradual-channel closure; the
 /// drift-diffusion transport solve lives in transport.hpp).
-[[nodiscard]] PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                                            const mesh::DeviceMesh& mesh,
-                                            const PoissonOptions& opts = {});
+///
+/// Newton residual/Jacobian assembly parallelizes over mesh rows on `ctx`
+/// with per-row scratch merged in index order, so the result is
+/// bit-identical to the serial default at any thread count (the PR-3
+/// determinism contract).
+[[nodiscard]] PoissonSolution solve_poisson(
+    const TftDevice& dev, const Bias& bias, const mesh::DeviceMesh& mesh,
+    const PoissonOptions& opts = {},
+    const exec::Context& ctx = exec::Context::serial());
 
 /// Convenience overload that builds the default mesh first.
-[[nodiscard]] PoissonSolution solve_poisson(const TftDevice& dev, const Bias& bias,
-                                            std::size_t nx = 16, std::size_t n_ch = 5,
-                                            std::size_t n_ox = 4,
-                                            const PoissonOptions& opts = {});
+[[nodiscard]] PoissonSolution solve_poisson(
+    const TftDevice& dev, const Bias& bias, std::size_t nx = 16,
+    std::size_t n_ch = 5, std::size_t n_ox = 4, const PoissonOptions& opts = {},
+    const exec::Context& ctx = exec::Context::serial());
 
 }  // namespace stco::tcad

@@ -2,6 +2,7 @@
 // Shared convergence-recovery and linear-solver policy for the TCAD
 // solvers (nonlinear Poisson, drift-diffusion, quasi-1D transport).
 
+#include <algorithm>
 #include <cstddef>
 
 #include "src/numeric/status.hpp"
@@ -11,7 +12,8 @@ namespace stco::tcad {
 
 /// Which linear-solver path the Newton loops use.
 enum class LinearSolverPolicy {
-  kFast,    ///< ILU(0)-preconditioned Krylov + banded LU fallback, pattern reuse
+  kFast,    ///< MG-preconditioned Krylov on large structured grids, else ILU(0)
+  kIlu,     ///< the PR-5 fast path without the multigrid rung (bench A/B)
   kLegacy,  ///< pre-workspace path: Jacobi Krylov + dense fallback (bench A/B)
 };
 
@@ -31,6 +33,25 @@ inline numeric::LinearSolverOptions linear_options_for(LinearSolverPolicy p,
   } else {
     o = numeric::fast_linear_options();
     o.tol = tol * 1e-2;
+  }
+  return o;
+}
+
+/// Grid-aware variant: on kFast, arms the geometric multigrid rung when the
+/// structured grid is large enough for the V-cycle to pay. Below that, the
+/// ILU(0) rung already converges in O(1) iterations and the hierarchy
+/// build/refresh would only add overhead, so small meshes (the test and
+/// dataset defaults) keep their exact PR-5 behaviour. kIlu ignores the grid
+/// entirely — it is the A/B control for benchmarking the MG rung.
+inline numeric::LinearSolverOptions linear_options_for(LinearSolverPolicy p,
+                                                       std::size_t grid_nx,
+                                                       std::size_t grid_ny,
+                                                       double tol = 1e-12) {
+  numeric::LinearSolverOptions o = linear_options_for(p, tol);
+  if (p == LinearSolverPolicy::kFast && std::min(grid_nx, grid_ny) > 32) {
+    o.use_multigrid = true;
+    o.mg_nx = grid_nx;
+    o.mg_ny = grid_ny;
   }
   return o;
 }

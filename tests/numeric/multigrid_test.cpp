@@ -1,0 +1,352 @@
+#include "src/numeric/multigrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "src/numeric/rng.hpp"
+#include "src/numeric/solve.hpp"
+#include "src/numeric/sparse.hpp"
+#include "src/numeric/workspace.hpp"
+
+namespace stco::numeric {
+namespace {
+
+/// 2-D 5-point Laplacian with Dirichlet identity rows on the outer ring
+/// and independent x/y coupling strengths (ay >> ax models the TCAD film
+/// anisotropy). n = nx * ny, node = iy*nx + ix.
+SparseMatrix laplacian2d(std::size_t nx, std::size_t ny, double ax, double ay) {
+  TripletBuilder b(nx * ny, nx * ny);
+  for (std::size_t iy = 0; iy < ny; ++iy)
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const std::size_t k = iy * nx + ix;
+      if (ix == 0 || iy == 0 || ix == nx - 1 || iy == ny - 1) {
+        b.add(k, k, 1.0);
+        continue;
+      }
+      b.add(k, k, 2.0 * ax + 2.0 * ay);
+      b.add(k, k - 1, -ax);
+      b.add(k, k + 1, -ax);
+      b.add(k, k - nx, -ay);
+      b.add(k, k + nx, -ay);
+    }
+  return SparseMatrix::from_triplets(b);
+}
+
+Vec pseudo_rhs(std::size_t n) {
+  Vec v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = std::sin(0.37 * static_cast<double>(i)) + 0.5;
+  return v;
+}
+
+TEST(Multigrid, CoarseDimHalvesVertexCentered) {
+  EXPECT_EQ(mg_coarse_dim(9), 5u);
+  EXPECT_EQ(mg_coarse_dim(8), 4u);
+  EXPECT_EQ(mg_coarse_dim(3), 2u);
+  EXPECT_EQ(mg_coarse_dim(2), 2u);  // below 3: stop coarsening
+}
+
+TEST(Multigrid, ProlongationRowsSumToOne) {
+  const std::size_t nx = 9, ny = 8;
+  const SparseMatrix p = build_prolongation(nx, ny);
+  ASSERT_EQ(p.rows(), nx * ny);
+  ASSERT_EQ(p.cols(), mg_coarse_dim(nx) * mg_coarse_dim(ny));
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t k = p.row_ptr()[r]; k < p.row_ptr()[r + 1]; ++k)
+      sum += p.values()[k];
+    EXPECT_NEAR(sum, 1.0, 1e-15) << "row " << r;
+  }
+}
+
+TEST(Multigrid, ProlongationInjectsAtCoarsePoints) {
+  const std::size_t nx = 9, ny = 9;
+  const SparseMatrix p = build_prolongation(nx, ny);
+  const std::size_t cnx = mg_coarse_dim(nx);
+  // Fine point (4, 6) = coarse point (2, 3): exactly one entry, weight 1.
+  const std::size_t row = 6 * nx + 4;
+  ASSERT_EQ(p.row_ptr()[row + 1] - p.row_ptr()[row], 1u);
+  EXPECT_EQ(p.col_idx()[p.row_ptr()[row]], 3 * cnx + 2);
+  EXPECT_DOUBLE_EQ(p.values()[p.row_ptr()[row]], 1.0);
+}
+
+TEST(Multigrid, GalerkinMatchesExplicitTripleProduct) {
+  const std::size_t nx = 9, ny = 9, n = nx * ny;
+  const SparseMatrix a = laplacian2d(nx, ny, 1.0, 7.0);
+  MultigridOptions opts;
+  opts.max_levels = 2;
+  opts.min_coarse_dim = 2;
+  GmgPreconditioner mg(opts);
+  ASSERT_TRUE(mg.update(a, nx, ny));
+  ASSERT_EQ(mg.levels(), 2u);
+
+  // Dense reference: A_c = P^T A P.
+  const SparseMatrix p = build_prolongation(nx, ny);
+  const std::size_t nc = p.cols();
+  const auto ad = a.to_dense();
+  std::vector<double> pd(n * nc, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t k = p.row_ptr()[r]; k < p.row_ptr()[r + 1]; ++k)
+      pd[r * nc + p.col_idx()[k]] = p.values()[k];
+  std::vector<double> ap(n * nc, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t c = 0; c < nc; ++c) ap[i * nc + c] += ad(i, j) * pd[j * nc + c];
+  std::vector<double> ref(nc * nc, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t r = 0; r < nc; ++r)
+      for (std::size_t c = 0; c < nc; ++c)
+        ref[r * nc + c] += pd[i * nc + r] * ap[i * nc + c];
+
+  const auto cd = mg.level_operator(1).to_dense();
+  ASSERT_EQ(cd.rows(), nc);
+  for (std::size_t r = 0; r < nc; ++r)
+    for (std::size_t c = 0; c < nc; ++c)
+      EXPECT_NEAR(cd(r, c), ref[r * nc + c], 1e-12) << r << "," << c;
+}
+
+// Two-grid error-propagation factor on the model problem: iterate
+// e <- e - M^{-1} A e and measure the asymptotic per-cycle contraction.
+// Line smoothing + Galerkin coarse correction should sit well under 0.25.
+TEST(Multigrid, TwoGridConvergenceFactorSmall) {
+  const std::size_t nx = 33, ny = 33, n = nx * ny;
+  const SparseMatrix a = laplacian2d(nx, ny, 1.0, 1.0);
+  MultigridOptions opts;
+  opts.max_levels = 2;
+  GmgPreconditioner mg(opts);
+  ASSERT_TRUE(mg.update(a, nx, ny));
+  ASSERT_EQ(mg.levels(), 2u);
+
+  Rng rng(17);
+  Vec e(n), ae(n), z(n);
+  for (auto& v : e) v = rng.uniform(-1, 1);
+  double prev = 0.0, factor = 0.0;
+  for (int it = 0; it < 12; ++it) {
+    a.apply(e, ae);
+    mg.apply(ae, z);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      e[i] -= z[i];
+      norm = std::max(norm, std::fabs(e[i]));
+    }
+    if (it >= 6) factor = std::max(factor, prev > 0.0 ? norm / prev : 0.0);
+    prev = norm;
+  }
+  EXPECT_LT(factor, 0.25);
+}
+
+TEST(Multigrid, KrylovIterationsGridIndependent) {
+  std::size_t iters[3] = {0, 0, 0};
+  const std::size_t dims[3] = {33, 65, 129};
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t nx = dims[i];
+    const SparseMatrix a = laplacian2d(nx, nx, 1.0, 1.0);
+    GmgPreconditioner mg;
+    ASSERT_TRUE(mg.update(a, nx, nx));
+    const Vec rhs = pseudo_rhs(nx * nx);
+    const auto res = solve_bicgstab(a, rhs, 1e-10, 50, &mg);
+    ASSERT_TRUE(res.converged) << "nx=" << nx;
+    iters[i] = res.iterations;
+    EXPECT_LE(res.iterations, 10u) << "nx=" << nx;
+  }
+  // Near-constant across a 4x refinement: this is the near-O(n) claim.
+  EXPECT_LE(iters[2], iters[0] + 3);
+}
+
+// The motivating failure for line smoothing: grid-aligned anisotropy at
+// TCAD strength. Point-Jacobi V-cycles need hundreds of Krylov iterations
+// here; alternating line Gauss-Seidel keeps the count in single digits.
+TEST(Multigrid, AnisotropyRobustSmoothing) {
+  const std::size_t nx = 65;
+  const SparseMatrix a = laplacian2d(nx, nx, 1.0, 100.0);
+  GmgPreconditioner mg;
+  ASSERT_TRUE(mg.update(a, nx, nx));
+  const Vec rhs = pseudo_rhs(nx * nx);
+  const auto res = solve_bicgstab(a, rhs, 1e-10, 50, &mg);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 12u);
+}
+
+TEST(Multigrid, UpdateRejectsUncoarsenableGrid) {
+  const std::size_t nx = 8;  // min_coarse_dim default: nothing to coarsen
+  const SparseMatrix a = laplacian2d(nx, nx, 1.0, 1.0);
+  GmgPreconditioner mg;
+  EXPECT_FALSE(mg.update(a, nx, nx));
+  EXPECT_FALSE(mg.valid());
+  EXPECT_EQ(mg.levels(), 0u);
+}
+
+TEST(Multigrid, UpdateRejectsDimensionMismatch) {
+  const SparseMatrix a = laplacian2d(33, 33, 1.0, 1.0);
+  GmgPreconditioner mg;
+  EXPECT_FALSE(mg.update(a, 17, 33));
+  EXPECT_FALSE(mg.valid());
+}
+
+TEST(Multigrid, RefillKeepsHierarchyAndStaysConsistent) {
+  const std::size_t nx = 33, n = nx * nx;
+  TripletBuilder b(n, n);
+  auto fill = [&](double scale) {
+    b.clear();
+    for (std::size_t iy = 0; iy < nx; ++iy)
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        const std::size_t k = iy * nx + ix;
+        if (ix == 0 || iy == 0 || ix == nx - 1 || iy == nx - 1) {
+          b.add(k, k, 1.0);
+          continue;
+        }
+        b.add(k, k, scale * 4.0);
+        b.add(k, k - 1, -scale);
+        b.add(k, k + 1, -scale);
+        b.add(k, k - nx, -scale);
+        b.add(k, k + nx, -scale);
+      }
+  };
+  fill(1.0);
+  SparseMatrix a = SparseMatrix::from_triplets(b);
+  GmgPreconditioner mg;
+  ASSERT_TRUE(mg.update(a, nx, nx));
+  EXPECT_EQ(mg.stats().hierarchy_builds, 1u);
+  EXPECT_EQ(mg.stats().refills, 0u);
+
+  // Same pattern, new values: a refill, not a rebuild — and the refilled
+  // coarse operator matches a from-scratch build bit for bit.
+  fill(2.5);
+  a.refill(b);
+  ASSERT_TRUE(mg.update(a, nx, nx));
+  EXPECT_EQ(mg.stats().hierarchy_builds, 1u);
+  EXPECT_EQ(mg.stats().refills, 1u);
+
+  GmgPreconditioner fresh;
+  ASSERT_TRUE(fresh.update(a, nx, nx));
+  ASSERT_EQ(fresh.levels(), mg.levels());
+  for (std::size_t l = 1; l < mg.levels(); ++l) {
+    const auto& va = mg.level_operator(l).values();
+    const auto& vb = fresh.level_operator(l).values();
+    ASSERT_EQ(va.size(), vb.size());
+    for (std::size_t i = 0; i < va.size(); ++i) EXPECT_EQ(va[i], vb[i]) << l;
+  }
+
+  mg.reset();
+  EXPECT_FALSE(mg.valid());
+  EXPECT_EQ(mg.levels(), 0u);
+}
+
+// --- NewtonWorkspace MG rung ---------------------------------------------
+
+void fill_ws_stencil(TripletBuilder& b, std::size_t nx, double scale) {
+  b.clear();
+  for (std::size_t i = 0; i < nx * nx; ++i) {
+    const std::size_t r = i / nx, c = i % nx;
+    b.add(i, i, scale * (4.0 + 0.01 * static_cast<double>(r)));
+    if (c > 0) b.add(i, i - 1, -scale);
+    if (c + 1 < nx) b.add(i, i + 1, -scale);
+    if (r > 0) b.add(i, i - nx, -scale);
+    if (r + 1 < nx) b.add(i, i + nx, -scale);
+  }
+}
+
+LinearSolverOptions mg_opts(std::size_t nx) {
+  LinearSolverOptions o;
+  o.use_multigrid = true;
+  o.mg_nx = nx;
+  o.mg_ny = nx;
+  return o;
+}
+
+TEST(NewtonWorkspaceMg, SolvesOnMgRungAndMatchesDense) {
+  const std::size_t nx = 33, n = nx * nx;
+  TripletBuilder b(n, n);
+  fill_ws_stencil(b, nx, 1.0);
+  NewtonWorkspace ws(mg_opts(nx));
+  ws.assemble(b);
+  Rng rng(5);
+  Vec rhs(n);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+  const auto res = ws.solve(rhs);
+  ASSERT_TRUE(res.converged);
+  EXPECT_EQ(ws.stats().mg_solves, 1u);
+  EXPECT_EQ(ws.stats().mg_fallbacks, 0u);
+  EXPECT_EQ(ws.stats().krylov_solves, 0u);
+  EXPECT_GE(ws.multigrid().levels(), 2u);
+  const Vec x_dense = solve_dense(ws.matrix().to_dense(), rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(res.x[i], x_dense[i], 1e-7);
+}
+
+TEST(NewtonWorkspaceMg, StalenessRuleReusesThenRefills) {
+  const std::size_t nx = 33, n = nx * nx;
+  TripletBuilder b(n, n);
+  NewtonWorkspace ws(mg_opts(nx));
+  Rng rng(7);
+  Vec rhs(n);
+  for (auto& v : rhs) v = rng.uniform(-1, 1);
+
+  fill_ws_stencil(b, nx, 1.0);
+  ws.assemble(b);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  EXPECT_EQ(ws.multigrid().stats().hierarchy_builds, 1u);
+  EXPECT_EQ(ws.multigrid().stats().refills, 0u);
+
+  // Small Newton-step drift: hierarchy is fresh enough, no refill.
+  fill_ws_stencil(b, nx, 1.02);
+  ws.assemble(b);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  EXPECT_EQ(ws.multigrid().stats().hierarchy_builds, 1u);
+  EXPECT_EQ(ws.multigrid().stats().refills, 0u);
+  EXPECT_EQ(ws.stats().mg_solves, 2u);
+
+  // Large drift (2x the values): same pattern, so the hierarchy survives
+  // and only the Galerkin values are refilled in place.
+  fill_ws_stencil(b, nx, 2.0);
+  ws.assemble(b);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  EXPECT_EQ(ws.multigrid().stats().hierarchy_builds, 1u);
+  EXPECT_EQ(ws.multigrid().stats().refills, 1u);
+  EXPECT_EQ(ws.stats().mg_solves, 3u);
+  EXPECT_EQ(ws.stats().pattern_builds, 1u);
+}
+
+TEST(NewtonWorkspaceMg, WrongGridDimsSkipsMgRung) {
+  const std::size_t nx = 8, n = nx * nx;
+  TripletBuilder b(n, n);
+  fill_ws_stencil(b, nx, 1.0);
+  LinearSolverOptions o = mg_opts(7);  // 49 != 64: gate never opens
+  NewtonWorkspace ws(o);
+  ws.assemble(b);
+  Vec rhs(n, 1.0);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  EXPECT_EQ(ws.stats().mg_solves, 0u);
+  EXPECT_EQ(ws.stats().mg_fallbacks, 0u);
+}
+
+TEST(NewtonWorkspaceMg, UncoarsenableGridFallsThroughCounted) {
+  const std::size_t nx = 8, n = nx * nx;  // too small to build a hierarchy
+  TripletBuilder b(n, n);
+  fill_ws_stencil(b, nx, 1.0);
+  NewtonWorkspace ws(mg_opts(nx));
+  ws.assemble(b);
+  Vec rhs(n, 1.0);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  EXPECT_EQ(ws.stats().mg_solves, 0u);
+  EXPECT_EQ(ws.stats().mg_fallbacks, 1u);
+  EXPECT_GE(ws.stats().krylov_solves, 1u);
+}
+
+TEST(NewtonWorkspaceMg, ResetDropsHierarchy) {
+  const std::size_t nx = 33, n = nx * nx;
+  TripletBuilder b(n, n);
+  fill_ws_stencil(b, nx, 1.0);
+  NewtonWorkspace ws(mg_opts(nx));
+  ws.assemble(b);
+  Vec rhs(n, 1.0);
+  ASSERT_TRUE(ws.solve(rhs).converged);
+  ASSERT_GE(ws.multigrid().levels(), 2u);
+  ws.reset();
+  EXPECT_EQ(ws.multigrid().levels(), 0u);
+  EXPECT_FALSE(ws.multigrid().valid());
+}
+
+}  // namespace
+}  // namespace stco::numeric

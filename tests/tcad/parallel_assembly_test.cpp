@@ -1,0 +1,69 @@
+// Bit-identity of parallel TCAD Newton assembly (the PR-3 determinism
+// contract): residual/Jacobian stamping fans out over mesh rows with
+// per-row triplet scratch, merged serially in row order, so every float in
+// the solution must be identical — not merely close — at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "src/exec/context.hpp"
+#include "src/tcad/drift_diffusion.hpp"
+#include "src/tcad/poisson.hpp"
+
+namespace stco::tcad {
+namespace {
+
+void expect_bitwise_equal(const numeric::Vec& a, const numeric::Vec& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " node " << i;
+}
+
+TEST(ParallelAssembly, PoissonBitIdenticalAcrossThreadCounts) {
+  TftDevice dev;
+  dev.semi = igzo_params();
+  const Bias bias{2.5, 1.0, 0.0};
+  const auto mesh = build_mesh(dev, bias, 24, 10, 6);
+
+  const auto serial = solve_poisson(dev, bias, mesh);
+  ASSERT_TRUE(serial.converged);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const exec::Context ctx(threads);
+    const auto par = solve_poisson(dev, bias, mesh, {}, ctx);
+    ASSERT_TRUE(par.converged) << threads;
+    EXPECT_EQ(par.newton_iterations, serial.newton_iterations) << threads;
+    expect_bitwise_equal(par.potential, serial.potential, "potential");
+    expect_bitwise_equal(par.electron_density, serial.electron_density, "n");
+    expect_bitwise_equal(par.hole_density, serial.hole_density, "p");
+    expect_bitwise_equal(par.charge_density, serial.charge_density, "rho");
+  }
+}
+
+TEST(ParallelAssembly, DriftDiffusionBitIdenticalAcrossThreadCounts) {
+  TftDevice dev;
+  dev.semi = igzo_params();
+  const Bias bias{3.0, 1.0, 0.0};
+  const auto mesh = build_mesh(dev, bias, 16, 8, 5);
+
+  DriftDiffusionOptions opts;
+  const auto serial = solve_drift_diffusion(dev, bias, mesh, opts);
+  ASSERT_TRUE(serial.converged);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    const exec::Context ctx(threads);
+    const auto par = solve_drift_diffusion(dev, bias, mesh, opts, ctx);
+    ASSERT_TRUE(par.converged) << threads;
+    EXPECT_EQ(par.gummel_iterations, serial.gummel_iterations) << threads;
+    expect_bitwise_equal(par.potential, serial.potential, "potential");
+    expect_bitwise_equal(par.electron_density, serial.electron_density, "n");
+    expect_bitwise_equal(par.hole_density, serial.hole_density, "p");
+    ASSERT_EQ(par.drain_current, serial.drain_current) << threads;
+    ASSERT_EQ(par.source_current, serial.source_current) << threads;
+  }
+}
+
+}  // namespace
+}  // namespace stco::tcad
